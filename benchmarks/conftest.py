@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``test_bench_*`` module regenerates one table or figure of the paper.
+The benchmarks default to a representative 8-benchmark subset of SPEC2000 at
+a reduced trace length so the whole harness runs in a few minutes of pure
+Python; set ``REPRO_BENCH_FULL=1`` to run all 26 workloads (slower), and
+``REPRO_BENCH_UOPS`` to override the per-benchmark micro-op count.
+
+Formatted result tables are printed and also written to
+``benchmarks/output/<name>.txt`` so they survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import ExperimentSettings
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def _default_uops() -> int:
+    return int(os.environ.get("REPRO_BENCH_UOPS", "8000"))
+
+
+@pytest.fixture(scope="session")
+def experiment_settings() -> ExperimentSettings:
+    """Experiment scale used by every figure benchmark."""
+    uops = _default_uops()
+    if os.environ.get("REPRO_BENCH_FULL") == "1":
+        return ExperimentSettings(uops_per_benchmark=uops)
+    return ExperimentSettings.quick(uops_per_benchmark=uops)
+
+
+@pytest.fixture(scope="session")
+def report_writer():
+    """Persist a formatted table under benchmarks/output/ and echo it."""
+
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _write(name: str, text: str) -> Path:
+        path = OUTPUT_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+        return path
+
+    return _write

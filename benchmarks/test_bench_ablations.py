@@ -1,0 +1,74 @@
+"""Ablations of the design choices called out in DESIGN.md."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_bias_threshold_ablation,
+    run_hop_interval_ablation,
+    run_partition_count_ablation,
+    run_steering_policy_ablation,
+)
+from repro.experiments.runner import ExperimentSettings
+
+
+@pytest.fixture(scope="module")
+def ablation_settings() -> ExperimentSettings:
+    """Ablations sweep many configurations, so they use a smaller workload set."""
+    return ExperimentSettings(
+        benchmarks=("gzip", "gcc", "swim", "equake"), uops_per_benchmark=4000
+    )
+
+
+def test_bench_ablation_hop_interval(benchmark, ablation_settings, report_writer):
+    """Hop-interval sweep: more frequent hops cost more misses."""
+    result = benchmark.pedantic(
+        run_hop_interval_ablation, args=(ablation_settings,), rounds=1, iterations=1
+    )
+    report_writer("ablation_hop_interval", result.format_table())
+    rows = result.rows
+    assert set(rows) == {"0.5x", "1x", "2x", "4x"}
+    # Hopping more often loses more trace-cache hits than hopping rarely.
+    assert rows["0.5x"]["hit-rate loss"] >= rows["4x"]["hit-rate loss"] - 0.01
+    # Every setting still reduces the trace-cache average temperature.
+    for label, row in rows.items():
+        assert row["TC Average reduction"] > 0.0, label
+
+
+def test_bench_ablation_bias_threshold(benchmark, ablation_settings, report_writer):
+    """Biased-mapping threshold sweep (the paper uses 3 C per halving)."""
+    result = benchmark.pedantic(
+        run_bias_threshold_ablation, args=(ablation_settings,), rounds=1, iterations=1
+    )
+    report_writer("ablation_bias_threshold", result.format_table())
+    for label, row in result.rows.items():
+        assert row["TC Average reduction"] > 0.0, label
+        assert abs(row["slowdown"]) < 0.2, label
+
+
+def test_bench_ablation_partition_count(benchmark, ablation_settings, report_writer):
+    """Two vs four frontend partitions for the distributed rename/commit."""
+    result = benchmark.pedantic(
+        run_partition_count_ablation, args=(ablation_settings,), rounds=1, iterations=1
+    )
+    report_writer("ablation_partition_count", result.format_table())
+    rows = result.rows
+    # Four partitions spread the activity at least as well as two.
+    assert rows["4"]["ROB Average reduction"] >= rows["2"]["ROB Average reduction"] - 0.05
+    # More partitions generate at least as many inter-frontend copy requests.
+    assert (
+        rows["4"]["inter-frontend copy requests"]
+        >= rows["2"]["inter-frontend copy requests"] * 0.8
+    )
+
+
+def test_bench_ablation_steering_policy(benchmark, ablation_settings, report_writer):
+    """Dependence-based steering versus naive policies."""
+    result = benchmark.pedantic(
+        run_steering_policy_ablation, args=(ablation_settings,), rounds=1, iterations=1
+    )
+    report_writer("ablation_steering_policy", result.format_table())
+    rows = result.rows
+    # Dependence-based steering needs fewer copy micro-ops than round-robin.
+    assert rows["dependence"]["copies per benchmark"] <= rows["round_robin"]["copies per benchmark"]

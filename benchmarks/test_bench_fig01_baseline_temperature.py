@@ -1,0 +1,27 @@
+"""Figure 1: baseline temperature of processor, frontend, backend and UL2."""
+
+from __future__ import annotations
+
+from repro.experiments.fig01_baseline_temperature import run_fig01
+
+
+def test_bench_fig01_baseline_temperature(benchmark, experiment_settings, report_writer):
+    """Regenerate Figure 1 and check the paper's qualitative observations."""
+    result = benchmark.pedantic(
+        run_fig01, args=(experiment_settings,), rounds=1, iterations=1
+    )
+    report_writer("fig01_baseline_temperature", result.format_table())
+
+    values = result.values
+    # The frontend is (one of) the hottest processor elements — the paper's
+    # motivation for distributing it.
+    assert result.frontend_is_hottest_element()
+    # The whole-processor peak is set by the frontend.
+    assert abs(values["Processor"]["Peak"] - values["Frontend"]["Peak"]) < 1.0
+    # The UL2 is the coolest element, the backend sits in between.
+    assert values["UL2"]["Average"] <= values["Backend"]["Average"]
+    assert values["Backend"]["Peak"] <= values["Frontend"]["Peak"]
+    # Temperatures are meaningful increases over ambient (tens of degrees),
+    # not numerical noise.
+    assert values["Frontend"]["Peak"] > 20.0
+    assert values["Frontend"]["Average"] > 10.0

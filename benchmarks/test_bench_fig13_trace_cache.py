@@ -1,0 +1,47 @@
+"""Figure 13: sub-banked thermal-aware trace cache."""
+
+from __future__ import annotations
+
+from repro.experiments.fig13_trace_cache import run_fig13
+
+
+def test_bench_fig13_trace_cache(benchmark, experiment_settings, report_writer):
+    """Regenerate Figure 13 and check the paper's qualitative claims.
+
+    Paper (Section 4.2): the biased mapping alone reduces the trace-cache
+    peak temperature slightly but not its average; bank hopping reduces both
+    (17% average, 12% peak) and also helps the rename table; the combination
+    of hopping and biasing is at least as good; the proposed techniques
+    outperform the blank-silicon option; slowdowns stay within a few percent.
+    """
+    result = benchmark.pedantic(
+        run_fig13, args=(experiment_settings,), rounds=1, iterations=1
+    )
+    report_writer("fig13_trace_cache", result.format_table())
+
+    biasing = result.reductions["Address Biasing"]["TraceCache"]
+    hopping = result.reductions["Bank Hopping"]["TraceCache"]
+    combined = result.reductions["Bank Hopping + Address Biasing"]["TraceCache"]
+    blank = result.reductions["Blank silicon"]["TraceCache"]
+
+    # Biasing alone: small peak benefit, negligible average benefit.
+    assert biasing["Average"] < 0.06
+    assert biasing["AbsMax"] >= -0.02
+    # Hopping delivers a clear average-temperature reduction of the trace
+    # cache and beats biasing alone.
+    assert hopping["Average"] > 0.05
+    assert hopping["Average"] > biasing["Average"]
+    # Hopping (rotating gating) beats statically gated blank silicon on the
+    # time-averaged-maximum metric.
+    assert result.hopping_beats_blank_silicon()
+    # The combination is not worse than hopping alone on the average metric
+    # (allowing a small tolerance for run-to-run noise).
+    assert combined["Average"] > hopping["Average"] - 0.03
+    # Hit-ratio loss and slowdown stay bounded (paper: <1% hit-ratio loss,
+    # 2-4% slowdown; the scaled-down traces hop orders of magnitude more
+    # often relative to the trace length, so the bound is looser here).
+    for label, slowdown in result.slowdowns.items():
+        assert abs(slowdown) < 0.15, f"{label} slowdown {slowdown:.3f} out of range"
+    assert result.hit_ratio_loss["Bank Hopping"] < 0.3
+    # Area overhead of the extra bank is a few percent (paper: 1.6%).
+    assert 0.0 < result.area_overhead["Bank Hopping"] < 0.06

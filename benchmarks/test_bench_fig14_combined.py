@@ -1,0 +1,42 @@
+"""Figure 14: the complete distributed frontend."""
+
+from __future__ import annotations
+
+from repro.experiments.fig14_combined import CONFIG_LABELS, run_fig14
+
+
+def test_bench_fig14_combined(benchmark, experiment_settings, report_writer):
+    """Regenerate Figure 14 and check the combined-technique shape.
+
+    Paper (Section 4.3): combining distributed rename/commit with the
+    thermal-aware bank-hopping trace cache reduces the reorder buffer,
+    rename table and trace cache temperature increases by roughly 35%, 32%
+    and 25%; the combination is synergistic (each structure does at least as
+    well as with the individual technique that targets it).
+    """
+    result = benchmark.pedantic(
+        run_fig14, args=(experiment_settings,), rounds=1, iterations=1
+    )
+    report_writer("fig14_combined", result.format_table())
+
+    combined = result.reductions[CONFIG_LABELS["distributed_frontend"]]
+    distributed = result.reductions[CONFIG_LABELS["distributed_rc"]]
+    hopping = result.reductions[CONFIG_LABELS["hopping_biasing"]]
+
+    # Clear reductions on all three structures for the full proposal.
+    assert combined["ReorderBuffer"]["Average"] > 0.15
+    assert combined["RenameTable"]["Average"] > 0.15
+    assert combined["TraceCache"]["Average"] > 0.08
+    # Synergy: the combination matches or beats the individual techniques on
+    # the structures they do not target.
+    assert result.combination_is_synergistic()
+    # The trace cache improves more with hopping in the mix than with
+    # distribution alone.
+    assert combined["TraceCache"]["Average"] >= distributed["TraceCache"]["Average"] - 0.02
+    # The ROB/RAT improve more with distribution in the mix than with the
+    # trace-cache techniques alone.
+    assert combined["ReorderBuffer"]["Average"] > hopping["ReorderBuffer"]["Average"]
+    assert combined["RenameTable"]["Average"] > hopping["RenameTable"]["Average"]
+    # Slowdown of the full proposal stays bounded (paper: ~4-5%; the
+    # scaled-down hop interval makes flushes relatively more expensive here).
+    assert abs(result.slowdowns[CONFIG_LABELS["distributed_frontend"]]) < 0.15

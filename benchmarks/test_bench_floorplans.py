@@ -1,0 +1,42 @@
+"""Figures 10 and 11: floorplans of the evaluated processors."""
+
+from __future__ import annotations
+
+from repro.experiments.floorplans import describe_floorplans
+from repro.sim import blocks
+
+
+def test_bench_floorplans(benchmark, report_writer):
+    """Regenerate the floorplans and check their structural properties."""
+    reports = benchmark.pedantic(describe_floorplans, rounds=1, iterations=1)
+    text = "\n\n".join(report.format_table() for report in reports.values())
+    report_writer("fig10_fig11_floorplans", text)
+
+    baseline = reports["baseline (Figure 10)"]
+    hopping = reports["bank hopping (Figure 11)"]
+    distributed = reports["distributed rename/commit"]
+
+    # The frontend occupies a minority but significant share of the die
+    # (paper: about 20% for this microarchitecture).
+    assert 0.10 < baseline.frontend_area_fraction() < 0.35
+
+    # Figure 10: two trace-cache banks; Figure 11 adds the hop bank.
+    assert "TC0" in baseline.floorplan and "TC1" in baseline.floorplan
+    assert "TC2" not in baseline.floorplan
+    assert "TC2" in hopping.floorplan
+
+    # The distributed organization splits the ROB and RAT into partitions
+    # placed where the monolithic structures used to be.
+    assert "ROB0" in distributed.floorplan and "ROB1" in distributed.floorplan
+    assert "RAT0" in distributed.floorplan and "RAT1" in distributed.floorplan
+    assert "ROB" not in distributed.floorplan
+
+    # Every floorplan block is adjacent to at least one other block, and the
+    # UL2 spans the bottom edge of the die.
+    for name, report in reports.items():
+        plan = report.floorplan
+        for block in plan.block_names:
+            assert plan.neighbours(block), f"{name}: block {block} is isolated"
+        ul2 = plan.block(blocks.UL2)
+        assert abs((ul2.y + ul2.height) - plan.die_height) < 1e-9
+        assert abs(ul2.width - plan.die_width) < 1e-9

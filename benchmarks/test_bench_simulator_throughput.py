@@ -1,0 +1,63 @@
+"""Micro-benchmarks of the simulator itself (cycles per second).
+
+These are conventional pytest-benchmark timings (multiple rounds) of the two
+hot paths of the reproduction: the cycle-level timing simulator and the
+thermal RC solve.  They exist so performance regressions of the simulator are
+visible, independently of the paper's figures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.presets import baseline_config
+from repro.power.energy import build_block_parameters
+from repro.sim.processor import Processor
+from repro.thermal.floorplan import build_floorplan
+from repro.thermal.rc_model import ThermalRCNetwork
+from repro.thermal.solver import ThermalSolver
+from repro.workloads.generator import TraceGenerator
+
+
+def test_bench_processor_throughput(benchmark):
+    """Timing-simulator throughput on a small gzip-like trace."""
+
+    def run_once():
+        trace = TraceGenerator("gzip", seed=7).generate(2500)
+        processor = Processor(baseline_config(), iter(trace.uops))
+        processor.run()
+        return processor.stats.committed_uops
+
+    committed = benchmark(run_once)
+    assert committed == 2500
+
+
+def test_bench_thermal_steady_state(benchmark):
+    """Steady-state thermal solve of the full baseline floorplan."""
+    config = baseline_config()
+    params = build_block_parameters(config)
+    floorplan = build_floorplan(config, {n: p.area_mm2 for n, p in params.items()})
+    network = ThermalRCNetwork(floorplan, config.thermal)
+    solver = ThermalSolver(network)
+    power = {name: 1.0 for name in floorplan.block_names}
+
+    temperatures = benchmark(lambda: solver.steady_state(power))
+    assert min(temperatures.values()) > config.thermal.ambient_celsius
+
+
+def test_bench_thermal_transient_step(benchmark):
+    """One transient advance of the RC network (1 ms interval)."""
+    config = baseline_config()
+    params = build_block_parameters(config)
+    floorplan = build_floorplan(config, {n: p.area_mm2 for n, p in params.items()})
+    network = ThermalRCNetwork(floorplan, config.thermal)
+    solver = ThermalSolver(network)
+    power = {name: 1.5 for name in floorplan.block_names}
+    state = network.uniform_state(config.thermal.ambient_celsius)
+    # Warm the propagator cache outside the timed region.
+    solver.advance(state, power, config.thermal.interval_seconds)
+
+    new_state = benchmark(
+        lambda: solver.advance(state, power, config.thermal.interval_seconds)
+    )
+    assert new_state.shape == state.shape

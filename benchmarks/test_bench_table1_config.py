@@ -1,0 +1,57 @@
+"""Table 1: processor configuration of the baseline architecture."""
+
+from __future__ import annotations
+
+from repro.core.presets import baseline_config
+
+
+def test_bench_table1_configuration(benchmark, report_writer):
+    """Regenerate Table 1 and check its headline parameters."""
+    config = benchmark(lambda: baseline_config())
+    table = config.describe()
+    report_writer("table1_configuration", table)
+
+    # Frontend (Table 1, "Frontend").
+    tc = config.frontend.trace_cache
+    assert tc.capacity_uops == 32 * 1024
+    assert tc.associativity == 4
+    assert tc.fetch_to_dispatch_latency == 4
+    assert config.frontend.decode_rename_steer_latency == 8
+    assert config.frontend.fetch_width == 8
+    assert config.frontend.commit_width == 8
+
+    # UL2 and communication fabric.
+    assert config.memory.ul2_kb == 2 * 1024
+    assert config.memory.ul2_associativity == 8
+    assert config.memory.ul2_hit_latency == 12
+    assert config.memory.ul2_miss_latency >= 500
+    assert config.interconnect.num_memory_buses == 2
+    assert config.interconnect.num_disambiguation_buses == 2
+    assert config.interconnect.bus_latency == 4
+    assert config.interconnect.bus_arbitration_latency == 1
+    assert config.interconnect.num_p2p_links == 2
+    assert config.interconnect.p2p_hop_latency == 1
+
+    # Each backend (Table 1, "Each backend").
+    backend = config.backend
+    assert backend.num_clusters == 4
+    assert backend.int_queue_entries == 40
+    assert backend.fp_queue_entries == 40
+    assert backend.copy_queue_entries == 40
+    assert backend.mem_queue_entries == 96
+    assert backend.dispatch_latency == 10
+    assert backend.prescheduler_entries == 20
+    assert backend.int_registers == 160
+    assert backend.fp_registers == 160
+    assert backend.int_rf_read_ports == 6 and backend.int_rf_write_ports == 3
+    assert backend.fp_rf_read_ports == 5 and backend.fp_rf_write_ports == 3
+    assert backend.dcache_kb == 16
+    assert backend.dcache_associativity == 2
+    assert backend.dcache_hit_latency == 1
+
+    # Design point (Section 4).
+    assert config.power.technology_nm == 65
+    assert config.power.frequency_ghz == 10.0
+    assert config.power.vdd == 1.1
+    assert config.thermal.emergency_limit_kelvin == 381.0
+    assert config.thermal.ambient_celsius == 45.0

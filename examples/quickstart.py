@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Quickstart: simulate one SPEC2000-like workload on the baseline processor.
+
+Run with:  python examples/quickstart.py [benchmark] [num_uops]
+
+The script builds the paper's baseline configuration (Table 1), generates a
+synthetic gcc-like micro-op trace, runs the coupled timing / power / thermal
+simulation and prints the headline numbers: IPC, power, and the temperature
+metrics of the paper's Figure 1 groups.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import baseline_config
+from repro.sim.engine import SimulationEngine
+from repro.workloads.generator import TraceGenerator
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "gcc"
+    num_uops = int(sys.argv[2]) if len(sys.argv) > 2 else 8_000
+
+    config = baseline_config()
+    # Scale the paper's 10 M-cycle thermal/hop/remap interval down with the
+    # trace length so the run still spans a few tens of thermal intervals.
+    interval_cycles = max(200, num_uops // 25)
+    config = config.with_intervals(interval_cycles)
+
+    print(config.describe())
+    print()
+
+    trace = TraceGenerator(benchmark, seed=1).generate(num_uops)
+    engine = SimulationEngine(config, trace.uops, benchmark, interval_cycles=interval_cycles)
+    result = engine.run()
+
+    stats = result.stats
+    print(f"Simulated {stats.committed_uops} micro-ops in {stats.cycles} cycles "
+          f"(IPC {stats.ipc:.2f})")
+    print(f"Trace cache hit rate {stats.trace_cache_hit_rate:.3f}, "
+          f"L1 data hit rate {stats.dcache_hit_rate:.3f}, "
+          f"{stats.copy_uops_generated} inter-cluster copies")
+    print(f"Average power {result.average_power():.1f} W "
+          f"({result.average_dynamic_power():.1f} W dynamic), "
+          f"peak temperature {result.peak_temperature():.1f} C")
+    print()
+    print(f"{'group':<14}{'AbsMax':>10}{'Average':>10}{'AvgMax':>10}   (increase over 45 C ambient)")
+    for group in ("Processor", "Frontend", "Backend", "UL2",
+                  "ReorderBuffer", "RenameTable", "TraceCache"):
+        metrics = result.temperature_metrics(group)
+        print(f"{group:<14}{metrics['AbsMax']:>10.1f}{metrics['Average']:>10.1f}"
+              f"{metrics['AvgMax']:>10.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Render an ASCII thermal map of the die, like the paper's thermal plots.
+
+Run with:  python examples/thermal_map.py [benchmark] [configuration]
+
+``configuration`` is one of: baseline, distributed_rc, address_biasing,
+blank_silicon, bank_hopping, hopping_biasing, distributed_frontend.
+
+The script simulates the chosen workload, takes the hottest thermal interval
+and rasterizes the floorplan onto a character grid where hotter blocks get
+"denser" glyphs, so the effect of distributing the frontend is directly
+visible: compare `baseline` against `distributed_frontend`.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.presets import ALL_CONFIGURATIONS, FrontendOrganization, config_for
+from repro.sim.engine import SimulationEngine
+from repro.workloads.generator import TraceGenerator
+
+#: Cold-to-hot glyph ramp used by the ASCII renderer.
+RAMP = " .:-=+*#%@"
+
+
+def render(floorplan, temperatures, width: int = 72, height: int = 30) -> str:
+    """Rasterize block temperatures onto a character grid."""
+    t_min = min(temperatures.values())
+    t_max = max(temperatures.values())
+    span = max(1e-6, t_max - t_min)
+    die_w = floorplan.die_width
+    die_h = floorplan.die_height
+    rows = []
+    for row in range(height):
+        y = (row + 0.5) / height * die_h
+        line = []
+        for col in range(width):
+            x = (col + 0.5) / width * die_w
+            glyph = " "
+            for block in floorplan.blocks():
+                if block.x <= x < block.x + block.width and block.y <= y < block.y + block.height:
+                    level = (temperatures[block.name] - t_min) / span
+                    glyph = RAMP[min(len(RAMP) - 1, int(level * (len(RAMP) - 1) + 0.5))]
+                    break
+            line.append(glyph)
+        rows.append("".join(line))
+    legend = f"coldest {t_min:.1f} C {RAMP} hottest {t_max:.1f} C"
+    return "\n".join(rows) + "\n" + legend
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "swim"
+    config_name = sys.argv[2] if len(sys.argv) > 2 else "baseline"
+    organization = FrontendOrganization(config_name)
+    config = config_for(organization)
+
+    num_uops = 8_000
+    interval = max(200, num_uops // 25)
+    config = config.with_intervals(interval)
+    trace = TraceGenerator(benchmark, seed=1).generate(num_uops)
+    engine = SimulationEngine(config, trace.uops, benchmark, interval_cycles=interval)
+    result = engine.run()
+
+    hottest = max(result.intervals, key=lambda record: max(record.temperature.values()))
+    print(f"{benchmark} on {config.name}: hottest interval at cycle {hottest.cycle}, "
+          f"total power {hottest.total_power():.1f} W")
+    print(render(engine.floorplan, hottest.temperature))
+    print()
+    hot_blocks = sorted(hottest.temperature.items(), key=lambda kv: -kv[1])[:8]
+    print("hottest blocks: " + ", ".join(f"{name} {temp:.1f}C" for name, temp in hot_blocks))
+    print(f"valid configurations: {[o.value for o in ALL_CONFIGURATIONS]}")
+
+
+if __name__ == "__main__":
+    main()

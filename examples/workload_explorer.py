@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Inspect the synthetic SPEC2000-like workloads.
+
+Run with:  python examples/workload_explorer.py [num_uops]
+
+For every benchmark profile the script generates a short trace and compares
+the generated instruction mix, branch behaviour and footprint against the
+profile's targets, which is exactly what the property-based tests assert in
+bulk.  Useful when adding new profiles or tuning existing ones.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.workloads.generator import TraceGenerator
+from repro.workloads.profiles import SPEC2000_PROFILES
+
+
+def main() -> None:
+    num_uops = int(sys.argv[1]) if len(sys.argv) > 1 else 4_000
+    header = (f"{'benchmark':<10}{'suite':<10}{'loads':>8}{'stores':>8}{'branch':>8}"
+              f"{'mispred':>9}{'fp':>7}{'pcs':>7}{'lines':>8}")
+    print(header)
+    print("-" * len(header))
+    for name, profile in SPEC2000_PROFILES.items():
+        generator = TraceGenerator(profile, seed=0)
+        trace = generator.generate(num_uops)
+        stats = trace.statistics()
+        print(f"{name:<10}{profile.suite:<10}"
+              f"{stats.load_fraction:>8.2f}{stats.store_fraction:>8.2f}"
+              f"{stats.branch_fraction:>8.2f}{stats.misprediction_rate:>9.3f}"
+              f"{stats.fp_fraction:>7.2f}{stats.distinct_pcs:>7}"
+              f"{stats.distinct_cache_lines:>8}")
+    print()
+    print("Columns are measured on the generated traces; compare against the "
+          "targets in repro.workloads.profiles.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file only
+exists so that ``pip install -e .`` (and ``python setup.py develop``) work in
+offline environments whose setuptools/pip combination cannot build PEP 660
+editable wheels (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

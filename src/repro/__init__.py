@@ -1,0 +1,56 @@
+"""Reproduction of *Distributing the Frontend for Temperature Reduction* (HPCA 2005).
+
+The package implements, from scratch, every system the paper's evaluation
+depends on:
+
+* a cycle-level timing simulator of a clustered microarchitecture with a
+  trace-cache frontend (:mod:`repro.sim`, :mod:`repro.frontend`,
+  :mod:`repro.backend`, :mod:`repro.memory`, :mod:`repro.interconnect`),
+* a Wattch-style activity-based dynamic power model with temperature-dependent
+  leakage (:mod:`repro.power`),
+* a HotSpot-style dynamic compact thermal RC model with floorplans, heat
+  spreader and heat sink (:mod:`repro.thermal`),
+* synthetic SPEC2000-like workloads (:mod:`repro.workloads`), and
+* the paper's contribution — the distributed frontend: distributed rename and
+  commit, trace-cache bank hopping and the thermal-aware biased bank mapping
+  function (:mod:`repro.core`).
+
+Experiment drivers that regenerate every figure of the paper's evaluation
+live in :mod:`repro.experiments`.
+"""
+
+from repro.sim.config import ProcessorConfig
+from repro.sim.processor import Processor
+from repro.sim.results import SimulationResult
+from repro.workloads.profiles import SPEC2000_PROFILES, WorkloadProfile
+from repro.workloads.generator import TraceGenerator
+from repro.core.presets import (
+    FrontendOrganization,
+    baseline_config,
+    distributed_rename_commit_config,
+    address_biasing_config,
+    blank_silicon_config,
+    bank_hopping_config,
+    bank_hopping_biasing_config,
+    distributed_frontend_config,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ProcessorConfig",
+    "Processor",
+    "SimulationResult",
+    "WorkloadProfile",
+    "SPEC2000_PROFILES",
+    "TraceGenerator",
+    "FrontendOrganization",
+    "baseline_config",
+    "distributed_rename_commit_config",
+    "address_biasing_config",
+    "blank_silicon_config",
+    "bank_hopping_config",
+    "bank_hopping_biasing_config",
+    "distributed_frontend_config",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Clustered backend.
+
+Each backend cluster has its own integer and floating-point register files
+and issue queues, a copy queue for inter-cluster register communication, and
+a memory order buffer coupled with a data TLB and a first-level data cache
+(Figure 2b of the paper).
+"""
+
+from repro.backend.register_file import PhysicalRegisterFile
+from repro.backend.issue_queue import IssueQueue
+from repro.backend.data_cache import L1DataCache
+from repro.backend.mob import MemoryOrderBuffer
+from repro.backend.functional_units import fu_block_suffix
+from repro.backend.cluster import Cluster
+
+__all__ = [
+    "PhysicalRegisterFile",
+    "IssueQueue",
+    "L1DataCache",
+    "MemoryOrderBuffer",
+    "fu_block_suffix",
+    "Cluster",
+]

@@ -1,0 +1,109 @@
+"""One backend cluster: queues, register files, MOB, L1 data cache.
+
+The cluster bundles the per-cluster structures of Figure 2b and exposes the
+resource checks the dispatch stage needs (queue space, prescheduler space,
+MOB slots, free physical registers).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Tuple
+
+from repro.backend.data_cache import L1DataCache
+from repro.backend.issue_queue import IssueQueue
+from repro.backend.mob import MemoryOrderBuffer
+from repro.backend.register_file import PhysicalRegisterFile
+from repro.isa.microops import UopClass
+from repro.sim.config import BackendConfig, MemoryConfig
+from repro.sim.uop import DynamicUop
+
+
+class Cluster:
+    """A single backend cluster of the clustered microarchitecture."""
+
+    def __init__(
+        self,
+        cluster_id: int,
+        backend_config: BackendConfig,
+        memory_config: MemoryConfig,
+    ) -> None:
+        self.cluster_id = cluster_id
+        self.config = backend_config
+        self.int_rf = PhysicalRegisterFile(
+            f"C{cluster_id}.IRF", backend_config.int_registers
+        )
+        self.fp_rf = PhysicalRegisterFile(
+            f"C{cluster_id}.FPRF", backend_config.fp_registers
+        )
+        self.int_queue = IssueQueue(
+            f"C{cluster_id}.IQ",
+            backend_config.int_queue_entries,
+            backend_config.issue_width_per_queue,
+        )
+        self.fp_queue = IssueQueue(
+            f"C{cluster_id}.FPQ",
+            backend_config.fp_queue_entries,
+            backend_config.issue_width_per_queue,
+        )
+        self.copy_queue = IssueQueue(
+            f"C{cluster_id}.CopyQ",
+            backend_config.copy_queue_entries,
+            backend_config.issue_width_per_queue,
+        )
+        self.mem_queue = IssueQueue(
+            f"C{cluster_id}.MemQ",
+            backend_config.mem_queue_entries,
+            backend_config.issue_width_per_queue,
+        )
+        self.mob = MemoryOrderBuffer(backend_config.mem_queue_entries)
+        self.dcache = L1DataCache(
+            backend_config.dcache_kb,
+            backend_config.dcache_associativity,
+            backend_config.dcache_line_bytes,
+            backend_config.dcache_hit_latency,
+        )
+        #: Micro-ops travelling from rename/steer to the issue queues
+        #: (the prescheduler queues), as (arrival_cycle, uop) pairs.
+        self.dispatch_pipe: Deque[Tuple[int, DynamicUop]] = deque()
+        #: Micro-ops currently executing, as (completion_cycle, uop) pairs.
+        self.executing: List[Tuple[int, DynamicUop]] = []
+        #: Number of micro-ops dispatched to this cluster and not yet committed.
+        self.in_flight = 0
+
+    # ------------------------------------------------------------------
+    # Resource checks used by rename/dispatch
+    # ------------------------------------------------------------------
+    def register_file_for(self, is_fp: bool) -> PhysicalRegisterFile:
+        return self.fp_rf if is_fp else self.int_rf
+
+    def queue_for(self, uop_class: UopClass) -> IssueQueue:
+        if uop_class in (UopClass.FPADD, UopClass.FPMUL, UopClass.FPDIV):
+            return self.fp_queue
+        if uop_class is UopClass.COPY:
+            return self.copy_queue
+        if uop_class in (UopClass.LOAD, UopClass.STORE):
+            return self.mem_queue
+        return self.int_queue
+
+    def prescheduler_has_space(self) -> bool:
+        """Whether the dispatch pipe (prescheduler queues) can accept a uop."""
+        return len(self.dispatch_pipe) < self.config.prescheduler_entries * 4
+
+    def all_queues(self) -> Tuple[IssueQueue, IssueQueue, IssueQueue, IssueQueue]:
+        return (self.int_queue, self.fp_queue, self.mem_queue, self.copy_queue)
+
+    def occupancy(self) -> int:
+        """Total micro-ops waiting in this cluster's issue queues."""
+        return sum(len(queue) for queue in self.all_queues())
+
+    def load(self) -> int:
+        """Steering load metric: in-flight micro-ops assigned to this cluster."""
+        return self.in_flight
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Cluster({self.cluster_id}, in_flight={self.in_flight}, "
+            f"iq={len(self.int_queue)}, fpq={len(self.fp_queue)}, "
+            f"memq={len(self.mem_queue)}, copyq={len(self.copy_queue)})"
+        )

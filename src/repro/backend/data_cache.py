@@ -1,0 +1,77 @@
+"""First-level data cache (one per cluster) with its data TLB.
+
+Table 1: 16 KB, 2-way set associative, 1-cycle hit, one read and one write
+port, write-update policy.  Data caches are distributed: a load can be
+steered to any cluster, and on a miss the line is brought from the UL2 into
+the cache of the cluster where the requesting load resides.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict
+
+
+class L1DataCache:
+    """A set-associative, LRU, line-granularity data cache model."""
+
+    def __init__(
+        self,
+        capacity_kb: int,
+        associativity: int,
+        line_bytes: int,
+        hit_latency: int = 1,
+    ) -> None:
+        if capacity_kb <= 0 or associativity <= 0 or line_bytes <= 0:
+            raise ValueError("cache geometry must be positive")
+        self.capacity_bytes = capacity_kb * 1024
+        self.associativity = associativity
+        self.line_bytes = line_bytes
+        self.hit_latency = hit_latency
+        self.num_sets = max(1, self.capacity_bytes // (line_bytes * associativity))
+        #: One ordered dict per set: line address -> True, LRU first.
+        self._sets: Dict[int, OrderedDict] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _set_index(self, address: int) -> int:
+        return (address // self.line_bytes) % self.num_sets
+
+    def _line_address(self, address: int) -> int:
+        return address // self.line_bytes
+
+    def access(self, address: int, is_store: bool = False) -> bool:
+        """Access the cache; allocate the line on a miss.  Returns hit/miss.
+
+        Both loads and stores allocate (write-update keeps the line in the
+        cache of the accessing cluster).
+        """
+        set_index = self._set_index(address)
+        line = self._line_address(address)
+        entries = self._sets.setdefault(set_index, OrderedDict())
+        if line in entries:
+            entries.move_to_end(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(entries) >= self.associativity:
+            entries.popitem(last=False)
+        entries[line] = True
+        return False
+
+    def update(self, address: int) -> None:
+        """Write-update from another cluster: refresh the line if present."""
+        set_index = self._set_index(address)
+        line = self._line_address(address)
+        entries = self._sets.get(set_index)
+        if entries and line in entries:
+            entries.move_to_end(line)
+
+    @property
+    def hit_rate(self) -> float:
+        accesses = self.hits + self.misses
+        return self.hits / accesses if accesses else 0.0
+
+    def occupancy(self) -> int:
+        """Number of valid lines currently cached."""
+        return sum(len(entries) for entries in self._sets.values())

@@ -1,0 +1,40 @@
+"""Functional-unit activity mapping.
+
+The timing of execution is captured by per-micro-op latencies
+(:data:`repro.isa.microops.OP_LATENCY`); issue bandwidth is limited by the
+issue queues (one instruction per queue per cycle).  This module maps each
+micro-op class to the floorplan block whose activity counter must be charged
+when the micro-op executes: the integer functional units (``IFU``, which also
+perform address generation for loads and stores and execute copies) or the
+floating-point functional units (``FPFU``).
+"""
+
+from __future__ import annotations
+
+from repro.isa.microops import UopClass
+from repro.sim import blocks
+
+_FP_CLASSES = frozenset({UopClass.FPADD, UopClass.FPMUL, UopClass.FPDIV})
+
+
+def fu_block_suffix(uop_class: UopClass) -> str:
+    """Cluster block suffix of the functional unit executing ``uop_class``."""
+    if uop_class in _FP_CLASSES:
+        return blocks.CLUSTER_FP_FU
+    return blocks.CLUSTER_INT_FU
+
+
+def scheduler_block_suffix(uop_class: UopClass) -> str:
+    """Cluster block suffix of the scheduler (issue queue) holding ``uop_class``."""
+    if uop_class in _FP_CLASSES:
+        return blocks.CLUSTER_FP_SCHED
+    if uop_class is UopClass.COPY:
+        return blocks.CLUSTER_COPY_SCHED
+    if uop_class in (UopClass.LOAD, UopClass.STORE):
+        return blocks.CLUSTER_MOB
+    return blocks.CLUSTER_INT_SCHED
+
+
+def register_file_block_suffix(is_fp: bool) -> str:
+    """Cluster block suffix of the register file holding a value."""
+    return blocks.CLUSTER_FP_RF if is_fp else blocks.CLUSTER_INT_RF

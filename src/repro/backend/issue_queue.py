@@ -1,0 +1,69 @@
+"""Issue queues (schedulers) of a backend cluster.
+
+Each cluster has four queues (Table 1): a 40-entry integer queue, a 40-entry
+FP queue, a 40-entry copy queue and a 96-entry memory queue, each issuing one
+instruction per cycle.  Selection is oldest-first among ready entries.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.sim.uop import DynamicUop
+
+
+class IssueQueue:
+    """An oldest-first, capacity-limited issue queue."""
+
+    def __init__(self, name: str, capacity: int, issue_width: int = 1) -> None:
+        if capacity <= 0 or issue_width <= 0:
+            raise ValueError("capacity and issue width must be positive")
+        self.name = name
+        self.capacity = capacity
+        self.issue_width = issue_width
+        self._entries: List[DynamicUop] = []
+        self.inserted = 0
+        self.issued = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    def has_space(self, count: int = 1) -> bool:
+        return len(self._entries) + count <= self.capacity
+
+    def insert(self, uop: DynamicUop) -> None:
+        """Insert a dispatched micro-op (entries stay in dispatch order)."""
+        if not self.has_space():
+            raise RuntimeError(f"issue queue {self.name} is full")
+        self._entries.append(uop)
+        self.inserted += 1
+
+    # ------------------------------------------------------------------
+    def issue(self, cycle: int) -> List[DynamicUop]:
+        """Select and remove up to ``issue_width`` ready entries, oldest first."""
+        selected: List[DynamicUop] = []
+        if not self._entries:
+            return selected
+        remaining_width = self.issue_width
+        index = 0
+        while index < len(self._entries) and remaining_width > 0:
+            uop = self._entries[index]
+            if uop.sources_ready(cycle):
+                selected.append(uop)
+                self._entries.pop(index)
+                self.issued += 1
+                remaining_width -= 1
+                continue
+            index += 1
+        return selected
+
+    def peek_oldest(self) -> Optional[DynamicUop]:
+        return self._entries[0] if self._entries else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IssueQueue({self.name}, {len(self._entries)}/{self.capacity})"

@@ -1,0 +1,52 @@
+"""Memory order buffer (MOB) occupancy model.
+
+Store instructions are steered like any other instruction to compute their
+effective address, but a slot is allocated in *all* memory order buffers so
+that disambiguation can be performed locally in every cluster once the store
+address is broadcast on the disambiguation bus (Section 2 of the paper).
+Loads occupy a slot only in their own cluster's MOB until they complete.
+"""
+
+from __future__ import annotations
+
+
+class MemoryOrderBufferFullError(RuntimeError):
+    """Raised when a slot allocation is attempted on a full MOB."""
+
+
+class MemoryOrderBuffer:
+    """Slot-counting model of one cluster's memory order buffer."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("MOB capacity must be positive")
+        self.capacity = capacity
+        self._occupied = 0
+        self.allocations = 0
+        self.disambiguation_updates = 0
+
+    @property
+    def occupancy(self) -> int:
+        return self._occupied
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - self._occupied
+
+    def can_allocate(self, count: int = 1) -> bool:
+        return self._occupied + count <= self.capacity
+
+    def allocate(self, count: int = 1) -> None:
+        if not self.can_allocate(count):
+            raise MemoryOrderBufferFullError("memory order buffer is full")
+        self._occupied += count
+        self.allocations += count
+
+    def release(self, count: int = 1) -> None:
+        if count > self._occupied:
+            raise ValueError("releasing more MOB slots than are occupied")
+        self._occupied -= count
+
+    def record_disambiguation(self) -> None:
+        """Account a store-address broadcast received by this MOB."""
+        self.disambiguation_updates += 1

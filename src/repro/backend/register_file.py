@@ -1,0 +1,99 @@
+"""Per-cluster physical register file with a free list and a scoreboard.
+
+The register file does not hold values — the timing simulator only needs to
+know *when* each physical register becomes available.  Allocation and freeing
+follow the usual renaming discipline: a physical register is allocated when
+an instruction's destination is renamed and freed when a later writer of the
+same logical register commits.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+
+class RegisterFileFullError(RuntimeError):
+    """Raised when an allocation is attempted on an exhausted free list."""
+
+
+class PhysicalRegisterFile:
+    """A single physical register file (integer or FP) of one cluster."""
+
+    #: A ready cycle meaning "never" (producer not yet issued).
+    NOT_READY = 1 << 60
+
+    def __init__(self, name: str, num_registers: int) -> None:
+        if num_registers <= 0:
+            raise ValueError("register file must have at least one register")
+        self.name = name
+        self.num_registers = num_registers
+        self._free: Deque[int] = deque(range(num_registers))
+        self._allocated: List[bool] = [False] * num_registers
+        #: Cycle at which each register's value becomes available.
+        self._ready_cycle: List[int] = [0] * num_registers
+        self.reads = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    @property
+    def allocated_count(self) -> int:
+        return self.num_registers - len(self._free)
+
+    def can_allocate(self, count: int = 1) -> bool:
+        return len(self._free) >= count
+
+    def allocate(self) -> int:
+        """Allocate a physical register; it is not ready until written."""
+        if not self._free:
+            raise RegisterFileFullError(f"{self.name}: no free physical registers")
+        index = self._free.popleft()
+        self._allocated[index] = True
+        self._ready_cycle[index] = self.NOT_READY
+        return index
+
+    def free(self, index: int) -> None:
+        """Return a physical register to the free list."""
+        if not 0 <= index < self.num_registers:
+            raise IndexError(f"{self.name}: register {index} out of range")
+        if not self._allocated[index]:
+            raise ValueError(f"{self.name}: register {index} is not allocated")
+        self._allocated[index] = False
+        self._ready_cycle[index] = 0
+        self._free.append(index)
+
+    def is_allocated(self, index: int) -> bool:
+        return self._allocated[index]
+
+    # ------------------------------------------------------------------
+    # Scoreboard
+    # ------------------------------------------------------------------
+    def set_ready(self, index: int, cycle: int) -> None:
+        """Mark register ``index`` as produced at ``cycle`` (writeback)."""
+        if not self._allocated[index]:
+            raise ValueError(f"{self.name}: register {index} is not allocated")
+        self._ready_cycle[index] = cycle
+        self.writes += 1
+
+    def ready_cycle(self, index: int) -> int:
+        return self._ready_cycle[index]
+
+    def is_ready(self, index: int, cycle: int) -> bool:
+        """Whether the value of register ``index`` is available at ``cycle``."""
+        return self._ready_cycle[index] <= cycle
+
+    def record_read(self, count: int = 1) -> None:
+        """Account operand reads (used by the power model via activity counters)."""
+        self.reads += count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PhysicalRegisterFile({self.name}, {self.allocated_count}/"
+            f"{self.num_registers} allocated)"
+        )

@@ -1,0 +1,61 @@
+"""The paper's contribution: the distributed, thermally-aware frontend.
+
+Three orthogonal mechanisms are implemented (Section 3 of the paper):
+
+* :mod:`repro.core.distributed_rename` — distributed register renaming with a
+  centralized steering stage, per-backend freelists, an availability table
+  and disjoint per-frontend rename tables (Section 3.1.1);
+* :mod:`repro.core.distributed_commit` — distributed reorder buffers with the
+  ``R``/``L`` commit-selection walk (Section 3.1.2);
+* :mod:`repro.core.bank_hopping` and :mod:`repro.core.thermal_mapping` — the
+  sub-banked trace cache with rotating Vdd-gating of one bank and the
+  thermal-aware biased bank mapping function (Section 3.2).
+
+:mod:`repro.core.presets` exposes ready-made processor configurations for the
+baseline and every configuration evaluated in Figures 12-14.
+"""
+
+from repro.core.thermal_mapping import (
+    BankMappingTable,
+    BalancedMappingPolicy,
+    ThermalAwareMappingPolicy,
+    trace_address_hash,
+)
+from repro.core.bank_hopping import BankHoppingController
+from repro.core.distributed_rename import AvailabilityTable, ClusterFreeLists, DistributedRenameUnit
+from repro.core.distributed_commit import DistributedCommitUnit, PartialReorderBuffer
+from repro.core.presets import (
+    FrontendOrganization,
+    baseline_config,
+    distributed_rename_commit_config,
+    address_biasing_config,
+    blank_silicon_config,
+    bank_hopping_config,
+    bank_hopping_biasing_config,
+    distributed_frontend_config,
+    config_for,
+    ALL_CONFIGURATIONS,
+)
+
+__all__ = [
+    "BankMappingTable",
+    "BalancedMappingPolicy",
+    "ThermalAwareMappingPolicy",
+    "trace_address_hash",
+    "BankHoppingController",
+    "AvailabilityTable",
+    "ClusterFreeLists",
+    "DistributedRenameUnit",
+    "DistributedCommitUnit",
+    "PartialReorderBuffer",
+    "FrontendOrganization",
+    "baseline_config",
+    "distributed_rename_commit_config",
+    "address_biasing_config",
+    "blank_silicon_config",
+    "bank_hopping_config",
+    "bank_hopping_biasing_config",
+    "distributed_frontend_config",
+    "config_for",
+    "ALL_CONFIGURATIONS",
+]

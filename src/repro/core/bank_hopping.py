@@ -1,0 +1,118 @@
+"""Trace-cache bank hopping (Section 3.2.1).
+
+Bank hopping Vdd-gates one of the trace-cache banks during a given interval
+of time, in a rotating manner, migrating activity to reduce average power
+density over time.  The contents of a gated bank are lost, so when the gated
+bank changes, the mapping function is rebuilt to steer accesses previously
+mapped to the newly-gated bank to an enabled bank.
+
+To avoid reducing the effective cache size, the configuration adds one extra
+physical bank beyond the banks that hold content, so that one bank can always
+be off without shrinking capacity (the total trace-cache *area* grows, the
+*power* does not, because one bank is always gated).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+class BankHoppingController:
+    """Decides which physical bank is Vdd-gated at any time.
+
+    Parameters
+    ----------
+    physical_banks:
+        Total number of physical banks on the floorplan.
+    active_banks:
+        Number of banks that hold content simultaneously.
+    hop_interval_cycles:
+        Number of cycles between hops; ignored when ``enabled`` is False.
+    enabled:
+        When False (baseline, or the "blank silicon" comparison), the gated
+        set never rotates.
+    static_gated_banks:
+        Banks that are permanently gated (the blank-silicon configuration
+        statically gates one of three banks).
+    """
+
+    def __init__(
+        self,
+        physical_banks: int,
+        active_banks: int,
+        hop_interval_cycles: int,
+        enabled: bool = True,
+        static_gated_banks: Optional[Sequence[int]] = None,
+    ) -> None:
+        if physical_banks <= 0 or active_banks <= 0:
+            raise ValueError("bank counts must be positive")
+        if active_banks > physical_banks:
+            raise ValueError("cannot enable more banks than physically exist")
+        if hop_interval_cycles <= 0:
+            raise ValueError("hop interval must be positive")
+        self.physical_banks = physical_banks
+        self.active_banks = active_banks
+        self.hop_interval_cycles = hop_interval_cycles
+        self.enabled = enabled
+        self.num_hops = 0
+        if static_gated_banks is None:
+            static_gated_banks = []
+        for bank in static_gated_banks:
+            if not 0 <= bank < physical_banks:
+                raise ValueError(f"static gated bank {bank} out of range")
+        self._static_gated = frozenset(static_gated_banks)
+        spare = physical_banks - active_banks
+        if len(self._static_gated) > spare:
+            raise ValueError("cannot statically gate more banks than spare banks exist")
+        # The rotating gated bank starts at the highest-numbered bank (the
+        # "extra" bank added for hopping), so the initially enabled banks are
+        # the same ones the baseline uses.
+        self._rotating_gated: Optional[int] = None
+        if enabled and spare > len(self._static_gated):
+            candidates = [
+                b for b in range(physical_banks - 1, -1, -1) if b not in self._static_gated
+            ]
+            self._rotating_gated = candidates[0]
+
+    # ------------------------------------------------------------------
+    @property
+    def gated_banks(self) -> List[int]:
+        """Banks currently Vdd-gated (no accesses, no leakage, contents lost)."""
+        gated = set(self._static_gated)
+        if self._rotating_gated is not None:
+            gated.add(self._rotating_gated)
+        return sorted(gated)
+
+    @property
+    def enabled_banks(self) -> List[int]:
+        """Banks currently powered and holding content."""
+        gated = set(self.gated_banks)
+        return [b for b in range(self.physical_banks) if b not in gated]
+
+    def is_gated(self, bank: int) -> bool:
+        return bank in self.gated_banks
+
+    # ------------------------------------------------------------------
+    def should_hop(self, cycle: int) -> bool:
+        """Whether a hop is due at ``cycle`` (interval boundary)."""
+        if not self.enabled or self._rotating_gated is None:
+            return False
+        return cycle > 0 and cycle % self.hop_interval_cycles == 0
+
+    def hop(self) -> int:
+        """Rotate the gated bank; return the *newly gated* bank.
+
+        The caller is responsible for flushing the newly gated bank's
+        contents and rebuilding the mapping table over the new enabled set.
+        """
+        if not self.enabled or self._rotating_gated is None:
+            raise RuntimeError("bank hopping is not enabled")
+        current = self._rotating_gated
+        next_bank = (current - 1) % self.physical_banks
+        # Skip statically gated banks so the rotation only moves over banks
+        # that actually toggle.
+        while next_bank in self._static_gated:
+            next_bank = (next_bank - 1) % self.physical_banks
+        self._rotating_gated = next_bank
+        self.num_hops += 1
+        return next_bank

@@ -1,0 +1,181 @@
+"""Distributed reorder buffer and commit (Section 3.1.2 of the paper).
+
+Each frontend partition owns a *partial reorder buffer* holding only the
+instructions that were steered to its backends.  Besides the conventional
+ready bit ``R``, every entry carries an ``L`` field indicating which reorder
+buffer holds the *next* instruction in program order, and a special register
+points to the reorder buffer that holds the next instruction to be committed.
+
+Commit selection walks the R/L pairs (Figure 8):
+
+* if ``R = 0``, no more instructions are committed this cycle;
+* if ``R = 1`` and ``L`` points to the current reorder buffer, the
+  instruction is selected and the next entry of the same buffer is examined;
+* if ``R = 1`` and ``L`` points to another reorder buffer, the instruction is
+  selected and the walk continues in the buffer ``L`` points to;
+* the walk stops after ``C`` (the commit bandwidth) instructions.
+
+Because the commit logic is more complex than in the monolithic case, its
+latency is increased by one cycle (modelled by requiring an instruction to
+have completed one extra cycle before it becomes committable).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+from repro.frontend.commit import CommitUnit
+from repro.sim.uop import DynamicUop, UopState
+
+
+@dataclass
+class _RobEntry:
+    """One entry of a partial reorder buffer."""
+
+    uop: DynamicUop
+    #: Index of the reorder buffer holding the next instruction in program
+    #: order (the paper's ``L`` field; ``None`` until the next instruction is
+    #: allocated).
+    next_frontend: Optional[int] = None
+
+    @property
+    def ready(self) -> bool:
+        """The paper's ``R`` bit: the instruction has completed execution."""
+        return self.uop.state is UopState.COMPLETED
+
+
+class PartialReorderBuffer:
+    """The portion of the reorder buffer owned by one frontend partition."""
+
+    def __init__(self, frontend_id: int, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("partial reorder buffer capacity must be positive")
+        self.frontend_id = frontend_id
+        self.capacity = capacity
+        self._entries: Deque[_RobEntry] = deque()
+        self.allocated = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def allocate(self, uop: DynamicUop) -> _RobEntry:
+        if self.is_full:
+            raise RuntimeError(f"partial ROB {self.frontend_id} is full")
+        entry = _RobEntry(uop=uop)
+        self._entries.append(entry)
+        self.allocated += 1
+        return entry
+
+    def head(self) -> Optional[_RobEntry]:
+        return self._entries[0] if self._entries else None
+
+    def pop_head(self) -> _RobEntry:
+        return self._entries.popleft()
+
+    def entries(self) -> List[_RobEntry]:
+        """Snapshot of the entries (oldest first), for tests and debugging."""
+        return list(self._entries)
+
+
+class DistributedCommitUnit(CommitUnit):
+    """Commit across partial reorder buffers using the R/L walk."""
+
+    def __init__(
+        self,
+        num_frontends: int,
+        rob_entries_per_frontend: int,
+        commit_width: int,
+        extra_commit_latency: int = 1,
+    ) -> None:
+        if num_frontends < 2:
+            raise ValueError("distributed commit requires at least two partitions")
+        if commit_width <= 0:
+            raise ValueError("commit width must be positive")
+        if extra_commit_latency < 0:
+            raise ValueError("extra commit latency cannot be negative")
+        self.num_frontends = num_frontends
+        self.commit_width = commit_width
+        self.extra_commit_latency = extra_commit_latency
+        self.partitions = [
+            PartialReorderBuffer(i, rob_entries_per_frontend) for i in range(num_frontends)
+        ]
+        #: The special register pointing to the reorder buffer that holds the
+        #: next instruction to be committed.
+        self._head_frontend: Optional[int] = None
+        #: Last allocated entry, used to fill in its ``L`` field when the next
+        #: instruction (possibly in another partition) is allocated.
+        self._last_allocated: Optional[_RobEntry] = None
+        self.allocated = 0
+        self.committed = 0
+
+    # ------------------------------------------------------------------
+    # Allocation (called in program order by the rename stage)
+    # ------------------------------------------------------------------
+    def can_allocate(self, frontend_id: int) -> bool:
+        return not self.partitions[frontend_id].is_full
+
+    def allocate(self, uop: DynamicUop) -> None:
+        partition = self.partitions[uop.frontend_id]
+        entry = partition.allocate(uop)
+        if self._last_allocated is not None:
+            # The previous instruction in program order now knows where the
+            # next one lives: this is the L field of the paper.
+            self._last_allocated.next_frontend = uop.frontend_id
+        if self._head_frontend is None:
+            self._head_frontend = uop.frontend_id
+        self._last_allocated = entry
+        self.allocated += 1
+
+    # ------------------------------------------------------------------
+    # Commit selection (the R/L walk of Figure 8)
+    # ------------------------------------------------------------------
+    def commit(self, cycle: int) -> List[DynamicUop]:
+        committed: List[DynamicUop] = []
+        if self._head_frontend is None:
+            return committed
+        while len(committed) < self.commit_width:
+            partition = self.partitions[self._head_frontend]
+            entry = partition.head()
+            if entry is None:
+                break
+            uop = entry.uop
+            # R bit check, with the extra cycle of commit latency the paper
+            # charges for the added selection complexity.
+            if (
+                uop.state is not UopState.COMPLETED
+                or uop.complete_cycle + self.extra_commit_latency > cycle
+            ):
+                break
+            partition.pop_head()
+            uop.state = UopState.COMMITTED
+            uop.commit_cycle = cycle
+            committed.append(uop)
+            self.committed += 1
+            if entry.next_frontend is None:
+                # No younger instruction has been allocated yet, so every
+                # partial reorder buffer is now empty; the next allocation
+                # re-establishes the head pointer.
+                if entry is self._last_allocated:
+                    self._last_allocated = None
+                self._head_frontend = None
+                break
+            self._head_frontend = entry.next_frontend
+        return committed
+
+    # ------------------------------------------------------------------
+    def occupancy(self) -> int:
+        return sum(len(partition) for partition in self.partitions)
+
+    def occupancy_per_partition(self) -> List[int]:
+        return [len(partition) for partition in self.partitions]
+
+    @property
+    def head_frontend(self) -> Optional[int]:
+        """Partition currently holding the oldest uncommitted instruction."""
+        return self._head_frontend

@@ -1,0 +1,127 @@
+"""Configuration presets for every configuration evaluated in the paper.
+
+The paper's figures compare the following configurations, all built on the
+same quad-cluster backend:
+
+========================  =====================================================
+Name                      Description
+========================  =====================================================
+``baseline``              Unified rename/commit, 2-banked trace cache, balanced
+                          mapping (the reference of every figure).
+``distributed_rc``        Distributed rename and commit, 2 frontend partitions
+                          (Figure 12).
+``address_biasing``       Baseline + thermal-aware biased mapping on the
+                          2-banked trace cache (Figure 13).
+``blank_silicon``         3 trace-cache banks with one statically gated
+                          (Figure 13's comparison point).
+``bank_hopping``          3 trace-cache banks, one Vdd-gated in rotation
+                          (Figure 13).
+``hopping_biasing``       Bank hopping + thermal-aware mapping (Figure 13).
+``distributed_frontend``  Distributed rename/commit + bank hopping + biasing
+                          (Figure 14, the full proposal).
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import replace
+from typing import Callable, Dict
+
+from repro.sim.config import FrontendConfig, ProcessorConfig, TraceCacheConfig
+
+
+class FrontendOrganization(enum.Enum):
+    """Symbolic names of the evaluated frontend configurations."""
+
+    BASELINE = "baseline"
+    DISTRIBUTED_RENAME_COMMIT = "distributed_rc"
+    ADDRESS_BIASING = "address_biasing"
+    BLANK_SILICON = "blank_silicon"
+    BANK_HOPPING = "bank_hopping"
+    BANK_HOPPING_BIASING = "hopping_biasing"
+    DISTRIBUTED_FRONTEND = "distributed_frontend"
+
+
+def baseline_config() -> ProcessorConfig:
+    """The paper's baseline (Table 1): unified frontend, 2-bank trace cache."""
+    return ProcessorConfig.baseline()
+
+
+def _with_trace_cache(config: ProcessorConfig, **changes) -> ProcessorConfig:
+    new_tc = replace(config.frontend.trace_cache, **changes)
+    return replace(config, frontend=replace(config.frontend, trace_cache=new_tc))
+
+
+def _with_frontend(config: ProcessorConfig, **changes) -> ProcessorConfig:
+    return replace(config, frontend=replace(config.frontend, **changes))
+
+
+def distributed_rename_commit_config(num_frontends: int = 2) -> ProcessorConfig:
+    """Distributed rename and commit (Section 3.1): N frontend partitions."""
+    config = baseline_config()
+    config = _with_frontend(config, num_frontends=num_frontends)
+    return config.renamed(FrontendOrganization.DISTRIBUTED_RENAME_COMMIT.value)
+
+
+def address_biasing_config() -> ProcessorConfig:
+    """Thermal-aware biased mapping on the baseline's two banks (Section 3.2.2)."""
+    config = baseline_config()
+    config = _with_trace_cache(config, thermal_aware_mapping=True)
+    return config.renamed(FrontendOrganization.ADDRESS_BIASING.value)
+
+
+def blank_silicon_config() -> ProcessorConfig:
+    """Three banks with one statically gated (the Figure 13 comparison)."""
+    config = baseline_config()
+    config = _with_trace_cache(config, physical_banks=3, blank_silicon=True)
+    return config.renamed(FrontendOrganization.BLANK_SILICON.value)
+
+
+def bank_hopping_config() -> ProcessorConfig:
+    """Bank hopping with one extra bank (Section 3.2.1)."""
+    config = baseline_config()
+    config = _with_trace_cache(config, physical_banks=3, bank_hopping=True)
+    return config.renamed(FrontendOrganization.BANK_HOPPING.value)
+
+
+def bank_hopping_biasing_config() -> ProcessorConfig:
+    """Bank hopping combined with the thermal-aware mapping function."""
+    config = baseline_config()
+    config = _with_trace_cache(
+        config, physical_banks=3, bank_hopping=True, thermal_aware_mapping=True
+    )
+    return config.renamed(FrontendOrganization.BANK_HOPPING_BIASING.value)
+
+
+def distributed_frontend_config(num_frontends: int = 2) -> ProcessorConfig:
+    """The full distributed frontend: distributed rename/commit + hopping + biasing."""
+    config = baseline_config()
+    config = _with_frontend(config, num_frontends=num_frontends)
+    config = _with_trace_cache(
+        config, physical_banks=3, bank_hopping=True, thermal_aware_mapping=True
+    )
+    return config.renamed(FrontendOrganization.DISTRIBUTED_FRONTEND.value)
+
+
+_BUILDERS: Dict[FrontendOrganization, Callable[[], ProcessorConfig]] = {
+    FrontendOrganization.BASELINE: baseline_config,
+    FrontendOrganization.DISTRIBUTED_RENAME_COMMIT: distributed_rename_commit_config,
+    FrontendOrganization.ADDRESS_BIASING: address_biasing_config,
+    FrontendOrganization.BLANK_SILICON: blank_silicon_config,
+    FrontendOrganization.BANK_HOPPING: bank_hopping_config,
+    FrontendOrganization.BANK_HOPPING_BIASING: bank_hopping_biasing_config,
+    FrontendOrganization.DISTRIBUTED_FRONTEND: distributed_frontend_config,
+}
+
+#: All evaluated configurations, in the order the paper presents them.
+ALL_CONFIGURATIONS = tuple(_BUILDERS)
+
+
+def config_for(organization: FrontendOrganization) -> ProcessorConfig:
+    """Build the :class:`ProcessorConfig` for a named frontend organization."""
+    try:
+        builder = _BUILDERS[organization]
+    except KeyError:
+        raise KeyError(f"unknown frontend organization {organization!r}") from None
+    return builder()

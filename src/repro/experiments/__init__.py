@@ -1,0 +1,49 @@
+"""Experiment drivers that regenerate every figure of the paper's evaluation.
+
+Each ``figXX_*`` module exposes a ``run_*`` function that simulates the
+required configurations over a set of SPEC2000-like workloads and returns a
+structured result with a ``format_table()`` method printing the same rows the
+paper's figure reports, next to the paper's reference values.
+
+The experiments are scaled down (shorter traces, proportionally shorter
+thermal / hopping / remapping intervals) so they run in minutes of pure
+Python; see DESIGN.md for the substitution rationale.
+"""
+
+from repro.experiments.runner import (
+    ExperimentSettings,
+    ConfigurationSummary,
+    run_configuration,
+    summarize,
+)
+from repro.experiments.fig01_baseline_temperature import run_fig01, Figure1Result
+from repro.experiments.fig12_distributed_rename_commit import run_fig12, Figure12Result
+from repro.experiments.fig13_trace_cache import run_fig13, Figure13Result
+from repro.experiments.fig14_combined import run_fig14, Figure14Result
+from repro.experiments.floorplans import describe_floorplans
+from repro.experiments.ablations import (
+    run_hop_interval_ablation,
+    run_bias_threshold_ablation,
+    run_partition_count_ablation,
+    run_steering_policy_ablation,
+)
+
+__all__ = [
+    "ExperimentSettings",
+    "ConfigurationSummary",
+    "run_configuration",
+    "summarize",
+    "run_fig01",
+    "Figure1Result",
+    "run_fig12",
+    "Figure12Result",
+    "run_fig13",
+    "Figure13Result",
+    "run_fig14",
+    "Figure14Result",
+    "describe_floorplans",
+    "run_hop_interval_ablation",
+    "run_bias_threshold_ablation",
+    "run_partition_count_ablation",
+    "run_steering_policy_ablation",
+]

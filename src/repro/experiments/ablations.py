@@ -1,0 +1,147 @@
+"""Ablations of the design choices called out in DESIGN.md.
+
+These experiments go beyond the paper's figures and quantify the sensitivity
+of the proposed techniques to their main knobs:
+
+* the bank-hop interval (the paper uses 10 M cycles — one thermal interval);
+* the biased-mapping halving threshold (the paper uses 3 C);
+* the number of frontend partitions (the paper uses 2);
+* the steering policy (the paper uses dependence-based steering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Sequence
+
+from repro.core.presets import (
+    bank_hopping_biasing_config,
+    bank_hopping_config,
+    baseline_config,
+    distributed_rename_commit_config,
+)
+from repro.experiments.reporting import format_value_table
+from repro.experiments.runner import ExperimentSettings, summarize
+from repro.sim.config import SteeringPolicy
+
+
+@dataclass
+class AblationResult:
+    """Sweep outcome: one row per swept value."""
+
+    name: str
+    #: rows[swept value] -> {"metric name": value}
+    rows: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def format_table(self) -> str:
+        columns = []
+        for row in self.rows.values():
+            for column in row:
+                if column not in columns:
+                    columns.append(column)
+        return format_value_table(f"Ablation: {self.name}", self.rows, columns, precision=3)
+
+
+def run_hop_interval_ablation(
+    settings: ExperimentSettings,
+    multipliers: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
+) -> AblationResult:
+    """Sweep the bank-hop interval relative to the thermal interval."""
+    baseline = summarize(baseline_config(), settings)
+    result = AblationResult(name="bank-hop interval (x thermal interval)")
+    interval = settings.resolved_interval_cycles()
+    for multiplier in multipliers:
+        config = bank_hopping_config()
+        tc = replace(
+            config.frontend.trace_cache,
+            hop_interval_cycles=max(1, int(interval * multiplier)),
+            remap_interval_cycles=interval,
+        )
+        config = replace(
+            config,
+            frontend=replace(config.frontend, trace_cache=tc),
+            thermal=replace(config.thermal, interval_cycles=interval),
+            name=f"hop_x{multiplier:g}",
+        )
+        summary = summarize(config, settings)
+        reductions = summary.mean_reductions_vs(baseline, "TraceCache")
+        result.rows[f"{multiplier:g}x"] = {
+            "TC AbsMax reduction": reductions["AbsMax"],
+            "TC Average reduction": reductions["Average"],
+            "slowdown": summary.mean_slowdown_vs(baseline),
+            "hit-rate loss": baseline.mean_trace_cache_hit_rate()
+            - summary.mean_trace_cache_hit_rate(),
+        }
+    return result
+
+
+def run_bias_threshold_ablation(
+    settings: ExperimentSettings,
+    thresholds_celsius: Sequence[float] = (1.5, 3.0, 6.0),
+) -> AblationResult:
+    """Sweep the temperature difference that halves a bank's mapping share."""
+    baseline = summarize(baseline_config(), settings)
+    result = AblationResult(name="biased-mapping halving threshold (C)")
+    for threshold in thresholds_celsius:
+        config = bank_hopping_biasing_config()
+        tc = replace(config.frontend.trace_cache, bias_threshold_celsius=threshold)
+        config = replace(
+            config,
+            frontend=replace(config.frontend, trace_cache=tc),
+            name=f"bias_{threshold:g}C",
+        )
+        summary = summarize(config, settings)
+        reductions = summary.mean_reductions_vs(baseline, "TraceCache")
+        result.rows[f"{threshold:g} C"] = {
+            "TC AbsMax reduction": reductions["AbsMax"],
+            "TC Average reduction": reductions["Average"],
+            "slowdown": summary.mean_slowdown_vs(baseline),
+        }
+    return result
+
+
+def run_partition_count_ablation(
+    settings: ExperimentSettings,
+    partition_counts: Sequence[int] = (2, 4),
+) -> AblationResult:
+    """Sweep the number of frontend partitions of the distributed rename/commit."""
+    baseline = summarize(baseline_config(), settings)
+    result = AblationResult(name="frontend partitions")
+    for count in partition_counts:
+        config = distributed_rename_commit_config(num_frontends=count)
+        config = config.renamed(f"distributed_rc_{count}")
+        summary = summarize(config, settings)
+        rob = summary.mean_reductions_vs(baseline, "ReorderBuffer")
+        rat = summary.mean_reductions_vs(baseline, "RenameTable")
+        result.rows[str(count)] = {
+            "ROB Average reduction": rob["Average"],
+            "RAT Average reduction": rat["Average"],
+            "slowdown": summary.mean_slowdown_vs(baseline),
+            "inter-frontend copy requests": sum(
+                r.stats.copy_requests_between_frontends for r in summary.results.values()
+            )
+            / len(summary.results),
+        }
+    return result
+
+
+def run_steering_policy_ablation(settings: ExperimentSettings) -> AblationResult:
+    """Compare steering policies on the baseline (temperature and IPC)."""
+    result = AblationResult(name="steering policy")
+    reference = None
+    for policy in (SteeringPolicy.DEPENDENCE, SteeringPolicy.LOAD_BALANCE, SteeringPolicy.ROUND_ROBIN):
+        config = replace(baseline_config(), steering_policy=policy, name=f"steer_{policy.value}")
+        summary = summarize(config, settings)
+        if reference is None:
+            reference = summary
+        copies = sum(
+            r.stats.copy_uops_generated for r in summary.results.values()
+        ) / len(summary.results)
+        result.rows[policy.value] = {
+            "IPC": summary.mean_ipc(),
+            "Frontend Average (C)": summary.mean_metric("Frontend", "Average"),
+            "Backend Average (C)": summary.mean_metric("Backend", "Average"),
+            "copies per benchmark": copies,
+            "slowdown vs dependence": summary.mean_slowdown_vs(reference),
+        }
+    return result

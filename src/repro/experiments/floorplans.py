@@ -1,0 +1,65 @@
+"""Figures 10 and 11: floorplans of the evaluated processors.
+
+The paper shows the floorplan of the two-banked baseline (Figure 10: ROB /
+RAT-ITLB-TC0 / DECO-BP-TC1 rows in the frontend, four clusters, UL2) and the
+three-banked floorplan used for bank hopping (Figure 11: ROB / DECO-TC0-ITLB
+/ RAT-TC1-BP-TC2).  This module regenerates both from the area model and
+reports block placements and areas, which the benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.presets import (
+    bank_hopping_config,
+    baseline_config,
+    distributed_rename_commit_config,
+)
+from repro.power.energy import area_by_group, build_block_parameters
+from repro.sim.config import ProcessorConfig
+from repro.thermal.floorplan import Floorplan, build_floorplan
+
+
+@dataclass
+class FloorplanReport:
+    """A floorplan plus its per-group area breakdown."""
+
+    config: ProcessorConfig
+    floorplan: Floorplan
+    group_areas_mm2: Dict[str, float]
+
+    def frontend_area_fraction(self) -> float:
+        return self.group_areas_mm2["Frontend"] / self.group_areas_mm2["Processor"]
+
+    def format_table(self) -> str:
+        lines = [
+            f"Floorplan for configuration '{self.config.name}' "
+            f"(frontend {self.frontend_area_fraction() * 100:.1f}% of processor area; "
+            "paper: about 20%)",
+            self.floorplan.describe(),
+        ]
+        return "\n".join(lines)
+
+
+def build_report(config: ProcessorConfig) -> FloorplanReport:
+    """Build the floorplan report for one configuration."""
+    parameters = build_block_parameters(config)
+    areas = {name: p.area_mm2 for name, p in parameters.items()}
+    floorplan = build_floorplan(config, areas)
+    return FloorplanReport(
+        config=config,
+        floorplan=floorplan,
+        group_areas_mm2=area_by_group(config, parameters),
+    )
+
+
+def describe_floorplans() -> Dict[str, FloorplanReport]:
+    """Floorplans of the baseline (Figure 10), the bank-hopping frontend
+    (Figure 11) and the distributed rename/commit organization."""
+    return {
+        "baseline (Figure 10)": build_report(baseline_config()),
+        "bank hopping (Figure 11)": build_report(bank_hopping_config()),
+        "distributed rename/commit": build_report(distributed_rename_commit_config()),
+    }

@@ -1,0 +1,65 @@
+"""Plain-text tables for the experiment drivers and benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+
+def format_percentage_table(
+    title: str,
+    rows: Mapping[str, Mapping[str, float]],
+    columns: Sequence[str],
+    paper_reference: Optional[Mapping[str, Mapping[str, float]]] = None,
+) -> str:
+    """Format a table of fractional values as percentages.
+
+    ``rows`` maps a row label (e.g. ``"ReorderBuffer"``) to a mapping of
+    column name to fraction (0.32 renders as ``32.0%``).  When a
+    ``paper_reference`` is given, the paper's value is printed next to the
+    measured one so the reproduction gap is visible at a glance.
+    """
+    header = f"{'':<28}" + "".join(f"{column:>18}" for column in columns)
+    lines = [title, header, "-" * len(header)]
+    for row_label, row in rows.items():
+        cells = []
+        for column in columns:
+            measured = row.get(column)
+            cell = "-" if measured is None else f"{measured * 100:.1f}%"
+            if paper_reference and column in paper_reference.get(row_label, {}):
+                cell += f" (paper {paper_reference[row_label][column] * 100:.0f}%)"
+            cells.append(f"{cell:>18}")
+        lines.append(f"{row_label:<28}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def format_value_table(
+    title: str,
+    rows: Mapping[str, Mapping[str, float]],
+    columns: Sequence[str],
+    unit: str = "",
+    precision: int = 1,
+) -> str:
+    """Format a table of raw values (temperatures, watts, ...)."""
+    header = f"{'':<28}" + "".join(f"{column:>14}" for column in columns)
+    lines = [title, header, "-" * len(header)]
+    for row_label, row in rows.items():
+        cells = []
+        for column in columns:
+            value = row.get(column)
+            cell = "-" if value is None else f"{value:.{precision}f}{unit}"
+            cells.append(f"{cell:>14}")
+        lines.append(f"{row_label:<28}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def format_key_values(title: str, values: Mapping[str, object]) -> str:
+    """Format a simple two-column key/value listing."""
+    width = max(len(str(key)) for key in values) if values else 0
+    lines = [title]
+    for key, value in values.items():
+        if isinstance(value, float):
+            rendered = f"{value:.3f}"
+        else:
+            rendered = str(value)
+        lines.append(f"  {str(key):<{width}}  {rendered}")
+    return "\n".join(lines)

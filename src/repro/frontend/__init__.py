@@ -1,0 +1,30 @@
+"""Frontend of the clustered microarchitecture.
+
+The frontend reads IA32 instructions from the UL2, translates them into
+micro-ops and stores them in the trace cache, from where they are read,
+decoded, renamed and steered to any of the backends (Section 2 of the
+paper).  This package provides the centralized (baseline) implementations;
+the distributed rename/commit machinery — the paper's contribution — lives
+in :mod:`repro.core`.
+"""
+
+from repro.frontend.branch_predictor import BranchPredictor
+from repro.frontend.trace_cache import TraceCache, TraceCacheLine, FetchResult
+from repro.frontend.fetch import FetchUnit
+from repro.frontend.steering import SteeringUnit, SteeringDecision
+from repro.frontend.rename import RenameUnit, CentralizedRenameUnit
+from repro.frontend.commit import CommitUnit, CentralizedCommitUnit
+
+__all__ = [
+    "BranchPredictor",
+    "TraceCache",
+    "TraceCacheLine",
+    "FetchResult",
+    "FetchUnit",
+    "SteeringUnit",
+    "SteeringDecision",
+    "RenameUnit",
+    "CentralizedRenameUnit",
+    "CommitUnit",
+    "CentralizedCommitUnit",
+]

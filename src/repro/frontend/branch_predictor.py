@@ -1,0 +1,61 @@
+"""Branch predictor model.
+
+The workload profiles already encode per-benchmark misprediction rates (the
+``mispredicted`` flag on branch micro-ops), so the predictor's job in the
+timing model is (a) to account for its own activity and area — it is one of
+the frontend blocks on the floorplan (``BP``) — and (b) to maintain a
+realistic predictor structure whose measured accuracy can be inspected by
+tests and examples.  A standard gshare predictor is implemented.
+"""
+
+from __future__ import annotations
+
+from repro.isa.microops import MicroOp
+
+
+class BranchPredictor:
+    """Gshare branch predictor with 2-bit saturating counters."""
+
+    def __init__(self, num_entries: int = 4096) -> None:
+        if num_entries <= 0 or num_entries & (num_entries - 1):
+            raise ValueError("predictor size must be a positive power of two")
+        self.num_entries = num_entries
+        self._counters = [2] * num_entries  # weakly taken
+        self._history = 0
+        self._history_mask = num_entries - 1
+        self.lookups = 0
+        self.correct = 0
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) & self._history_mask
+
+    def predict(self, pc: int) -> bool:
+        """Predict the direction of the branch at ``pc``."""
+        self.lookups += 1
+        return self._counters[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train the predictor with the resolved outcome."""
+        index = self._index(pc)
+        counter = self._counters[index]
+        if taken:
+            self._counters[index] = min(3, counter + 1)
+        else:
+            self._counters[index] = max(0, counter - 1)
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+
+    def predict_and_update(self, uop: MicroOp) -> bool:
+        """Predict, train and return whether the prediction was correct."""
+        if not uop.is_branch:
+            raise ValueError("predict_and_update requires a branch micro-op")
+        prediction = self.predict(uop.pc)
+        correct = prediction == uop.branch_taken
+        if correct:
+            self.correct += 1
+        self.update(uop.pc, uop.branch_taken)
+        return correct
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of lookups that predicted the right direction."""
+        return self.correct / self.lookups if self.lookups else 0.0

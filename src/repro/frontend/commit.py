@@ -1,0 +1,74 @@
+"""Reorder buffer and commit logic (baseline, monolithic version).
+
+In the baseline, the reorder buffer is a single structure; an instruction can
+be committed once it reaches the head of the buffer and its ready bit is set
+(Figure 6 of the paper).  The distributed organization with partial reorder
+buffers and the R/L selection walk is implemented in
+:mod:`repro.core.distributed_commit`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List
+
+from repro.sim.uop import DynamicUop, UopState
+
+
+class CommitUnit:
+    """Interface of the commit stage used by the processor pipeline."""
+
+    def can_allocate(self, frontend_id: int) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def allocate(self, uop: DynamicUop) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def commit(self, cycle: int) -> List[DynamicUop]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def occupancy(self) -> int:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def is_empty(self) -> bool:
+        return self.occupancy() == 0
+
+
+class CentralizedCommitUnit(CommitUnit):
+    """A single monolithic reorder buffer with in-order commit."""
+
+    def __init__(self, rob_entries: int, commit_width: int) -> None:
+        if rob_entries <= 0 or commit_width <= 0:
+            raise ValueError("ROB size and commit width must be positive")
+        self.rob_entries = rob_entries
+        self.commit_width = commit_width
+        self._rob: Deque[DynamicUop] = deque()
+        self.allocated = 0
+        self.committed = 0
+
+    # ------------------------------------------------------------------
+    def can_allocate(self, frontend_id: int) -> bool:
+        return len(self._rob) < self.rob_entries
+
+    def allocate(self, uop: DynamicUop) -> None:
+        if not self.can_allocate(uop.frontend_id):
+            raise RuntimeError("reorder buffer is full")
+        self._rob.append(uop)
+        self.allocated += 1
+
+    def commit(self, cycle: int) -> List[DynamicUop]:
+        """Commit up to ``commit_width`` completed micro-ops from the head."""
+        committed: List[DynamicUop] = []
+        while self._rob and len(committed) < self.commit_width:
+            head = self._rob[0]
+            if head.state is not UopState.COMPLETED or head.complete_cycle > cycle:
+                break
+            self._rob.popleft()
+            head.state = UopState.COMMITTED
+            head.commit_cycle = cycle
+            committed.append(head)
+            self.committed += 1
+        return committed
+
+    def occupancy(self) -> int:
+        return len(self._rob)

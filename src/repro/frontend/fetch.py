@@ -1,0 +1,157 @@
+"""Fetch unit: reads micro-ops from the trace cache into the fetch buffer.
+
+The fetch unit consumes the benchmark's dynamic micro-op stream, assembles it
+into trace lines (the unit of trace-cache storage), performs the trace-cache
+access for each line and delivers up to ``fetch_width`` micro-ops per cycle
+towards decode/rename.  A trace-cache miss stalls delivery for the UL2 access
+plus the trace-build overhead.  A mispredicted branch stalls fetch until the
+branch resolves plus the frontend refill penalty (the simulator does not
+model wrong-path execution).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, List, Optional
+
+from repro.frontend.branch_predictor import BranchPredictor
+from repro.frontend.trace_cache import TraceCache
+from repro.isa.microops import MicroOp
+from repro.sim import blocks
+from repro.sim.config import FrontendConfig
+from repro.sim.stats import ActivityCounters, SimulationStats
+
+
+class FetchUnit:
+    """Assembles trace lines and feeds the decode/rename pipeline."""
+
+    def __init__(
+        self,
+        config: FrontendConfig,
+        trace_cache: TraceCache,
+        branch_predictor: BranchPredictor,
+        uop_stream: Iterator[MicroOp],
+        activity: ActivityCounters,
+        stats: SimulationStats,
+    ) -> None:
+        self.config = config
+        self.trace_cache = trace_cache
+        self.branch_predictor = branch_predictor
+        self._stream = uop_stream
+        self.activity = activity
+        self.stats = stats
+        #: Micro-ops of the current line still to be delivered.
+        self._line_buffer: deque = deque()
+        #: Cycle until which fetch is stalled (miss, or misprediction redirect).
+        self._stall_until_cycle = 0
+        #: Set when a mispredicted branch is in flight; fetch stays stalled
+        #: until the processor calls :meth:`redirect` after it resolves.
+        self._waiting_for_redirect = False
+        self._exhausted = False
+        self._lookahead: Optional[MicroOp] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def exhausted(self) -> bool:
+        """True once the benchmark stream and internal buffers are drained."""
+        return self._exhausted and not self._line_buffer and self._lookahead is None
+
+    def stall_for_redirect(self) -> None:
+        """Stop fetching until :meth:`redirect` is called (branch misprediction)."""
+        self._waiting_for_redirect = True
+
+    def redirect(self, resume_cycle: int) -> None:
+        """Resume fetching at ``resume_cycle`` after a misprediction resolves."""
+        self._waiting_for_redirect = False
+        self._stall_until_cycle = max(self._stall_until_cycle, resume_cycle)
+
+    # ------------------------------------------------------------------
+    def _next_uop(self) -> Optional[MicroOp]:
+        if self._lookahead is not None:
+            uop = self._lookahead
+            self._lookahead = None
+            return uop
+        try:
+            return next(self._stream)
+        except StopIteration:
+            self._exhausted = True
+            return None
+
+    def _assemble_line(self) -> List[MicroOp]:
+        """Pull micro-ops from the stream to form the next trace line."""
+        line: List[MicroOp] = []
+        max_uops = self.config.trace_cache.line_uops
+        branches = 0
+        while len(line) < max_uops:
+            uop = self._next_uop()
+            if uop is None:
+                break
+            line.append(uop)
+            if uop.is_branch:
+                branches += 1
+                # Trace lines hold a limited number of basic blocks; end the
+                # line after three branches (typical trace-cache constraint).
+                if branches >= 3:
+                    break
+        return line
+
+    def _refill_line_buffer(self, cycle: int) -> None:
+        line = self._assemble_line()
+        if not line:
+            return
+        head_pc = line[0].pc
+        result = self.trace_cache.access(head_pc)
+        # Activity: the selected bank is read on every fetch cycle needed to
+        # consume the line (a full 16-micro-op line takes two 8-wide fetch
+        # cycles), plus one ITLB access per trace-cache access; a miss
+        # additionally reads the UL2 and writes the line back into the bank.
+        fetch_cycles_for_line = max(
+            1, -(-len(line) // self.config.fetch_width)  # ceil division
+        )
+        self.activity.record(
+            blocks.trace_cache_bank_block(result.bank), fetch_cycles_for_line
+        )
+        self.activity.record(blocks.ITLB)
+        if result.hit:
+            self.stats.trace_cache_hits += 1
+        else:
+            self.stats.trace_cache_misses += 1
+            self.activity.record(blocks.UL2)
+            self.activity.record(blocks.trace_cache_bank_block(result.bank))
+            self._stall_until_cycle = max(self._stall_until_cycle, cycle + result.latency)
+        self._line_buffer.extend(line)
+
+    # ------------------------------------------------------------------
+    def fetch(self, cycle: int) -> List[MicroOp]:
+        """Return the micro-ops fetched during ``cycle`` (up to fetch width)."""
+        if self._waiting_for_redirect:
+            self.stats.fetch_stall_cycles += 1
+            return []
+        if cycle < self._stall_until_cycle:
+            self.stats.fetch_stall_cycles += 1
+            return []
+        fetched: List[MicroOp] = []
+        width = self.config.fetch_width
+        while len(fetched) < width:
+            if not self._line_buffer:
+                self._refill_line_buffer(cycle)
+                if not self._line_buffer:
+                    break
+                if cycle < self._stall_until_cycle:
+                    # The refill missed in the trace cache; the line becomes
+                    # available only when the build completes.
+                    break
+            uop = self._line_buffer.popleft()
+            fetched.append(uop)
+            self.stats.fetched_uops += 1
+            # Decoder activity: every fetched micro-op goes through decode.
+            self.activity.record(blocks.DECODER)
+            if uop.is_branch:
+                self.stats.branches += 1
+                self.activity.record(blocks.BRANCH_PREDICTOR)
+                self.branch_predictor.predict_and_update(uop)
+                if uop.mispredicted:
+                    self.stats.mispredicted_branches += 1
+                    self.stall_for_redirect()
+                    break
+        return fetched

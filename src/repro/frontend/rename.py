@@ -1,0 +1,312 @@
+"""Register renaming for the clustered microarchitecture (baseline version).
+
+The rename stage maps each logical register to a physical register of the
+backend cluster the instruction was steered to.  Because values may be needed
+in clusters other than the one that produced them, renaming also creates
+*copy* micro-ops that move values over the point-to-point links; the rename
+table therefore has one mapping per logical register *per cluster*
+(Figure 4 of the paper).
+
+The baseline keeps a monolithic rename table (all accesses charge the single
+``RAT`` block); the distributed organization of Section 3.1.1 is implemented
+by :class:`repro.core.distributed_rename.DistributedRenameUnit`, which reuses
+this machinery but partitions the table (and the activity) across frontend
+partitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.backend.cluster import Cluster
+from repro.isa.microops import MicroOp, UopClass
+from repro.isa.registers import RegisterSpace
+from repro.sim import blocks
+from repro.sim.config import ProcessorConfig
+from repro.sim.stats import ActivityCounters, SimulationStats
+from repro.sim.uop import DynamicUop, UopState
+
+#: A renamed physical register reference: (register file, physical index).
+PhysRef = Tuple[object, int]
+
+
+@dataclass
+class RenameOutcome:
+    """Result of renaming one micro-op: the uop itself plus any copies created."""
+
+    uop: DynamicUop
+    copies: List[DynamicUop] = field(default_factory=list)
+
+
+class RenameTables:
+    """Per-cluster logical-to-physical mappings for every logical register.
+
+    ``mapping[flat_logical_index][cluster]`` is the physical reference of the
+    most recent value of that logical register available in that cluster, or
+    ``None`` when the cluster has no copy.
+    """
+
+    def __init__(self, register_space: RegisterSpace, num_clusters: int) -> None:
+        self.register_space = register_space
+        self.num_clusters = num_clusters
+        self._table: List[List[Optional[PhysRef]]] = [
+            [None] * num_clusters for _ in range(register_space.total)
+        ]
+
+    def mapping(self, flat_index: int, cluster: int) -> Optional[PhysRef]:
+        return self._table[flat_index][cluster]
+
+    def set_mapping(self, flat_index: int, cluster: int, ref: Optional[PhysRef]) -> None:
+        self._table[flat_index][cluster] = ref
+
+    def clusters_holding(self, flat_index: int) -> List[int]:
+        """Clusters that currently hold a copy of the logical register."""
+        return [c for c, ref in enumerate(self._table[flat_index]) if ref is not None]
+
+    def all_mappings(self, flat_index: int) -> List[PhysRef]:
+        """Every live physical mapping of a logical register (any cluster)."""
+        return [ref for ref in self._table[flat_index] if ref is not None]
+
+    def clear_register(self, flat_index: int) -> None:
+        """Remove every mapping of a logical register (a new value supersedes them)."""
+        self._table[flat_index] = [None] * self.num_clusters
+
+
+class RenameUnit:
+    """Interface of the rename stage used by the processor pipeline."""
+
+    def can_rename(self, uop: MicroOp, cluster: int) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def rename(
+        self,
+        dynamic: DynamicUop,
+        cluster: int,
+        cycle: int,
+        seq_alloc: Callable[[], int],
+    ) -> RenameOutcome:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def release_at_commit(self, dynamic: DynamicUop) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class CentralizedRenameUnit(RenameUnit):
+    """Monolithic rename table and freelists (the paper's baseline).
+
+    Parameters
+    ----------
+    config:
+        Full processor configuration (cluster count, frontend partitioning).
+    clusters:
+        The backend clusters (own the physical register files / freelists).
+    register_space:
+        Logical register namespace.
+    activity:
+        Per-block activity counters (RAT/DECO accesses are recorded here).
+    stats:
+        Aggregate simulation statistics (copy counts).
+    """
+
+    #: Worst-case physical registers allocated in the target cluster while
+    #: renaming one micro-op: one destination plus one copy target per source.
+    _WORST_CASE_ALLOCATIONS = 3
+
+    def __init__(
+        self,
+        config: ProcessorConfig,
+        clusters: Sequence[Cluster],
+        register_space: RegisterSpace,
+        activity: ActivityCounters,
+        stats: SimulationStats,
+    ) -> None:
+        self.config = config
+        self.clusters = list(clusters)
+        self.register_space = register_space
+        self.activity = activity
+        self.stats = stats
+        self.tables = RenameTables(register_space, len(self.clusters))
+        self.num_frontends = config.frontend.num_frontends
+
+    # ------------------------------------------------------------------
+    # Activity helpers (overridden by the distributed unit)
+    # ------------------------------------------------------------------
+    def _rat_block_for_cluster(self, cluster: int) -> str:
+        frontend = self.config.frontend_of_cluster(cluster)
+        return blocks.rat_block(frontend, self.num_frontends)
+
+    def _record_rat_access(self, cluster: int, count: int = 1) -> None:
+        self.activity.record(self._rat_block_for_cluster(cluster), count)
+
+    def _record_steering_access(self, count: int = 1) -> None:
+        # The availability table and the freelists live with the (centralized)
+        # steering logic; their activity is charged to the decode/steer block.
+        self.activity.record(blocks.DECODER, count)
+
+    def _on_copy_between_frontends(self) -> None:
+        """Hook: called when a copy crosses frontend partitions (no-op here)."""
+
+    # ------------------------------------------------------------------
+    # Resource checks
+    # ------------------------------------------------------------------
+    def can_rename(self, uop: MicroOp, cluster: int) -> bool:
+        """Whether the target cluster has enough free physical registers."""
+        target = self.clusters[cluster]
+        int_needed = 0
+        fp_needed = 0
+        if uop.dest is not None:
+            if uop.dest.is_fp:
+                fp_needed += 1
+            else:
+                int_needed += 1
+        # Each source may require a copy target register in the consuming
+        # cluster (conservative: assume every source needs one).
+        for source in uop.sources:
+            if source.is_fp:
+                fp_needed += 1
+            else:
+                int_needed += 1
+        return target.int_rf.can_allocate(int_needed) and target.fp_rf.can_allocate(fp_needed)
+
+    # ------------------------------------------------------------------
+    # Renaming
+    # ------------------------------------------------------------------
+    def rename(
+        self,
+        dynamic: DynamicUop,
+        cluster: int,
+        cycle: int,
+        seq_alloc: Callable[[], int],
+    ) -> RenameOutcome:
+        """Rename ``dynamic`` for execution on ``cluster``.
+
+        Creates copy micro-ops for source values that only exist in other
+        clusters, allocates the destination physical register, updates the
+        rename tables and records the corresponding RAT activity.
+        """
+        static = dynamic.static
+        dynamic.cluster = cluster
+        dynamic.frontend_id = self.config.frontend_of_cluster(cluster)
+        target = self.clusters[cluster]
+        copies: List[DynamicUop] = []
+
+        # Steering-stage structures: availability table lookup per source and
+        # one freelist access for the destination.
+        self._record_steering_access(len(static.sources) + (1 if static.dest else 0))
+
+        # --- Source operands -------------------------------------------------
+        for source in static.sources:
+            flat = self.register_space.flat_index(source)
+            local_ref = self.tables.mapping(flat, cluster)
+            self._record_rat_access(cluster)  # source rename table read
+            if local_ref is not None:
+                dynamic.src_refs.append(local_ref)
+                continue
+            holders = self.tables.clusters_holding(flat)
+            if not holders:
+                # Architectural state produced before the simulated trace
+                # began: the value is available immediately, no copy needed.
+                continue
+            source_cluster = self._pick_copy_source(holders, cluster)
+            copy = self._make_copy(
+                dynamic, source, flat, source_cluster, cluster, seq_alloc()
+            )
+            copies.append(copy)
+            dynamic.src_refs.append(copy.dest_ref)
+            dynamic.num_copies_generated += 1
+            self.stats.copy_uops_generated += 1
+            if (
+                self.config.frontend_of_cluster(source_cluster)
+                != self.config.frontend_of_cluster(cluster)
+            ):
+                self.stats.copy_requests_between_frontends += 1
+                self._on_copy_between_frontends()
+
+        # --- Destination ------------------------------------------------------
+        if static.dest is not None:
+            flat = self.register_space.flat_index(static.dest)
+            regfile = target.register_file_for(static.dest.is_fp)
+            phys = regfile.allocate()
+            # Previous mappings of this logical register (in any cluster) are
+            # released when this micro-op commits.
+            dynamic.prev_mappings = list(self.tables.all_mappings(flat))
+            self.tables.clear_register(flat)
+            self.tables.set_mapping(flat, cluster, (regfile, phys))
+            dynamic.dest_ref = (regfile, phys)
+            self._record_rat_access(cluster)  # destination rename table write
+
+        dynamic.rename_cycle = cycle
+        dynamic.state = UopState.RENAMED
+        return RenameOutcome(uop=dynamic, copies=copies)
+
+    def _pick_copy_source(self, holders: List[int], destination: int) -> int:
+        """Choose which cluster provides the value for a copy.
+
+        Prefer a cluster fed by the same frontend partition (no copy-request
+        signalling needed), then the closest cluster on the point-to-point
+        links.
+        """
+        dest_frontend = self.config.frontend_of_cluster(destination)
+        same_frontend = [
+            c for c in holders
+            if self.config.frontend_of_cluster(c) == dest_frontend
+        ]
+        candidates = same_frontend if same_frontend else holders
+        return min(candidates, key=lambda c: abs(c - destination))
+
+    def _make_copy(
+        self,
+        consumer: DynamicUop,
+        source_reg,
+        flat: int,
+        source_cluster: int,
+        dest_cluster: int,
+        seq: int,
+    ) -> DynamicUop:
+        """Create the copy micro-op that moves ``source_reg`` between clusters."""
+        static = MicroOp(pc=consumer.static.pc, uop_class=UopClass.COPY)
+        copy = DynamicUop(static, seq)
+        copy.is_copy = True
+        copy.cluster = source_cluster
+        copy.copy_dest_cluster = dest_cluster
+        copy.frontend_id = self.config.frontend_of_cluster(source_cluster)
+        copy.fetch_cycle = consumer.fetch_cycle
+        # The copy reads the value in the source cluster...
+        source_ref = self.tables.mapping(flat, source_cluster)
+        if source_ref is not None:
+            copy.src_refs.append(source_ref)
+        # ...and writes a newly allocated register in the destination cluster.
+        dest_regfile = self.clusters[dest_cluster].register_file_for(source_reg.is_fp)
+        dest_phys = dest_regfile.allocate()
+        copy.dest_ref = (dest_regfile, dest_phys)
+        # The destination cluster now (architecturally) holds a copy of the
+        # logical register, so later consumers there do not need another copy.
+        self.tables.set_mapping(flat, dest_cluster, copy.dest_ref)
+        # Copy generation touches the rename table of the source cluster's
+        # frontend (the copy request is processed there, Figure 3-B) and
+        # writes the mapping in the destination cluster's table.
+        self._record_rat_access(source_cluster)
+        self._record_rat_access(dest_cluster)
+        return copy
+
+    # ------------------------------------------------------------------
+    # Commit-side release
+    # ------------------------------------------------------------------
+    def release_at_commit(self, dynamic: DynamicUop) -> None:
+        """Free the physical registers superseded by ``dynamic``'s destination."""
+        for regfile, index in dynamic.prev_mappings:
+            regfile.free(index)
+        dynamic.prev_mappings = []
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def live_mappings(self) -> Dict[int, int]:
+        """Number of live mappings per cluster (used by tests)."""
+        counts = {c: 0 for c in range(len(self.clusters))}
+        for flat in range(self.register_space.total):
+            for c in range(len(self.clusters)):
+                if self.tables.mapping(flat, c) is not None:
+                    counts[c] += 1
+        return counts

@@ -1,0 +1,112 @@
+"""Centralized steering unit.
+
+The steering engine is kept centralized in both the baseline and the
+distributed frontend (Figure 3-A): it examines each micro-op's source
+operands in the availability table and decides which backend cluster will
+execute it, balancing dependence locality (to avoid copy micro-ops) against
+cluster load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.backend.cluster import Cluster
+from repro.frontend.rename import RenameTables
+from repro.isa.microops import MicroOp
+from repro.isa.registers import RegisterSpace
+from repro.sim.config import ProcessorConfig, SteeringPolicy
+
+
+@dataclass
+class SteeringDecision:
+    """Outcome of steering one micro-op."""
+
+    cluster: int
+    #: Number of source operands already present in the chosen cluster.
+    local_sources: int
+    #: Number of source operands that will require a copy micro-op.
+    remote_sources: int
+
+
+class SteeringUnit:
+    """Dependence- and load-aware cluster selection."""
+
+    #: Weight of one locally-available source operand relative to one
+    #: in-flight micro-op of load imbalance.
+    _DEPENDENCE_WEIGHT = 24.0
+
+    def __init__(
+        self,
+        config: ProcessorConfig,
+        clusters: Sequence[Cluster],
+        tables: RenameTables,
+        register_space: RegisterSpace,
+    ) -> None:
+        self.config = config
+        self.clusters = list(clusters)
+        self.tables = tables
+        self.register_space = register_space
+        self._round_robin_next = 0
+        self.decisions = 0
+
+    # ------------------------------------------------------------------
+    def choose(self, uop: MicroOp) -> SteeringDecision:
+        """Pick the backend cluster that will execute ``uop``."""
+        self.decisions += 1
+        policy = self.config.steering_policy
+        if policy is SteeringPolicy.ROUND_ROBIN:
+            cluster = self._round_robin_next
+            self._round_robin_next = (self._round_robin_next + 1) % len(self.clusters)
+        elif policy is SteeringPolicy.LOAD_BALANCE:
+            cluster = min(
+                range(len(self.clusters)), key=lambda c: self.clusters[c].load()
+            )
+        else:
+            cluster = self._dependence_choice(uop)
+        local, remote = self._count_source_locality(uop, cluster)
+        return SteeringDecision(cluster=cluster, local_sources=local, remote_sources=remote)
+
+    # ------------------------------------------------------------------
+    def _source_clusters(self, uop: MicroOp) -> list:
+        """For each source, the list of clusters holding its current value."""
+        holders = []
+        for source in uop.sources:
+            flat = self.register_space.flat_index(source)
+            holders.append(self.tables.clusters_holding(flat))
+        return holders
+
+    def _count_source_locality(self, uop: MicroOp, cluster: int) -> tuple:
+        local = 0
+        remote = 0
+        for source_holders in self._source_clusters(uop):
+            if not source_holders:
+                continue  # architectural value, available everywhere
+            if cluster in source_holders:
+                local += 1
+            else:
+                remote += 1
+        return local, remote
+
+    def _dependence_choice(self, uop: MicroOp) -> int:
+        """Dependence-based steering with load balancing.
+
+        Each cluster is scored by the number of source operands it already
+        holds (avoiding copies) minus a load penalty proportional to its
+        in-flight micro-op count; the highest score wins, ties go to the
+        least-loaded cluster.
+        """
+        source_holders = self._source_clusters(uop)
+        best_cluster = 0
+        best_score = float("-inf")
+        for c in range(len(self.clusters)):
+            locality = sum(1 for holders in source_holders if c in holders)
+            load = self.clusters[c].load()
+            score = locality * self._DEPENDENCE_WEIGHT - load
+            if score > best_score or (
+                score == best_score and load < self.clusters[best_cluster].load()
+            ):
+                best_score = score
+                best_cluster = c
+        return best_cluster

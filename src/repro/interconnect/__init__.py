@@ -1,0 +1,11 @@
+"""Inter-cluster interconnect.
+
+Register values move between backends through bidirectional point-to-point
+links (1 cycle per hop, 2 cycles from side to side of the chip); store
+addresses are broadcast on the disambiguation buses so every cluster can
+disambiguate locally.
+"""
+
+from repro.interconnect.p2p import PointToPointNetwork
+
+__all__ = ["PointToPointNetwork"]

@@ -1,0 +1,69 @@
+"""Point-to-point links between backend clusters.
+
+The clusters are arranged in a line on the floorplan; a copy instruction
+travelling from cluster *i* to cluster *j* takes ``|i - j|`` hops, one cycle
+per hop (Table 1: two cycles from side to side of the chip for the
+four-cluster arrangement with two clusters per side).  Two bidirectional
+links exist; link occupancy is modelled per direction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+
+class PointToPointNetwork:
+    """Hop-latency and occupancy model of the inter-cluster links."""
+
+    def __init__(self, num_clusters: int, num_links: int, hop_latency: int) -> None:
+        if num_clusters <= 0 or num_links <= 0 or hop_latency <= 0:
+            raise ValueError("network parameters must be positive")
+        self.num_clusters = num_clusters
+        self.num_links = num_links
+        self.hop_latency = hop_latency
+        #: Next-free cycle of each link (links are shared by all hops).
+        self._link_free: List[int] = [0] * num_links
+        self.transfers = 0
+        self.total_hops = 0
+        self._traffic: Dict[Tuple[int, int], int] = {}
+
+    def hops(self, source: int, destination: int) -> int:
+        """Number of hops between two clusters (linear arrangement)."""
+        self._check_cluster(source)
+        self._check_cluster(destination)
+        # The paper's floorplan places two clusters on each side of the chip;
+        # a linear ordering 0-1-2-3 gives 2 hops from side to side.
+        distance = abs(source - destination)
+        return min(distance, 2) if distance else 0
+
+    def _check_cluster(self, cluster: int) -> None:
+        if not 0 <= cluster < self.num_clusters:
+            raise ValueError(f"cluster {cluster} out of range")
+
+    def transfer(self, cycle: int, source: int, destination: int) -> int:
+        """Send a register value from ``source`` to ``destination``.
+
+        Returns the cycle at which the value is available at the destination.
+        Transfers within the same cluster are free.
+        """
+        hops = self.hops(source, destination)
+        if hops == 0:
+            return cycle
+        # Pick the link that frees up first.
+        link = min(range(self.num_links), key=lambda i: self._link_free[i])
+        start = max(cycle, self._link_free[link])
+        finish = start + hops * self.hop_latency
+        self._link_free[link] = start + self.hop_latency  # pipelined per hop
+        self.transfers += 1
+        self.total_hops += hops
+        key = (source, destination)
+        self._traffic[key] = self._traffic.get(key, 0) + 1
+        return finish
+
+    def traffic_matrix(self) -> Dict[Tuple[int, int], int]:
+        """Number of transfers per (source, destination) pair."""
+        return dict(self._traffic)
+
+    @property
+    def average_hops(self) -> float:
+        return self.total_hops / self.transfers if self.transfers else 0.0

@@ -1,0 +1,20 @@
+"""Micro-op instruction set abstraction.
+
+The paper's processor fetches IA32 instructions, translates them into
+micro-ops and stores the micro-ops in a trace cache.  The reproduction works
+directly at the micro-op level: :class:`~repro.isa.microops.MicroOp` is the
+unit handled by every pipeline stage and by the workload generator.
+"""
+
+from repro.isa.microops import MicroOp, UopClass, OP_LATENCY, is_memory_class
+from repro.isa.registers import RegisterSpace, RegisterClass, LogicalRegister
+
+__all__ = [
+    "MicroOp",
+    "UopClass",
+    "OP_LATENCY",
+    "is_memory_class",
+    "RegisterSpace",
+    "RegisterClass",
+    "LogicalRegister",
+]

@@ -1,0 +1,145 @@
+"""Micro-op definition and execution-latency table.
+
+A :class:`MicroOp` is the static form of an instruction as stored in the
+trace cache.  The simulator wraps it in a dynamic record
+(:class:`repro.sim.uop.DynamicUop`) when it enters the pipeline.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.isa.registers import LogicalRegister
+
+
+class UopClass(enum.Enum):
+    """Execution class of a micro-op.
+
+    The class determines the functional unit used, the execution latency and
+    the issue queue the micro-op waits in (integer, floating point, memory or
+    copy queue — see Table 1 of the paper).
+    """
+
+    IALU = "ialu"
+    IMUL = "imul"
+    IDIV = "idiv"
+    FPADD = "fpadd"
+    FPMUL = "fpmul"
+    FPDIV = "fpdiv"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    COPY = "copy"
+    NOP = "nop"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"UopClass.{self.name}"
+
+
+#: Execution latency in cycles for each micro-op class.  Memory latencies are
+#: *hit* latencies; cache misses add the UL2/memory latency on top (modelled
+#: by the memory hierarchy, not by this table).
+OP_LATENCY = {
+    UopClass.IALU: 1,
+    UopClass.IMUL: 3,
+    UopClass.IDIV: 20,
+    UopClass.FPADD: 4,
+    UopClass.FPMUL: 6,
+    UopClass.FPDIV: 24,
+    UopClass.LOAD: 1,
+    UopClass.STORE: 1,
+    UopClass.BRANCH: 1,
+    UopClass.COPY: 1,
+    UopClass.NOP: 1,
+}
+
+_FP_CLASSES = frozenset({UopClass.FPADD, UopClass.FPMUL, UopClass.FPDIV})
+_MEM_CLASSES = frozenset({UopClass.LOAD, UopClass.STORE})
+
+
+def is_memory_class(uop_class: UopClass) -> bool:
+    """Return whether ``uop_class`` occupies the memory order buffer."""
+    return uop_class in _MEM_CLASSES
+
+
+@dataclass
+class MicroOp:
+    """A single micro-op as produced by the IA32 decoder / trace builder.
+
+    Attributes
+    ----------
+    pc:
+        Address of the originating IA32 instruction (used for trace-cache
+        indexing and branch prediction).
+    uop_class:
+        Execution class (see :class:`UopClass`).
+    dest:
+        Destination logical register, or ``None`` for stores, branches and
+        nops.
+    sources:
+        Source logical registers (zero to two).
+    mem_addr:
+        Effective address for loads and stores, ``None`` otherwise.
+    is_branch:
+        Whether the micro-op terminates a basic block.
+    branch_taken:
+        Actual outcome for branches (the workload generator resolves
+        branches; the predictor guesses them).
+    mispredicted:
+        Set by the workload generator when the branch predictor of the
+        modelled program would mispredict this branch.  The timing simulator
+        charges the re-steer penalty when it commits such a branch.
+    end_of_trace:
+        Marks the last micro-op of a trace-cache line candidate.
+    """
+
+    pc: int
+    uop_class: UopClass
+    dest: Optional[LogicalRegister] = None
+    sources: Tuple[LogicalRegister, ...] = field(default_factory=tuple)
+    mem_addr: Optional[int] = None
+    is_branch: bool = False
+    branch_taken: bool = False
+    mispredicted: bool = False
+    end_of_trace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.pc < 0:
+            raise ValueError("pc must be non-negative")
+        if len(self.sources) > 2:
+            raise ValueError("micro-ops have at most two source registers")
+        if self.uop_class in _MEM_CLASSES and self.mem_addr is None:
+            raise ValueError(f"{self.uop_class} requires a memory address")
+        if self.uop_class is UopClass.BRANCH and not self.is_branch:
+            # Branch micro-ops are always branches; keep the two fields
+            # consistent so downstream code can rely on either.
+            object.__setattr__(self, "is_branch", True)
+
+    @property
+    def is_fp(self) -> bool:
+        """Whether the micro-op executes on the floating-point datapath."""
+        return self.uop_class in _FP_CLASSES
+
+    @property
+    def is_load(self) -> bool:
+        return self.uop_class is UopClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.uop_class is UopClass.STORE
+
+    @property
+    def is_mem(self) -> bool:
+        return self.uop_class in _MEM_CLASSES
+
+    @property
+    def latency(self) -> int:
+        """Execution latency in cycles (cache-hit latency for memory ops)."""
+        return OP_LATENCY[self.uop_class]
+
+    def __str__(self) -> str:
+        srcs = ",".join(str(s) for s in self.sources)
+        dest = str(self.dest) if self.dest is not None else "-"
+        return f"{self.uop_class.value} pc=0x{self.pc:x} {dest} <- [{srcs}]"

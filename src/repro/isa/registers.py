@@ -1,0 +1,118 @@
+"""Logical register namespace of the micro-op ISA.
+
+IA32 micro-ops reference a small architectural register file plus a set of
+micro-architectural temporaries introduced by the IA32-to-micro-op cracking.
+The exact encoding does not matter for the paper's experiments; what matters
+is that the rename machinery sees a realistic number of logical registers
+(the paper's availability table has "as many entries as number of logical
+registers").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class RegisterClass(enum.Enum):
+    """Class of a logical register (determines which register file it maps to)."""
+
+    INT = "int"
+    FP = "fp"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RegisterClass.{self.name}"
+
+
+@dataclass(frozen=True)
+class LogicalRegister:
+    """A logical (architectural or temporary) register.
+
+    Attributes
+    ----------
+    index:
+        Index within its register class, ``0 <= index < RegisterSpace`` size
+        for the class.
+    reg_class:
+        Whether the register lives in the integer or floating-point space.
+    """
+
+    index: int
+    reg_class: RegisterClass
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"register index must be non-negative, got {self.index}")
+
+    @property
+    def is_int(self) -> bool:
+        return self.reg_class is RegisterClass.INT
+
+    @property
+    def is_fp(self) -> bool:
+        return self.reg_class is RegisterClass.FP
+
+    def __str__(self) -> str:
+        prefix = "r" if self.is_int else "f"
+        return f"{prefix}{self.index}"
+
+
+class RegisterSpace:
+    """The set of logical registers visible to the rename stage.
+
+    Parameters
+    ----------
+    num_int:
+        Number of integer logical registers (architectural + temporaries).
+    num_fp:
+        Number of floating-point logical registers.
+    """
+
+    DEFAULT_INT = 32
+    DEFAULT_FP = 32
+
+    def __init__(self, num_int: int = DEFAULT_INT, num_fp: int = DEFAULT_FP) -> None:
+        if num_int <= 0 or num_fp <= 0:
+            raise ValueError("register space sizes must be positive")
+        self.num_int = num_int
+        self.num_fp = num_fp
+        self._int_regs = tuple(
+            LogicalRegister(i, RegisterClass.INT) for i in range(num_int)
+        )
+        self._fp_regs = tuple(
+            LogicalRegister(i, RegisterClass.FP) for i in range(num_fp)
+        )
+
+    @property
+    def total(self) -> int:
+        """Total number of logical registers (size of the availability table)."""
+        return self.num_int + self.num_fp
+
+    def int_reg(self, index: int) -> LogicalRegister:
+        """Return the integer logical register ``index``."""
+        return self._int_regs[index % self.num_int]
+
+    def fp_reg(self, index: int) -> LogicalRegister:
+        """Return the floating-point logical register ``index``."""
+        return self._fp_regs[index % self.num_fp]
+
+    def all_registers(self) -> tuple:
+        """All logical registers, integer first then floating point."""
+        return self._int_regs + self._fp_regs
+
+    def flat_index(self, reg: LogicalRegister) -> int:
+        """Map a register to a dense index in ``[0, total)``.
+
+        Used to index availability tables and rename tables, which the paper
+        sizes by the number of logical registers.
+        """
+        if reg.is_int:
+            if reg.index >= self.num_int:
+                raise ValueError(f"{reg} outside integer register space")
+            return reg.index
+        if reg.index >= self.num_fp:
+            raise ValueError(f"{reg} outside FP register space")
+        return self.num_int + reg.index
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RegisterSpace(num_int={self.num_int}, num_fp={self.num_fp})"

@@ -1,0 +1,11 @@
+"""Memory hierarchy beyond the per-cluster L1 data caches.
+
+The unified second-level cache (UL2) is shared by the instruction path (trace
+builds on trace-cache misses) and the data path (L1 misses arriving over the
+memory buses).  UL2 misses go to main memory with a fixed latency.
+"""
+
+from repro.memory.ul2 import UnifiedL2Cache
+from repro.memory.bus import Bus, BusPool
+
+__all__ = ["UnifiedL2Cache", "Bus", "BusPool"]

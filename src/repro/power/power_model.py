@@ -1,0 +1,114 @@
+"""Activity-based dynamic power plus leakage (the paper's power model).
+
+``P_dynamic(block) = accesses_per_cycle(block) * energy_per_access(block) * f_clock``
+
+with an additional always-on idle component (clock distribution) proportional
+to the block's area.  Vdd-gated blocks (trace-cache banks under bank hopping
+or blank silicon) dissipate neither dynamic nor idle nor leakage power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.power.energy import BlockPowerParameters
+from repro.power.leakage import LeakageModel
+from repro.sim.config import PowerConfig
+
+
+@dataclass
+class PowerBreakdown:
+    """Per-block dynamic and leakage power of one thermal interval."""
+
+    dynamic: Dict[str, float]
+    leakage: Dict[str, float]
+
+    def total(self) -> float:
+        return sum(self.dynamic.values()) + sum(self.leakage.values())
+
+    def total_dynamic(self) -> float:
+        return sum(self.dynamic.values())
+
+    def total_leakage(self) -> float:
+        return sum(self.leakage.values())
+
+    def per_block_total(self) -> Dict[str, float]:
+        return {
+            block: self.dynamic[block] + self.leakage.get(block, 0.0)
+            for block in self.dynamic
+        }
+
+
+class PowerModel:
+    """Computes per-block power from per-interval activity counts."""
+
+    def __init__(
+        self,
+        config: PowerConfig,
+        block_parameters: Mapping[str, BlockPowerParameters],
+    ) -> None:
+        self.config = config
+        self.block_parameters = dict(block_parameters)
+        self.leakage_model = LeakageModel(config, self.block_parameters.keys())
+        self._frequency_hz = config.frequency_ghz * 1e9
+
+    # ------------------------------------------------------------------
+    def dynamic_power(
+        self,
+        activity_counts: Mapping[str, int],
+        cycles: int,
+        gated_blocks: Optional[Iterable[str]] = None,
+    ) -> Dict[str, float]:
+        """Per-block dynamic power (W) for an interval of ``cycles`` cycles."""
+        if cycles <= 0:
+            raise ValueError("cycles must be positive")
+        gated = set(gated_blocks or ())
+        power: Dict[str, float] = {}
+        for block, params in self.block_parameters.items():
+            if block in gated:
+                power[block] = 0.0
+                continue
+            accesses = activity_counts.get(block, 0)
+            access_rate = accesses / cycles
+            switching = access_rate * params.energy_per_access_nj * 1e-9 * self._frequency_hz
+            power[block] = switching + params.idle_power_w
+        return power
+
+    def compute(
+        self,
+        activity_counts: Mapping[str, int],
+        cycles: int,
+        temperatures: Mapping[str, float],
+        gated_blocks: Optional[Iterable[str]] = None,
+    ) -> PowerBreakdown:
+        """Dynamic + leakage power for one interval.
+
+        The leakage model's running average of dynamic power is updated with
+        this interval's dynamic power before leakage is evaluated.
+        """
+        dynamic = self.dynamic_power(activity_counts, cycles, gated_blocks)
+        self.leakage_model.observe_dynamic_power(dynamic)
+        leakage = self.leakage_model.leakage_power(temperatures, gated_blocks)
+        return PowerBreakdown(dynamic=dynamic, leakage=leakage)
+
+    # ------------------------------------------------------------------
+    def nominal_power(
+        self,
+        activity_counts: Mapping[str, int],
+        cycles: int,
+        gated_blocks: Optional[Iterable[str]] = None,
+    ) -> Dict[str, float]:
+        """Nominal per-block power at ambient temperature (for thermal warm-up).
+
+        The paper starts every simulation with the processor already warm:
+        it assumes the processor has been dissipating its nominal average
+        dynamic power (plus the corresponding leakage) for a long time.  This
+        helper returns dynamic power plus ambient-temperature leakage and
+        seeds the leakage model's nominal power.
+        """
+        dynamic = self.dynamic_power(activity_counts, cycles, gated_blocks)
+        self.leakage_model.seed_nominal_power(dynamic)
+        ambient = {block: self.config.ambient_celsius for block in dynamic}
+        leakage = self.leakage_model.leakage_power(ambient, gated_blocks)
+        return {block: dynamic[block] + leakage[block] for block in dynamic}

@@ -1,0 +1,149 @@
+"""Canonical names of the processor's functional blocks.
+
+Activity counters, the power model and the thermal floorplan all refer to
+blocks by these names, so they must be generated consistently from the
+processor configuration.  The block set matches the floorplans of Figures 10
+and 11 of the paper:
+
+* frontend: reorder buffer (ROB), rename table (RAT), instruction TLB,
+  decoder, branch predictor and the trace-cache banks;
+* one group of blocks per backend cluster: L1 data cache, data TLB, integer
+  and FP register files, integer and FP functional units, integer / FP / copy
+  schedulers and the memory order buffer (with the microcode sequencer folded
+  into it, as in the paper's cluster floorplan);
+* the unified L2 (UL2).
+
+When rename and commit are distributed (the paper's proposal), the ROB and
+RAT are each split into one block per frontend partition (``ROB0``,
+``ROB1``, ...), placed at the same floorplan location as the monolithic
+structure they replace.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.sim.config import ProcessorConfig
+
+# Frontend block base names.
+ROB = "ROB"
+RAT = "RAT"
+ITLB = "ITLB"
+DECODER = "DECO"
+BRANCH_PREDICTOR = "BP"
+TRACE_CACHE_BANK = "TC"
+UL2 = "UL2"
+
+# Cluster block suffixes.
+CLUSTER_DCACHE = "DL1"
+CLUSTER_DTLB = "DTLB"
+CLUSTER_INT_RF = "IRF"
+CLUSTER_FP_RF = "FPRF"
+CLUSTER_INT_FU = "IFU"
+CLUSTER_FP_FU = "FPFU"
+CLUSTER_INT_SCHED = "IS"
+CLUSTER_FP_SCHED = "FPS"
+CLUSTER_COPY_SCHED = "CS"
+CLUSTER_MOB = "MOB"
+
+CLUSTER_BLOCK_SUFFIXES: Tuple[str, ...] = (
+    CLUSTER_DCACHE,
+    CLUSTER_DTLB,
+    CLUSTER_INT_RF,
+    CLUSTER_FP_RF,
+    CLUSTER_INT_FU,
+    CLUSTER_FP_FU,
+    CLUSTER_INT_SCHED,
+    CLUSTER_FP_SCHED,
+    CLUSTER_COPY_SCHED,
+    CLUSTER_MOB,
+)
+
+
+def rob_block(frontend_id: int, num_frontends: int) -> str:
+    """Name of the reorder-buffer block owned by ``frontend_id``."""
+    return ROB if num_frontends == 1 else f"{ROB}{frontend_id}"
+
+
+def rat_block(frontend_id: int, num_frontends: int) -> str:
+    """Name of the rename-table block owned by ``frontend_id``."""
+    return RAT if num_frontends == 1 else f"{RAT}{frontend_id}"
+
+
+def trace_cache_bank_block(bank: int) -> str:
+    """Name of physical trace-cache bank ``bank``."""
+    return f"{TRACE_CACHE_BANK}{bank}"
+
+
+def cluster_block(cluster: int, suffix: str) -> str:
+    """Name of a block inside backend cluster ``cluster``."""
+    return f"C{cluster}_{suffix}"
+
+
+def rob_blocks(config: ProcessorConfig) -> List[str]:
+    """All reorder-buffer blocks of a configuration."""
+    n = config.frontend.num_frontends
+    return [rob_block(i, n) for i in range(n)]
+
+
+def rat_blocks(config: ProcessorConfig) -> List[str]:
+    """All rename-table blocks of a configuration."""
+    n = config.frontend.num_frontends
+    return [rat_block(i, n) for i in range(n)]
+
+
+def trace_cache_blocks(config: ProcessorConfig) -> List[str]:
+    """All physical trace-cache bank blocks of a configuration."""
+    return [
+        trace_cache_bank_block(b)
+        for b in range(config.frontend.trace_cache.physical_banks)
+    ]
+
+
+def frontend_blocks(config: ProcessorConfig) -> List[str]:
+    """All frontend blocks of a configuration."""
+    return (
+        rob_blocks(config)
+        + rat_blocks(config)
+        + [ITLB, DECODER, BRANCH_PREDICTOR]
+        + trace_cache_blocks(config)
+    )
+
+
+def cluster_blocks(config: ProcessorConfig, cluster: int) -> List[str]:
+    """All blocks of one backend cluster."""
+    return [cluster_block(cluster, suffix) for suffix in CLUSTER_BLOCK_SUFFIXES]
+
+
+def backend_blocks(config: ProcessorConfig) -> List[str]:
+    """All backend blocks (every cluster) of a configuration."""
+    names: List[str] = []
+    for c in range(config.backend.num_clusters):
+        names.extend(cluster_blocks(config, c))
+    return names
+
+
+def all_blocks(config: ProcessorConfig) -> List[str]:
+    """Every functional block of the processor, frontend first."""
+    return frontend_blocks(config) + backend_blocks(config) + [UL2]
+
+
+# ----------------------------------------------------------------------
+# Block groups used by the paper's figures
+# ----------------------------------------------------------------------
+def block_groups(config: ProcessorConfig) -> dict:
+    """Named groups of blocks over which temperature metrics are reported.
+
+    The groups mirror the categories of the paper's figures: the whole
+    processor, the frontend, the backend and the UL2 (Figure 1), and the
+    reorder buffer, rename table and trace cache (Figures 12-14).
+    """
+    return {
+        "Processor": all_blocks(config),
+        "Frontend": frontend_blocks(config),
+        "Backend": backend_blocks(config),
+        "UL2": [UL2],
+        "ReorderBuffer": rob_blocks(config),
+        "RenameTable": rat_blocks(config),
+        "TraceCache": trace_cache_blocks(config),
+    }

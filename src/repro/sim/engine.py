@@ -1,0 +1,262 @@
+"""Simulation engine: couples the timing model with power and temperature.
+
+The engine advances the :class:`~repro.sim.processor.Processor` one thermal
+interval at a time.  At the end of every interval it
+
+1. drains the per-block activity counters and converts them to dynamic power,
+2. evaluates the temperature-dependent leakage at the current temperatures,
+3. advances the thermal RC network by the interval's wall-clock duration,
+4. lets the bank-hopping controller rotate the gated trace-cache bank and the
+   (balanced or thermal-aware) mapping policy rebuild the bank mapping table,
+   exactly as the paper does every 10 M cycles.
+
+Before measurement the processor is *warmed up*: the steady-state
+temperatures for the nominal average power (first interval's activity) are
+computed, iterating the leakage-temperature feedback until convergence or the
+381 K emergency limit, mirroring Section 4 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional, Sequence
+
+from repro.core.bank_hopping import BankHoppingController
+from repro.core.thermal_mapping import BalancedMappingPolicy, ThermalAwareMappingPolicy
+from repro.isa.microops import MicroOp
+from repro.power.energy import build_block_parameters
+from repro.power.power_model import PowerModel
+from repro.sim import blocks
+from repro.sim.config import ProcessorConfig
+from repro.sim.processor import Processor
+from repro.sim.results import IntervalRecord, SimulationResult
+from repro.thermal.floorplan import build_floorplan
+from repro.thermal.rc_model import ThermalRCNetwork
+from repro.thermal.sensors import SensorBank
+from repro.thermal.solver import ThermalSolver
+
+
+class SimulationEngine:
+    """Runs one benchmark on one configuration, producing a SimulationResult."""
+
+    def __init__(
+        self,
+        config: ProcessorConfig,
+        uop_source: Iterable[MicroOp],
+        benchmark: str = "synthetic",
+        interval_cycles: Optional[int] = None,
+        prewarm_caches: bool = True,
+    ) -> None:
+        self.config = config
+        self.benchmark = benchmark
+        self.interval_cycles = interval_cycles or config.thermal.interval_cycles
+        if self.interval_cycles <= 0:
+            raise ValueError("interval_cycles must be positive")
+
+        uop_stream: Iterator[MicroOp]
+        if isinstance(uop_source, Sequence):
+            # A materialized trace: the engine can functionally pre-warm the
+            # UL2 with the trace's footprint, as sampled-simulation
+            # methodologies do, so the short measured slice is not dominated
+            # by cold misses the paper's 200 M-instruction slices would have
+            # amortized.
+            uop_stream = iter(list(uop_source))
+            self._prewarm_source: Optional[Sequence[MicroOp]] = uop_source
+        else:
+            uop_stream = iter(uop_source)
+            self._prewarm_source = None
+        self.processor = Processor(config, uop_stream)
+        if prewarm_caches and self._prewarm_source is not None:
+            self._prewarm_memory(self._prewarm_source)
+        self.block_parameters = build_block_parameters(config)
+        self.block_areas = {
+            name: params.area_mm2 for name, params in self.block_parameters.items()
+        }
+        self.floorplan = build_floorplan(config, self.block_areas)
+        self.network = ThermalRCNetwork(self.floorplan, config.thermal)
+        self.solver = ThermalSolver(self.network)
+        self.power_model = PowerModel(config.power, self.block_parameters)
+
+        tc_config = config.frontend.trace_cache
+        self._tc_bank_blocks = blocks.trace_cache_blocks(config)
+        self.sensors = SensorBank(self._tc_bank_blocks)
+        self.hopping: Optional[BankHoppingController] = None
+        if tc_config.bank_hopping or tc_config.blank_silicon:
+            static_gated = []
+            if tc_config.blank_silicon:
+                # Statically gate the extra (highest-numbered) banks.
+                spare = tc_config.physical_banks - tc_config.active_banks
+                static_gated = list(
+                    range(tc_config.physical_banks - spare, tc_config.physical_banks)
+                )
+            self.hopping = BankHoppingController(
+                physical_banks=tc_config.physical_banks,
+                active_banks=tc_config.active_banks,
+                hop_interval_cycles=tc_config.hop_interval_cycles,
+                enabled=tc_config.bank_hopping,
+                static_gated_banks=static_gated,
+            )
+            self.processor.trace_cache.set_enabled_banks(self.hopping.enabled_banks)
+            self.processor.trace_cache.set_balanced_mapping()
+        if tc_config.thermal_aware_mapping:
+            self.mapping_policy = ThermalAwareMappingPolicy(
+                tc_config.mapping_table_entries, tc_config.bias_threshold_celsius
+            )
+        else:
+            self.mapping_policy = BalancedMappingPolicy(tc_config.mapping_table_entries)
+        # Intervals between hops / remaps, expressed in thermal intervals.
+        self._hop_every = max(1, round(tc_config.hop_interval_cycles / self.interval_cycles))
+        self._remap_every = max(1, round(tc_config.remap_interval_cycles / self.interval_cycles))
+
+        self._thermal_state = self.network.uniform_state(config.thermal.ambient_celsius)
+        self._temperatures: Dict[str, float] = self.solver.block_temperatures(
+            self._thermal_state
+        )
+        self.warmup_temperatures: Dict[str, float] = dict(self._temperatures)
+        self.emergency_intervals = 0
+
+    # ------------------------------------------------------------------
+    def _prewarm_memory(self, trace: Sequence[MicroOp]) -> None:
+        """Touch the trace's data footprint in the UL2 (functional warm-up).
+
+        Only the UL2 is warmed: the small per-cluster L1 caches reach steady
+        state within the measured slice, but the 2 MB UL2 would otherwise
+        spend the whole short slice taking cold misses with the 500-cycle
+        memory latency, which the paper's long traces do not suffer.
+        """
+        ul2 = self.processor.ul2
+        for uop in trace:
+            if uop.mem_addr is not None:
+                ul2.access(uop.mem_addr)
+        # The warm-up accesses are functional only; reset the statistics.
+        ul2.hits = 0
+        ul2.misses = 0
+
+    def _gated_blocks(self) -> list:
+        if self.hopping is None:
+            return []
+        return [
+            blocks.trace_cache_bank_block(b) for b in self.hopping.gated_banks
+        ]
+
+    def _warmup(self, activity_counts: Dict[str, int], cycles: int) -> None:
+        """Warm the processor to the steady state of its nominal power."""
+        gated = self._gated_blocks()
+        nominal = self.power_model.nominal_power(activity_counts, cycles, gated)
+
+        def power_at(temperatures: Dict[str, float]) -> Dict[str, float]:
+            dynamic = self.power_model.dynamic_power(activity_counts, cycles, gated)
+            leakage = self.power_model.leakage_model.leakage_power(temperatures, gated)
+            return {b: dynamic[b] + leakage[b] for b in dynamic}
+
+        # ``nominal`` seeds the leakage model; the warm-up iteration then
+        # couples leakage and temperature until convergence (or 381 K).
+        del nominal
+        state, temperatures = self.solver.warmup(
+            power_at,
+            emergency_limit_celsius=self.config.thermal.emergency_limit_celsius,
+        )
+        self._thermal_state = state
+        self._temperatures = temperatures
+        self.warmup_temperatures = dict(temperatures)
+
+    def _apply_bank_management(self, interval_index: int) -> None:
+        """Rotate the gated bank and rebuild the mapping table when due."""
+        tc = self.processor.trace_cache
+        tc_config = self.config.frontend.trace_cache
+        hopped = False
+        if (
+            self.hopping is not None
+            and self.hopping.enabled
+            and (interval_index + 1) % self._hop_every == 0
+        ):
+            self.hopping.hop()
+            tc.set_enabled_banks(self.hopping.enabled_banks)
+            self.processor.stats.trace_cache_hop_flushes = tc.hop_flushes
+            hopped = True
+        remap_due = (interval_index + 1) % self._remap_every == 0
+        if hopped or (remap_due and tc_config.thermal_aware_mapping):
+            enabled = tc.enabled_banks()
+            readings = self.sensors.read_all(self._temperatures)
+            bank_temps = {
+                bank: readings[blocks.trace_cache_bank_block(bank)] for bank in enabled
+            }
+            shares = self.mapping_policy.compute_shares(enabled, bank_temps)
+            tc.set_mapping_shares(shares)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        max_intervals: Optional[int] = None,
+        warmup: bool = True,
+    ) -> SimulationResult:
+        """Run the benchmark to completion and return the full result."""
+        result = SimulationResult(
+            config_name=self.config.name,
+            benchmark=self.benchmark,
+            stats=self.processor.stats,
+            block_names=list(self.block_parameters.keys()),
+            block_groups=blocks.block_groups(self.config),
+            block_areas_mm2=self.block_areas,
+            ambient_celsius=self.config.thermal.ambient_celsius,
+        )
+        interval_index = 0
+        emergency_limit = self.config.thermal.emergency_limit_celsius
+        interval_seconds = self.config.thermal.interval_seconds
+
+        while not self.processor.finished:
+            if max_intervals is not None and interval_index >= max_intervals:
+                break
+            start_cycle = self.processor.cycle
+            self.processor.run_cycles(self.interval_cycles)
+            cycles_elapsed = self.processor.cycle - start_cycle
+            if cycles_elapsed == 0:
+                break
+            activity_counts = self.processor.activity.end_interval()
+            gated = self._gated_blocks()
+
+            if interval_index == 0 and warmup:
+                self._warmup(activity_counts, cycles_elapsed)
+
+            breakdown = self.power_model.compute(
+                activity_counts, cycles_elapsed, self._temperatures, gated
+            )
+            total_power = breakdown.per_block_total()
+            dt = interval_seconds * (cycles_elapsed / self.interval_cycles)
+            self._thermal_state = self.solver.advance(self._thermal_state, total_power, dt)
+            self._temperatures = self.solver.block_temperatures(self._thermal_state)
+            if max(self._temperatures.values()) >= emergency_limit:
+                self.emergency_intervals += 1
+
+            result.intervals.append(
+                IntervalRecord(
+                    cycle=self.processor.cycle,
+                    seconds=(interval_index + 1) * interval_seconds,
+                    dynamic_power=breakdown.dynamic,
+                    leakage_power=breakdown.leakage,
+                    temperature=dict(self._temperatures),
+                )
+            )
+            self._apply_bank_management(interval_index)
+            interval_index += 1
+
+        result.warmup_temperature = self.warmup_temperatures
+        result.stats.trace_cache_hits = self.processor.trace_cache.hits
+        result.stats.trace_cache_misses = self.processor.trace_cache.misses
+        result.stats.trace_cache_hop_flushes = self.processor.trace_cache.hop_flushes
+        return result
+
+
+def run_benchmark(
+    config: ProcessorConfig,
+    uop_source: Iterable[MicroOp],
+    benchmark: str = "synthetic",
+    interval_cycles: Optional[int] = None,
+    max_intervals: Optional[int] = None,
+    warmup: bool = True,
+    prewarm_caches: bool = True,
+) -> SimulationResult:
+    """Convenience wrapper: build an engine, run it, return the result."""
+    engine = SimulationEngine(
+        config, uop_source, benchmark, interval_cycles, prewarm_caches=prewarm_caches
+    )
+    return engine.run(max_intervals=max_intervals, warmup=warmup)

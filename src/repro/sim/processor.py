@@ -1,0 +1,475 @@
+"""Cycle-level processor model: fetch, rename/steer, dispatch, issue, commit.
+
+The :class:`Processor` advances the whole clustered microarchitecture one
+cycle at a time.  It is a *timing and activity* model: data values are never
+computed, but structural capacities, occupancies, latencies, inter-cluster
+copies and cache behaviour are, and every structure access increments the
+activity counter of its floorplan block so the power model can translate the
+run into per-block power.
+
+Stage order within a cycle is reversed (commit first, fetch last) so that a
+micro-op needs at least one full cycle to traverse each stage.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Iterator, List, Optional, Tuple
+
+from repro.backend.cluster import Cluster
+from repro.backend.functional_units import fu_block_suffix, scheduler_block_suffix
+from repro.core.distributed_commit import DistributedCommitUnit
+from repro.core.distributed_rename import DistributedRenameUnit
+from repro.frontend.branch_predictor import BranchPredictor
+from repro.frontend.commit import CentralizedCommitUnit, CommitUnit
+from repro.frontend.fetch import FetchUnit
+from repro.frontend.rename import CentralizedRenameUnit, RenameUnit
+from repro.frontend.steering import SteeringUnit
+from repro.frontend.trace_cache import TraceCache
+from repro.interconnect.p2p import PointToPointNetwork
+from repro.isa.microops import MicroOp
+from repro.isa.registers import RegisterSpace
+from repro.memory.bus import BusPool
+from repro.memory.ul2 import UnifiedL2Cache
+from repro.sim import blocks
+from repro.sim.config import ProcessorConfig
+from repro.sim.stats import ActivityCounters, SimulationStats
+from repro.sim.uop import DynamicUop, UopState
+
+
+class SimulationDeadlockError(RuntimeError):
+    """Raised when the pipeline makes no forward progress for a long time."""
+
+
+class Processor:
+    """The simulated clustered processor (timing and activity only)."""
+
+    #: Cycles without a single commit after which the simulator declares a
+    #: deadlock (generously larger than any legitimate stall).
+    _DEADLOCK_THRESHOLD = 200_000
+    #: Maximum micro-ops buffered between fetch and rename.
+    _FRONTEND_BUFFER_LIMIT = 64
+
+    def __init__(
+        self,
+        config: ProcessorConfig,
+        uop_stream: Iterator[MicroOp],
+        register_space: Optional[RegisterSpace] = None,
+    ) -> None:
+        self.config = config
+        self.registers = register_space or RegisterSpace()
+        self.cycle = 0
+        self.stats = SimulationStats()
+        self.activity = ActivityCounters(blocks.all_blocks(config))
+
+        # Backend clusters -------------------------------------------------
+        self.clusters: List[Cluster] = [
+            Cluster(c, config.backend, config.memory)
+            for c in range(config.backend.num_clusters)
+        ]
+        for cluster in self.clusters:
+            cluster.int_rf.block_name = blocks.cluster_block(  # type: ignore[attr-defined]
+                cluster.cluster_id, blocks.CLUSTER_INT_RF
+            )
+            cluster.fp_rf.block_name = blocks.cluster_block(  # type: ignore[attr-defined]
+                cluster.cluster_id, blocks.CLUSTER_FP_RF
+            )
+
+        # Memory hierarchy and interconnect ---------------------------------
+        self.ul2 = UnifiedL2Cache(config.memory)
+        self.memory_bus = BusPool(
+            "membus",
+            config.interconnect.num_memory_buses,
+            config.interconnect.bus_latency,
+            config.interconnect.bus_arbitration_latency,
+        )
+        self.disambiguation_bus = BusPool(
+            "disbus",
+            config.interconnect.num_disambiguation_buses,
+            config.interconnect.bus_latency,
+            config.interconnect.bus_arbitration_latency,
+        )
+        self.p2p = PointToPointNetwork(
+            config.backend.num_clusters,
+            config.interconnect.num_p2p_links,
+            config.interconnect.p2p_hop_latency,
+        )
+
+        # Frontend -----------------------------------------------------------
+        self.trace_cache = TraceCache(
+            config.frontend.trace_cache, config.memory.ul2_hit_latency
+        )
+        self.branch_predictor = BranchPredictor(config.frontend.branch_predictor_entries)
+        self.fetch_unit = FetchUnit(
+            config.frontend,
+            self.trace_cache,
+            self.branch_predictor,
+            uop_stream,
+            self.activity,
+            self.stats,
+        )
+        if config.frontend.is_distributed:
+            self.rename_unit: RenameUnit = DistributedRenameUnit(
+                config, self.clusters, self.registers, self.activity, self.stats
+            )
+            self.commit_unit: CommitUnit = DistributedCommitUnit(
+                config.frontend.num_frontends,
+                config.frontend.rob_entries_per_frontend,
+                config.frontend.commit_width,
+                config.frontend.distributed_commit_extra_latency,
+            )
+        else:
+            self.rename_unit = CentralizedRenameUnit(
+                config, self.clusters, self.registers, self.activity, self.stats
+            )
+            self.commit_unit = CentralizedCommitUnit(
+                config.frontend.rob_entries, config.frontend.commit_width
+            )
+        self.steering = SteeringUnit(
+            config, self.clusters, self.rename_unit.tables, self.registers
+        )
+
+        # Pipeline buffers -----------------------------------------------------
+        #: Micro-ops in the fetch-to-rename pipeline: (ready_cycle, static uop,
+        #: fetch cycle).
+        self._decode_pipe: Deque[Tuple[int, MicroOp, int]] = deque()
+        #: Micro-ops ready to be renamed, in program order.
+        self._rename_queue: Deque[Tuple[MicroOp, int]] = deque()
+        self._next_seq = 0
+        self._last_commit_cycle = 0
+        #: The in-flight mispredicted branch fetch is waiting for, if any.
+        self._pending_redirect: Optional[DynamicUop] = None
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _alloc_seq(self) -> int:
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
+
+    def _frontend_latency(self) -> int:
+        fe = self.config.frontend
+        return fe.trace_cache.fetch_to_dispatch_latency + fe.decode_rename_steer_latency
+
+    @property
+    def finished(self) -> bool:
+        """Whether the benchmark has fully drained through the pipeline."""
+        if not self.fetch_unit.exhausted:
+            return False
+        if self._decode_pipe or self._rename_queue:
+            return False
+        if self.commit_unit.occupancy() > 0:
+            return False
+        for cluster in self.clusters:
+            if cluster.dispatch_pipe or cluster.executing or cluster.occupancy():
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, max_cycles: Optional[int] = None) -> int:
+        """Run until the benchmark drains (or ``max_cycles``); return the cycle count."""
+        while not self.finished:
+            if max_cycles is not None and self.cycle >= max_cycles:
+                break
+            self.step()
+        return self.cycle
+
+    def run_cycles(self, cycles: int) -> bool:
+        """Run ``cycles`` more cycles (or until finished); return ``finished``."""
+        target = self.cycle + cycles
+        while self.cycle < target and not self.finished:
+            self.step()
+        return self.finished
+
+    def step(self) -> None:
+        """Advance the processor by one cycle."""
+        cycle = self.cycle
+        self._commit_stage(cycle)
+        self._complete_stage(cycle)
+        self._issue_stage(cycle)
+        self._dispatch_arrival_stage(cycle)
+        self._rename_stage(cycle)
+        self._decode_stage(cycle)
+        self._fetch_stage(cycle)
+        self.cycle += 1
+        self.stats.cycles = self.cycle
+        if cycle - self._last_commit_cycle > self._DEADLOCK_THRESHOLD and not self.finished:
+            raise SimulationDeadlockError(
+                f"no commit for {cycle - self._last_commit_cycle} cycles at cycle {cycle}; "
+                f"ROB occupancy {self.commit_unit.occupancy()}, "
+                f"rename queue {len(self._rename_queue)}"
+            )
+
+    # ------------------------------------------------------------------
+    # Commit
+    # ------------------------------------------------------------------
+    def _commit_stage(self, cycle: int) -> None:
+        committed = self.commit_unit.commit(cycle)
+        if committed:
+            self._last_commit_cycle = cycle
+        for uop in committed:
+            frontend = uop.frontend_id
+            rob = blocks.rob_block(frontend, self.config.frontend.num_frontends)
+            self.activity.record(rob)  # reorder buffer read at commit
+            self.rename_unit.release_at_commit(uop)
+            cluster = self.clusters[uop.cluster]
+            cluster.in_flight -= 1
+            self.stats.committed_uops += 1
+            if uop.is_mem:
+                self._release_memory_slots(uop)
+            if uop.is_store:
+                # Store data is written to the local data cache at commit.
+                cluster.dcache.access(uop.static.mem_addr, is_store=True)
+                self.activity.record(
+                    blocks.cluster_block(uop.cluster, blocks.CLUSTER_DCACHE)
+                )
+
+    def _release_memory_slots(self, uop: DynamicUop) -> None:
+        if uop.is_store:
+            for cluster in self.clusters:
+                cluster.mob.release()
+        else:
+            self.clusters[uop.cluster].mob.release()
+
+    # ------------------------------------------------------------------
+    # Completion / writeback
+    # ------------------------------------------------------------------
+    def _complete_stage(self, cycle: int) -> None:
+        for cluster in self.clusters:
+            if not cluster.executing:
+                continue
+            still_running: List[Tuple[int, DynamicUop]] = []
+            for completion_cycle, uop in cluster.executing:
+                if completion_cycle > cycle:
+                    still_running.append((completion_cycle, uop))
+                    continue
+                uop.complete_cycle = completion_cycle
+                uop.state = UopState.COMPLETED
+                if uop.dest_ref is not None:
+                    regfile, _ = uop.dest_ref
+                    block_name = getattr(regfile, "block_name", None)
+                    if block_name:
+                        self.activity.record(block_name)  # result writeback
+                if uop.is_copy:
+                    # The copy has delivered the value to the destination
+                    # cluster; it leaves the pipeline immediately (it holds no
+                    # ROB entry).
+                    self.clusters[uop.cluster].in_flight -= 1
+                    self.stats.committed_copies += 1
+                if uop.is_branch and uop.mispredicted and self._pending_redirect is uop:
+                    resume = completion_cycle + self.config.frontend.misprediction_penalty
+                    self.fetch_unit.redirect(resume)
+                    self._pending_redirect = None
+            cluster.executing = still_running
+
+    # ------------------------------------------------------------------
+    # Issue / execute
+    # ------------------------------------------------------------------
+    def _issue_stage(self, cycle: int) -> None:
+        for cluster in self.clusters:
+            for queue in cluster.all_queues():
+                for uop in queue.issue(cycle):
+                    self._execute(cluster, uop, cycle)
+
+    def _execute(self, cluster: Cluster, uop: DynamicUop, cycle: int) -> None:
+        uop.issue_cycle = cycle
+        uop.state = UopState.ISSUED
+        cid = cluster.cluster_id
+        # Scheduler (wakeup/select) activity.
+        self.activity.record(
+            blocks.cluster_block(cid, scheduler_block_suffix(uop.uop_class))
+        )
+        # Source operand reads.
+        for regfile, _ in uop.src_refs:
+            block_name = getattr(regfile, "block_name", None)
+            if block_name:
+                self.activity.record(block_name)
+
+        latency = uop.latency
+        if uop.is_copy:
+            latency = self._execute_copy(cluster, uop, cycle)
+        elif uop.is_load:
+            latency = self._execute_load(cluster, uop, cycle)
+        elif uop.is_store:
+            latency = self._execute_store(cluster, uop, cycle)
+        else:
+            self.activity.record(
+                blocks.cluster_block(cid, fu_block_suffix(uop.uop_class))
+            )
+
+        completion = cycle + max(1, latency)
+        if uop.dest_ref is not None:
+            regfile, index = uop.dest_ref
+            regfile.set_ready(index, completion)
+        cluster.executing.append((completion, uop))
+
+    def _execute_copy(self, cluster: Cluster, uop: DynamicUop, cycle: int) -> int:
+        """Copy micro-op: read locally, traverse the p2p link, write remotely."""
+        arrival = self.p2p.transfer(cycle + 1, uop.cluster, uop.copy_dest_cluster)
+        return max(1, arrival - cycle)
+
+    def _execute_load(self, cluster: Cluster, uop: DynamicUop, cycle: int) -> int:
+        cid = cluster.cluster_id
+        address = uop.static.mem_addr
+        self.activity.record(blocks.cluster_block(cid, blocks.CLUSTER_DTLB))
+        self.activity.record(blocks.cluster_block(cid, blocks.CLUSTER_DCACHE))
+        self.activity.record(blocks.cluster_block(cid, fu_block_suffix(uop.uop_class)))
+        hit = cluster.dcache.access(address, is_store=False)
+        if hit:
+            self.stats.dcache_hits += 1
+            return cluster.dcache.hit_latency
+        self.stats.dcache_misses += 1
+        # Miss: arbitration for a memory bus, then the UL2 (possibly memory).
+        bus_done = self.memory_bus.request(cycle)
+        ul2_latency = self.ul2.access(address)
+        if ul2_latency > self.config.memory.ul2_hit_latency:
+            self.stats.ul2_misses += 1
+        else:
+            self.stats.ul2_hits += 1
+        self.activity.record(blocks.UL2)
+        return (bus_done - cycle) + ul2_latency + cluster.dcache.hit_latency
+
+    def _execute_store(self, cluster: Cluster, uop: DynamicUop, cycle: int) -> int:
+        cid = cluster.cluster_id
+        self.activity.record(blocks.cluster_block(cid, blocks.CLUSTER_DTLB))
+        self.activity.record(blocks.cluster_block(cid, fu_block_suffix(uop.uop_class)))
+        # Address computed: broadcast it on a disambiguation bus so every
+        # cluster's MOB can disambiguate locally.
+        self.disambiguation_bus.request(cycle)
+        for other in self.clusters:
+            other.mob.record_disambiguation()
+            self.activity.record(
+                blocks.cluster_block(other.cluster_id, blocks.CLUSTER_MOB)
+            )
+        return 1
+
+    # ------------------------------------------------------------------
+    # Dispatch arrival (rename -> issue queues after the dispatch latency)
+    # ------------------------------------------------------------------
+    def _dispatch_arrival_stage(self, cycle: int) -> None:
+        for cluster in self.clusters:
+            while cluster.dispatch_pipe:
+                arrival, uop = cluster.dispatch_pipe[0]
+                if arrival > cycle:
+                    break
+                queue = cluster.queue_for(uop.uop_class)
+                if not queue.has_space():
+                    break  # backpressure: retry next cycle, order preserved
+                cluster.dispatch_pipe.popleft()
+                queue.insert(uop)
+                uop.dispatch_cycle = cycle
+                uop.state = UopState.DISPATCHED
+                # Scheduler write (dispatch into the queue).
+                self.activity.record(
+                    blocks.cluster_block(
+                        cluster.cluster_id, scheduler_block_suffix(uop.uop_class)
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # Rename / steer / dispatch
+    # ------------------------------------------------------------------
+    def _rename_stage(self, cycle: int) -> None:
+        width = self.config.frontend.dispatch_width
+        renamed = 0
+        while self._rename_queue and renamed < width:
+            static, fetch_cycle = self._rename_queue[0]
+            decision = self.steering.choose(static)
+            cluster_id = decision.cluster
+            cluster = self.clusters[cluster_id]
+            frontend = self.config.frontend_of_cluster(cluster_id)
+
+            if not self.commit_unit.can_allocate(frontend):
+                self.stats.rob_full_stall_cycles += 1
+                break
+            if not self.rename_unit.can_rename(static, cluster_id):
+                self.stats.rename_stall_cycles += 1
+                break
+            if not cluster.prescheduler_has_space():
+                self.stats.rename_stall_cycles += 1
+                break
+            if static.is_store and not all(c.mob.can_allocate() for c in self.clusters):
+                self.stats.rename_stall_cycles += 1
+                break
+            if static.is_load and not cluster.mob.can_allocate():
+                self.stats.rename_stall_cycles += 1
+                break
+
+            self._rename_queue.popleft()
+            dynamic = DynamicUop(static, self._alloc_seq())
+            dynamic.fetch_cycle = fetch_cycle
+            outcome = self.rename_unit.rename(dynamic, cluster_id, cycle, self._alloc_seq)
+
+            # Reorder buffer allocation (program micro-ops only; copies are
+            # handled entirely inside the backend).
+            self.commit_unit.allocate(dynamic)
+            self.activity.record(
+                blocks.rob_block(frontend, self.config.frontend.num_frontends)
+            )
+
+            # Memory order buffer slots.
+            if static.is_store:
+                for other in self.clusters:
+                    other.mob.allocate()
+                    self.activity.record(
+                        blocks.cluster_block(other.cluster_id, blocks.CLUSTER_MOB)
+                    )
+            elif static.is_load:
+                cluster.mob.allocate()
+                self.activity.record(
+                    blocks.cluster_block(cluster_id, blocks.CLUSTER_MOB)
+                )
+
+            arrival = cycle + self.config.backend.dispatch_latency
+            cluster.dispatch_pipe.append((arrival, dynamic))
+            cluster.in_flight += 1
+            self.stats.record_dispatch(cluster_id)
+            if dynamic.is_branch and dynamic.mispredicted and self._pending_redirect is None:
+                self._pending_redirect = dynamic
+
+            for copy in outcome.copies:
+                source_cluster = self.clusters[copy.cluster]
+                copy_arrival = arrival
+                if copy.frontend_id != dynamic.frontend_id:
+                    # Inter-frontend copy request (Section 3.1.1): the request
+                    # is generated at steering and the owning frontend issues
+                    # the copy one cycle later.
+                    copy_arrival += 1
+                source_cluster.dispatch_pipe.append((copy_arrival, copy))
+                source_cluster.in_flight += 1
+            renamed += 1
+
+    # ------------------------------------------------------------------
+    # Decode (fixed frontend latency between fetch and rename)
+    # ------------------------------------------------------------------
+    def _decode_stage(self, cycle: int) -> None:
+        while self._decode_pipe and self._decode_pipe[0][0] <= cycle:
+            if len(self._rename_queue) >= self._FRONTEND_BUFFER_LIMIT:
+                break
+            _, static, fetch_cycle = self._decode_pipe.popleft()
+            self._rename_queue.append((static, fetch_cycle))
+
+    # ------------------------------------------------------------------
+    # Fetch
+    # ------------------------------------------------------------------
+    def _fetch_stage(self, cycle: int) -> None:
+        buffered = len(self._decode_pipe) + len(self._rename_queue)
+        if buffered >= self._FRONTEND_BUFFER_LIMIT:
+            return
+        latency = self._frontend_latency()
+        for static in self.fetch_unit.fetch(cycle):
+            self._decode_pipe.append((cycle + latency, static, cycle))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def describe_state(self) -> str:
+        """One-line summary of the pipeline state (debugging aid)."""
+        return (
+            f"cycle {self.cycle}: fetched {self.stats.fetched_uops}, "
+            f"committed {self.stats.committed_uops}, ROB {self.commit_unit.occupancy()}, "
+            f"rename queue {len(self._rename_queue)}"
+        )

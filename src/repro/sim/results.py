@@ -1,0 +1,173 @@
+"""Result containers produced by a simulation run.
+
+A :class:`SimulationResult` couples the timing statistics of a run with the
+per-interval power and temperature traces of every functional block, and
+computes the three temperature metrics the paper reports (Section 4):
+
+* ``AbsMax`` — peak temperature over time and space,
+* ``Average`` — average temperature over time and space,
+* ``AvgMax`` — average over intervals of the per-interval maximum.
+
+All metrics are reported as the *increase over ambient* (45 C), because the
+paper measures improvements as "the reduction on the temperature increase
+over ambient".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.sim.stats import SimulationStats
+
+
+@dataclass
+class IntervalRecord:
+    """Power and temperature snapshot of one thermal interval."""
+
+    #: Cycle at which the interval ended.
+    cycle: int
+    #: Wall-clock seconds of simulated (thermal) time at the end of the interval.
+    seconds: float
+    #: Dynamic power per block (Watts) during the interval.
+    dynamic_power: Dict[str, float]
+    #: Leakage power per block (Watts) during the interval.
+    leakage_power: Dict[str, float]
+    #: Temperature per block (Celsius) at the end of the interval.
+    temperature: Dict[str, float]
+
+    def total_power(self) -> float:
+        """Total processor power (dynamic + leakage) during the interval."""
+        return sum(self.dynamic_power.values()) + sum(self.leakage_power.values())
+
+
+#: The three temperature metrics of the paper's figures.
+METRIC_NAMES = ("AbsMax", "Average", "AvgMax")
+
+
+@dataclass
+class SimulationResult:
+    """Complete outcome of simulating one benchmark on one configuration."""
+
+    config_name: str
+    benchmark: str
+    stats: SimulationStats
+    block_names: Sequence[str]
+    block_groups: Mapping[str, Sequence[str]]
+    block_areas_mm2: Mapping[str, float]
+    intervals: List[IntervalRecord] = field(default_factory=list)
+    ambient_celsius: float = 45.0
+    warmup_temperature: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Temperature metrics
+    # ------------------------------------------------------------------
+    def _group_blocks(self, group: str) -> Sequence[str]:
+        if group in self.block_groups:
+            return self.block_groups[group]
+        if group in self.block_names:
+            return [group]
+        raise KeyError(
+            f"unknown block or group {group!r}; known groups: "
+            f"{sorted(self.block_groups)}"
+        )
+
+    def temperature_metrics(self, group: str) -> Dict[str, float]:
+        """Return AbsMax / Average / AvgMax for a block group.
+
+        Values are temperature increases over ambient, in Celsius.
+        """
+        blocks = self._group_blocks(group)
+        if not self.intervals:
+            raise ValueError("no thermal intervals were recorded")
+        amb = self.ambient_celsius
+        per_interval_max: List[float] = []
+        per_interval_avg: List[float] = []
+        abs_max = float("-inf")
+        for record in self.intervals:
+            temps = [record.temperature[b] for b in blocks]
+            interval_max = max(temps)
+            per_interval_max.append(interval_max - amb)
+            per_interval_avg.append(sum(temps) / len(temps) - amb)
+            abs_max = max(abs_max, interval_max)
+        return {
+            "AbsMax": abs_max - amb,
+            "Average": sum(per_interval_avg) / len(per_interval_avg),
+            "AvgMax": sum(per_interval_max) / len(per_interval_max),
+        }
+
+    def all_temperature_metrics(self) -> Dict[str, Dict[str, float]]:
+        """Metrics for every defined block group."""
+        return {group: self.temperature_metrics(group) for group in self.block_groups}
+
+    def peak_temperature(self) -> float:
+        """Absolute peak temperature (Celsius) over all blocks and intervals."""
+        return max(
+            max(record.temperature.values()) for record in self.intervals
+        ) if self.intervals else self.ambient_celsius
+
+    # ------------------------------------------------------------------
+    # Power metrics
+    # ------------------------------------------------------------------
+    def average_power(self, blocks: Optional[Sequence[str]] = None) -> float:
+        """Average total power (W) over the run, optionally restricted to blocks."""
+        if not self.intervals:
+            return 0.0
+        names = list(blocks) if blocks is not None else list(self.block_names)
+        total = 0.0
+        for record in self.intervals:
+            total += sum(record.dynamic_power[b] + record.leakage_power[b] for b in names)
+        return total / len(self.intervals)
+
+    def average_group_power(self, group: str) -> float:
+        """Average power (W) of a block group."""
+        return self.average_power(self._group_blocks(group))
+
+    def average_dynamic_power(self, blocks: Optional[Sequence[str]] = None) -> float:
+        """Average dynamic power (W) over the run."""
+        if not self.intervals:
+            return 0.0
+        names = list(blocks) if blocks is not None else list(self.block_names)
+        total = 0.0
+        for record in self.intervals:
+            total += sum(record.dynamic_power[b] for b in names)
+        return total / len(self.intervals)
+
+    def group_area_mm2(self, group: str) -> float:
+        """Total silicon area (mm^2) of a block group."""
+        return sum(self.block_areas_mm2[b] for b in self._group_blocks(group))
+
+    # ------------------------------------------------------------------
+    # Comparisons against a baseline run (the paper's reporting style)
+    # ------------------------------------------------------------------
+    def temperature_reduction_vs(self, baseline: "SimulationResult", group: str) -> Dict[str, float]:
+        """Fractional reduction of temperature-over-ambient relative to ``baseline``.
+
+        A value of 0.32 for ``AbsMax`` means the peak temperature increase
+        over ambient is 32% lower than the baseline's — the quantity plotted
+        in Figures 12-14 of the paper.
+        """
+        ours = self.temperature_metrics(group)
+        theirs = baseline.temperature_metrics(group)
+        reductions = {}
+        for metric in METRIC_NAMES:
+            base = theirs[metric]
+            reductions[metric] = (base - ours[metric]) / base if base > 0 else 0.0
+        return reductions
+
+    def slowdown_vs(self, baseline: "SimulationResult") -> float:
+        """Execution-time increase relative to ``baseline`` (0.02 = 2% slower)."""
+        if baseline.stats.cycles <= 0:
+            return 0.0
+        return self.stats.cycles / baseline.stats.cycles - 1.0
+
+    def summary(self) -> str:
+        """Short human-readable summary of the run."""
+        lines = [
+            f"{self.benchmark} on {self.config_name}: "
+            f"{self.stats.committed_uops} uops in {self.stats.cycles} cycles "
+            f"(IPC {self.stats.ipc:.2f})",
+            f"  avg power {self.average_power():.1f} W, "
+            f"peak temperature {self.peak_temperature():.1f} C",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""JSON serialization of simulation results and experiment summaries.
+
+Long experiment campaigns (all 26 workloads, several configurations) are
+expensive in pure Python, so the results are worth persisting.  The format is
+plain JSON with an explicit schema version; loading reconstructs a
+:class:`~repro.sim.results.SimulationResult` that supports the same metric
+queries as a freshly simulated one.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.sim.results import IntervalRecord, SimulationResult
+from repro.sim.stats import SimulationStats
+
+#: Version stamp written into every file so future schema changes are detectable.
+SCHEMA_VERSION = 1
+
+
+def result_to_dict(result: SimulationResult) -> Dict:
+    """Convert a :class:`SimulationResult` to a JSON-serializable dictionary."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "config_name": result.config_name,
+        "benchmark": result.benchmark,
+        "ambient_celsius": result.ambient_celsius,
+        "block_names": list(result.block_names),
+        "block_groups": {group: list(names) for group, names in result.block_groups.items()},
+        "block_areas_mm2": dict(result.block_areas_mm2),
+        "warmup_temperature": dict(result.warmup_temperature),
+        "stats": dict(result.stats.__dict__),
+        "intervals": [
+            {
+                "cycle": record.cycle,
+                "seconds": record.seconds,
+                "dynamic_power": record.dynamic_power,
+                "leakage_power": record.leakage_power,
+                "temperature": record.temperature,
+            }
+            for record in result.intervals
+        ],
+    }
+
+
+def result_from_dict(data: Dict) -> SimulationResult:
+    """Rebuild a :class:`SimulationResult` from :func:`result_to_dict` output."""
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported result schema version {version!r} (expected {SCHEMA_VERSION})"
+        )
+    stats = SimulationStats()
+    for key, value in data["stats"].items():
+        if key == "dispatched_per_cluster":
+            value = {int(cluster): count for cluster, count in value.items()}
+        setattr(stats, key, value)
+    intervals = [
+        IntervalRecord(
+            cycle=entry["cycle"],
+            seconds=entry["seconds"],
+            dynamic_power=entry["dynamic_power"],
+            leakage_power=entry["leakage_power"],
+            temperature=entry["temperature"],
+        )
+        for entry in data["intervals"]
+    ]
+    return SimulationResult(
+        config_name=data["config_name"],
+        benchmark=data["benchmark"],
+        stats=stats,
+        block_names=data["block_names"],
+        block_groups=data["block_groups"],
+        block_areas_mm2=data["block_areas_mm2"],
+        intervals=intervals,
+        ambient_celsius=data["ambient_celsius"],
+        warmup_temperature=data.get("warmup_temperature", {}),
+    )
+
+
+def save_result(result: SimulationResult, path: Union[str, Path]) -> Path:
+    """Write a result to ``path`` as JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(result_to_dict(result), indent=2, sort_keys=True))
+    return path
+
+
+def load_result(path: Union[str, Path]) -> SimulationResult:
+    """Load a result previously written by :func:`save_result`."""
+    data = json.loads(Path(path).read_text())
+    return result_from_dict(data)

@@ -1,0 +1,130 @@
+"""Activity counters and aggregate simulation statistics.
+
+The power model of the paper (Section 2.1) associates an activity counter
+with each functional block; energy is the activity count multiplied by the
+block's energy per operation.  :class:`ActivityCounters` implements exactly
+that: pipeline stages call :meth:`ActivityCounters.record` as they operate,
+and at every thermal interval the power model drains the per-interval counts.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping
+
+
+class ActivityCounters:
+    """Per-block activity counters with interval and cumulative views."""
+
+    def __init__(self, block_names: Iterable[str]) -> None:
+        self._blocks = tuple(block_names)
+        known = set(self._blocks)
+        if len(known) != len(self._blocks):
+            raise ValueError("duplicate block names in activity counters")
+        self._known = known
+        self._interval: Dict[str, int] = defaultdict(int)
+        self._total: Dict[str, int] = defaultdict(int)
+
+    @property
+    def block_names(self) -> tuple:
+        return self._blocks
+
+    def record(self, block: str, count: int = 1) -> None:
+        """Add ``count`` accesses to ``block`` for the current interval."""
+        if block not in self._known:
+            raise KeyError(f"unknown block {block!r}")
+        self._interval[block] += count
+        self._total[block] += count
+
+    def interval_counts(self) -> Dict[str, int]:
+        """Counts accumulated since the last :meth:`end_interval` call."""
+        return {name: self._interval.get(name, 0) for name in self._blocks}
+
+    def total_counts(self) -> Dict[str, int]:
+        """Counts accumulated since the beginning of the simulation."""
+        return {name: self._total.get(name, 0) for name in self._blocks}
+
+    def end_interval(self) -> Dict[str, int]:
+        """Return the per-interval counts and reset them."""
+        snapshot = self.interval_counts()
+        self._interval.clear()
+        return snapshot
+
+
+@dataclass
+class SimulationStats:
+    """Aggregate timing statistics of one simulation run."""
+
+    cycles: int = 0
+    fetched_uops: int = 0
+    committed_uops: int = 0
+    committed_copies: int = 0
+    copy_uops_generated: int = 0
+    copy_requests_between_frontends: int = 0
+    branches: int = 0
+    mispredicted_branches: int = 0
+    trace_cache_hits: int = 0
+    trace_cache_misses: int = 0
+    trace_cache_hop_flushes: int = 0
+    dcache_hits: int = 0
+    dcache_misses: int = 0
+    ul2_hits: int = 0
+    ul2_misses: int = 0
+    rename_stall_cycles: int = 0
+    rob_full_stall_cycles: int = 0
+    fetch_stall_cycles: int = 0
+    dispatched_per_cluster: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        """Committed (program) micro-ops per cycle."""
+        return self.committed_uops / self.cycles if self.cycles else 0.0
+
+    @property
+    def trace_cache_hit_rate(self) -> float:
+        accesses = self.trace_cache_hits + self.trace_cache_misses
+        return self.trace_cache_hits / accesses if accesses else 0.0
+
+    @property
+    def dcache_hit_rate(self) -> float:
+        accesses = self.dcache_hits + self.dcache_misses
+        return self.dcache_hits / accesses if accesses else 0.0
+
+    @property
+    def misprediction_rate(self) -> float:
+        return self.mispredicted_branches / self.branches if self.branches else 0.0
+
+    def record_dispatch(self, cluster: int) -> None:
+        self.dispatched_per_cluster[cluster] = (
+            self.dispatched_per_cluster.get(cluster, 0) + 1
+        )
+
+    def cluster_balance(self) -> Dict[int, float]:
+        """Fraction of dispatched micro-ops steered to each cluster."""
+        total = sum(self.dispatched_per_cluster.values())
+        if not total:
+            return {c: 0.0 for c in self.dispatched_per_cluster}
+        return {c: n / total for c, n in sorted(self.dispatched_per_cluster.items())}
+
+    def as_dict(self) -> Mapping[str, float]:
+        """Flat dictionary view used by reports and tests."""
+        return {
+            "cycles": self.cycles,
+            "fetched_uops": self.fetched_uops,
+            "committed_uops": self.committed_uops,
+            "committed_copies": self.committed_copies,
+            "copy_uops_generated": self.copy_uops_generated,
+            "copy_requests_between_frontends": self.copy_requests_between_frontends,
+            "branches": self.branches,
+            "mispredicted_branches": self.mispredicted_branches,
+            "ipc": self.ipc,
+            "trace_cache_hit_rate": self.trace_cache_hit_rate,
+            "dcache_hit_rate": self.dcache_hit_rate,
+            "ul2_hits": self.ul2_hits,
+            "ul2_misses": self.ul2_misses,
+            "rename_stall_cycles": self.rename_stall_cycles,
+            "rob_full_stall_cycles": self.rob_full_stall_cycles,
+            "fetch_stall_cycles": self.fetch_stall_cycles,
+            "trace_cache_hop_flushes": self.trace_cache_hop_flushes,
+        }

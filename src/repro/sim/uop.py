@@ -1,0 +1,131 @@
+"""Dynamic micro-op record used by the pipeline."""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Tuple
+
+from repro.isa.microops import MicroOp, UopClass
+
+
+class UopState(enum.Enum):
+    """Lifecycle of a dynamic micro-op inside the pipeline."""
+
+    FETCHED = "fetched"
+    RENAMED = "renamed"
+    DISPATCHED = "dispatched"
+    ISSUED = "issued"
+    COMPLETED = "completed"
+    COMMITTED = "committed"
+
+
+class DynamicUop:
+    """A micro-op in flight, with its renaming and timing state.
+
+    The simulator does not track data values — only the *readiness time* of
+    physical registers — so the dynamic record carries the renamed physical
+    source/destination references, the cycle at which each pipeline event
+    happened, and the steering decision (backend cluster and owning frontend
+    partition).
+
+    Physical register references are ``(register_file, index)`` pairs, where
+    the register file belongs to the micro-op's cluster (copies create a
+    local physical copy of remote values, so sources are always local).
+    """
+
+    __slots__ = (
+        "static",
+        "seq",
+        "cluster",
+        "frontend_id",
+        "dest_ref",
+        "src_refs",
+        "prev_mappings",
+        "state",
+        "fetch_cycle",
+        "rename_cycle",
+        "dispatch_cycle",
+        "issue_cycle",
+        "complete_cycle",
+        "commit_cycle",
+        "is_copy",
+        "copy_dest_cluster",
+        "num_copies_generated",
+        "mem_extra_latency",
+    )
+
+    def __init__(self, static: MicroOp, seq: int) -> None:
+        self.static = static
+        self.seq = seq
+        self.cluster: int = -1
+        self.frontend_id: int = 0
+        #: Renamed destination: (register_file, physical index) or None.
+        self.dest_ref: Optional[Tuple[object, int]] = None
+        #: Renamed sources, all local to ``cluster``.
+        self.src_refs: List[Tuple[object, int]] = []
+        #: Physical registers to release when this micro-op commits (the
+        #: previous mappings of its destination logical register).
+        self.prev_mappings: List[Tuple[object, int]] = []
+        self.state = UopState.FETCHED
+        self.fetch_cycle: int = -1
+        self.rename_cycle: int = -1
+        self.dispatch_cycle: int = -1
+        self.issue_cycle: int = -1
+        self.complete_cycle: int = -1
+        self.commit_cycle: int = -1
+        #: True for the special copy micro-ops that move register values
+        #: between clusters over the point-to-point links.
+        self.is_copy: bool = False
+        #: For copies: the cluster that receives the value.
+        self.copy_dest_cluster: int = -1
+        #: Number of copy micro-ops that steering generated for this uop.
+        self.num_copies_generated: int = 0
+        #: Additional execution latency from cache misses / interconnect,
+        #: determined at issue time for memory operations and copies.
+        self.mem_extra_latency: int = 0
+
+    # Convenience accessors on the static micro-op ----------------------
+    @property
+    def uop_class(self) -> UopClass:
+        return self.static.uop_class
+
+    @property
+    def is_load(self) -> bool:
+        return self.static.is_load
+
+    @property
+    def is_store(self) -> bool:
+        return self.static.is_store
+
+    @property
+    def is_mem(self) -> bool:
+        return self.static.is_mem
+
+    @property
+    def is_branch(self) -> bool:
+        return self.static.is_branch
+
+    @property
+    def is_fp(self) -> bool:
+        return self.static.is_fp
+
+    @property
+    def mispredicted(self) -> bool:
+        return self.static.mispredicted
+
+    @property
+    def latency(self) -> int:
+        return self.static.latency
+
+    def sources_ready(self, cycle: int) -> bool:
+        """Whether every renamed source operand is available at ``cycle``."""
+        for regfile, index in self.src_refs:
+            if not regfile.is_ready(index, cycle):
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DynamicUop(seq={self.seq}, {self.static.uop_class.value}, "
+            f"cluster={self.cluster}, state={self.state.value})"
+        )

@@ -1,0 +1,37 @@
+"""HotSpot-style dynamic compact thermal model (Section 2.1 of the paper).
+
+The temperature model is based on the duality between thermal and electrical
+phenomena: every floorplan block is a node of an RC network with a thermal
+capacitance (silicon volume), a vertical resistance towards the copper heat
+spreader (through the die and the thermal interface material), and lateral
+resistances towards adjacent blocks.  The spreader and the heat sink are
+additional nodes; the sink convects to ambient air.
+
+Steady-state solves are used to warm the processor up before measurement
+(the paper starts simulations with the processor already warm); transient
+solves advance the temperatures interval by interval using the per-interval
+power computed by :mod:`repro.power`.
+"""
+
+from repro.thermal.floorplan import Block, Floorplan, build_floorplan
+from repro.thermal.package import PackageProperties, MaterialProperties, SILICON, COPPER, TIM
+from repro.thermal.rc_model import ThermalRCNetwork
+from repro.thermal.solver import ThermalSolver
+from repro.thermal.sensors import ThermalSensor, SensorBank
+from repro.thermal.metrics import temperature_metrics_from_history
+
+__all__ = [
+    "Block",
+    "Floorplan",
+    "build_floorplan",
+    "PackageProperties",
+    "MaterialProperties",
+    "SILICON",
+    "COPPER",
+    "TIM",
+    "ThermalRCNetwork",
+    "ThermalSolver",
+    "ThermalSensor",
+    "SensorBank",
+    "temperature_metrics_from_history",
+]

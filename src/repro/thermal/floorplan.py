@@ -1,0 +1,286 @@
+"""Processor floorplans (Figures 10 and 11 of the paper).
+
+The floorplan determines how heat spreads laterally between blocks, which is
+what makes the paper's techniques work: distributing a hot structure spreads
+its activity over a larger area, and a cooler neighbour absorbs part of a hot
+block's heat.  The layout mirrors the paper's figures:
+
+* a frontend strip at the top of the die: a row with the reorder buffer, a
+  row with the rename table / ITLB / trace-cache bank 0 and a row with the
+  decoder / branch predictor / trace-cache bank 1 (the three-bank floorplan
+  used for bank hopping re-arranges these rows as in Figure 11);
+* the four backend clusters side by side in the middle, each with the
+  internal arrangement of Figure 10b (data cache and DTLB, functional units
+  and memory order buffer, register files, schedulers);
+* the UL2 across the bottom of the die.
+
+Block sizes come from the power/area model; the layout solver simply slices
+each region into rows whose heights are proportional to the row's total area
+and then slices each row into blocks whose widths are proportional to the
+block areas, which keeps every region exactly filled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.sim import blocks
+from repro.sim.config import ProcessorConfig
+
+#: Two blocks closer than this (in metres) are considered touching.
+_ADJACENCY_TOLERANCE_M = 1e-9
+
+
+@dataclass(frozen=True)
+class Block:
+    """An axis-aligned rectangular floorplan block (dimensions in metres)."""
+
+    name: str
+    x: float
+    y: float
+    width: float
+    height: float
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError(f"block {self.name} must have positive dimensions")
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def area_mm2(self) -> float:
+        return self.area * 1e6
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return (self.x + self.width / 2.0, self.y + self.height / 2.0)
+
+    def shared_edge_length(self, other: "Block") -> float:
+        """Length of the boundary shared with ``other`` (0 if not adjacent)."""
+        tol = _ADJACENCY_TOLERANCE_M
+        # Vertical adjacency (one block on top of the other).
+        if (
+            abs((self.y + self.height) - other.y) < tol
+            or abs((other.y + other.height) - self.y) < tol
+        ):
+            overlap = min(self.x + self.width, other.x + other.width) - max(self.x, other.x)
+            if overlap > tol:
+                return overlap
+        # Horizontal adjacency (side by side).
+        if (
+            abs((self.x + self.width) - other.x) < tol
+            or abs((other.x + other.width) - self.x) < tol
+        ):
+            overlap = min(self.y + self.height, other.y + other.height) - max(self.y, other.y)
+            if overlap > tol:
+                return overlap
+        return 0.0
+
+
+class Floorplan:
+    """A collection of non-overlapping blocks covering the die."""
+
+    def __init__(self, blocks_: Sequence[Block]) -> None:
+        if not blocks_:
+            raise ValueError("a floorplan needs at least one block")
+        names = [b.name for b in blocks_]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate block names in floorplan")
+        self._blocks: Dict[str, Block] = {b.name: b for b in blocks_}
+
+    # ------------------------------------------------------------------
+    @property
+    def block_names(self) -> List[str]:
+        return list(self._blocks)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def block(self, name: str) -> Block:
+        return self._blocks[name]
+
+    def blocks(self) -> List[Block]:
+        return list(self._blocks.values())
+
+    @property
+    def die_width(self) -> float:
+        return max(b.x + b.width for b in self._blocks.values())
+
+    @property
+    def die_height(self) -> float:
+        return max(b.y + b.height for b in self._blocks.values())
+
+    @property
+    def die_area(self) -> float:
+        return sum(b.area for b in self._blocks.values())
+
+    @property
+    def die_area_mm2(self) -> float:
+        return self.die_area * 1e6
+
+    def adjacency(self) -> List[Tuple[str, str, float]]:
+        """All pairs of adjacent blocks with their shared edge length (m)."""
+        result: List[Tuple[str, str, float]] = []
+        names = list(self._blocks)
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                shared = self._blocks[a].shared_edge_length(self._blocks[b])
+                if shared > 0.0:
+                    result.append((a, b, shared))
+        return result
+
+    def neighbours(self, name: str) -> List[str]:
+        """Blocks sharing an edge with ``name``."""
+        target = self._blocks[name]
+        return [
+            other.name
+            for other in self._blocks.values()
+            if other.name != name and target.shared_edge_length(other) > 0.0
+        ]
+
+    def describe(self) -> str:
+        """Tabular, human-readable description of the floorplan."""
+        lines = [
+            f"Die: {self.die_width * 1e3:.2f} x {self.die_height * 1e3:.2f} mm "
+            f"({self.die_area_mm2:.1f} mm^2), {len(self)} blocks",
+            f"{'block':<12} {'x (mm)':>8} {'y (mm)':>8} {'w (mm)':>8} {'h (mm)':>8} {'area':>9}",
+        ]
+        for block in sorted(self._blocks.values(), key=lambda b: (b.y, b.x)):
+            lines.append(
+                f"{block.name:<12} {block.x * 1e3:>8.3f} {block.y * 1e3:>8.3f} "
+                f"{block.width * 1e3:>8.3f} {block.height * 1e3:>8.3f} "
+                f"{block.area_mm2:>7.2f}mm2"
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Layout construction
+# ----------------------------------------------------------------------
+def _layout_rows(
+    rows: Sequence[Sequence[str]],
+    areas_m2: Mapping[str, float],
+    origin_x: float,
+    origin_y: float,
+    region_width: float,
+) -> List[Block]:
+    """Slice a region into rows of blocks (row height follows row area)."""
+    placed: List[Block] = []
+    y = origin_y
+    for row in rows:
+        row_area = sum(areas_m2[name] for name in row)
+        if row_area <= 0:
+            continue
+        height = row_area / region_width
+        x = origin_x
+        for name in row:
+            width = areas_m2[name] / height
+            placed.append(Block(name=name, x=x, y=y, width=width, height=height))
+            x += width
+        y += height
+    return placed
+
+
+def _frontend_rows(config: ProcessorConfig) -> List[List[str]]:
+    """Frontend block rows following Figure 10a (2 banks) or Figure 11 (3 banks)."""
+    num_frontends = config.frontend.num_frontends
+    rob_row = [blocks.rob_block(i, num_frontends) for i in range(num_frontends)]
+    rat_row = [blocks.rat_block(i, num_frontends) for i in range(num_frontends)]
+    physical_banks = config.frontend.trace_cache.physical_banks
+    bank = blocks.trace_cache_bank_block
+    if physical_banks <= 2:
+        return [
+            rob_row,
+            rat_row + [blocks.ITLB, bank(0)],
+            [blocks.DECODER, blocks.BRANCH_PREDICTOR] + [bank(b) for b in range(1, physical_banks)],
+        ]
+    # Figure 11: ROB / DECO TC-0 ITLB / RAT TC-1 BP TC-2 (extra banks appended).
+    return [
+        rob_row,
+        [blocks.DECODER, bank(0), blocks.ITLB],
+        rat_row + [bank(1), blocks.BRANCH_PREDICTOR] + [bank(b) for b in range(2, physical_banks)],
+    ]
+
+
+def _cluster_rows(cluster: int) -> List[List[str]]:
+    """Cluster-internal block rows following Figure 10b."""
+    c = lambda suffix: blocks.cluster_block(cluster, suffix)  # noqa: E731
+    return [
+        [c(blocks.CLUSTER_DCACHE), c(blocks.CLUSTER_DTLB)],
+        [c(blocks.CLUSTER_FP_FU), c(blocks.CLUSTER_INT_FU), c(blocks.CLUSTER_MOB)],
+        [c(blocks.CLUSTER_FP_RF), c(blocks.CLUSTER_INT_RF)],
+        [c(blocks.CLUSTER_FP_SCHED), c(blocks.CLUSTER_COPY_SCHED), c(blocks.CLUSTER_INT_SCHED)],
+    ]
+
+
+def build_floorplan(
+    config: ProcessorConfig, block_areas_mm2: Mapping[str, float]
+) -> Floorplan:
+    """Build the processor floorplan for a configuration.
+
+    Parameters
+    ----------
+    config:
+        Processor configuration (determines which blocks exist and how the
+        frontend strip is arranged).
+    block_areas_mm2:
+        Area of every block in mm^2 (typically from
+        :func:`repro.power.energy.build_block_parameters`).
+    """
+    expected = set(blocks.all_blocks(config))
+    missing = expected - set(block_areas_mm2)
+    if missing:
+        raise ValueError(f"missing areas for blocks: {sorted(missing)}")
+
+    areas_m2 = {name: block_areas_mm2[name] * 1e-6 for name in expected}
+    total_area = sum(areas_m2.values())
+    die_width = total_area ** 0.5  # roughly square die
+
+    placed: List[Block] = []
+
+    # Frontend strip at the top of the die.
+    frontend_rows = _frontend_rows(config)
+    frontend_names = [name for row in frontend_rows for name in row]
+    placed.extend(
+        _layout_rows(frontend_rows, areas_m2, origin_x=0.0, origin_y=0.0, region_width=die_width)
+    )
+    frontend_height = sum(areas_m2[name] for name in frontend_names) / die_width
+
+    # Backend clusters side by side below the frontend.
+    num_clusters = config.backend.num_clusters
+    cluster_area = sum(
+        areas_m2[name]
+        for c in range(num_clusters)
+        for name in blocks.cluster_blocks(config, c)
+    )
+    cluster_strip_height = cluster_area / die_width
+    cluster_width = die_width / num_clusters
+    for c in range(num_clusters):
+        placed.extend(
+            _layout_rows(
+                _cluster_rows(c),
+                areas_m2,
+                origin_x=c * cluster_width,
+                origin_y=frontend_height,
+                region_width=cluster_width,
+            )
+        )
+
+    # UL2 across the bottom of the die.
+    ul2_height = areas_m2[blocks.UL2] / die_width
+    placed.append(
+        Block(
+            name=blocks.UL2,
+            x=0.0,
+            y=frontend_height + cluster_strip_height,
+            width=die_width,
+            height=ul2_height,
+        )
+    )
+    return Floorplan(placed)

@@ -1,0 +1,71 @@
+"""Temperature metric helpers (Section 4 of the paper).
+
+The paper reports three metrics, always as an increase over the 45 C ambient:
+
+* ``AbsMax``  — peak temperature over time and space,
+* ``Average`` — average temperature over time and space,
+* ``AvgMax``  — average over intervals of the per-interval maximum.
+
+:class:`repro.sim.results.SimulationResult` computes these for simulation
+runs; the standalone helpers here operate on raw temperature histories and
+are used by the thermal unit tests and by the ablation tooling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+
+def temperature_metrics_from_history(
+    history: Sequence[Mapping[str, float]],
+    block_names: Sequence[str],
+    ambient_celsius: float = 45.0,
+) -> Dict[str, float]:
+    """Compute AbsMax / Average / AvgMax over a per-interval temperature history.
+
+    Parameters
+    ----------
+    history:
+        One mapping of block name to temperature (Celsius) per interval.
+    block_names:
+        Blocks to aggregate over (e.g. the trace-cache banks).
+    ambient_celsius:
+        Ambient temperature subtracted from every metric.
+    """
+    if not history:
+        raise ValueError("temperature history is empty")
+    if not block_names:
+        raise ValueError("at least one block is required")
+    abs_max = float("-inf")
+    interval_maxima = []
+    interval_means = []
+    for snapshot in history:
+        temps = [snapshot[name] for name in block_names]
+        interval_max = max(temps)
+        interval_maxima.append(interval_max)
+        interval_means.append(sum(temps) / len(temps))
+        abs_max = max(abs_max, interval_max)
+    return {
+        "AbsMax": abs_max - ambient_celsius,
+        "Average": sum(interval_means) / len(interval_means) - ambient_celsius,
+        "AvgMax": sum(interval_maxima) / len(interval_maxima) - ambient_celsius,
+    }
+
+
+def reduction_over_baseline(
+    baseline: Mapping[str, float], improved: Mapping[str, float]
+) -> Dict[str, float]:
+    """Fractional reduction of each metric relative to a baseline.
+
+    Both mappings must contain temperature *increases over ambient* (as
+    returned by :func:`temperature_metrics_from_history`).
+    """
+    reductions = {}
+    for metric, base_value in baseline.items():
+        if metric not in improved:
+            raise KeyError(f"metric {metric!r} missing from improved results")
+        if base_value <= 0:
+            reductions[metric] = 0.0
+        else:
+            reductions[metric] = (base_value - improved[metric]) / base_value
+    return reductions

@@ -1,0 +1,82 @@
+"""Material and package properties of the thermal model.
+
+The thermal solution attached to the processor die consists of a copper heat
+spreader in contact with the die (3.1 x 3.1 x 0.23 cm, similar to the one
+used in Pentium 4 Northwood processors) and a copper heat sink on top of it
+(7 x 8.3 x 4.11 cm), as described in Section 4 of the paper.  The sink
+transfers heat to the ambient air through a convection resistance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.config import ThermalConfig
+
+
+@dataclass(frozen=True)
+class MaterialProperties:
+    """Bulk thermal properties of a packaging material."""
+
+    name: str
+    #: Thermal conductivity, W / (m K).
+    conductivity: float
+    #: Volumetric heat capacity, J / (m^3 K).
+    volumetric_heat_capacity: float
+
+    def __post_init__(self) -> None:
+        if self.conductivity <= 0 or self.volumetric_heat_capacity <= 0:
+            raise ValueError("material properties must be positive")
+
+
+#: Silicon near 85-100 C.
+SILICON = MaterialProperties("silicon", conductivity=110.0, volumetric_heat_capacity=1.75e6)
+#: Copper (heat spreader and heat sink base).
+COPPER = MaterialProperties("copper", conductivity=400.0, volumetric_heat_capacity=3.55e6)
+#: Thermal interface material between die and spreader.
+TIM = MaterialProperties("tim", conductivity=4.0, volumetric_heat_capacity=4.0e6)
+
+#: Factor by which heat spreading at 45 degrees through the die effectively
+#: enlarges the vertical conduction area of a small block.
+VERTICAL_SPREADING_FACTOR = 2.2
+
+
+@dataclass(frozen=True)
+class PackageProperties:
+    """Geometry-derived thermal resistances and capacitances of the package."""
+
+    #: Resistance from the spreader node to the sink node (K/W).
+    spreader_to_sink_resistance: float
+    #: Resistance from the sink node to ambient air (K/W).
+    sink_to_ambient_resistance: float
+    #: Heat capacity of the spreader node (J/K).
+    spreader_capacitance: float
+    #: Heat capacity of the sink node (J/K).
+    sink_capacitance: float
+
+    @classmethod
+    def from_config(cls, config: ThermalConfig, die_area_m2: float) -> "PackageProperties":
+        """Build the package from the paper's geometry and a die area."""
+        if die_area_m2 <= 0:
+            raise ValueError("die area must be positive")
+        spreader_area = config.spreader_side_m ** 2
+        sink_base_area = config.sink_width_m * config.sink_depth_m
+        # Conduction through the spreader thickness over (roughly) the die
+        # footprint, plus a constriction term for spreading from the die
+        # footprint to the full spreader area.
+        conduction = config.spreader_thickness_m / (COPPER.conductivity * die_area_m2 * 3.0)
+        constriction = 0.08
+        spreader_to_sink = conduction + constriction
+        sink_to_ambient = config.convection_resistance_k_per_w
+        spreader_capacitance = (
+            COPPER.volumetric_heat_capacity * spreader_area * config.spreader_thickness_m
+        )
+        sink_capacitance = (
+            COPPER.volumetric_heat_capacity * sink_base_area * config.sink_thickness_m
+        )
+        return cls(
+            spreader_to_sink_resistance=spreader_to_sink,
+            sink_to_ambient_resistance=sink_to_ambient,
+            spreader_capacitance=spreader_capacitance,
+            sink_capacitance=sink_capacitance,
+        )

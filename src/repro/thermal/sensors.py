@@ -1,0 +1,54 @@
+"""Thermal sensors.
+
+The thermal-aware bank mapping function requires at least one thermal sensor
+per trace-cache bank (Section 3.2.2).  Real sensors quantize and slightly lag
+the actual junction temperature; the model supports a configurable
+quantization step so experiments can check the technique's robustness to
+sensor resolution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping
+
+
+class ThermalSensor:
+    """A single on-die temperature sensor attached to one block."""
+
+    def __init__(self, block: str, quantization_celsius: float = 0.5) -> None:
+        if quantization_celsius < 0:
+            raise ValueError("quantization must be non-negative")
+        self.block = block
+        self.quantization_celsius = quantization_celsius
+        self.last_reading: float = float("nan")
+
+    def read(self, temperatures: Mapping[str, float]) -> float:
+        """Sample the block's temperature, applying sensor quantization."""
+        actual = temperatures[self.block]
+        if self.quantization_celsius == 0:
+            reading = actual
+        else:
+            step = self.quantization_celsius
+            reading = round(actual / step) * step
+        self.last_reading = reading
+        return reading
+
+
+class SensorBank:
+    """A set of sensors, one per monitored block."""
+
+    def __init__(self, block_names: Iterable[str], quantization_celsius: float = 0.5) -> None:
+        self.sensors: Dict[str, ThermalSensor] = {
+            name: ThermalSensor(name, quantization_celsius) for name in block_names
+        }
+        if not self.sensors:
+            raise ValueError("a sensor bank needs at least one sensor")
+
+    def read_all(self, temperatures: Mapping[str, float]) -> Dict[str, float]:
+        """Sample every sensor and return block -> reading."""
+        return {name: sensor.read(temperatures) for name, sensor in self.sensors.items()}
+
+    def hottest(self, temperatures: Mapping[str, float]) -> str:
+        """Block with the highest sensor reading."""
+        readings = self.read_all(temperatures)
+        return max(readings, key=readings.get)

@@ -1,0 +1,143 @@
+"""Steady-state and transient solvers for the thermal RC network.
+
+* The **steady-state** solve (``G T = P + ambient source``) is used to warm
+  the processor up before measurement, iterating with the leakage model until
+  the temperatures converge or the emergency limit (381 K) is reached, as the
+  paper does.
+* The **transient** solve advances the node temperatures over one thermal
+  interval using the exact matrix-exponential solution of the linear system
+  ``C dT/dt = b - G T`` (power is held constant within the interval).  The
+  propagator ``exp(-C^-1 G dt)`` is cached because every interval has the
+  same duration.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.thermal.rc_model import ThermalRCNetwork
+
+try:  # SciPy gives an exact matrix exponential; fall back to scaling+squaring.
+    from scipy.linalg import expm as _expm
+except ImportError:  # pragma: no cover - scipy is available in the target env
+    _expm = None
+
+
+def _matrix_exponential(matrix: np.ndarray) -> np.ndarray:
+    """Matrix exponential with a NumPy fallback (scaling and squaring)."""
+    if _expm is not None:
+        return _expm(matrix)
+    # Scaling and squaring with a Taylor series (adequate for the small,
+    # well-conditioned matrices of the compact model).
+    norm = np.linalg.norm(matrix, ord=np.inf)
+    squarings = max(0, int(np.ceil(np.log2(max(norm, 1e-16)))) + 1)
+    scaled = matrix / (2 ** squarings)
+    result = np.eye(matrix.shape[0])
+    term = np.eye(matrix.shape[0])
+    for k in range(1, 16):
+        term = term @ scaled / k
+        result = result + term
+    for _ in range(squarings):
+        result = result @ result
+    return result
+
+
+class ThermalSolver:
+    """Solves the RC network built by :class:`ThermalRCNetwork`."""
+
+    def __init__(self, network: ThermalRCNetwork) -> None:
+        self.network = network
+        self._propagator_cache: Dict[float, np.ndarray] = {}
+        # G is symmetric positive definite thanks to the ambient conductance
+        # on the sink node, so plain solves are safe.
+        self._g = network.conductance
+        self._c = network.capacitance
+
+    # ------------------------------------------------------------------
+    # Steady state
+    # ------------------------------------------------------------------
+    def steady_state(self, block_power: Mapping[str, float]) -> Dict[str, float]:
+        """Steady-state block temperatures for a constant power map."""
+        rhs = self.network.power_vector(block_power) + self.network.ambient_source()
+        state = np.linalg.solve(self._g, rhs)
+        return self.network.temperatures_by_block(state)
+
+    def steady_state_vector(self, block_power: Mapping[str, float]) -> np.ndarray:
+        rhs = self.network.power_vector(block_power) + self.network.ambient_source()
+        return np.linalg.solve(self._g, rhs)
+
+    def warmup(
+        self,
+        power_at_temperature: Callable[[Dict[str, float]], Mapping[str, float]],
+        max_iterations: int = 50,
+        tolerance_celsius: float = 0.05,
+        emergency_limit_celsius: Optional[float] = None,
+    ) -> Tuple[np.ndarray, Dict[str, float]]:
+        """Iterate steady-state solves with temperature-dependent power.
+
+        ``power_at_temperature`` maps the current block temperatures to the
+        per-block power (dynamic + leakage at those temperatures).  Iteration
+        stops when the largest block-temperature change falls below the
+        tolerance, or when any block reaches the emergency limit — the paper
+        warms the processor "until temperature converges or reaches the
+        emergency limit (381 K)".
+
+        Returns the final node-state vector and the block temperatures.
+        """
+        temperatures = self.network.temperatures_by_block(
+            self.network.uniform_state(self.network.config.ambient_celsius)
+        )
+        state = self.network.uniform_state(self.network.config.ambient_celsius)
+        limit = (
+            emergency_limit_celsius
+            if emergency_limit_celsius is not None
+            else self.network.config.emergency_limit_celsius
+        )
+        for _ in range(max_iterations):
+            power = power_at_temperature(temperatures)
+            state = self.steady_state_vector(power)
+            new_temperatures = self.network.temperatures_by_block(state)
+            delta = max(
+                abs(new_temperatures[name] - temperatures[name])
+                for name in new_temperatures
+            )
+            temperatures = new_temperatures
+            if max(temperatures.values()) >= limit:
+                break
+            if delta < tolerance_celsius:
+                break
+        return state, temperatures
+
+    # ------------------------------------------------------------------
+    # Transient
+    # ------------------------------------------------------------------
+    def _propagator(self, dt_seconds: float) -> np.ndarray:
+        """Cache ``exp(-C^-1 G dt)`` for a fixed interval length."""
+        if dt_seconds not in self._propagator_cache:
+            a = (self._g.T / self._c).T  # C^-1 G, row-scaled
+            self._propagator_cache[dt_seconds] = _matrix_exponential(-a * dt_seconds)
+        return self._propagator_cache[dt_seconds]
+
+    def advance(
+        self,
+        state: np.ndarray,
+        block_power: Mapping[str, float],
+        dt_seconds: float,
+    ) -> np.ndarray:
+        """Advance the node temperatures by ``dt_seconds`` under constant power.
+
+        Uses the exact solution ``T(t+dt) = T_ss + e^{-C^{-1}G dt} (T(t) - T_ss)``
+        where ``T_ss`` is the steady state the system would converge to if the
+        interval's power were applied forever.
+        """
+        if dt_seconds <= 0:
+            raise ValueError("dt must be positive")
+        steady = self.steady_state_vector(block_power)
+        propagator = self._propagator(dt_seconds)
+        return steady + propagator @ (np.asarray(state, dtype=float) - steady)
+
+    def block_temperatures(self, state: np.ndarray) -> Dict[str, float]:
+        """Per-block temperatures of a node-state vector."""
+        return self.network.temperatures_by_block(state)

@@ -1,0 +1,111 @@
+"""Text-mode visualization of floorplans and temperature fields.
+
+The paper discusses thermal maps ("as the thermal maps show", Section 4.3);
+this module renders them in plain text so they can be inspected in a
+terminal, embedded in logs, or asserted on in tests:
+
+* :func:`render_thermal_map` rasterizes per-block temperatures onto a
+  character grid using a cold-to-hot glyph ramp;
+* :func:`render_block_bar_chart` prints a horizontal bar chart of any
+  per-block quantity (temperature, power, area);
+* :func:`render_temperature_timeline` prints a sparkline of one block's
+  temperature across thermal intervals.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.thermal.floorplan import Floorplan
+
+#: Cold-to-hot glyph ramp.
+GLYPH_RAMP = " .:-=+*#%@"
+#: Sparkline glyphs (eight vertical levels).
+SPARK_RAMP = "▁▂▃▄▅▆▇█"
+
+
+def _level(value: float, low: float, high: float, steps: int) -> int:
+    if high <= low:
+        return 0
+    fraction = (value - low) / (high - low)
+    fraction = min(1.0, max(0.0, fraction))
+    return min(steps - 1, int(round(fraction * (steps - 1))))
+
+
+def render_thermal_map(
+    floorplan: Floorplan,
+    temperatures: Mapping[str, float],
+    width: int = 72,
+    height: int = 28,
+) -> str:
+    """Rasterize block temperatures onto a ``width`` x ``height`` grid."""
+    if width <= 0 or height <= 0:
+        raise ValueError("grid dimensions must be positive")
+    missing = [name for name in floorplan.block_names if name not in temperatures]
+    if missing:
+        raise KeyError(f"temperatures missing for blocks: {missing}")
+    t_min = min(temperatures[name] for name in floorplan.block_names)
+    t_max = max(temperatures[name] for name in floorplan.block_names)
+    die_w = floorplan.die_width
+    die_h = floorplan.die_height
+    blocks = floorplan.blocks()
+    rows = []
+    for row in range(height):
+        y = (row + 0.5) / height * die_h
+        line = []
+        for col in range(width):
+            x = (col + 0.5) / width * die_w
+            glyph = " "
+            for block in blocks:
+                if (block.x <= x < block.x + block.width
+                        and block.y <= y < block.y + block.height):
+                    level = _level(temperatures[block.name], t_min, t_max, len(GLYPH_RAMP))
+                    glyph = GLYPH_RAMP[level]
+                    break
+            line.append(glyph)
+        rows.append("".join(line))
+    rows.append(f"coldest {t_min:.1f} C  [{GLYPH_RAMP}]  hottest {t_max:.1f} C")
+    return "\n".join(rows)
+
+
+def render_block_bar_chart(
+    values: Mapping[str, float],
+    title: str = "",
+    width: int = 40,
+    top_n: int = 0,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart of a per-block quantity, largest first."""
+    if not values:
+        raise ValueError("no values to plot")
+    items = sorted(values.items(), key=lambda kv: -kv[1])
+    if top_n > 0:
+        items = items[:top_n]
+    largest = max(value for _, value in items)
+    lines = [title] if title else []
+    for name, value in items:
+        bar_length = 0 if largest <= 0 else int(round(width * value / largest))
+        lines.append(f"{name:<10} {'#' * bar_length:<{width}} {value:8.2f}{unit}")
+    return "\n".join(lines)
+
+
+def render_temperature_timeline(
+    history: Sequence[Mapping[str, float]],
+    block: str,
+    width: int = 60,
+) -> str:
+    """Sparkline of one block's temperature over the recorded intervals."""
+    if not history:
+        raise ValueError("empty temperature history")
+    series = [snapshot[block] for snapshot in history]
+    if len(series) > width:
+        # Downsample by averaging consecutive chunks.
+        chunk = len(series) / width
+        series = [
+            sum(series[int(i * chunk): max(int(i * chunk) + 1, int((i + 1) * chunk))])
+            / max(1, len(series[int(i * chunk): max(int(i * chunk) + 1, int((i + 1) * chunk))]))
+            for i in range(width)
+        ]
+    low, high = min(series), max(series)
+    glyphs = "".join(SPARK_RAMP[_level(value, low, high, len(SPARK_RAMP))] for value in series)
+    return f"{block}: {glyphs}  ({low:.1f} C .. {high:.1f} C)"

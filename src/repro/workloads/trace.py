@@ -1,0 +1,108 @@
+"""Trace containers and trace-level statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence
+
+from repro.isa.microops import MicroOp, UopClass
+
+
+@dataclass
+class TraceStatistics:
+    """Aggregate statistics of a generated trace (used for validation)."""
+
+    num_uops: int = 0
+    num_loads: int = 0
+    num_stores: int = 0
+    num_branches: int = 0
+    num_taken_branches: int = 0
+    num_mispredicted: int = 0
+    num_fp: int = 0
+    num_long_ops: int = 0
+    distinct_pcs: int = 0
+    distinct_cache_lines: int = 0
+
+    @property
+    def load_fraction(self) -> float:
+        return self.num_loads / self.num_uops if self.num_uops else 0.0
+
+    @property
+    def store_fraction(self) -> float:
+        return self.num_stores / self.num_uops if self.num_uops else 0.0
+
+    @property
+    def branch_fraction(self) -> float:
+        return self.num_branches / self.num_uops if self.num_uops else 0.0
+
+    @property
+    def misprediction_rate(self) -> float:
+        return self.num_mispredicted / self.num_branches if self.num_branches else 0.0
+
+    @property
+    def taken_rate(self) -> float:
+        return self.num_taken_branches / self.num_branches if self.num_branches else 0.0
+
+    @property
+    def fp_fraction(self) -> float:
+        return self.num_fp / self.num_uops if self.num_uops else 0.0
+
+
+@dataclass
+class Trace:
+    """A micro-op trace for one benchmark run.
+
+    The simulator consumes the trace sequentially; the workload generator can
+    also be used in streaming mode (see
+    :meth:`repro.workloads.generator.TraceGenerator.stream`) to avoid
+    materializing long traces.
+    """
+
+    benchmark: str
+    uops: List[MicroOp] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.uops)
+
+    def __iter__(self) -> Iterator[MicroOp]:
+        return iter(self.uops)
+
+    def __getitem__(self, index):
+        return self.uops[index]
+
+    def statistics(self) -> TraceStatistics:
+        """Compute aggregate statistics over the trace."""
+        return compute_statistics(self.uops)
+
+
+_LONG_OPS = frozenset({UopClass.IMUL, UopClass.IDIV, UopClass.FPMUL, UopClass.FPDIV})
+_CACHE_LINE_BYTES = 64
+
+
+def compute_statistics(uops: Sequence[MicroOp]) -> TraceStatistics:
+    """Compute :class:`TraceStatistics` for a sequence of micro-ops."""
+    stats = TraceStatistics()
+    pcs = set()
+    lines = set()
+    for uop in uops:
+        stats.num_uops += 1
+        pcs.add(uop.pc)
+        if uop.is_load:
+            stats.num_loads += 1
+        if uop.is_store:
+            stats.num_stores += 1
+        if uop.mem_addr is not None:
+            lines.add(uop.mem_addr // _CACHE_LINE_BYTES)
+        if uop.is_branch:
+            stats.num_branches += 1
+            if uop.branch_taken:
+                stats.num_taken_branches += 1
+            if uop.mispredicted:
+                stats.num_mispredicted += 1
+        if uop.is_fp:
+            stats.num_fp += 1
+        if uop.uop_class in _LONG_OPS:
+            stats.num_long_ops += 1
+    stats.distinct_pcs = len(pcs)
+    stats.distinct_cache_lines = len(lines)
+    return stats

@@ -1,0 +1,33 @@
+"""Shared fixtures for the unit and integration tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.presets import baseline_config
+from repro.isa.registers import RegisterSpace
+from repro.sim.config import ProcessorConfig
+from repro.workloads.generator import TraceGenerator
+
+
+@pytest.fixture
+def config() -> ProcessorConfig:
+    """The paper's baseline configuration."""
+    return baseline_config()
+
+
+@pytest.fixture
+def register_space() -> RegisterSpace:
+    return RegisterSpace()
+
+
+@pytest.fixture
+def small_trace():
+    """A short, deterministic gzip-like micro-op trace."""
+    return TraceGenerator("gzip", seed=42).generate(1200)
+
+
+@pytest.fixture
+def fp_trace():
+    """A short, deterministic swim-like (FP-heavy) micro-op trace."""
+    return TraceGenerator("swim", seed=42).generate(1200)

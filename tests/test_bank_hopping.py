@@ -1,0 +1,72 @@
+"""Unit tests for the bank-hopping controller (Section 3.2.1)."""
+
+import pytest
+
+from repro.core.bank_hopping import BankHoppingController
+
+
+def test_initially_gates_the_extra_bank():
+    controller = BankHoppingController(physical_banks=3, active_banks=2,
+                                       hop_interval_cycles=100)
+    assert controller.gated_banks == [2]
+    assert controller.enabled_banks == [0, 1]
+
+
+def test_hop_rotates_over_every_bank():
+    controller = BankHoppingController(3, 2, hop_interval_cycles=100)
+    gated_sequence = [controller.gated_banks[0]]
+    for _ in range(5):
+        controller.hop()
+        gated_sequence.append(controller.gated_banks[0])
+    assert gated_sequence[:4] == [2, 1, 0, 2]
+    assert controller.num_hops == 5
+    # Always exactly one gated bank, always two enabled.
+    assert all(len(controller.enabled_banks) == 2 for _ in [0])
+
+
+def test_should_hop_only_on_interval_boundaries():
+    controller = BankHoppingController(3, 2, hop_interval_cycles=50)
+    assert not controller.should_hop(0)
+    assert not controller.should_hop(49)
+    assert controller.should_hop(50)
+    assert controller.should_hop(100)
+    assert not controller.should_hop(101)
+
+
+def test_disabled_controller_never_hops():
+    controller = BankHoppingController(3, 2, hop_interval_cycles=50, enabled=False,
+                                       static_gated_banks=[2])
+    assert controller.gated_banks == [2]
+    assert not controller.should_hop(50)
+    with pytest.raises(RuntimeError):
+        controller.hop()
+
+
+def test_static_gated_banks_are_skipped_by_the_rotation():
+    controller = BankHoppingController(physical_banks=4, active_banks=2,
+                                       hop_interval_cycles=10, static_gated_banks=[3])
+    assert 3 in controller.gated_banks
+    seen = set()
+    for _ in range(6):
+        controller.hop()
+        rotating = [b for b in controller.gated_banks if b != 3]
+        assert rotating and rotating[0] != 3
+        seen.add(rotating[0])
+    assert seen == {0, 1, 2}
+
+
+def test_is_gated_helper():
+    controller = BankHoppingController(3, 2, 100)
+    assert controller.is_gated(2)
+    assert not controller.is_gated(0)
+
+
+def test_validation_of_bank_counts():
+    with pytest.raises(ValueError):
+        BankHoppingController(2, 3, 100)
+    with pytest.raises(ValueError):
+        BankHoppingController(3, 2, 0)
+    with pytest.raises(ValueError):
+        BankHoppingController(3, 2, 100, static_gated_banks=[5])
+    with pytest.raises(ValueError):
+        BankHoppingController(3, 3, 100, static_gated_banks=[0])

@@ -1,0 +1,63 @@
+"""Unit tests for the gshare branch predictor."""
+
+import pytest
+
+from repro.frontend.branch_predictor import BranchPredictor
+from repro.isa.microops import MicroOp, UopClass
+from repro.isa.registers import RegisterSpace
+
+SPACE = RegisterSpace()
+
+
+def _branch(pc, taken):
+    return MicroOp(pc=pc, uop_class=UopClass.BRANCH, sources=(SPACE.int_reg(0),),
+                   branch_taken=taken)
+
+
+def test_size_must_be_power_of_two():
+    with pytest.raises(ValueError):
+        BranchPredictor(1000)
+    with pytest.raises(ValueError):
+        BranchPredictor(0)
+
+
+def test_learns_always_taken_branch():
+    predictor = BranchPredictor(256)
+    for _ in range(50):
+        predictor.predict_and_update(_branch(0x400, True))
+    assert predictor.predict(0x400) is True
+    assert predictor.accuracy > 0.9
+
+
+def test_learns_never_taken_branch():
+    predictor = BranchPredictor(256)
+    for _ in range(50):
+        predictor.predict_and_update(_branch(0x800, False))
+    assert predictor.predict(0x800) is False
+
+
+def test_counters_saturate():
+    predictor = BranchPredictor(64)
+    for _ in range(100):
+        predictor.update(0x10, True)
+    # After heavy training a single not-taken outcome does not flip it.
+    predictor.update(0x10, False)
+    assert predictor.predict(0x10) is True
+
+
+def test_rejects_non_branch_uop():
+    predictor = BranchPredictor(64)
+    alu = MicroOp(pc=0, uop_class=UopClass.IALU, dest=SPACE.int_reg(0))
+    with pytest.raises(ValueError):
+        predictor.predict_and_update(alu)
+
+
+def test_accuracy_starts_at_zero():
+    assert BranchPredictor(64).accuracy == 0.0
+
+
+def test_lookup_counter_increments():
+    predictor = BranchPredictor(64)
+    predictor.predict(0x4)
+    predictor.predict(0x8)
+    assert predictor.lookups == 2

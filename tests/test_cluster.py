@@ -1,0 +1,55 @@
+"""Unit tests for the backend cluster container."""
+
+from repro.backend.cluster import Cluster
+from repro.isa.microops import UopClass
+from repro.sim.config import BackendConfig, MemoryConfig
+
+
+def _cluster(cluster_id=0):
+    return Cluster(cluster_id, BackendConfig(), MemoryConfig())
+
+
+def test_cluster_builds_table1_resources():
+    cluster = _cluster()
+    assert cluster.int_rf.num_registers == 160
+    assert cluster.fp_rf.num_registers == 160
+    assert cluster.int_queue.capacity == 40
+    assert cluster.fp_queue.capacity == 40
+    assert cluster.copy_queue.capacity == 40
+    assert cluster.mem_queue.capacity == 96
+    assert cluster.mob.capacity == 96
+    assert cluster.dcache.capacity_bytes == 16 * 1024
+
+
+def test_register_file_selection_by_class():
+    cluster = _cluster()
+    assert cluster.register_file_for(is_fp=False) is cluster.int_rf
+    assert cluster.register_file_for(is_fp=True) is cluster.fp_rf
+
+
+def test_queue_selection_by_uop_class():
+    cluster = _cluster()
+    assert cluster.queue_for(UopClass.IALU) is cluster.int_queue
+    assert cluster.queue_for(UopClass.IMUL) is cluster.int_queue
+    assert cluster.queue_for(UopClass.BRANCH) is cluster.int_queue
+    assert cluster.queue_for(UopClass.FPADD) is cluster.fp_queue
+    assert cluster.queue_for(UopClass.FPDIV) is cluster.fp_queue
+    assert cluster.queue_for(UopClass.COPY) is cluster.copy_queue
+    assert cluster.queue_for(UopClass.LOAD) is cluster.mem_queue
+    assert cluster.queue_for(UopClass.STORE) is cluster.mem_queue
+
+
+def test_prescheduler_capacity_limits_dispatch_pipe():
+    cluster = _cluster()
+    limit = cluster.config.prescheduler_entries * 4
+    for i in range(limit):
+        assert cluster.prescheduler_has_space()
+        cluster.dispatch_pipe.append((i, None))
+    assert not cluster.prescheduler_has_space()
+
+
+def test_occupancy_and_load_start_at_zero():
+    cluster = _cluster(2)
+    assert cluster.occupancy() == 0
+    assert cluster.load() == 0
+    assert "Cluster(2" in repr(cluster)

@@ -1,0 +1,149 @@
+"""Unit tests for the centralized and distributed commit units."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.distributed_commit import DistributedCommitUnit, PartialReorderBuffer
+from repro.frontend.commit import CentralizedCommitUnit
+from repro.isa.microops import MicroOp, UopClass
+from repro.sim.uop import DynamicUop, UopState
+
+
+def _uop(seq, frontend=0, completed_at=None):
+    dynamic = DynamicUop(MicroOp(pc=4 * seq, uop_class=UopClass.IALU), seq)
+    dynamic.frontend_id = frontend
+    if completed_at is not None:
+        dynamic.state = UopState.COMPLETED
+        dynamic.complete_cycle = completed_at
+    return dynamic
+
+
+# ----------------------------------------------------------------------
+# Centralized commit
+# ----------------------------------------------------------------------
+def test_centralized_commit_is_in_order_and_width_limited():
+    unit = CentralizedCommitUnit(rob_entries=8, commit_width=2)
+    uops = [_uop(i, completed_at=0) for i in range(4)]
+    for uop in uops:
+        unit.allocate(uop)
+    committed = unit.commit(cycle=5)
+    assert [u.seq for u in committed] == [0, 1]
+    assert [u.seq for u in unit.commit(cycle=5)] == [2, 3]
+    assert unit.is_empty()
+
+
+def test_centralized_commit_stops_at_uncompleted_head():
+    unit = CentralizedCommitUnit(rob_entries=8, commit_width=4)
+    head = _uop(0)  # not completed
+    tail = _uop(1, completed_at=0)
+    unit.allocate(head)
+    unit.allocate(tail)
+    assert unit.commit(cycle=10) == []
+    head.state = UopState.COMPLETED
+    head.complete_cycle = 11
+    assert unit.commit(cycle=10) == []          # completes next cycle
+    assert len(unit.commit(cycle=11)) == 2
+
+
+def test_centralized_rob_capacity():
+    unit = CentralizedCommitUnit(rob_entries=2, commit_width=4)
+    unit.allocate(_uop(0))
+    unit.allocate(_uop(1))
+    assert not unit.can_allocate(0)
+    with pytest.raises(RuntimeError):
+        unit.allocate(_uop(2))
+
+
+# ----------------------------------------------------------------------
+# Distributed commit (the paper's R/L walk)
+# ----------------------------------------------------------------------
+def test_partial_rob_capacity_and_order():
+    partition = PartialReorderBuffer(0, capacity=2)
+    a, b = _uop(0), _uop(1)
+    partition.allocate(a)
+    partition.allocate(b)
+    assert partition.is_full
+    with pytest.raises(RuntimeError):
+        partition.allocate(_uop(2))
+    assert partition.head().uop is a
+    assert [entry.uop.seq for entry in partition.entries()] == [0, 1]
+
+
+def test_distributed_commit_follows_program_order_across_partitions():
+    unit = DistributedCommitUnit(2, rob_entries_per_frontend=8, commit_width=8,
+                                 extra_commit_latency=0)
+    # Program order alternates partitions: 0->F0, 1->F1, 2->F1, 3->F0.
+    order = [(0, 0), (1, 1), (2, 1), (3, 0)]
+    uops = []
+    for seq, frontend in order:
+        uop = _uop(seq, frontend=frontend, completed_at=0)
+        uops.append(uop)
+        unit.allocate(uop)
+    committed = unit.commit(cycle=1)
+    assert [u.seq for u in committed] == [0, 1, 2, 3]
+
+
+def test_distributed_commit_respects_commit_width():
+    unit = DistributedCommitUnit(2, 8, commit_width=3, extra_commit_latency=0)
+    for seq in range(6):
+        unit.allocate(_uop(seq, frontend=seq % 2, completed_at=0))
+    assert [u.seq for u in unit.commit(cycle=1)] == [0, 1, 2]
+    assert [u.seq for u in unit.commit(cycle=1)] == [3, 4, 5]
+
+
+def test_distributed_commit_stops_at_not_ready_entry():
+    unit = DistributedCommitUnit(2, 8, commit_width=8, extra_commit_latency=0)
+    ready = _uop(0, frontend=0, completed_at=0)
+    not_ready = _uop(1, frontend=1)
+    after = _uop(2, frontend=0, completed_at=0)
+    for uop in (ready, not_ready, after):
+        unit.allocate(uop)
+    assert [u.seq for u in unit.commit(cycle=5)] == [0]
+    # The younger ready instruction cannot bypass the unready one.
+    assert unit.commit(cycle=5) == []
+    assert unit.head_frontend == 1
+
+
+def test_extra_commit_latency_delays_commit_by_one_cycle():
+    unit = DistributedCommitUnit(2, 8, commit_width=4, extra_commit_latency=1)
+    unit.allocate(_uop(0, frontend=0, completed_at=10))
+    assert unit.commit(cycle=10) == []
+    assert len(unit.commit(cycle=11)) == 1
+
+
+def test_distributed_commit_recovers_after_draining_completely():
+    unit = DistributedCommitUnit(2, 8, commit_width=8, extra_commit_latency=0)
+    unit.allocate(_uop(0, frontend=0, completed_at=0))
+    assert len(unit.commit(cycle=1)) == 1
+    assert unit.occupancy() == 0
+    # New instructions allocated to the *other* partition still commit.
+    unit.allocate(_uop(1, frontend=1, completed_at=2))
+    assert len(unit.commit(cycle=3)) == 1
+
+
+def test_distributed_commit_requires_two_partitions():
+    with pytest.raises(ValueError):
+        DistributedCommitUnit(1, 8, 4)
+
+
+def test_occupancy_per_partition():
+    unit = DistributedCommitUnit(2, 8, 4)
+    unit.allocate(_uop(0, frontend=0))
+    unit.allocate(_uop(1, frontend=1))
+    unit.allocate(_uop(2, frontend=1))
+    assert unit.occupancy_per_partition() == [1, 2]
+    assert unit.occupancy() == 3
+
+
+@settings(max_examples=40, deadline=None)
+@given(assignment=st.lists(st.integers(0, 1), min_size=1, max_size=40))
+def test_distributed_commit_preserves_program_order_property(assignment):
+    """Property: whatever the partition assignment, commits follow program order."""
+    unit = DistributedCommitUnit(2, rob_entries_per_frontend=64, commit_width=4,
+                                 extra_commit_latency=0)
+    for seq, frontend in enumerate(assignment):
+        unit.allocate(_uop(seq, frontend=frontend, completed_at=0))
+    committed = []
+    for cycle in range(1, len(assignment) + 2):
+        committed.extend(u.seq for u in unit.commit(cycle))
+    assert committed == list(range(len(assignment)))

@@ -1,0 +1,85 @@
+"""Unit tests for the L1 data cache and the memory order buffer."""
+
+import pytest
+
+from repro.backend.data_cache import L1DataCache
+from repro.backend.mob import MemoryOrderBuffer, MemoryOrderBufferFullError
+
+
+# ----------------------------------------------------------------------
+# L1 data cache
+# ----------------------------------------------------------------------
+def test_dcache_miss_then_hit():
+    cache = L1DataCache(16, 2, 64)
+    assert cache.access(0x1000) is False
+    assert cache.access(0x1000) is True
+    assert cache.access(0x1008) is True  # same line
+    assert cache.hits == 2 and cache.misses == 1
+    assert cache.hit_rate == pytest.approx(2 / 3)
+
+
+def test_dcache_lru_eviction():
+    cache = L1DataCache(1, 2, 64)  # 1 KB, 2-way, 8 sets
+    way_stride = cache.num_sets * cache.line_bytes
+    a, b, c = 0x0, way_stride, 2 * way_stride
+    cache.access(a)
+    cache.access(b)
+    cache.access(a)      # refresh a, so b is LRU
+    cache.access(c)      # evicts b
+    assert cache.access(a) is True
+    assert cache.access(b) is False
+
+
+def test_dcache_store_allocates():
+    cache = L1DataCache(16, 2, 64)
+    assert cache.access(0x2000, is_store=True) is False
+    assert cache.access(0x2000) is True
+
+
+def test_dcache_update_refreshes_existing_line_only():
+    cache = L1DataCache(1, 2, 64)
+    cache.access(0x0)
+    cache.update(0x40_000)  # not present: no allocation
+    assert cache.occupancy() == 1
+    cache.update(0x0)
+    assert cache.occupancy() == 1
+
+
+def test_dcache_validates_geometry():
+    with pytest.raises(ValueError):
+        L1DataCache(0, 2, 64)
+    with pytest.raises(ValueError):
+        L1DataCache(16, 0, 64)
+
+
+# ----------------------------------------------------------------------
+# Memory order buffer
+# ----------------------------------------------------------------------
+def test_mob_allocate_and_release():
+    mob = MemoryOrderBuffer(4)
+    mob.allocate(3)
+    assert mob.occupancy == 3 and mob.free_slots == 1
+    assert mob.can_allocate(1) and not mob.can_allocate(2)
+    mob.release(2)
+    assert mob.occupancy == 1
+
+
+def test_mob_overflow_and_underflow_raise():
+    mob = MemoryOrderBuffer(2)
+    mob.allocate(2)
+    with pytest.raises(MemoryOrderBufferFullError):
+        mob.allocate()
+    with pytest.raises(ValueError):
+        mob.release(3)
+
+
+def test_mob_disambiguation_counter():
+    mob = MemoryOrderBuffer(8)
+    mob.record_disambiguation()
+    mob.record_disambiguation()
+    assert mob.disambiguation_updates == 2
+
+
+def test_mob_requires_positive_capacity():
+    with pytest.raises(ValueError):
+        MemoryOrderBuffer(0)

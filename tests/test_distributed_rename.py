@@ -1,0 +1,141 @@
+"""Unit tests for the distributed rename mechanism (Section 3.1.1)."""
+
+import pytest
+
+from repro.backend.cluster import Cluster
+from repro.core.distributed_rename import (
+    AvailabilityTable,
+    ClusterFreeLists,
+    DistributedRenameUnit,
+)
+from repro.core.presets import distributed_rename_commit_config
+from repro.isa.microops import MicroOp, UopClass
+from repro.isa.registers import RegisterSpace
+from repro.sim import blocks
+from repro.sim.config import ProcessorConfig
+from repro.sim.stats import ActivityCounters, SimulationStats
+from repro.sim.uop import DynamicUop
+
+SPACE = RegisterSpace()
+_SEQ = iter(range(1000000))
+
+
+def _machinery():
+    config = distributed_rename_commit_config()
+    clusters = [Cluster(c, config.backend, config.memory) for c in range(4)]
+    activity = ActivityCounters(blocks.all_blocks(config))
+    stats = SimulationStats()
+    unit = DistributedRenameUnit(config, clusters, SPACE, activity, stats)
+    return config, clusters, unit, activity, stats
+
+
+def _alu(dest, sources, pc=0x200):
+    return MicroOp(pc=pc, uop_class=UopClass.IALU, dest=dest, sources=tuple(sources))
+
+
+def _rename(unit, static, cluster):
+    dynamic = DynamicUop(static, next(_SEQ))
+    return unit.rename(dynamic, cluster, 0, lambda: next(_SEQ))
+
+
+# ----------------------------------------------------------------------
+# Availability table and freelists
+# ----------------------------------------------------------------------
+def test_availability_table_tracks_copies_per_cluster():
+    table = AvailabilityTable(SPACE, num_clusters=4)
+    table.set_copy(3, 1)
+    table.set_copy(3, 2)
+    assert table.has_copy(3, 1) and table.has_copy(3, 2)
+    assert not table.has_copy(3, 0)
+    assert table.clusters_with_copy(3) == [1, 2]
+    table.clear_register(3, 0)
+    assert table.clusters_with_copy(3) == [0]
+    table.clear_all(3)
+    assert table.entry_bits(3) == 0
+    assert table.reads > 0 and table.writes > 0
+
+
+def test_cluster_freelists_wrap_the_backend_register_files():
+    config = ProcessorConfig.baseline()
+    clusters = [Cluster(c, config.backend, config.memory) for c in range(2)]
+    freelists = ClusterFreeLists(clusters)
+    assert freelists.free_registers(0, is_fp=False) == 160
+    index = freelists.allocate(0, is_fp=False)
+    assert clusters[0].int_rf.is_allocated(index)
+    assert freelists.free_registers(0, is_fp=False) == 159
+    assert freelists.can_allocate(1, is_fp=True, count=160)
+    assert freelists.allocations == 1
+
+
+# ----------------------------------------------------------------------
+# Distributed rename unit
+# ----------------------------------------------------------------------
+def test_requires_at_least_two_frontends():
+    config = ProcessorConfig.baseline()
+    clusters = [Cluster(c, config.backend, config.memory) for c in range(4)]
+    with pytest.raises(ValueError):
+        DistributedRenameUnit(
+            config, clusters, SPACE, ActivityCounters(blocks.all_blocks(config)), SimulationStats()
+        )
+
+
+def test_rat_activity_charged_to_owning_partition():
+    _, _, unit, activity, _ = _machinery()
+    # Cluster 0 belongs to frontend 0, cluster 3 to frontend 1.
+    _rename(unit, _alu(SPACE.int_reg(1), [SPACE.int_reg(0)]), cluster=0)
+    _rename(unit, _alu(SPACE.int_reg(2), [SPACE.int_reg(0)]), cluster=3)
+    totals = activity.total_counts()
+    assert totals["RAT0"] >= 2
+    assert totals["RAT1"] >= 2
+
+
+def test_intra_frontend_copy_generates_no_copy_request():
+    _, _, unit, _, stats = _machinery()
+    _rename(unit, _alu(SPACE.int_reg(1), []), cluster=0)
+    outcome = _rename(unit, _alu(SPACE.int_reg(2), [SPACE.int_reg(1)]), cluster=1)
+    assert len(outcome.copies) == 1
+    assert stats.copy_requests_between_frontends == 0
+    assert unit.copy_request_count() == 0
+
+
+def test_inter_frontend_copy_generates_a_copy_request():
+    config, _, unit, _, stats = _machinery()
+    _rename(unit, _alu(SPACE.int_reg(1), []), cluster=0)       # frontend 0 produces
+    outcome = _rename(unit, _alu(SPACE.int_reg(2), [SPACE.int_reg(1)]), cluster=2)  # frontend 1 consumes
+    assert len(outcome.copies) == 1
+    assert stats.copy_requests_between_frontends == 1
+    assert unit.copy_request_count() == 1
+    request = unit.copy_requests[0]
+    assert request.source_frontend == 0
+    assert request.dest_frontend == 1
+    assert request.dest_cluster == 2
+    assert request.logical_flat == SPACE.flat_index(SPACE.int_reg(1))
+    assert unit.copy_requests_by_direction() == {(0, 1): 1}
+
+
+def test_availability_updated_by_writes_and_copies():
+    _, _, unit, _, _ = _machinery()
+    flat = SPACE.flat_index(SPACE.int_reg(1))
+    _rename(unit, _alu(SPACE.int_reg(1), []), cluster=0)
+    assert unit.availability.clusters_with_copy(flat) == [0]
+    _rename(unit, _alu(SPACE.int_reg(2), [SPACE.int_reg(1)]), cluster=3)
+    assert 3 in unit.availability.clusters_with_copy(flat)
+    # A new write supersedes every copy.
+    _rename(unit, _alu(SPACE.int_reg(1), []), cluster=2)
+    assert unit.availability.clusters_with_copy(flat) == [2]
+
+
+def test_partition_of_cluster_matches_config():
+    config, _, unit, _, _ = _machinery()
+    assert unit.partition_of_cluster(0) == 0
+    assert unit.partition_of_cluster(3) == 1
+
+
+def test_rename_semantics_identical_to_centralized():
+    """Distribution must not change which physical registers consumers read."""
+    _, clusters, unit, _, _ = _machinery()
+    producer = _rename(unit, _alu(SPACE.int_reg(1), []), cluster=1)
+    consumer = _rename(unit, _alu(SPACE.int_reg(2), [SPACE.int_reg(1)]), cluster=1)
+    assert consumer.uop.src_refs == [producer.uop.dest_ref]
+    remote = _rename(unit, _alu(SPACE.int_reg(3), [SPACE.int_reg(1)]), cluster=2)
+    assert remote.copies and remote.uop.src_refs == [remote.copies[0].dest_ref]

@@ -1,0 +1,116 @@
+"""Integration tests of the coupled timing / power / thermal engine."""
+
+import pytest
+
+from repro.core.presets import (
+    address_biasing_config,
+    bank_hopping_config,
+    baseline_config,
+    blank_silicon_config,
+)
+from repro.sim import blocks
+from repro.sim.engine import SimulationEngine, run_benchmark
+from repro.workloads.generator import TraceGenerator
+
+INTERVAL = 400
+
+
+def _engine(config, benchmark="gzip", n=2500, **kwargs):
+    trace = TraceGenerator(benchmark, seed=5).generate(n)
+    return SimulationEngine(
+        config.with_intervals(INTERVAL), trace.uops, benchmark,
+        interval_cycles=INTERVAL, **kwargs
+    )
+
+
+def test_engine_produces_intervals_and_metrics():
+    engine = _engine(baseline_config())
+    result = engine.run()
+    assert result.stats.committed_uops == 2500
+    assert len(result.intervals) >= 3
+    metrics = result.temperature_metrics("Frontend")
+    assert metrics["AbsMax"] >= metrics["Average"] > 0
+    assert result.average_power() > 10.0
+    assert result.peak_temperature() > result.ambient_celsius + 5.0
+
+
+def test_warmup_starts_the_processor_hot():
+    engine = _engine(baseline_config())
+    result = engine.run()
+    # The paper starts simulations with the processor already warm: the
+    # warm-up temperatures are well above ambient and below the emergency cap.
+    assert min(result.warmup_temperature.values()) > result.ambient_celsius + 1.0
+    assert max(result.warmup_temperature.values()) <= engine.config.thermal.emergency_limit_celsius + 1e-6
+
+
+def test_temperatures_stay_physical_every_interval():
+    result = _engine(baseline_config(), benchmark="swim").run()
+    for record in result.intervals:
+        for temperature in record.temperature.values():
+            assert result.ambient_celsius - 1e-6 <= temperature < 250.0
+        assert record.total_power() > 0
+
+
+def test_disabling_warmup_starts_from_ambient():
+    engine = _engine(baseline_config())
+    result = engine.run(warmup=False)
+    first = result.intervals[0]
+    assert max(first.temperature.values()) < 80.0
+
+
+def test_bank_hopping_rotates_the_gated_bank_and_flushes():
+    engine = _engine(bank_hopping_config())
+    gated_before = set(engine.hopping.gated_banks)
+    result = engine.run()
+    assert engine.hopping.num_hops >= 1
+    assert result.stats.trace_cache_hop_flushes > 0
+    # The gated bank dissipates nothing in the interval it is gated.
+    for record in result.intervals[1:]:
+        gated_blocks = [b for b in blocks.trace_cache_blocks(engine.config)
+                        if record.dynamic_power[b] == 0.0]
+        assert len(gated_blocks) >= 1
+    assert set(engine.hopping.gated_banks) != gated_before or engine.hopping.num_hops % 3 == 0
+
+
+def test_blank_silicon_statically_gates_the_extra_bank():
+    engine = _engine(blank_silicon_config())
+    result = engine.run()
+    assert engine.hopping is not None and not engine.hopping.enabled
+    for record in result.intervals:
+        assert record.dynamic_power["TC2"] == 0.0
+        assert record.leakage_power["TC2"] == 0.0
+
+
+def test_thermal_aware_mapping_biases_towards_the_colder_bank():
+    engine = _engine(address_biasing_config(), benchmark="swim", n=3500)
+    engine.run()
+    shares = engine.processor.trace_cache.accesses_per_bank_share()
+    # After remapping, shares are generally unequal (the colder bank gets
+    # more); at minimum the mapping table stays consistent.
+    assert sum(shares.values()) == pytest.approx(1.0)
+
+
+def test_run_benchmark_convenience_wrapper():
+    trace = TraceGenerator("gcc", seed=2).generate(2000)
+    result = run_benchmark(
+        baseline_config().with_intervals(INTERVAL), trace.uops, "gcc",
+        interval_cycles=INTERVAL,
+    )
+    assert result.benchmark == "gcc"
+    assert result.stats.committed_uops == 2000
+
+
+def test_max_intervals_truncates_the_run():
+    engine = _engine(baseline_config())
+    result = engine.run(max_intervals=2)
+    assert len(result.intervals) == 2
+    assert not engine.processor.finished
+
+
+def test_prewarming_avoids_ul2_cold_misses():
+    config = baseline_config().with_intervals(INTERVAL)
+    trace = TraceGenerator("mcf", seed=9).generate(2500)
+    warm = SimulationEngine(config, trace.uops, "mcf", INTERVAL, prewarm_caches=True).run()
+    cold = SimulationEngine(config, list(trace.uops), "mcf", INTERVAL, prewarm_caches=False).run()
+    assert warm.stats.ul2_misses < cold.stats.ul2_misses
+    assert warm.stats.cycles <= cold.stats.cycles

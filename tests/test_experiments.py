@@ -1,0 +1,108 @@
+"""Integration tests of the experiment runner and figure drivers (smoke scale)."""
+
+import pytest
+
+from repro.core.presets import baseline_config, distributed_rename_commit_config
+from repro.experiments import (
+    ExperimentSettings,
+    describe_floorplans,
+    run_fig01,
+    summarize,
+)
+from repro.experiments.reporting import (
+    format_key_values,
+    format_percentage_table,
+    format_value_table,
+)
+from repro.experiments.runner import run_configuration, summarize_many
+
+
+@pytest.fixture(scope="module")
+def smoke_settings():
+    return ExperimentSettings(benchmarks=("gzip", "swim"), uops_per_benchmark=2000)
+
+
+def test_settings_validation_and_presets():
+    with pytest.raises(ValueError):
+        ExperimentSettings(benchmarks=())
+    with pytest.raises(KeyError):
+        ExperimentSettings(benchmarks=("notabench",))
+    with pytest.raises(ValueError):
+        ExperimentSettings(uops_per_benchmark=0)
+    assert len(ExperimentSettings.full().benchmarks) == 26
+    assert len(ExperimentSettings.quick().benchmarks) == 8
+    assert ExperimentSettings.smoke().benchmarks == ("gzip", "swim")
+    derived = ExperimentSettings(uops_per_benchmark=50_000).resolved_interval_cycles()
+    assert derived == 50_000 // 25
+    floored = ExperimentSettings(uops_per_benchmark=5000).resolved_interval_cycles()
+    assert floored == 800  # never hop/remap at a finer grain than this
+    explicit = ExperimentSettings(interval_cycles=777).resolved_interval_cycles()
+    assert explicit == 777
+    narrowed = ExperimentSettings.full().with_benchmarks(["gcc"])
+    assert narrowed.benchmarks == ("gcc",)
+
+
+def test_run_configuration_returns_one_result_per_benchmark(smoke_settings):
+    results = run_configuration(baseline_config(), smoke_settings)
+    assert set(results) == {"gzip", "swim"}
+    for benchmark, result in results.items():
+        assert result.benchmark == benchmark
+        assert result.stats.committed_uops > 0
+        assert result.intervals
+
+
+def test_swim_trace_is_shortened_like_the_paper(smoke_settings):
+    results = run_configuration(baseline_config(), smoke_settings)
+    assert results["swim"].stats.committed_uops < results["gzip"].stats.committed_uops
+
+
+def test_summary_aggregation(smoke_settings):
+    baseline = summarize(baseline_config(), smoke_settings)
+    distributed = summarize(distributed_rename_commit_config(), smoke_settings)
+    metrics = baseline.mean_metrics("Frontend")
+    assert metrics["AbsMax"] >= metrics["Average"] > 0
+    reductions = distributed.mean_reductions_vs(baseline, "ReorderBuffer")
+    assert set(reductions) == {"AbsMax", "Average", "AvgMax"}
+    assert reductions["Average"] > 0.0
+    assert abs(distributed.mean_slowdown_vs(baseline)) < 0.2
+    assert baseline.mean_power() > 10.0
+    assert baseline.mean_power("Frontend") < baseline.mean_power()
+    assert 0.0 < baseline.mean_trace_cache_hit_rate() <= 1.0
+    assert baseline.mean_ipc() > 0.0
+    assert distributed.group_area_mm2("Processor") > baseline.group_area_mm2("Processor")
+
+
+def test_summarize_many_keys_by_config_name(smoke_settings):
+    summaries = summarize_many(
+        [baseline_config(), distributed_rename_commit_config()], smoke_settings
+    )
+    assert set(summaries) == {"baseline", "distributed_rc"}
+
+
+def test_fig01_driver_smoke(smoke_settings):
+    result = run_fig01(smoke_settings)
+    table = result.format_table()
+    assert "Figure 1" in table and "Frontend" in table
+    assert set(result.values) == {"Processor", "Frontend", "Backend", "UL2"}
+
+
+def test_floorplan_reports():
+    reports = describe_floorplans()
+    assert set(reports) == {
+        "baseline (Figure 10)", "bank hopping (Figure 11)", "distributed rename/commit"
+    }
+    for report in reports.values():
+        assert 0.05 < report.frontend_area_fraction() < 0.5
+        assert "Floorplan" in report.format_table()
+
+
+def test_reporting_formatters():
+    table = format_percentage_table(
+        "title", {"row": {"A": 0.5}}, columns=("A", "B"),
+        paper_reference={"row": {"A": 0.4}},
+    )
+    assert "50.0%" in table and "paper 40%" in table and "-" in table
+    values = format_value_table("title", {"row": {"X": 1.234}}, columns=("X",), precision=2)
+    assert "1.23" in values
+    keys = format_key_values("title", {"k": 1.0, "s": "text"})
+    assert "k" in keys and "text" in keys

@@ -1,0 +1,100 @@
+"""Unit tests for the fetch unit."""
+
+from repro.frontend.branch_predictor import BranchPredictor
+from repro.frontend.fetch import FetchUnit
+from repro.frontend.trace_cache import TraceCache
+from repro.isa.microops import MicroOp, UopClass
+from repro.isa.registers import RegisterSpace
+from repro.sim import blocks
+from repro.sim.config import FrontendConfig
+from repro.sim.stats import ActivityCounters, SimulationStats
+
+SPACE = RegisterSpace()
+
+
+def _alu(pc):
+    return MicroOp(pc=pc, uop_class=UopClass.IALU, dest=SPACE.int_reg(1),
+                   sources=(SPACE.int_reg(0),))
+
+
+def _branch(pc, mispredicted=False):
+    return MicroOp(pc=pc, uop_class=UopClass.BRANCH, sources=(SPACE.int_reg(0),),
+                   branch_taken=True, mispredicted=mispredicted)
+
+
+def _make_fetch_unit(uops, config=None):
+    config = config or FrontendConfig()
+    activity = ActivityCounters(["TC0", "TC1", "ITLB", "DECO", "BP", "UL2"])
+    stats = SimulationStats()
+    cache = TraceCache(config.trace_cache, ul2_hit_latency=12)
+    predictor = BranchPredictor(config.branch_predictor_entries)
+    unit = FetchUnit(config, cache, predictor, iter(uops), activity, stats)
+    return unit, activity, stats, cache
+
+
+def test_fetch_width_limits_uops_per_cycle():
+    uops = [_alu(0x1000 + 4 * i) for i in range(32)]
+    unit, _, stats, _ = _make_fetch_unit(uops)
+    # Cycle 0: the first line misses in the trace cache, so nothing returns.
+    assert unit.fetch(0) == []
+    resume = 12 + TraceCache.TRACE_BUILD_OVERHEAD
+    fetched = unit.fetch(resume)
+    assert len(fetched) == 8
+    assert stats.fetched_uops == 8
+
+
+def test_trace_cache_hit_after_loop_revisits_same_pcs():
+    # A 16-micro-op loop body aligns exactly with the trace-line size, so
+    # every iteration after the first reuses the same trace line.
+    loop = [_alu(0x2000 + 4 * i) for i in range(15)] + [_branch(0x203c)]
+    uops = loop * 4
+    unit, _, stats, cache = _make_fetch_unit(uops)
+    cycle = 0
+    while not unit.exhausted and cycle < 500:
+        unit.fetch(cycle)
+        cycle += 1
+    assert stats.trace_cache_misses >= 1
+    assert stats.trace_cache_hits >= 1
+    assert cache.hit_rate > 0.5
+
+
+def test_mispredicted_branch_stalls_until_redirect():
+    uops = [_alu(0x3000), _branch(0x3004, mispredicted=True)] + [
+        _alu(0x3008 + 4 * i) for i in range(16)
+    ]
+    unit, _, stats, _ = _make_fetch_unit(uops)
+    unit.fetch(0)
+    resume = 12 + TraceCache.TRACE_BUILD_OVERHEAD
+    fetched = unit.fetch(resume)
+    # Fetch stops right after the mispredicted branch.
+    assert any(u.is_branch for u in fetched)
+    assert unit.fetch(resume + 1) == []
+    assert stats.mispredicted_branches == 1
+    unit.redirect(resume + 5)
+    assert unit.fetch(resume + 4) == []
+    assert len(unit.fetch(resume + 5)) > 0
+
+
+def test_exhausted_after_stream_drains():
+    uops = [_alu(0x4000 + 4 * i) for i in range(4)]
+    unit, _, _, _ = _make_fetch_unit(uops)
+    cycle = 0
+    fetched_total = 0
+    while not unit.exhausted and cycle < 200:
+        fetched_total += len(unit.fetch(cycle))
+        cycle += 1
+    assert unit.exhausted
+    assert fetched_total == 4
+
+
+def test_activity_charged_to_decoder_and_trace_cache():
+    uops = [_alu(0x5000 + 4 * i) for i in range(16)]
+    unit, activity, _, _ = _make_fetch_unit(uops)
+    cycle = 0
+    while not unit.exhausted and cycle < 200:
+        unit.fetch(cycle)
+        cycle += 1
+    totals = activity.total_counts()
+    assert totals[blocks.DECODER] == 16
+    assert totals["TC0"] + totals["TC1"] >= 1
+    assert totals[blocks.ITLB] >= 1

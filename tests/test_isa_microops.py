@@ -1,0 +1,70 @@
+"""Unit tests for the micro-op definitions."""
+
+import pytest
+
+from repro.isa.microops import MicroOp, OP_LATENCY, UopClass, is_memory_class
+from repro.isa.registers import RegisterClass, RegisterSpace
+
+SPACE = RegisterSpace()
+
+
+def test_latency_table_covers_every_class():
+    assert set(OP_LATENCY) == set(UopClass)
+    assert all(latency >= 1 for latency in OP_LATENCY.values())
+
+
+def test_long_latency_ops_are_slower_than_simple_ones():
+    assert OP_LATENCY[UopClass.IDIV] > OP_LATENCY[UopClass.IMUL] > OP_LATENCY[UopClass.IALU]
+    assert OP_LATENCY[UopClass.FPDIV] > OP_LATENCY[UopClass.FPMUL] > OP_LATENCY[UopClass.FPADD]
+
+
+def test_memory_class_predicate():
+    assert is_memory_class(UopClass.LOAD)
+    assert is_memory_class(UopClass.STORE)
+    assert not is_memory_class(UopClass.IALU)
+    assert not is_memory_class(UopClass.BRANCH)
+
+
+def test_memory_uops_require_an_address():
+    with pytest.raises(ValueError):
+        MicroOp(pc=0x100, uop_class=UopClass.LOAD, dest=SPACE.int_reg(1))
+    load = MicroOp(pc=0x100, uop_class=UopClass.LOAD, dest=SPACE.int_reg(1), mem_addr=64)
+    assert load.is_load and load.is_mem and not load.is_store
+
+
+def test_branch_class_implies_branch_flag():
+    branch = MicroOp(pc=0x200, uop_class=UopClass.BRANCH, sources=(SPACE.int_reg(0),))
+    assert branch.is_branch
+
+
+def test_negative_pc_rejected():
+    with pytest.raises(ValueError):
+        MicroOp(pc=-4, uop_class=UopClass.IALU)
+
+
+def test_at_most_two_sources():
+    sources = (SPACE.int_reg(0), SPACE.int_reg(1), SPACE.int_reg(2))
+    with pytest.raises(ValueError):
+        MicroOp(pc=0, uop_class=UopClass.IALU, sources=sources)
+
+
+def test_fp_predicate_matches_class():
+    fp = MicroOp(pc=0, uop_class=UopClass.FPMUL, dest=SPACE.fp_reg(0))
+    intop = MicroOp(pc=0, uop_class=UopClass.IALU, dest=SPACE.int_reg(0))
+    assert fp.is_fp and not intop.is_fp
+
+
+def test_latency_property_matches_table():
+    for uop_class in UopClass:
+        kwargs = {}
+        if uop_class in (UopClass.LOAD, UopClass.STORE):
+            kwargs["mem_addr"] = 128
+        uop = MicroOp(pc=0x40, uop_class=uop_class, **kwargs)
+        assert uop.latency == OP_LATENCY[uop_class]
+
+
+def test_str_contains_class_and_pc():
+    uop = MicroOp(pc=0x1234, uop_class=UopClass.IALU, dest=SPACE.int_reg(2),
+                  sources=(SPACE.int_reg(0),))
+    text = str(uop)
+    assert "ialu" in text and "1234" in text

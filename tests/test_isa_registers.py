@@ -1,0 +1,76 @@
+"""Unit tests for the logical register namespace."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.registers import LogicalRegister, RegisterClass, RegisterSpace
+
+
+def test_register_space_defaults():
+    space = RegisterSpace()
+    assert space.num_int == RegisterSpace.DEFAULT_INT
+    assert space.num_fp == RegisterSpace.DEFAULT_FP
+    assert space.total == space.num_int + space.num_fp
+
+
+def test_register_space_rejects_non_positive_sizes():
+    with pytest.raises(ValueError):
+        RegisterSpace(num_int=0)
+    with pytest.raises(ValueError):
+        RegisterSpace(num_fp=-1)
+
+
+def test_logical_register_rejects_negative_index():
+    with pytest.raises(ValueError):
+        LogicalRegister(-1, RegisterClass.INT)
+
+
+def test_register_class_predicates():
+    space = RegisterSpace(4, 4)
+    assert space.int_reg(1).is_int and not space.int_reg(1).is_fp
+    assert space.fp_reg(2).is_fp and not space.fp_reg(2).is_int
+
+
+def test_register_string_form():
+    space = RegisterSpace(8, 8)
+    assert str(space.int_reg(3)) == "r3"
+    assert str(space.fp_reg(5)) == "f5"
+
+
+def test_int_and_fp_indices_wrap_around():
+    space = RegisterSpace(4, 4)
+    assert space.int_reg(5) == space.int_reg(1)
+    assert space.fp_reg(9) == space.fp_reg(1)
+
+
+def test_flat_index_is_dense_and_unique():
+    space = RegisterSpace(6, 5)
+    indices = [space.flat_index(reg) for reg in space.all_registers()]
+    assert sorted(indices) == list(range(space.total))
+
+
+def test_flat_index_rejects_out_of_range_register():
+    space = RegisterSpace(4, 4)
+    with pytest.raises(ValueError):
+        space.flat_index(LogicalRegister(7, RegisterClass.INT))
+    with pytest.raises(ValueError):
+        space.flat_index(LogicalRegister(4, RegisterClass.FP))
+
+
+def test_all_registers_orders_int_before_fp():
+    space = RegisterSpace(3, 2)
+    regs = space.all_registers()
+    assert all(r.is_int for r in regs[:3])
+    assert all(r.is_fp for r in regs[3:])
+
+
+@given(num_int=st.integers(1, 64), num_fp=st.integers(1, 64))
+def test_flat_index_roundtrip_property(num_int, num_fp):
+    """Every register maps to a unique flat index below the total."""
+    space = RegisterSpace(num_int, num_fp)
+    seen = set()
+    for reg in space.all_registers():
+        flat = space.flat_index(reg)
+        assert 0 <= flat < space.total
+        seen.add(flat)
+    assert len(seen) == space.total

@@ -1,0 +1,84 @@
+"""Unit tests for the issue queues."""
+
+import pytest
+
+from repro.backend.issue_queue import IssueQueue
+from repro.backend.register_file import PhysicalRegisterFile
+from repro.isa.microops import MicroOp, UopClass
+from repro.isa.registers import RegisterSpace
+from repro.sim.uop import DynamicUop
+
+SPACE = RegisterSpace()
+
+
+def _uop(seq, src_ready_cycles, rf):
+    static = MicroOp(pc=0x100 + 4 * seq, uop_class=UopClass.IALU, dest=SPACE.int_reg(0))
+    dynamic = DynamicUop(static, seq)
+    for ready in src_ready_cycles:
+        index = rf.allocate()
+        rf.set_ready(index, ready)
+        dynamic.src_refs.append((rf, index))
+    return dynamic
+
+
+def test_capacity_and_space_checks():
+    queue = IssueQueue("IQ", 2)
+    rf = PhysicalRegisterFile("IRF", 16)
+    queue.insert(_uop(0, [0], rf))
+    assert queue.has_space()
+    queue.insert(_uop(1, [0], rf))
+    assert not queue.has_space()
+    with pytest.raises(RuntimeError):
+        queue.insert(_uop(2, [0], rf))
+
+
+def test_issue_selects_oldest_ready_entry():
+    queue = IssueQueue("IQ", 8)
+    rf = PhysicalRegisterFile("IRF", 16)
+    late = _uop(0, [50], rf)
+    early = _uop(1, [0], rf)
+    queue.insert(late)
+    queue.insert(early)
+    issued = queue.issue(cycle=10)
+    assert issued == [early]
+    assert len(queue) == 1
+    # Once its operand is ready, the older entry issues too.
+    assert queue.issue(cycle=60) == [late]
+
+
+def test_issue_width_limits_selections_per_cycle():
+    queue = IssueQueue("IQ", 8, issue_width=1)
+    rf = PhysicalRegisterFile("IRF", 16)
+    for seq in range(4):
+        queue.insert(_uop(seq, [0], rf))
+    assert len(queue.issue(cycle=0)) == 1
+    wide = IssueQueue("IQ", 8, issue_width=3)
+    for seq in range(4):
+        wide.insert(_uop(seq, [0], rf))
+    assert len(wide.issue(cycle=0)) == 3
+
+
+def test_issue_with_no_ready_entries_returns_empty():
+    queue = IssueQueue("IQ", 4)
+    rf = PhysicalRegisterFile("IRF", 16)
+    queue.insert(_uop(0, [99], rf))
+    assert queue.issue(cycle=0) == []
+    assert queue.occupancy == 1
+
+
+def test_counters_and_peek():
+    queue = IssueQueue("IQ", 4)
+    rf = PhysicalRegisterFile("IRF", 16)
+    first = _uop(0, [0], rf)
+    queue.insert(first)
+    assert queue.peek_oldest() is first
+    queue.issue(cycle=0)
+    assert queue.inserted == 1 and queue.issued == 1
+    assert queue.peek_oldest() is None
+
+
+def test_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        IssueQueue("IQ", 0)
+    with pytest.raises(ValueError):
+        IssueQueue("IQ", 4, issue_width=0)

@@ -1,0 +1,77 @@
+"""Unit tests for the UL2 cache and the shared buses."""
+
+import pytest
+
+from repro.memory.bus import Bus, BusPool
+from repro.memory.ul2 import UnifiedL2Cache
+from repro.sim.config import MemoryConfig
+
+
+# ----------------------------------------------------------------------
+# UL2
+# ----------------------------------------------------------------------
+def test_ul2_hit_and_miss_latencies():
+    config = MemoryConfig()
+    ul2 = UnifiedL2Cache(config)
+    first = ul2.access(0x10_000)
+    assert first == config.ul2_hit_latency + config.ul2_miss_latency
+    second = ul2.access(0x10_000)
+    assert second == config.ul2_hit_latency
+    assert ul2.hits == 1 and ul2.misses == 1
+    assert ul2.hit_rate == 0.5
+
+
+def test_ul2_same_line_hits():
+    config = MemoryConfig()
+    ul2 = UnifiedL2Cache(config)
+    ul2.access(0x2000)
+    assert ul2.access(0x2000 + config.line_bytes - 1) == config.ul2_hit_latency
+
+
+def test_ul2_eviction_after_associativity_exhausted():
+    config = MemoryConfig(ul2_kb=64, ul2_associativity=2)
+    ul2 = UnifiedL2Cache(config)
+    stride = ul2.num_sets * ul2.line_bytes
+    addresses = [i * stride for i in range(3)]
+    for address in addresses:
+        ul2.access(address)
+    assert ul2.access(addresses[0]) > config.ul2_hit_latency  # was evicted
+
+
+# ----------------------------------------------------------------------
+# Buses
+# ----------------------------------------------------------------------
+def test_bus_serializes_transfers():
+    bus = Bus("mem0", transfer_latency=4, arbitration_latency=1)
+    first = bus.request(0)
+    assert first == 5
+    second = bus.request(0)
+    assert second == 9  # waits for the first transfer to finish
+    assert bus.transfers == 2
+
+
+def test_bus_utilization_is_bounded():
+    bus = Bus("mem0", 4, 1)
+    for _ in range(10):
+        bus.request(0)
+    assert bus.utilization(1000) == pytest.approx(0.04)
+    assert bus.utilization(10) == 1.0
+    assert bus.utilization(0) == 0.0
+
+
+def test_bus_pool_load_balances_across_buses():
+    pool = BusPool("mem", count=2, transfer_latency=4, arbitration_latency=1)
+    first = pool.request(0)
+    second = pool.request(0)
+    # Two buses: both requests start immediately instead of serializing.
+    assert first == second == 5
+    third = pool.request(0)
+    assert third == 9
+    assert pool.transfers == 3
+
+
+def test_bus_validation():
+    with pytest.raises(ValueError):
+        Bus("x", 0, 1)
+    with pytest.raises(ValueError):
+        BusPool("x", 0, 4, 1)

@@ -1,0 +1,57 @@
+"""Unit tests for the point-to-point inter-cluster network."""
+
+import pytest
+
+from repro.interconnect.p2p import PointToPointNetwork
+
+
+def _network():
+    return PointToPointNetwork(num_clusters=4, num_links=2, hop_latency=1)
+
+
+def test_hop_counts_follow_the_paper():
+    network = _network()
+    assert network.hops(0, 0) == 0
+    assert network.hops(0, 1) == 1
+    assert network.hops(1, 3) == 2
+    # Two cycles from side to side of the chip (Table 1).
+    assert network.hops(0, 3) == 2
+
+
+def test_local_transfer_is_free():
+    network = _network()
+    assert network.transfer(10, 2, 2) == 10
+    assert network.transfers == 0
+
+
+def test_transfer_latency_scales_with_hops():
+    network = _network()
+    assert network.transfer(0, 0, 1) == 1
+    assert network.transfer(100, 0, 3) == 102
+
+
+def test_traffic_matrix_and_average_hops():
+    network = _network()
+    network.transfer(0, 0, 1)
+    network.transfer(0, 0, 3)
+    network.transfer(0, 1, 0)
+    matrix = network.traffic_matrix()
+    assert matrix[(0, 1)] == 1 and matrix[(0, 3)] == 1 and matrix[(1, 0)] == 1
+    assert network.average_hops == pytest.approx((1 + 2 + 1) / 3)
+
+
+def test_links_are_a_shared_resource():
+    network = PointToPointNetwork(num_clusters=4, num_links=1, hop_latency=1)
+    first = network.transfer(0, 0, 1)
+    second = network.transfer(0, 2, 3)
+    assert second > first or second >= 2  # second transfer waits for the link
+
+
+def test_invalid_clusters_rejected():
+    network = _network()
+    with pytest.raises(ValueError):
+        network.hops(0, 4)
+    with pytest.raises(ValueError):
+        network.transfer(0, -1, 2)
+    with pytest.raises(ValueError):
+        PointToPointNetwork(0, 1, 1)

@@ -1,0 +1,72 @@
+"""Unit tests for the analytical CACTI-like area/energy model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.power.cacti import (
+    cam_access_energy_nj,
+    cam_area_mm2,
+    sram_access_energy_nj,
+    sram_area_mm2,
+)
+
+
+def test_area_grows_with_capacity_and_ports():
+    small = sram_area_mm2(16 * 1024)
+    large = sram_area_mm2(64 * 1024)
+    assert large > small
+    assert large == pytest.approx(4 * small)
+    single_port = sram_area_mm2(16 * 1024, 1, 1)
+    multi_port = sram_area_mm2(16 * 1024, 4, 2)
+    assert multi_port > single_port
+
+
+def test_energy_grows_with_capacity_width_assoc_and_ports():
+    base = sram_access_energy_nj(16 * 1024)
+    assert sram_access_energy_nj(256 * 1024) > base
+    assert sram_access_energy_nj(16 * 1024, access_bytes=64) > base
+    assert sram_access_energy_nj(16 * 1024, associativity=8) > base
+    assert sram_access_energy_nj(16 * 1024, read_ports=6, write_ports=3) > base
+
+
+def test_l1_and_l2_energy_are_in_published_ranges():
+    l1 = sram_access_energy_nj(16 * 1024, access_bytes=8, associativity=2,
+                               read_ports=1, write_ports=1)
+    l2 = sram_access_energy_nj(2 * 1024 * 1024, access_bytes=64, associativity=8)
+    assert 0.05 < l1 < 0.5
+    assert 1.0 < l2 < 10.0
+    assert l2 > l1 * 5
+
+
+def test_cam_energy_and_area_grow_with_entries():
+    assert cam_access_energy_nj(96, 52) > cam_access_energy_nj(40, 52)
+    assert cam_area_mm2(96, 52) > cam_area_mm2(40, 52)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        sram_area_mm2(0)
+    with pytest.raises(ValueError):
+        sram_access_energy_nj(1024, access_bytes=0)
+    with pytest.raises(ValueError):
+        sram_access_energy_nj(1024, associativity=0)
+    with pytest.raises(ValueError):
+        cam_access_energy_nj(0, 32)
+    with pytest.raises(ValueError):
+        cam_area_mm2(16, 0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    capacity=st.integers(128, 4 * 1024 * 1024),
+    ports=st.integers(1, 16),
+    assoc=st.sampled_from([1, 2, 4, 8]),
+)
+def test_energy_and_area_are_positive_and_monotone_in_capacity(capacity, ports, assoc):
+    """Property: the model never returns non-positive values and doubling the
+    capacity never reduces energy or area."""
+    energy = sram_access_energy_nj(capacity, associativity=assoc, read_ports=ports)
+    area = sram_area_mm2(capacity, read_ports=ports)
+    assert energy > 0 and area > 0
+    assert sram_access_energy_nj(capacity * 2, associativity=assoc, read_ports=ports) >= energy
+    assert sram_area_mm2(capacity * 2, read_ports=ports) >= area

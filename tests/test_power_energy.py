@@ -1,0 +1,90 @@
+"""Unit tests for the per-block area / energy parameters."""
+
+import pytest
+
+from repro.core.presets import (
+    bank_hopping_config,
+    baseline_config,
+    distributed_rename_commit_config,
+)
+from repro.power.energy import (
+    BlockPowerParameters,
+    area_by_group,
+    build_block_parameters,
+    total_area_mm2,
+)
+from repro.sim import blocks
+
+
+def test_every_block_has_parameters(config):
+    params = build_block_parameters(config)
+    assert set(params) == set(blocks.all_blocks(config))
+    for name, p in params.items():
+        assert p.area_mm2 > 0, name
+        assert p.energy_per_access_nj > 0, name
+        assert p.idle_power_w >= 0, name
+
+
+def test_block_parameters_validation():
+    with pytest.raises(ValueError):
+        BlockPowerParameters(area_mm2=0.0, energy_per_access_nj=1.0, idle_power_w=0.0)
+    with pytest.raises(ValueError):
+        BlockPowerParameters(area_mm2=1.0, energy_per_access_nj=-1.0, idle_power_w=0.0)
+
+
+def test_only_trace_cache_banks_are_gateable(config):
+    params = build_block_parameters(config)
+    gateable = {name for name, p in params.items() if p.gateable}
+    assert gateable == set(blocks.trace_cache_blocks(config))
+
+
+def test_frontend_area_share_is_about_a_fifth(config):
+    """The paper quotes ~20% of processor area for the frontend."""
+    params = build_block_parameters(config)
+    groups = area_by_group(config, params)
+    share = groups["Frontend"] / groups["Processor"]
+    assert 0.10 < share < 0.35
+    assert groups["Processor"] == pytest.approx(total_area_mm2(params))
+
+
+def test_ul2_is_the_largest_single_block(config):
+    params = build_block_parameters(config)
+    largest = max(params, key=lambda name: params[name].area_mm2)
+    assert largest == blocks.UL2
+
+
+def test_distributed_partitions_are_cheaper_per_access_but_cost_area():
+    baseline = build_block_parameters(baseline_config())
+    distributed = build_block_parameters(distributed_rename_commit_config())
+    # Each partition's access costs less than half the monolithic access
+    # (Section 4.1: "each access consumes less than half the energy").
+    assert distributed["ROB0"].energy_per_access_nj < 0.55 * baseline["ROB"].energy_per_access_nj
+    assert distributed["RAT0"].energy_per_access_nj < 0.55 * baseline["RAT"].energy_per_access_nj
+    # Both partitions together occupy more area than the monolithic block
+    # (the paper charges ~3% of processor area for the distribution).
+    rob_area = distributed["ROB0"].area_mm2 + distributed["ROB1"].area_mm2
+    assert rob_area > baseline["ROB"].area_mm2
+    overhead = (
+        total_area_mm2(distributed) - total_area_mm2(baseline)
+    ) / total_area_mm2(baseline)
+    assert 0.0 < overhead < 0.08
+
+
+def test_bank_hopping_extra_bank_increases_trace_cache_area_not_bank_size():
+    baseline = build_block_parameters(baseline_config())
+    hopping = build_block_parameters(bank_hopping_config())
+    assert hopping["TC0"].area_mm2 == pytest.approx(baseline["TC0"].area_mm2)
+    baseline_tc_area = sum(p.area_mm2 for n, p in baseline.items() if n.startswith("TC"))
+    hopping_tc_area = sum(p.area_mm2 for n, p in hopping.items() if n.startswith("TC"))
+    assert hopping_tc_area == pytest.approx(1.5 * baseline_tc_area)
+
+
+def test_partition_parameters_identical_across_partitions():
+    params = build_block_parameters(distributed_rename_commit_config())
+    assert params["ROB0"] == params["ROB1"]
+    assert params["RAT0"] == params["RAT1"]
+
+
+def test_fp_register_file_access_costs_more_than_dtlb(config):
+    params = build_block_parameters(config)
+    assert params["C0_FPRF"].energy_per_access_nj > params["C0_DTLB"].energy_per_access_nj

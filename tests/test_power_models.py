@@ -1,0 +1,110 @@
+"""Unit tests for the leakage model and the activity-based power model."""
+
+import math
+
+import pytest
+
+from repro.power.energy import BlockPowerParameters
+from repro.power.leakage import LeakageModel
+from repro.power.power_model import PowerModel
+from repro.sim.config import PowerConfig
+
+
+def _params():
+    return {
+        "HOT": BlockPowerParameters(area_mm2=2.0, energy_per_access_nj=0.5, idle_power_w=0.2),
+        "COLD": BlockPowerParameters(area_mm2=4.0, energy_per_access_nj=0.1, idle_power_w=0.1,
+                                     gateable=True),
+    }
+
+
+# ----------------------------------------------------------------------
+# Leakage
+# ----------------------------------------------------------------------
+def test_leakage_fraction_at_ambient_matches_config():
+    config = PowerConfig()
+    model = LeakageModel(config, ["A"])
+    assert model.leakage_factor(config.ambient_celsius) == pytest.approx(
+        config.leakage_fraction_at_ambient
+    )
+
+
+def test_leakage_grows_exponentially_with_temperature():
+    config = PowerConfig()
+    model = LeakageModel(config, ["A"])
+    low = model.leakage_factor(60.0)
+    high = model.leakage_factor(100.0)
+    expected_ratio = math.exp(config.leakage_temperature_coefficient * 40.0)
+    assert high / low == pytest.approx(expected_ratio)
+
+
+def test_leakage_factor_is_clamped_against_runaway():
+    config = PowerConfig()
+    model = LeakageModel(config, ["A"])
+    assert model.leakage_factor(1e6) == model.leakage_factor(
+        config.ambient_celsius + LeakageModel.MAX_DELTA_CELSIUS
+    )
+
+
+def test_leakage_uses_running_average_dynamic_power():
+    config = PowerConfig()
+    model = LeakageModel(config, ["A"])
+    model.observe_dynamic_power({"A": 10.0})
+    model.observe_dynamic_power({"A": 20.0})
+    assert model.nominal_dynamic_power("A") == pytest.approx(15.0)
+    leakage = model.leakage_power({"A": config.ambient_celsius})
+    assert leakage["A"] == pytest.approx(15.0 * config.leakage_fraction_at_ambient)
+
+
+def test_gated_blocks_do_not_leak():
+    config = PowerConfig()
+    model = LeakageModel(config, ["A", "B"])
+    model.seed_nominal_power({"A": 10.0, "B": 10.0})
+    leakage = model.leakage_power({"A": 80.0, "B": 80.0}, gated_blocks=["B"])
+    assert leakage["B"] == 0.0 and leakage["A"] > 0.0
+
+
+# ----------------------------------------------------------------------
+# Power model
+# ----------------------------------------------------------------------
+def test_dynamic_power_scales_with_activity_and_frequency():
+    config = PowerConfig()
+    model = PowerModel(config, _params())
+    power = model.dynamic_power({"HOT": 1000, "COLD": 0}, cycles=1000)
+    # 1 access/cycle at 0.5 nJ and 10 GHz = 5 W switching + 0.2 W idle.
+    assert power["HOT"] == pytest.approx(5.2)
+    assert power["COLD"] == pytest.approx(0.1)  # idle only
+
+
+def test_gated_blocks_dissipate_nothing():
+    model = PowerModel(PowerConfig(), _params())
+    power = model.dynamic_power({"HOT": 10, "COLD": 10}, cycles=10, gated_blocks=["COLD"])
+    assert power["COLD"] == 0.0
+
+
+def test_compute_returns_breakdown_with_leakage():
+    config = PowerConfig()
+    model = PowerModel(config, _params())
+    breakdown = model.compute({"HOT": 500, "COLD": 100}, cycles=1000,
+                              temperatures={"HOT": 80.0, "COLD": 60.0})
+    assert breakdown.total() == pytest.approx(
+        breakdown.total_dynamic() + breakdown.total_leakage()
+    )
+    per_block = breakdown.per_block_total()
+    assert per_block["HOT"] > per_block["COLD"]
+    assert breakdown.leakage["HOT"] > breakdown.leakage["COLD"]
+
+
+def test_nominal_power_seeds_the_leakage_model():
+    config = PowerConfig()
+    model = PowerModel(config, _params())
+    nominal = model.nominal_power({"HOT": 1000, "COLD": 0}, cycles=1000)
+    # Nominal = dynamic + ambient leakage.
+    assert nominal["HOT"] == pytest.approx(5.2 * (1 + config.leakage_fraction_at_ambient))
+    assert model.leakage_model.nominal_dynamic_power("HOT") == pytest.approx(5.2)
+
+
+def test_cycles_must_be_positive():
+    model = PowerModel(PowerConfig(), _params())
+    with pytest.raises(ValueError):
+        model.dynamic_power({"HOT": 1}, cycles=0)

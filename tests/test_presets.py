@@ -1,0 +1,87 @@
+"""Unit tests for the configuration presets of the evaluated configurations."""
+
+import pytest
+
+from repro.core.presets import (
+    ALL_CONFIGURATIONS,
+    FrontendOrganization,
+    address_biasing_config,
+    bank_hopping_biasing_config,
+    bank_hopping_config,
+    baseline_config,
+    blank_silicon_config,
+    config_for,
+    distributed_frontend_config,
+    distributed_rename_commit_config,
+)
+
+
+def test_every_organization_has_a_builder():
+    assert set(ALL_CONFIGURATIONS) == set(FrontendOrganization)
+    for organization in FrontendOrganization:
+        config = config_for(organization)
+        assert config.name == organization.value
+
+
+def test_config_for_rejects_unknown_values():
+    with pytest.raises(KeyError):
+        config_for("not-an-organization")
+
+
+def test_baseline_is_monolithic_two_banked():
+    config = baseline_config()
+    assert config.frontend.num_frontends == 1
+    tc = config.frontend.trace_cache
+    assert tc.physical_banks == 2 and tc.active_banks == 2
+    assert not tc.bank_hopping and not tc.thermal_aware_mapping and not tc.blank_silicon
+
+
+def test_distributed_rename_commit_splits_the_frontend():
+    config = distributed_rename_commit_config()
+    assert config.frontend.num_frontends == 2
+    assert config.frontend.is_distributed
+    # The trace cache is untouched by this technique.
+    assert config.frontend.trace_cache == baseline_config().frontend.trace_cache
+    four = distributed_rename_commit_config(num_frontends=4)
+    assert four.frontend.num_frontends == 4
+
+
+def test_address_biasing_only_changes_the_mapping_function():
+    config = address_biasing_config()
+    tc = config.frontend.trace_cache
+    assert tc.thermal_aware_mapping
+    assert tc.physical_banks == 2 and not tc.bank_hopping
+    assert config.frontend.num_frontends == 1
+
+
+def test_blank_silicon_adds_a_statically_gated_bank():
+    tc = blank_silicon_config().frontend.trace_cache
+    assert tc.physical_banks == 3 and tc.active_banks == 2
+    assert tc.blank_silicon and not tc.bank_hopping
+
+
+def test_bank_hopping_adds_an_extra_bank():
+    tc = bank_hopping_config().frontend.trace_cache
+    assert tc.physical_banks == 3 and tc.active_banks == 2
+    assert tc.bank_hopping and not tc.thermal_aware_mapping
+
+
+def test_hopping_plus_biasing_combines_both():
+    tc = bank_hopping_biasing_config().frontend.trace_cache
+    assert tc.bank_hopping and tc.thermal_aware_mapping
+
+
+def test_distributed_frontend_combines_all_techniques():
+    config = distributed_frontend_config()
+    assert config.frontend.num_frontends == 2
+    tc = config.frontend.trace_cache
+    assert tc.bank_hopping and tc.thermal_aware_mapping and tc.physical_banks == 3
+
+
+def test_presets_share_the_backend_and_memory_hierarchy():
+    baseline = baseline_config()
+    for organization in FrontendOrganization:
+        config = config_for(organization)
+        assert config.backend == baseline.backend
+        assert config.memory == baseline.memory
+        assert config.interconnect == baseline.interconnect

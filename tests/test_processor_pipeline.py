@@ -1,0 +1,148 @@
+"""Integration tests of the cycle-level processor pipeline."""
+
+import pytest
+
+from repro.core.presets import (
+    baseline_config,
+    distributed_frontend_config,
+    distributed_rename_commit_config,
+)
+from repro.isa.microops import MicroOp, UopClass
+from repro.isa.registers import RegisterSpace
+from repro.sim.processor import Processor
+from repro.sim.uop import UopState
+from repro.workloads.generator import TraceGenerator
+
+SPACE = RegisterSpace()
+
+
+def _run(config, uops):
+    processor = Processor(config, iter(uops))
+    processor.run()
+    return processor
+
+
+def _simple_program(n=64):
+    uops = []
+    for i in range(n):
+        uops.append(
+            MicroOp(pc=0x1000 + 4 * i, uop_class=UopClass.IALU,
+                    dest=SPACE.int_reg(i % 8), sources=(SPACE.int_reg((i + 1) % 8),))
+        )
+    return uops
+
+
+def test_every_fetched_uop_commits(small_trace):
+    processor = _run(baseline_config(), list(small_trace))
+    assert processor.finished
+    assert processor.stats.committed_uops == len(small_trace)
+    assert processor.stats.fetched_uops == len(small_trace)
+    assert processor.stats.cycles > 0
+
+
+def test_simple_dependent_chain_completes():
+    processor = _run(baseline_config(), _simple_program())
+    assert processor.stats.committed_uops == 64
+    # With an 8-deep logical register rotation the chain has ILP, so the run
+    # should not take absurdly long.
+    assert processor.stats.cycles < 2000
+
+
+def test_ipc_is_physical(small_trace):
+    processor = _run(baseline_config(), list(small_trace))
+    assert 0.05 < processor.stats.ipc <= 8.0
+
+
+def test_copies_are_generated_and_complete(small_trace):
+    processor = _run(baseline_config(), list(small_trace))
+    assert processor.stats.copy_uops_generated > 0
+    assert processor.stats.committed_copies == processor.stats.copy_uops_generated
+
+
+def test_activity_counters_track_committed_work(small_trace):
+    processor = _run(baseline_config(), list(small_trace))
+    totals = processor.activity.total_counts()
+    # The decoder/steering block sees at least one access per fetched
+    # micro-op (decode) plus the availability-table and freelist lookups.
+    assert totals["DECO"] >= processor.stats.fetched_uops
+    # The monolithic ROB sees one allocation and one commit read per uop.
+    assert totals["ROB"] == 2 * processor.stats.committed_uops
+    # Register files, schedulers and FUs saw activity.
+    assert sum(totals[f"C{c}_IRF"] for c in range(4)) > 0
+    assert sum(totals[f"C{c}_IS"] for c in range(4)) > 0
+    assert sum(totals[f"C{c}_IFU"] for c in range(4)) > 0
+
+
+def test_distributed_configuration_commits_everything(small_trace):
+    processor = _run(distributed_rename_commit_config(), list(small_trace))
+    assert processor.finished
+    assert processor.stats.committed_uops == len(small_trace)
+    totals = processor.activity.total_counts()
+    assert totals["ROB0"] + totals["ROB1"] == 2 * processor.stats.committed_uops
+    assert totals["RAT0"] > 0 and totals["RAT1"] > 0
+    assert processor.stats.copy_requests_between_frontends > 0
+
+
+def test_distributed_and_baseline_commit_the_same_program(small_trace):
+    base = _run(baseline_config(), list(small_trace))
+    dist = _run(distributed_rename_commit_config(), list(small_trace))
+    assert base.stats.committed_uops == dist.stats.committed_uops
+    # The distributed frontend costs at most a few percent of execution time
+    # either way (commit latency, copy requests) — it must not change the
+    # execution time dramatically.
+    assert abs(dist.stats.cycles - base.stats.cycles) / base.stats.cycles < 0.15
+
+
+def test_full_distributed_frontend_runs(fp_trace):
+    processor = _run(distributed_frontend_config(), list(fp_trace))
+    assert processor.finished
+    assert processor.stats.committed_uops == len(fp_trace)
+    # FP work reaches the FP datapath.
+    totals = processor.activity.total_counts()
+    assert sum(totals[f"C{c}_FPFU"] for c in range(4)) > 0
+
+
+def test_steering_spreads_work_across_clusters(small_trace):
+    processor = _run(baseline_config(), list(small_trace))
+    balance = processor.stats.cluster_balance()
+    assert len(balance) == 4
+    assert max(balance.values()) < 0.8  # no single cluster takes everything
+
+
+def test_loads_and_stores_access_the_memory_hierarchy(small_trace):
+    processor = _run(baseline_config(), list(small_trace))
+    stats = processor.stats
+    assert stats.dcache_hits + stats.dcache_misses > 0
+    totals = processor.activity.total_counts()
+    assert sum(totals[f"C{c}_MOB"] for c in range(4)) > 0
+    assert sum(totals[f"C{c}_DL1"] for c in range(4)) > 0
+
+
+def test_mispredicted_branches_cost_fetch_stall_cycles():
+    generator = TraceGenerator("twolf", seed=3)  # high misprediction rate
+    processor = _run(baseline_config(), generator.generate(1500).uops)
+    assert processor.stats.mispredicted_branches > 0
+    assert processor.stats.fetch_stall_cycles > 0
+
+
+def test_run_with_cycle_limit_stops_early(small_trace):
+    processor = Processor(baseline_config(), iter(list(small_trace)))
+    processor.run(max_cycles=50)
+    assert processor.cycle <= 50
+    assert not processor.finished
+
+
+def test_run_cycles_resumes_and_finishes(small_trace):
+    processor = Processor(baseline_config(), iter(list(small_trace)))
+    finished = processor.run_cycles(100)
+    assert not finished
+    while not processor.run_cycles(500):
+        pass
+    assert processor.stats.committed_uops == len(small_trace)
+
+
+def test_describe_state_mentions_progress(small_trace):
+    processor = Processor(baseline_config(), iter(list(small_trace)))
+    processor.run_cycles(60)
+    text = processor.describe_state()
+    assert "cycle" in text and "committed" in text

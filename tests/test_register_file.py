@@ -1,0 +1,63 @@
+"""Unit tests for the physical register file."""
+
+import pytest
+
+from repro.backend.register_file import PhysicalRegisterFile, RegisterFileFullError
+
+
+def test_allocate_and_free_cycle():
+    rf = PhysicalRegisterFile("IRF", 4)
+    indices = [rf.allocate() for _ in range(4)]
+    assert sorted(indices) == [0, 1, 2, 3]
+    assert rf.free_count == 0 and rf.allocated_count == 4
+    with pytest.raises(RegisterFileFullError):
+        rf.allocate()
+    rf.free(indices[0])
+    assert rf.free_count == 1
+    assert rf.allocate() == indices[0]
+
+
+def test_freeing_unallocated_register_is_an_error():
+    rf = PhysicalRegisterFile("IRF", 4)
+    with pytest.raises(ValueError):
+        rf.free(1)
+    with pytest.raises(IndexError):
+        rf.free(9)
+
+
+def test_newly_allocated_register_is_not_ready():
+    rf = PhysicalRegisterFile("IRF", 8)
+    index = rf.allocate()
+    assert not rf.is_ready(index, cycle=10_000)
+    rf.set_ready(index, 42)
+    assert not rf.is_ready(index, 41)
+    assert rf.is_ready(index, 42)
+    assert rf.ready_cycle(index) == 42
+
+
+def test_set_ready_requires_allocation():
+    rf = PhysicalRegisterFile("IRF", 8)
+    with pytest.raises(ValueError):
+        rf.set_ready(3, 10)
+
+
+def test_can_allocate_counts():
+    rf = PhysicalRegisterFile("IRF", 3)
+    assert rf.can_allocate(3)
+    rf.allocate()
+    assert rf.can_allocate(2)
+    assert not rf.can_allocate(3)
+
+
+def test_write_counter_tracks_set_ready():
+    rf = PhysicalRegisterFile("IRF", 4)
+    index = rf.allocate()
+    rf.set_ready(index, 1)
+    rf.record_read(2)
+    assert rf.writes == 1
+    assert rf.reads == 2
+
+
+def test_requires_positive_capacity():
+    with pytest.raises(ValueError):
+        PhysicalRegisterFile("IRF", 0)

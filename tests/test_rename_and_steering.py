@@ -1,0 +1,169 @@
+"""Unit tests for the centralized rename unit and the steering unit."""
+
+import pytest
+
+from repro.backend.cluster import Cluster
+from repro.frontend.rename import CentralizedRenameUnit
+from repro.frontend.steering import SteeringUnit
+from repro.isa.microops import MicroOp, UopClass
+from repro.isa.registers import RegisterSpace
+from repro.sim import blocks
+from repro.sim.config import ProcessorConfig, SteeringPolicy
+from repro.sim.stats import ActivityCounters, SimulationStats
+from repro.sim.uop import DynamicUop, UopState
+
+SPACE = RegisterSpace()
+
+
+def _machinery(config=None):
+    config = config or ProcessorConfig.baseline()
+    clusters = [Cluster(c, config.backend, config.memory) for c in range(config.backend.num_clusters)]
+    activity = ActivityCounters(blocks.all_blocks(config))
+    stats = SimulationStats()
+    rename = CentralizedRenameUnit(config, clusters, SPACE, activity, stats)
+    steering = SteeringUnit(config, clusters, rename.tables, SPACE)
+    return config, clusters, rename, steering, activity, stats
+
+
+def _alu(dest, sources, pc=0x100):
+    return MicroOp(pc=pc, uop_class=UopClass.IALU, dest=dest, sources=tuple(sources))
+
+
+_SEQ = iter(range(100000))
+
+
+def _rename(rename_unit, static, cluster, cycle=0):
+    dynamic = DynamicUop(static, next(_SEQ))
+    return rename_unit.rename(dynamic, cluster, cycle, lambda: next(_SEQ))
+
+
+def test_rename_allocates_destination_in_target_cluster():
+    _, clusters, rename, _, _, _ = _machinery()
+    outcome = _rename(rename, _alu(SPACE.int_reg(1), [SPACE.int_reg(0)]), cluster=2)
+    regfile, index = outcome.uop.dest_ref
+    assert regfile is clusters[2].int_rf
+    assert regfile.is_allocated(index)
+    assert outcome.uop.state is UopState.RENAMED
+    assert outcome.copies == []
+
+
+def test_local_source_reuses_existing_mapping_without_copy():
+    _, clusters, rename, _, _, stats = _machinery()
+    producer = _rename(rename, _alu(SPACE.int_reg(1), []), cluster=1)
+    consumer = _rename(rename, _alu(SPACE.int_reg(2), [SPACE.int_reg(1)]), cluster=1)
+    assert consumer.copies == []
+    assert consumer.uop.src_refs == [producer.uop.dest_ref]
+    assert stats.copy_uops_generated == 0
+
+
+def test_remote_source_generates_copy_into_consumer_cluster():
+    config, clusters, rename, _, _, stats = _machinery()
+    producer = _rename(rename, _alu(SPACE.int_reg(1), []), cluster=0)
+    consumer = _rename(rename, _alu(SPACE.int_reg(2), [SPACE.int_reg(1)]), cluster=3)
+    assert len(consumer.copies) == 1
+    copy = consumer.copies[0]
+    assert copy.is_copy
+    assert copy.cluster == 0                      # executes at the producer
+    assert copy.copy_dest_cluster == 3            # delivers to the consumer
+    assert copy.src_refs == [producer.uop.dest_ref]
+    dest_regfile, _ = copy.dest_ref
+    assert dest_regfile is clusters[3].int_rf
+    # The consumer reads the copy's destination register.
+    assert consumer.uop.src_refs == [copy.dest_ref]
+    assert stats.copy_uops_generated == 1
+    # In the monolithic frontend no copy request crosses frontends.
+    assert stats.copy_requests_between_frontends == 0
+
+
+def test_second_consumer_in_same_cluster_reuses_the_copy():
+    _, _, rename, _, _, stats = _machinery()
+    _rename(rename, _alu(SPACE.int_reg(1), []), cluster=0)
+    first = _rename(rename, _alu(SPACE.int_reg(2), [SPACE.int_reg(1)]), cluster=3)
+    second = _rename(rename, _alu(SPACE.int_reg(3), [SPACE.int_reg(1)]), cluster=3)
+    assert len(first.copies) == 1
+    assert second.copies == []
+    assert stats.copy_uops_generated == 1
+
+
+def test_cold_architectural_source_needs_no_copy():
+    _, _, rename, _, _, _ = _machinery()
+    outcome = _rename(rename, _alu(SPACE.int_reg(5), [SPACE.int_reg(4)]), cluster=0)
+    assert outcome.copies == []
+    assert outcome.uop.src_refs == []
+
+
+def test_new_writer_snapshots_previous_mappings_and_release_frees_them():
+    _, clusters, rename, _, _, _ = _machinery()
+    first = _rename(rename, _alu(SPACE.int_reg(1), []), cluster=0)
+    second = _rename(rename, _alu(SPACE.int_reg(1), []), cluster=1)
+    assert first.uop.dest_ref in second.uop.prev_mappings
+    regfile, index = first.uop.dest_ref
+    rename.release_at_commit(second.uop)
+    assert not regfile.is_allocated(index)
+    assert second.uop.prev_mappings == []
+
+
+def test_rat_activity_charged_to_monolithic_rat_block():
+    _, _, rename, _, activity, _ = _machinery()
+    _rename(rename, _alu(SPACE.int_reg(1), [SPACE.int_reg(0)]), cluster=0)
+    assert activity.total_counts()[blocks.RAT] >= 2  # one read + one write
+
+
+def test_can_rename_reflects_freelist_exhaustion():
+    config, clusters, rename, _, _, _ = _machinery()
+    uop = _alu(SPACE.int_reg(1), [SPACE.int_reg(0)])
+    # One integer register is needed for the destination and one for a
+    # potential copy target of the single source; a single free register is
+    # therefore not enough.
+    while clusters[0].int_rf.free_count > 1:
+        clusters[0].int_rf.allocate()
+    assert not rename.can_rename(uop, 0)
+    assert rename.can_rename(uop, 1)
+
+
+def test_live_mappings_counts_clusters():
+    _, _, rename, _, _, _ = _machinery()
+    _rename(rename, _alu(SPACE.int_reg(1), []), cluster=0)
+    _rename(rename, _alu(SPACE.int_reg(2), []), cluster=2)
+    live = rename.live_mappings()
+    assert live[0] == 1 and live[2] == 1 and live[1] == 0
+
+
+# ----------------------------------------------------------------------
+# Steering
+# ----------------------------------------------------------------------
+def test_dependence_steering_follows_the_producer():
+    _, clusters, rename, steering, _, _ = _machinery()
+    _rename(rename, _alu(SPACE.int_reg(1), []), cluster=2)
+    decision = steering.choose(_alu(SPACE.int_reg(2), [SPACE.int_reg(1)]))
+    assert decision.cluster == 2
+    assert decision.local_sources == 1 and decision.remote_sources == 0
+
+
+def test_dependence_steering_balances_load_when_no_dependences():
+    _, clusters, _, steering, _, _ = _machinery()
+    clusters[0].in_flight = 50
+    clusters[1].in_flight = 3
+    clusters[2].in_flight = 40
+    clusters[3].in_flight = 45
+    decision = steering.choose(_alu(SPACE.int_reg(9), []))
+    assert decision.cluster == 1
+
+
+def test_round_robin_policy_cycles_through_clusters():
+    import dataclasses
+    config = dataclasses.replace(ProcessorConfig.baseline(), steering_policy=SteeringPolicy.ROUND_ROBIN)
+    _, _, rename, steering, _, _ = _machinery(config)
+    picks = [steering.choose(_alu(SPACE.int_reg(1), [])).cluster for _ in range(8)]
+    assert picks == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+def test_load_balance_policy_picks_least_loaded():
+    import dataclasses
+    config = dataclasses.replace(ProcessorConfig.baseline(), steering_policy=SteeringPolicy.LOAD_BALANCE)
+    _, clusters, rename, steering, _, _ = _machinery(config)
+    clusters[0].in_flight = 10
+    clusters[3].in_flight = 1
+    clusters[1].in_flight = 5
+    clusters[2].in_flight = 7
+    assert steering.choose(_alu(SPACE.int_reg(1), [])).cluster == 3

@@ -1,0 +1,67 @@
+"""Unit tests for JSON serialization of simulation results."""
+
+import json
+
+import pytest
+
+from repro.core.presets import baseline_config
+from repro.sim.engine import SimulationEngine
+from repro.sim.serialization import (
+    SCHEMA_VERSION,
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+from repro.workloads.generator import TraceGenerator
+
+
+@pytest.fixture(scope="module")
+def simulated_result():
+    config = baseline_config().with_intervals(400)
+    trace = TraceGenerator("gzip", seed=4).generate(2000)
+    engine = SimulationEngine(config, trace.uops, "gzip", interval_cycles=400)
+    return engine.run()
+
+
+def test_roundtrip_preserves_metrics(simulated_result, tmp_path):
+    path = save_result(simulated_result, tmp_path / "runs" / "gzip.json")
+    assert path.exists()
+    loaded = load_result(path)
+    assert loaded.benchmark == simulated_result.benchmark
+    assert loaded.config_name == simulated_result.config_name
+    assert loaded.stats.cycles == simulated_result.stats.cycles
+    assert loaded.stats.committed_uops == simulated_result.stats.committed_uops
+    assert len(loaded.intervals) == len(simulated_result.intervals)
+    for group in ("Frontend", "TraceCache", "RenameTable"):
+        original = simulated_result.temperature_metrics(group)
+        restored = loaded.temperature_metrics(group)
+        for metric, value in original.items():
+            assert restored[metric] == pytest.approx(value)
+    assert loaded.average_power() == pytest.approx(simulated_result.average_power())
+
+
+def test_serialized_form_is_plain_json(simulated_result, tmp_path):
+    path = save_result(simulated_result, tmp_path / "result.json")
+    data = json.loads(path.read_text())
+    assert data["schema_version"] == SCHEMA_VERSION
+    assert data["benchmark"] == "gzip"
+    assert isinstance(data["intervals"], list)
+
+
+def test_dict_roundtrip_without_filesystem(simulated_result):
+    restored = result_from_dict(result_to_dict(simulated_result))
+    assert restored.stats.ipc == pytest.approx(simulated_result.stats.ipc)
+    assert restored.block_names == list(simulated_result.block_names)
+
+
+def test_unsupported_schema_version_rejected(simulated_result):
+    data = result_to_dict(simulated_result)
+    data["schema_version"] = 999
+    with pytest.raises(ValueError):
+        result_from_dict(data)
+
+
+def test_dispatched_per_cluster_keys_restored_as_ints(simulated_result):
+    restored = result_from_dict(result_to_dict(simulated_result))
+    assert all(isinstance(k, int) for k in restored.stats.dispatched_per_cluster)

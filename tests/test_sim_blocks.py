@@ -1,0 +1,54 @@
+"""Unit tests for the canonical block naming."""
+
+from repro.core.presets import bank_hopping_config, distributed_rename_commit_config
+from repro.sim import blocks
+
+
+def test_baseline_block_set(config):
+    names = blocks.all_blocks(config)
+    assert len(names) == len(set(names))
+    assert "ROB" in names and "RAT" in names
+    assert "TC0" in names and "TC1" in names and "TC2" not in names
+    assert "UL2" in names
+    assert "C0_DL1" in names and "C3_IRF" in names
+
+
+def test_distributed_configuration_splits_rob_and_rat():
+    config = distributed_rename_commit_config()
+    names = blocks.all_blocks(config)
+    assert "ROB0" in names and "ROB1" in names and "ROB" not in names
+    assert "RAT0" in names and "RAT1" in names and "RAT" not in names
+
+
+def test_bank_hopping_configuration_adds_a_bank():
+    config = bank_hopping_config()
+    assert blocks.trace_cache_blocks(config) == ["TC0", "TC1", "TC2"]
+
+
+def test_block_counts(config):
+    assert len(blocks.frontend_blocks(config)) == 2 + 3 + 2  # ROB, RAT, ITLB/DECO/BP, TC0/TC1
+    assert len(blocks.cluster_blocks(config, 0)) == len(blocks.CLUSTER_BLOCK_SUFFIXES)
+    assert len(blocks.backend_blocks(config)) == 4 * len(blocks.CLUSTER_BLOCK_SUFFIXES)
+    assert len(blocks.all_blocks(config)) == (
+        len(blocks.frontend_blocks(config)) + len(blocks.backend_blocks(config)) + 1
+    )
+
+
+def test_block_groups_cover_every_block(config):
+    groups = blocks.block_groups(config)
+    assert set(groups["Processor"]) == set(blocks.all_blocks(config))
+    assert set(groups["Frontend"]) | set(groups["Backend"]) | {"UL2"} == set(groups["Processor"])
+    assert groups["ReorderBuffer"] == ["ROB"]
+    assert groups["RenameTable"] == ["RAT"]
+    assert groups["TraceCache"] == ["TC0", "TC1"]
+
+
+def test_rob_and_rat_block_names_collapse_for_single_frontend():
+    assert blocks.rob_block(0, 1) == "ROB"
+    assert blocks.rob_block(1, 2) == "ROB1"
+    assert blocks.rat_block(0, 2) == "RAT0"
+
+
+def test_cluster_block_name_format():
+    assert blocks.cluster_block(2, blocks.CLUSTER_MOB) == "C2_MOB"
+    assert blocks.trace_cache_bank_block(1) == "TC1"

@@ -1,0 +1,108 @@
+"""Unit tests for the processor configuration (Table 1)."""
+
+import dataclasses
+
+import pytest
+
+from repro.sim.config import (
+    FrontendConfig,
+    ProcessorConfig,
+    SteeringPolicy,
+    TraceCacheConfig,
+)
+
+
+def test_baseline_matches_table1_headline_values(config):
+    assert config.frontend.fetch_width == 8
+    assert config.frontend.trace_cache.capacity_uops == 32 * 1024
+    assert config.backend.num_clusters == 4
+    assert config.memory.ul2_hit_latency == 12
+    assert config.power.frequency_ghz == 10.0
+    assert config.thermal.emergency_limit_kelvin == 381.0
+
+
+def test_trace_cache_derived_geometry():
+    tc = TraceCacheConfig()
+    assert tc.total_lines == tc.capacity_uops // tc.line_uops
+    assert tc.lines_per_bank == tc.total_lines // tc.active_banks
+    assert tc.sets_per_bank == tc.lines_per_bank // tc.associativity
+
+
+def test_trace_cache_validation():
+    with pytest.raises(ValueError):
+        TraceCacheConfig(active_banks=3, physical_banks=2)
+    with pytest.raises(ValueError):
+        TraceCacheConfig(bank_hopping=True, physical_banks=2, active_banks=2)
+    with pytest.raises(ValueError):
+        TraceCacheConfig(blank_silicon=True, physical_banks=2, active_banks=2)
+    with pytest.raises(ValueError):
+        TraceCacheConfig(capacity_uops=0)
+
+
+def test_frontend_validation():
+    with pytest.raises(ValueError):
+        FrontendConfig(rob_entries=255, num_frontends=2)  # must divide evenly
+    with pytest.raises(ValueError):
+        FrontendConfig(num_frontends=0)
+    fe = FrontendConfig(num_frontends=2)
+    assert fe.is_distributed
+    assert fe.rob_entries_per_frontend == fe.rob_entries // 2
+
+
+def test_clusters_must_divide_across_frontends():
+    with pytest.raises(ValueError):
+        ProcessorConfig(frontend=FrontendConfig(num_frontends=3, rob_entries=255))
+
+
+def test_frontend_of_cluster_mapping():
+    config = ProcessorConfig(frontend=FrontendConfig(num_frontends=2, rob_entries=256))
+    assert config.clusters_per_frontend == 2
+    assert [config.frontend_of_cluster(c) for c in range(4)] == [0, 0, 1, 1]
+    assert config.clusters_of_frontend(0) == (0, 1)
+    assert config.clusters_of_frontend(1) == (2, 3)
+    with pytest.raises(ValueError):
+        config.frontend_of_cluster(4)
+    with pytest.raises(ValueError):
+        config.clusters_of_frontend(2)
+
+
+def test_with_intervals_scales_all_periodic_intervals(config):
+    scaled = config.with_intervals(1234)
+    assert scaled.thermal.interval_cycles == 1234
+    assert scaled.frontend.trace_cache.hop_interval_cycles == 1234
+    assert scaled.frontend.trace_cache.remap_interval_cycles == 1234
+    # The original configuration is unchanged (frozen dataclasses).
+    assert config.thermal.interval_cycles == 10_000_000
+    with pytest.raises(ValueError):
+        config.with_intervals(0)
+
+
+def test_renamed_returns_copy_with_new_name(config):
+    renamed = config.renamed("other")
+    assert renamed.name == "other"
+    assert config.name == "baseline"
+    assert renamed.backend == config.backend
+
+
+def test_describe_mentions_key_parameters(config):
+    text = config.describe()
+    assert "32768 uops" in text
+    assert "4 clusters" in text
+    assert "2 MB" in text
+    assert "65 nm" in text
+
+
+def test_to_dict_roundtrips_basic_fields(config):
+    as_dict = config.to_dict()
+    assert as_dict["frontend"]["fetch_width"] == 8
+    assert as_dict["memory"]["ul2_kb"] == 2048
+
+
+def test_steering_policy_enum_values():
+    assert SteeringPolicy("dependence") is SteeringPolicy.DEPENDENCE
+    assert {p.value for p in SteeringPolicy} == {"dependence", "round_robin", "load_balance"}
+
+
+def test_configs_are_immutable(config):
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        config.name = "mutated"

@@ -1,0 +1,89 @@
+"""Unit tests for the SimulationResult metrics."""
+
+import pytest
+
+from repro.sim.results import IntervalRecord, SimulationResult
+from repro.sim.stats import SimulationStats
+
+
+def _make_result(temps_per_interval, config_name="baseline", cycles=100):
+    """Build a small synthetic result with two blocks A (hot) and B (cold)."""
+    intervals = []
+    for i, (ta, tb) in enumerate(temps_per_interval):
+        intervals.append(
+            IntervalRecord(
+                cycle=(i + 1) * 10,
+                seconds=(i + 1) * 1e-3,
+                dynamic_power={"A": 5.0, "B": 2.0},
+                leakage_power={"A": 1.0, "B": 0.5},
+                temperature={"A": ta, "B": tb},
+            )
+        )
+    stats = SimulationStats(cycles=cycles, committed_uops=cycles * 2)
+    return SimulationResult(
+        config_name=config_name,
+        benchmark="synthetic",
+        stats=stats,
+        block_names=["A", "B"],
+        block_groups={"All": ["A", "B"], "Hot": ["A"]},
+        block_areas_mm2={"A": 2.0, "B": 4.0},
+        intervals=intervals,
+        ambient_celsius=45.0,
+    )
+
+
+def test_temperature_metrics_absmax_average_avgmax():
+    result = _make_result([(85.0, 65.0), (95.0, 55.0)])
+    metrics = result.temperature_metrics("All")
+    assert metrics["AbsMax"] == pytest.approx(95.0 - 45.0)
+    assert metrics["AvgMax"] == pytest.approx(((85 - 45) + (95 - 45)) / 2)
+    assert metrics["Average"] == pytest.approx(((75 - 45) + (75 - 45)) / 2)
+
+
+def test_single_block_group_lookup_by_block_name():
+    result = _make_result([(85.0, 65.0)])
+    assert result.temperature_metrics("Hot")["AbsMax"] == pytest.approx(40.0)
+    # A raw block name also works even if it is not a named group.
+    assert result.temperature_metrics("B")["AbsMax"] == pytest.approx(20.0)
+
+
+def test_unknown_group_raises_with_known_groups_listed():
+    result = _make_result([(85.0, 65.0)])
+    with pytest.raises(KeyError, match="All"):
+        result.temperature_metrics("nonexistent")
+
+
+def test_metrics_require_at_least_one_interval():
+    result = _make_result([])
+    with pytest.raises(ValueError):
+        result.temperature_metrics("All")
+
+
+def test_power_and_area_accessors():
+    result = _make_result([(85.0, 65.0), (95.0, 55.0)])
+    assert result.average_power() == pytest.approx(8.5)
+    assert result.average_dynamic_power() == pytest.approx(7.0)
+    assert result.average_group_power("Hot") == pytest.approx(6.0)
+    assert result.group_area_mm2("All") == pytest.approx(6.0)
+    assert result.peak_temperature() == pytest.approx(95.0)
+
+
+def test_temperature_reduction_vs_baseline():
+    baseline = _make_result([(105.0, 65.0)])
+    improved = _make_result([(85.0, 65.0)], config_name="improved")
+    reductions = improved.temperature_reduction_vs(baseline, "Hot")
+    # Baseline increase 60 C, improved 40 C -> 33% reduction.
+    assert reductions["AbsMax"] == pytest.approx(1 / 3, abs=1e-6)
+
+
+def test_slowdown_vs_baseline():
+    baseline = _make_result([(85.0, 65.0)], cycles=100)
+    slower = _make_result([(85.0, 65.0)], cycles=104)
+    assert slower.slowdown_vs(baseline) == pytest.approx(0.04)
+    assert baseline.slowdown_vs(slower) == pytest.approx(-0.0384615, abs=1e-4)
+
+
+def test_summary_mentions_benchmark_and_ipc():
+    result = _make_result([(85.0, 65.0)])
+    text = result.summary()
+    assert "synthetic" in text and "baseline" in text

@@ -1,0 +1,81 @@
+"""Unit tests for activity counters and simulation statistics."""
+
+import pytest
+
+from repro.sim.stats import ActivityCounters, SimulationStats
+
+
+def test_activity_counters_record_and_reset():
+    counters = ActivityCounters(["A", "B"])
+    counters.record("A")
+    counters.record("A", 3)
+    counters.record("B", 2)
+    assert counters.interval_counts() == {"A": 4, "B": 2}
+    snapshot = counters.end_interval()
+    assert snapshot == {"A": 4, "B": 2}
+    assert counters.interval_counts() == {"A": 0, "B": 0}
+    assert counters.total_counts() == {"A": 4, "B": 2}
+
+
+def test_activity_counters_accumulate_totals_across_intervals():
+    counters = ActivityCounters(["A"])
+    counters.record("A", 2)
+    counters.end_interval()
+    counters.record("A", 5)
+    counters.end_interval()
+    assert counters.total_counts()["A"] == 7
+
+
+def test_activity_counters_reject_unknown_and_duplicate_blocks():
+    counters = ActivityCounters(["A"])
+    with pytest.raises(KeyError):
+        counters.record("missing")
+    with pytest.raises(ValueError):
+        ActivityCounters(["X", "X"])
+
+
+def test_simulation_stats_rates_handle_zero_denominators():
+    stats = SimulationStats()
+    assert stats.ipc == 0.0
+    assert stats.trace_cache_hit_rate == 0.0
+    assert stats.dcache_hit_rate == 0.0
+    assert stats.misprediction_rate == 0.0
+
+
+def test_simulation_stats_rates():
+    stats = SimulationStats(
+        cycles=100,
+        committed_uops=250,
+        trace_cache_hits=90,
+        trace_cache_misses=10,
+        dcache_hits=30,
+        dcache_misses=10,
+        branches=50,
+        mispredicted_branches=5,
+    )
+    assert stats.ipc == 2.5
+    assert stats.trace_cache_hit_rate == 0.9
+    assert stats.dcache_hit_rate == 0.75
+    assert stats.misprediction_rate == 0.1
+
+
+def test_cluster_balance_sums_to_one():
+    stats = SimulationStats()
+    for cluster, count in [(0, 10), (1, 30), (2, 40), (3, 20)]:
+        for _ in range(count):
+            stats.record_dispatch(cluster)
+    balance = stats.cluster_balance()
+    assert pytest.approx(sum(balance.values())) == 1.0
+    assert balance[2] == 0.4
+
+
+def test_cluster_balance_empty():
+    assert SimulationStats().cluster_balance() == {}
+
+
+def test_as_dict_contains_key_counters():
+    stats = SimulationStats(cycles=10, committed_uops=20, fetched_uops=25)
+    as_dict = stats.as_dict()
+    assert as_dict["cycles"] == 10
+    assert as_dict["committed_uops"] == 20
+    assert as_dict["ipc"] == 2.0

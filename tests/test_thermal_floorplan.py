@@ -1,0 +1,138 @@
+"""Unit and property-based tests for the floorplan builder."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.presets import (
+    bank_hopping_config,
+    baseline_config,
+    distributed_rename_commit_config,
+)
+from repro.power.energy import build_block_parameters
+from repro.sim import blocks
+from repro.thermal.floorplan import Block, Floorplan, build_floorplan
+
+
+def _areas(config):
+    return {name: p.area_mm2 for name, p in build_block_parameters(config).items()}
+
+
+def _floorplan(config):
+    return build_floorplan(config, _areas(config))
+
+
+def test_block_geometry_helpers():
+    a = Block("A", 0.0, 0.0, 1.0, 1.0)
+    b = Block("B", 1.0, 0.0, 1.0, 2.0)
+    c = Block("C", 5.0, 5.0, 1.0, 1.0)
+    assert a.area == pytest.approx(1.0)
+    assert a.center == (0.5, 0.5)
+    assert a.shared_edge_length(b) == pytest.approx(1.0)
+    assert b.shared_edge_length(a) == pytest.approx(1.0)
+    assert a.shared_edge_length(c) == 0.0
+    with pytest.raises(ValueError):
+        Block("bad", 0, 0, 0.0, 1.0)
+
+
+def test_floorplan_rejects_duplicates_and_empty():
+    with pytest.raises(ValueError):
+        Floorplan([])
+    block = Block("A", 0, 0, 1, 1)
+    with pytest.raises(ValueError):
+        Floorplan([block, Block("A", 1, 0, 1, 1)])
+
+
+def test_floorplan_contains_every_configured_block(config):
+    plan = _floorplan(config)
+    assert set(plan.block_names) == set(blocks.all_blocks(config))
+
+
+def test_block_areas_match_requested_areas(config):
+    areas = _areas(config)
+    plan = build_floorplan(config, areas)
+    for name, requested in areas.items():
+        assert plan.block(name).area_mm2 == pytest.approx(requested, rel=1e-6)
+    assert plan.die_area_mm2 == pytest.approx(sum(areas.values()), rel=1e-6)
+
+
+def test_missing_area_raises(config):
+    areas = _areas(config)
+    del areas["UL2"]
+    with pytest.raises(ValueError, match="UL2"):
+        build_floorplan(config, areas)
+
+
+def test_no_two_blocks_overlap(config):
+    plan = _floorplan(config)
+    blocks_ = plan.blocks()
+    for i, a in enumerate(blocks_):
+        for b in blocks_[i + 1:]:
+            overlap_x = min(a.x + a.width, b.x + b.width) - max(a.x, b.x)
+            overlap_y = min(a.y + a.height, b.y + b.height) - max(a.y, b.y)
+            assert not (overlap_x > 1e-9 and overlap_y > 1e-9), (a.name, b.name)
+
+
+def test_layout_follows_figure10_structure(config):
+    plan = _floorplan(config)
+    # The ROB row sits at the very top of the die.
+    assert plan.block("ROB").y == pytest.approx(0.0)
+    # The UL2 spans the full die width at the bottom.
+    ul2 = plan.block("UL2")
+    assert ul2.width == pytest.approx(plan.die_width, rel=1e-6)
+    assert ul2.y + ul2.height == pytest.approx(plan.die_height, rel=1e-6)
+    # The trace-cache banks sit in the frontend strip, above the clusters.
+    assert plan.block("TC0").y < plan.block("C0_DL1").y
+    # The rename table and trace-cache bank 0 share a row (Figure 10a).
+    assert plan.block("RAT").y == pytest.approx(plan.block("TC0").y)
+
+
+def test_bank_hopping_floorplan_follows_figure11():
+    config = bank_hopping_config()
+    plan = _floorplan(config)
+    assert "TC2" in plan
+    # Figure 11: the decoder shares a row with TC0, the RAT with TC1 and TC2.
+    assert plan.block("DECO").y == pytest.approx(plan.block("TC0").y)
+    assert plan.block("RAT").y == pytest.approx(plan.block("TC1").y)
+    assert plan.block("RAT").y == pytest.approx(plan.block("TC2").y)
+
+
+def test_distributed_floorplan_places_partitions_side_by_side():
+    config = distributed_rename_commit_config()
+    plan = _floorplan(config)
+    rob0, rob1 = plan.block("ROB0"), plan.block("ROB1")
+    assert rob0.y == pytest.approx(rob1.y)
+    assert rob0.shared_edge_length(rob1) > 0.0
+
+
+def test_adjacency_is_symmetric_and_nonempty(config):
+    plan = _floorplan(config)
+    adjacency = plan.adjacency()
+    assert adjacency
+    for a, b, shared in adjacency:
+        assert shared > 0
+        assert b in plan.neighbours(a)
+        assert a in plan.neighbours(b)
+
+
+def test_describe_lists_every_block(config):
+    plan = _floorplan(config)
+    text = plan.describe()
+    for name in plan.block_names:
+        assert name in text
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    widths=st.lists(st.floats(0.2, 4.0), min_size=2, max_size=6),
+    x=st.floats(0.0, 2.0),
+)
+def test_shared_edges_of_a_row_of_blocks_property(widths, x):
+    """Property: consecutive blocks in a row share exactly their common height."""
+    height = 1.5
+    blocks_ = []
+    cursor = x
+    for i, width in enumerate(widths):
+        blocks_.append(Block(f"B{i}", cursor, 0.0, width, height))
+        cursor += width
+    for left, right in zip(blocks_, blocks_[1:]):
+        assert left.shared_edge_length(right) == pytest.approx(height)

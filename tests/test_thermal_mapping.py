@@ -1,0 +1,126 @@
+"""Unit and property-based tests for the bank mapping functions (Section 3.2.2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.thermal_mapping import (
+    BalancedMappingPolicy,
+    BankMappingTable,
+    ThermalAwareMappingPolicy,
+    trace_address_hash,
+)
+
+
+def test_hash_is_within_range_and_deterministic():
+    for address in (0x0, 0x1234_5678, 0xFFFF_FFFF, 0x4000_0040):
+        value = trace_address_hash(address)
+        assert 0 <= value < 32
+        assert value == trace_address_hash(address)
+    with pytest.raises(ValueError):
+        trace_address_hash(0x100, bits=0)
+
+
+def test_hash_spreads_addresses_over_combinations():
+    values = {trace_address_hash(0x4000_0000 + 4 * i) for i in range(4096)}
+    assert len(values) == 32
+
+
+def test_balanced_table_assigns_equal_shares():
+    table = BankMappingTable(32, [0, 1])
+    counts = table.entries_per_bank()
+    assert counts == {0: 16, 1: 16}
+    # Consecutive assignment, as in Figure 9.
+    assert table.entries[:16] == [0] * 16
+    assert table.entries[16:] == [1] * 16
+
+
+def test_balanced_table_handles_non_divisible_counts():
+    table = BankMappingTable(32, [0, 1, 2])
+    counts = table.entries_per_bank()
+    assert sum(counts.values()) == 32
+    assert max(counts.values()) - min(counts.values()) <= 1
+
+
+def test_set_assignment_validation():
+    table = BankMappingTable(32, [0, 1])
+    with pytest.raises(ValueError):
+        table.set_assignment({0: 10, 1: 10})
+    with pytest.raises(ValueError):
+        table.set_assignment({0: 33, 1: -1})
+
+
+def test_bank_for_respects_assignment():
+    table = BankMappingTable(32, [0, 1])
+    table.set_assignment({0: 32, 1: 0})
+    for address in range(0, 0x1000, 0x40):
+        assert table.bank_for(address) == 0
+    assert table.bank_for_combination(31) == 0
+
+
+def test_balanced_policy_ignores_temperature():
+    policy = BalancedMappingPolicy(32)
+    shares = policy.compute_shares([0, 1], {0: 90.0, 1: 60.0})
+    assert shares == {0: 16, 1: 16}
+
+
+def test_thermal_policy_gives_colder_banks_more_entries():
+    policy = ThermalAwareMappingPolicy(32, bias_threshold_celsius=3.0)
+    shares = policy.compute_shares([0, 1], {0: 93.0, 1: 87.0})
+    assert sum(shares.values()) == 32
+    assert shares[1] > shares[0]
+    # 6 C difference = two halvings relative to the other bank: roughly 4x.
+    assert shares[1] >= shares[0] * 3
+
+
+def test_thermal_policy_equal_temperatures_is_balanced():
+    policy = ThermalAwareMappingPolicy(32, 3.0)
+    shares = policy.compute_shares([0, 1, 2], {0: 80.0, 1: 80.0, 2: 80.0})
+    assert sum(shares.values()) == 32
+    assert max(shares.values()) - min(shares.values()) <= 1
+
+
+def test_thermal_policy_never_starves_a_bank():
+    policy = ThermalAwareMappingPolicy(32, 3.0)
+    shares = policy.compute_shares([0, 1], {0: 120.0, 1: 60.0})
+    assert shares[0] >= 1
+    assert sum(shares.values()) == 32
+
+
+def test_thermal_policy_validation():
+    with pytest.raises(ValueError):
+        ThermalAwareMappingPolicy(32, bias_threshold_celsius=0.0)
+    policy = ThermalAwareMappingPolicy(32, 3.0)
+    with pytest.raises(ValueError):
+        policy.compute_shares([], {})
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    temps=st.lists(st.floats(50.0, 120.0), min_size=2, max_size=4),
+    threshold=st.floats(0.5, 10.0),
+    entries=st.integers(8, 64),
+)
+def test_thermal_policy_properties(temps, threshold, entries):
+    """Property: shares always sum to the table size, every enabled bank gets
+    at least one entry, and the coldest bank never gets fewer entries than
+    the hottest bank."""
+    banks = list(range(len(temps)))
+    temperatures = dict(enumerate(temps))
+    policy = ThermalAwareMappingPolicy(entries, threshold)
+    shares = policy.compute_shares(banks, temperatures)
+    assert sum(shares.values()) == entries
+    assert all(share >= 1 for share in shares.values())
+    coldest = min(banks, key=lambda b: temperatures[b])
+    hottest = max(banks, key=lambda b: temperatures[b])
+    assert shares[coldest] >= shares[hottest]
+
+
+@settings(max_examples=30, deadline=None)
+@given(shares0=st.integers(1, 31))
+def test_mapping_table_share_assignment_property(shares0):
+    """Property: the installed assignment always matches the requested shares."""
+    table = BankMappingTable(32, [0, 1])
+    table.set_assignment({0: shares0, 1: 32 - shares0})
+    counts = table.entries_per_bank()
+    assert counts.get(0, 0) == shares0
+    assert counts.get(1, 0) == 32 - shares0

@@ -1,0 +1,147 @@
+"""Unit tests for the thermal package, RC network and solvers."""
+
+import numpy as np
+import pytest
+
+from repro.power.energy import build_block_parameters
+from repro.sim.config import ThermalConfig
+from repro.thermal.floorplan import build_floorplan
+from repro.thermal.package import COPPER, SILICON, TIM, MaterialProperties, PackageProperties
+from repro.thermal.rc_model import ThermalRCNetwork
+from repro.thermal.solver import ThermalSolver
+
+
+@pytest.fixture(scope="module")
+def network():
+    from repro.core.presets import baseline_config
+
+    config = baseline_config()
+    params = build_block_parameters(config)
+    floorplan = build_floorplan(config, {n: p.area_mm2 for n, p in params.items()})
+    return ThermalRCNetwork(floorplan, config.thermal)
+
+
+@pytest.fixture(scope="module")
+def solver(network):
+    return ThermalSolver(network)
+
+
+# ----------------------------------------------------------------------
+# Package
+# ----------------------------------------------------------------------
+def test_material_properties_are_physical():
+    for material in (SILICON, COPPER, TIM):
+        assert material.conductivity > 0
+        assert material.volumetric_heat_capacity > 0
+    assert COPPER.conductivity > SILICON.conductivity > TIM.conductivity
+    with pytest.raises(ValueError):
+        MaterialProperties("bad", conductivity=-1, volumetric_heat_capacity=1)
+
+
+def test_package_from_paper_geometry():
+    package = PackageProperties.from_config(ThermalConfig(), die_area_m2=1e-4)
+    assert package.sink_to_ambient_resistance == ThermalConfig().convection_resistance_k_per_w
+    assert package.spreader_to_sink_resistance > 0
+    # The heat sink stores far more heat than the spreader (it is much bigger).
+    assert package.sink_capacitance > package.spreader_capacitance
+    with pytest.raises(ValueError):
+        PackageProperties.from_config(ThermalConfig(), die_area_m2=0.0)
+
+
+# ----------------------------------------------------------------------
+# RC network structure
+# ----------------------------------------------------------------------
+def test_network_has_block_spreader_and_sink_nodes(network):
+    assert network.num_nodes == network.num_blocks + 2
+    assert network.conductance.shape == (network.num_nodes, network.num_nodes)
+    assert network.capacitance.shape == (network.num_nodes,)
+    assert np.all(network.capacitance > 0)
+
+
+def test_conductance_matrix_is_symmetric_with_positive_diagonal(network):
+    g = network.conductance
+    assert np.allclose(g, g.T)
+    assert np.all(np.diag(g) > 0)
+    # Off-diagonal entries are non-positive (Laplacian structure).
+    off_diag = g - np.diag(np.diag(g))
+    assert np.all(off_diag <= 1e-12)
+
+
+def test_power_vector_maps_blocks_to_nodes(network):
+    power = {name: 1.0 for name in network.block_names}
+    vector = network.power_vector(power)
+    assert vector[: network.num_blocks].sum() == pytest.approx(len(network.block_names))
+    assert vector[network.spreader_index] == 0.0
+    with pytest.raises(KeyError):
+        network.power_vector({"NOPE": 1.0})
+
+
+# ----------------------------------------------------------------------
+# Solvers
+# ----------------------------------------------------------------------
+def test_zero_power_steady_state_is_ambient(network, solver):
+    temperatures = solver.steady_state({name: 0.0 for name in network.block_names})
+    for value in temperatures.values():
+        assert value == pytest.approx(network.config.ambient_celsius, abs=1e-6)
+
+
+def test_steady_state_total_rise_matches_total_resistance(network, solver):
+    """With power only at the sink-facing path, the average die temperature
+    rise must equal total power times the package resistance (energy
+    conservation through the series package path)."""
+    total_power = 50.0
+    per_block = total_power / network.num_blocks
+    temperatures = solver.steady_state({n: per_block for n in network.block_names})
+    package = network.package
+    expected_sink_rise = total_power * package.sink_to_ambient_resistance
+    # Every block must be at least as hot as the sink.
+    sink_temperature = network.config.ambient_celsius + expected_sink_rise
+    assert min(temperatures.values()) > sink_temperature - 1e-6
+
+
+def test_hotter_block_for_higher_power_density(network, solver):
+    power = {name: 0.5 for name in network.block_names}
+    power["RAT"] = 8.0
+    temperatures = solver.steady_state(power)
+    assert temperatures["RAT"] == max(temperatures.values())
+    assert temperatures["RAT"] > temperatures["UL2"]
+
+
+def test_transient_approaches_steady_state(network, solver):
+    power = {name: 1.0 for name in network.block_names}
+    power["ROB"] = 6.0
+    steady = solver.steady_state(power)
+    state = network.uniform_state(network.config.ambient_celsius)
+    for _ in range(30):
+        state = solver.advance(state, power, dt_seconds=0.05)
+    final = solver.block_temperatures(state)
+    # After 1.5 s the die blocks are close to their steady-state values
+    # (the heat sink itself warms much more slowly).
+    assert final["ROB"] > 0.5 * (steady["ROB"] - network.config.ambient_celsius) + network.config.ambient_celsius
+
+
+def test_transient_is_monotone_towards_steady_state(network, solver):
+    power = {name: 2.0 for name in network.block_names}
+    state = network.uniform_state(network.config.ambient_celsius)
+    previous = state
+    for _ in range(5):
+        state = solver.advance(previous, power, dt_seconds=1e-3)
+        assert np.all(state >= previous - 1e-9)  # heating, never cooling
+        previous = state
+
+
+def test_transient_requires_positive_dt(network, solver):
+    state = network.uniform_state(45.0)
+    with pytest.raises(ValueError):
+        solver.advance(state, {n: 1.0 for n in network.block_names}, dt_seconds=0.0)
+
+
+def test_warmup_converges_and_respects_emergency_limit(network, solver):
+    def power_at(temperatures):
+        # Mild temperature dependence, far from runaway.
+        return {name: 1.0 + 0.001 * (temperatures[name] - 45.0) for name in network.block_names}
+
+    state, temperatures = solver.warmup(power_at)
+    assert max(temperatures.values()) < network.config.emergency_limit_celsius
+    assert min(temperatures.values()) > network.config.ambient_celsius
+    assert state.shape == (network.num_nodes,)

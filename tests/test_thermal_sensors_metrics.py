@@ -1,0 +1,67 @@
+"""Unit tests for thermal sensors and the temperature-metric helpers."""
+
+import pytest
+
+from repro.thermal.metrics import reduction_over_baseline, temperature_metrics_from_history
+from repro.thermal.sensors import SensorBank, ThermalSensor
+
+
+# ----------------------------------------------------------------------
+# Sensors
+# ----------------------------------------------------------------------
+def test_sensor_quantizes_readings():
+    sensor = ThermalSensor("TC0", quantization_celsius=0.5)
+    assert sensor.read({"TC0": 81.26}) == pytest.approx(81.5)
+    assert sensor.last_reading == pytest.approx(81.5)
+    exact = ThermalSensor("TC0", quantization_celsius=0.0)
+    assert exact.read({"TC0": 81.26}) == pytest.approx(81.26)
+
+
+def test_sensor_rejects_negative_quantization():
+    with pytest.raises(ValueError):
+        ThermalSensor("TC0", quantization_celsius=-1.0)
+
+
+def test_sensor_bank_reads_every_block_and_finds_hottest():
+    bank = SensorBank(["TC0", "TC1", "TC2"], quantization_celsius=0.0)
+    temps = {"TC0": 80.0, "TC1": 95.0, "TC2": 70.0}
+    readings = bank.read_all(temps)
+    assert readings == temps
+    assert bank.hottest(temps) == "TC1"
+    with pytest.raises(ValueError):
+        SensorBank([])
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+def test_metrics_from_history():
+    history = [
+        {"A": 85.0, "B": 65.0},
+        {"A": 95.0, "B": 55.0},
+    ]
+    metrics = temperature_metrics_from_history(history, ["A", "B"], ambient_celsius=45.0)
+    assert metrics["AbsMax"] == pytest.approx(50.0)
+    assert metrics["AvgMax"] == pytest.approx(45.0)
+    assert metrics["Average"] == pytest.approx(30.0)
+
+
+def test_metrics_require_history_and_blocks():
+    with pytest.raises(ValueError):
+        temperature_metrics_from_history([], ["A"])
+    with pytest.raises(ValueError):
+        temperature_metrics_from_history([{"A": 50.0}], [])
+
+
+def test_reduction_over_baseline():
+    baseline = {"AbsMax": 60.0, "Average": 30.0}
+    improved = {"AbsMax": 40.0, "Average": 30.0}
+    reductions = reduction_over_baseline(baseline, improved)
+    assert reductions["AbsMax"] == pytest.approx(1 / 3)
+    assert reductions["Average"] == 0.0
+
+
+def test_reduction_handles_zero_baseline_and_missing_metric():
+    assert reduction_over_baseline({"AbsMax": 0.0}, {"AbsMax": 1.0})["AbsMax"] == 0.0
+    with pytest.raises(KeyError):
+        reduction_over_baseline({"AbsMax": 1.0}, {})

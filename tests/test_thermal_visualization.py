@@ -1,0 +1,73 @@
+"""Unit tests for the text-mode thermal visualization helpers."""
+
+import pytest
+
+from repro.core.presets import baseline_config
+from repro.power.energy import build_block_parameters
+from repro.thermal.floorplan import build_floorplan
+from repro.thermal.visualization import (
+    GLYPH_RAMP,
+    render_block_bar_chart,
+    render_temperature_timeline,
+    render_thermal_map,
+)
+
+
+@pytest.fixture(scope="module")
+def floorplan():
+    config = baseline_config()
+    params = build_block_parameters(config)
+    return build_floorplan(config, {n: p.area_mm2 for n, p in params.items()})
+
+
+def test_thermal_map_dimensions_and_legend(floorplan):
+    temperatures = {name: 70.0 for name in floorplan.block_names}
+    temperatures["RAT"] = 105.0
+    art = render_thermal_map(floorplan, temperatures, width=40, height=12)
+    lines = art.splitlines()
+    assert len(lines) == 13  # grid plus legend
+    assert all(len(line) == 40 for line in lines[:-1])
+    assert "105.0" in lines[-1] and "70.0" in lines[-1]
+    # The hottest glyph appears somewhere (the RAT region).
+    assert GLYPH_RAMP[-1] in art
+
+
+def test_thermal_map_requires_all_blocks(floorplan):
+    with pytest.raises(KeyError):
+        render_thermal_map(floorplan, {"RAT": 80.0}, width=10, height=5)
+    with pytest.raises(ValueError):
+        render_thermal_map(floorplan, {n: 70.0 for n in floorplan.block_names}, width=0)
+
+
+def test_uniform_temperatures_render_without_error(floorplan):
+    temperatures = {name: 85.0 for name in floorplan.block_names}
+    art = render_thermal_map(floorplan, temperatures, width=20, height=8)
+    assert "85.0" in art
+
+
+def test_bar_chart_orders_and_truncates():
+    chart = render_block_bar_chart({"A": 1.0, "B": 3.0, "C": 2.0}, title="power",
+                                   width=10, top_n=2, unit=" W")
+    lines = chart.splitlines()
+    assert lines[0] == "power"
+    assert lines[1].startswith("B") and lines[2].startswith("C")
+    assert "A" not in chart.split("\n", 1)[1].split()[0]
+    with pytest.raises(ValueError):
+        render_block_bar_chart({})
+
+
+def test_timeline_sparkline_reflects_range():
+    history = [{"ROB": 60.0 + i} for i in range(10)]
+    line = render_temperature_timeline(history, "ROB", width=20)
+    assert line.startswith("ROB:")
+    assert "60.0" in line and "69.0" in line
+    with pytest.raises(ValueError):
+        render_temperature_timeline([], "ROB")
+
+
+def test_timeline_downsamples_long_histories():
+    history = [{"ROB": 60.0 + (i % 7)} for i in range(500)]
+    line = render_temperature_timeline(history, "ROB", width=40)
+    # The sparkline body is bounded by the requested width.
+    body = line.split(":", 1)[1].split("(")[0].strip()
+    assert len(body) <= 40

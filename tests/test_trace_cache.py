@@ -1,0 +1,99 @@
+"""Unit tests for the sub-banked trace cache."""
+
+import pytest
+
+from repro.frontend.trace_cache import TraceCache
+from repro.sim.config import TraceCacheConfig
+
+
+def _cache(**kwargs) -> TraceCache:
+    config = TraceCacheConfig(**kwargs)
+    return TraceCache(config, ul2_hit_latency=12)
+
+
+def test_first_access_misses_then_hits():
+    cache = _cache()
+    first = cache.access(0x1000)
+    assert not first.hit and first.ul2_access
+    assert first.latency == 12 + TraceCache.TRACE_BUILD_OVERHEAD
+    second = cache.access(0x1000)
+    assert second.hit and second.latency == 0
+    assert cache.hits == 1 and cache.misses == 1
+    assert cache.hit_rate == 0.5
+
+
+def test_mapping_is_stable_for_the_same_address():
+    cache = _cache()
+    assert cache.bank_for(0x2340) == cache.bank_for(0x2340)
+
+
+def test_contents_are_non_overlapping_across_banks():
+    cache = _cache()
+    address = 0x4321_0
+    bank = cache.bank_for(address)
+    cache.access(address)
+    occupancy = cache.occupancy()
+    assert occupancy[bank] == 1
+    assert sum(occupancy.values()) == 1
+
+
+def test_lru_eviction_within_a_set():
+    cache = _cache(capacity_uops=256, line_uops=16, associativity=2, active_banks=1,
+                   physical_banks=1)
+    sets = cache.config.sets_per_bank
+    conflict = [0x1000 + i * sets * 16 for i in range(3)]
+    for address in conflict:
+        cache.access(address)
+    # The first line was evicted by the third (2-way set).
+    result = cache.access(conflict[0])
+    assert not result.hit
+
+
+def test_gating_flushes_contents_and_redirects_mapping():
+    cache = _cache(physical_banks=3, bank_hopping=True)
+    addresses = [0x100 * i for i in range(1, 30)]
+    for address in addresses:
+        cache.access(address)
+    before = sum(cache.occupancy().values())
+    assert before > 0
+    cache.set_enabled_banks([0, 1])
+    assert cache.gated_banks() == [2]
+    assert cache.occupancy()[2] == 0
+    cache.set_balanced_mapping()
+    assert all(bank in (0, 1) for bank in cache.mapping.entries)
+
+
+def test_gated_bank_is_never_accessed():
+    cache = _cache(physical_banks=3, bank_hopping=True)
+    cache.set_enabled_banks([0, 2])
+    cache.set_balanced_mapping()
+    for address in range(0, 0x4000, 0x40):
+        result = cache.access(address)
+        assert result.bank != 1
+
+
+def test_set_mapping_shares_rejects_gated_banks():
+    cache = _cache(physical_banks=3, bank_hopping=True)
+    cache.set_enabled_banks([0, 1])
+    with pytest.raises(ValueError):
+        cache.set_mapping_shares({0: 10, 1: 10, 2: 12})
+    cache.set_mapping_shares({0: 20, 1: 12})
+    shares = cache.accesses_per_bank_share()
+    assert shares[0] == pytest.approx(20 / 32)
+    assert shares[2] == 0.0
+
+
+def test_set_enabled_banks_requires_at_least_one():
+    cache = _cache()
+    with pytest.raises(ValueError):
+        cache.set_enabled_banks([])
+
+
+def test_hop_flush_counter_counts_lost_lines():
+    cache = _cache(physical_banks=3, bank_hopping=True)
+    for address in range(0, 0x2000, 0x40):
+        cache.access(address)
+    lost_bank = 0
+    lines_in_bank = cache.occupancy()[lost_bank]
+    cache.set_enabled_banks([1, 2])
+    assert cache.hop_flushes == lines_in_bank

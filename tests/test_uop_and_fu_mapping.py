@@ -1,0 +1,61 @@
+"""Unit tests for the dynamic micro-op record and FU/scheduler block mapping."""
+
+from repro.backend.functional_units import (
+    fu_block_suffix,
+    register_file_block_suffix,
+    scheduler_block_suffix,
+)
+from repro.backend.register_file import PhysicalRegisterFile
+from repro.isa.microops import MicroOp, UopClass
+from repro.isa.registers import RegisterSpace
+from repro.sim import blocks
+from repro.sim.uop import DynamicUop, UopState
+
+SPACE = RegisterSpace()
+
+
+def test_dynamic_uop_exposes_static_properties():
+    static = MicroOp(pc=0x80, uop_class=UopClass.LOAD, dest=SPACE.int_reg(1), mem_addr=256)
+    dynamic = DynamicUop(static, seq=7)
+    assert dynamic.is_load and dynamic.is_mem and not dynamic.is_store
+    assert not dynamic.is_fp and not dynamic.is_branch
+    assert dynamic.latency == static.latency
+    assert dynamic.state is UopState.FETCHED
+    assert dynamic.seq == 7
+
+
+def test_sources_ready_checks_every_renamed_source():
+    rf = PhysicalRegisterFile("IRF", 8)
+    static = MicroOp(pc=0, uop_class=UopClass.IALU, dest=SPACE.int_reg(0))
+    dynamic = DynamicUop(static, 0)
+    early = rf.allocate()
+    late = rf.allocate()
+    rf.set_ready(early, 5)
+    rf.set_ready(late, 20)
+    dynamic.src_refs = [(rf, early), (rf, late)]
+    assert not dynamic.sources_ready(10)
+    assert dynamic.sources_ready(20)
+    no_sources = DynamicUop(static, 1)
+    assert no_sources.sources_ready(0)
+
+
+def test_fu_block_mapping():
+    assert fu_block_suffix(UopClass.IALU) == blocks.CLUSTER_INT_FU
+    assert fu_block_suffix(UopClass.LOAD) == blocks.CLUSTER_INT_FU
+    assert fu_block_suffix(UopClass.STORE) == blocks.CLUSTER_INT_FU
+    assert fu_block_suffix(UopClass.BRANCH) == blocks.CLUSTER_INT_FU
+    assert fu_block_suffix(UopClass.FPADD) == blocks.CLUSTER_FP_FU
+    assert fu_block_suffix(UopClass.FPDIV) == blocks.CLUSTER_FP_FU
+
+
+def test_scheduler_block_mapping():
+    assert scheduler_block_suffix(UopClass.IALU) == blocks.CLUSTER_INT_SCHED
+    assert scheduler_block_suffix(UopClass.FPMUL) == blocks.CLUSTER_FP_SCHED
+    assert scheduler_block_suffix(UopClass.COPY) == blocks.CLUSTER_COPY_SCHED
+    assert scheduler_block_suffix(UopClass.LOAD) == blocks.CLUSTER_MOB
+    assert scheduler_block_suffix(UopClass.STORE) == blocks.CLUSTER_MOB
+
+
+def test_register_file_block_mapping():
+    assert register_file_block_suffix(is_fp=False) == blocks.CLUSTER_INT_RF
+    assert register_file_block_suffix(is_fp=True) == blocks.CLUSTER_FP_RF

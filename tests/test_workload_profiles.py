@@ -1,0 +1,84 @@
+"""Unit tests for the SPEC2000 workload profiles."""
+
+import dataclasses
+
+import pytest
+
+from repro.workloads.profiles import (
+    SPEC2000_PROFILES,
+    SPECFP_NAMES,
+    SPECINT_NAMES,
+    WorkloadProfile,
+    get_profile,
+)
+
+
+def test_there_are_26_spec2000_profiles():
+    assert len(SPEC2000_PROFILES) == 26
+    assert len(SPECINT_NAMES) == 12
+    assert len(SPECFP_NAMES) == 14
+
+
+def test_int_and_fp_suites_are_disjoint_and_complete():
+    assert set(SPECINT_NAMES) | set(SPECFP_NAMES) == set(SPEC2000_PROFILES)
+    assert not set(SPECINT_NAMES) & set(SPECFP_NAMES)
+
+
+def test_get_profile_returns_named_profile():
+    profile = get_profile("gcc")
+    assert profile.name == "gcc"
+    assert not profile.is_fp
+
+
+def test_get_profile_unknown_name_lists_valid_names():
+    with pytest.raises(KeyError, match="ammp"):
+        get_profile("doom3")
+
+
+def test_shortened_traces_match_section4():
+    """eon, fma3d, mcf, perlbmk and swim have shorter traces in the paper."""
+    shortened = {name for name, p in SPEC2000_PROFILES.items() if p.relative_length < 1.0}
+    assert shortened == {"eon", "fma3d", "mcf", "perlbmk", "swim"}
+
+
+def test_fractions_leave_room_for_compute():
+    for profile in SPEC2000_PROFILES.values():
+        assert profile.compute_fraction > 0.0
+        assert 0.0 <= profile.compute_fraction < 1.0
+
+
+def test_fp_benchmarks_use_the_fp_datapath_more_than_int_ones():
+    mean_fp = sum(get_profile(n).fp_fraction for n in SPECFP_NAMES) / len(SPECFP_NAMES)
+    mean_int = sum(get_profile(n).fp_fraction for n in SPECINT_NAMES) / len(SPECINT_NAMES)
+    assert mean_fp > mean_int + 0.2
+
+
+def test_fp_benchmarks_have_fewer_branches():
+    mean_fp = sum(get_profile(n).branch_fraction for n in SPECFP_NAMES) / len(SPECFP_NAMES)
+    mean_int = sum(get_profile(n).branch_fraction for n in SPECINT_NAMES) / len(SPECINT_NAMES)
+    assert mean_fp < mean_int
+
+
+def test_suite_property():
+    assert get_profile("swim").suite == "CFP2000"
+    assert get_profile("gzip").suite == "CINT2000"
+
+
+def test_profile_validation_rejects_bad_fractions():
+    base = get_profile("gzip")
+    with pytest.raises(ValueError):
+        dataclasses.replace(base, load_fraction=1.5)
+    with pytest.raises(ValueError):
+        dataclasses.replace(base, load_fraction=0.6, store_fraction=0.3, branch_fraction=0.2)
+    with pytest.raises(ValueError):
+        dataclasses.replace(base, mean_dependency_distance=0.5)
+    with pytest.raises(ValueError):
+        dataclasses.replace(base, relative_length=0.0)
+
+
+def test_mcf_has_the_largest_integer_working_set():
+    """mcf is the canonical memory-bound integer benchmark."""
+    mcf = get_profile("mcf")
+    assert mcf.working_set_kb >= max(
+        get_profile(name).working_set_kb for name in SPECINT_NAMES if name != "mcf"
+    )

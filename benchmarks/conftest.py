@@ -3,8 +3,14 @@
 Every ``test_bench_*`` module regenerates one table or figure of the paper.
 The benchmarks default to a representative 8-benchmark subset of SPEC2000 at
 a reduced trace length so the whole harness runs in a few minutes of pure
-Python; set ``REPRO_BENCH_FULL=1`` to run all 26 workloads (slower), and
-``REPRO_BENCH_UOPS`` to override the per-benchmark micro-op count.
+Python.  Environment knobs:
+
+* ``REPRO_BENCH_FULL=1`` — run all 26 workloads (slower);
+* ``REPRO_BENCH_UOPS`` — override the per-benchmark micro-op count;
+* ``REPRO_BENCH_JOBS`` — fan each figure's campaign out over N worker
+  processes (0 = all cores) instead of the default serial executor;
+* ``REPRO_BENCH_CACHE`` — directory of a campaign result cache, so repeated
+  harness runs skip simulation for unchanged cells.
 
 Formatted result tables are printed and also written to
 ``benchmarks/output/<name>.txt`` so they survive pytest's output capture.
@@ -17,6 +23,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.campaign import ResultCache, make_executor
 from repro.experiments.runner import ExperimentSettings
 
 OUTPUT_DIR = Path(__file__).parent / "output"
@@ -33,6 +40,19 @@ def experiment_settings() -> ExperimentSettings:
     if os.environ.get("REPRO_BENCH_FULL") == "1":
         return ExperimentSettings(uops_per_benchmark=uops)
     return ExperimentSettings.quick(uops_per_benchmark=uops)
+
+
+@pytest.fixture(scope="session")
+def campaign_executor():
+    """Campaign executor shared by the figure benchmarks (serial by default)."""
+    return make_executor(int(os.environ.get("REPRO_BENCH_JOBS", "1")))
+
+
+@pytest.fixture(scope="session")
+def campaign_cache():
+    """Optional on-disk result cache (``REPRO_BENCH_CACHE=<dir>``)."""
+    directory = os.environ.get("REPRO_BENCH_CACHE")
+    return ResultCache(directory) if directory else None
 
 
 @pytest.fixture(scope="session")

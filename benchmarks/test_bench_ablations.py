@@ -21,10 +21,16 @@ def ablation_settings() -> ExperimentSettings:
     )
 
 
-def test_bench_ablation_hop_interval(benchmark, ablation_settings, report_writer):
+def test_bench_ablation_hop_interval(
+    benchmark, ablation_settings, campaign_executor, campaign_cache, report_writer
+):
     """Hop-interval sweep: more frequent hops cost more misses."""
     result = benchmark.pedantic(
-        run_hop_interval_ablation, args=(ablation_settings,), rounds=1, iterations=1
+        run_hop_interval_ablation,
+        args=(ablation_settings,),
+        kwargs={"executor": campaign_executor, "cache": campaign_cache},
+        rounds=1,
+        iterations=1,
     )
     report_writer("ablation_hop_interval", result.format_table())
     rows = result.rows
@@ -36,10 +42,16 @@ def test_bench_ablation_hop_interval(benchmark, ablation_settings, report_writer
         assert row["TC Average reduction"] > 0.0, label
 
 
-def test_bench_ablation_bias_threshold(benchmark, ablation_settings, report_writer):
+def test_bench_ablation_bias_threshold(
+    benchmark, ablation_settings, campaign_executor, campaign_cache, report_writer
+):
     """Biased-mapping threshold sweep (the paper uses 3 C per halving)."""
     result = benchmark.pedantic(
-        run_bias_threshold_ablation, args=(ablation_settings,), rounds=1, iterations=1
+        run_bias_threshold_ablation,
+        args=(ablation_settings,),
+        kwargs={"executor": campaign_executor, "cache": campaign_cache},
+        rounds=1,
+        iterations=1,
     )
     report_writer("ablation_bias_threshold", result.format_table())
     for label, row in result.rows.items():
@@ -47,10 +59,16 @@ def test_bench_ablation_bias_threshold(benchmark, ablation_settings, report_writ
         assert abs(row["slowdown"]) < 0.2, label
 
 
-def test_bench_ablation_partition_count(benchmark, ablation_settings, report_writer):
+def test_bench_ablation_partition_count(
+    benchmark, ablation_settings, campaign_executor, campaign_cache, report_writer
+):
     """Two vs four frontend partitions for the distributed rename/commit."""
     result = benchmark.pedantic(
-        run_partition_count_ablation, args=(ablation_settings,), rounds=1, iterations=1
+        run_partition_count_ablation,
+        args=(ablation_settings,),
+        kwargs={"executor": campaign_executor, "cache": campaign_cache},
+        rounds=1,
+        iterations=1,
     )
     report_writer("ablation_partition_count", result.format_table())
     rows = result.rows
@@ -63,10 +81,16 @@ def test_bench_ablation_partition_count(benchmark, ablation_settings, report_wri
     )
 
 
-def test_bench_ablation_steering_policy(benchmark, ablation_settings, report_writer):
+def test_bench_ablation_steering_policy(
+    benchmark, ablation_settings, campaign_executor, campaign_cache, report_writer
+):
     """Dependence-based steering versus naive policies."""
     result = benchmark.pedantic(
-        run_steering_policy_ablation, args=(ablation_settings,), rounds=1, iterations=1
+        run_steering_policy_ablation,
+        args=(ablation_settings,),
+        kwargs={"executor": campaign_executor, "cache": campaign_cache},
+        rounds=1,
+        iterations=1,
     )
     report_writer("ablation_steering_policy", result.format_table())
     rows = result.rows

@@ -5,10 +5,16 @@ from __future__ import annotations
 from repro.experiments.fig01_baseline_temperature import run_fig01
 
 
-def test_bench_fig01_baseline_temperature(benchmark, experiment_settings, report_writer):
+def test_bench_fig01_baseline_temperature(
+    benchmark, experiment_settings, campaign_executor, campaign_cache, report_writer
+):
     """Regenerate Figure 1 and check the paper's qualitative observations."""
     result = benchmark.pedantic(
-        run_fig01, args=(experiment_settings,), rounds=1, iterations=1
+        run_fig01,
+        args=(experiment_settings,),
+        kwargs={"executor": campaign_executor, "cache": campaign_cache},
+        rounds=1,
+        iterations=1,
     )
     report_writer("fig01_baseline_temperature", result.format_table())
 

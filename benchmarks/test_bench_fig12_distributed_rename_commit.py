@@ -5,7 +5,9 @@ from __future__ import annotations
 from repro.experiments.fig12_distributed_rename_commit import run_fig12
 
 
-def test_bench_fig12_distributed_rename_commit(benchmark, experiment_settings, report_writer):
+def test_bench_fig12_distributed_rename_commit(
+    benchmark, experiment_settings, campaign_executor, campaign_cache, report_writer
+):
     """Regenerate Figure 12 and check the paper's headline shape.
 
     Paper (Section 4.1): reorder-buffer and rename-table temperature
@@ -15,7 +17,11 @@ def test_bench_fig12_distributed_rename_commit(benchmark, experiment_settings, r
     uses less power than the monolithic one.
     """
     result = benchmark.pedantic(
-        run_fig12, args=(experiment_settings,), rounds=1, iterations=1
+        run_fig12,
+        args=(experiment_settings,),
+        kwargs={"executor": campaign_executor, "cache": campaign_cache},
+        rounds=1,
+        iterations=1,
     )
     report_writer("fig12_distributed_rename_commit", result.format_table())
 

@@ -5,7 +5,9 @@ from __future__ import annotations
 from repro.experiments.fig13_trace_cache import run_fig13
 
 
-def test_bench_fig13_trace_cache(benchmark, experiment_settings, report_writer):
+def test_bench_fig13_trace_cache(
+    benchmark, experiment_settings, campaign_executor, campaign_cache, report_writer
+):
     """Regenerate Figure 13 and check the paper's qualitative claims.
 
     Paper (Section 4.2): the biased mapping alone reduces the trace-cache
@@ -15,7 +17,11 @@ def test_bench_fig13_trace_cache(benchmark, experiment_settings, report_writer):
     outperform the blank-silicon option; slowdowns stay within a few percent.
     """
     result = benchmark.pedantic(
-        run_fig13, args=(experiment_settings,), rounds=1, iterations=1
+        run_fig13,
+        args=(experiment_settings,),
+        kwargs={"executor": campaign_executor, "cache": campaign_cache},
+        rounds=1,
+        iterations=1,
     )
     report_writer("fig13_trace_cache", result.format_table())
 

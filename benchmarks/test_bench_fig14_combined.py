@@ -5,7 +5,9 @@ from __future__ import annotations
 from repro.experiments.fig14_combined import CONFIG_LABELS, run_fig14
 
 
-def test_bench_fig14_combined(benchmark, experiment_settings, report_writer):
+def test_bench_fig14_combined(
+    benchmark, experiment_settings, campaign_executor, campaign_cache, report_writer
+):
     """Regenerate Figure 14 and check the combined-technique shape.
 
     Paper (Section 4.3): combining distributed rename/commit with the
@@ -15,7 +17,11 @@ def test_bench_fig14_combined(benchmark, experiment_settings, report_writer):
     well as with the individual technique that targets it).
     """
     result = benchmark.pedantic(
-        run_fig14, args=(experiment_settings,), rounds=1, iterations=1
+        run_fig14,
+        args=(experiment_settings,),
+        kwargs={"executor": campaign_executor, "cache": campaign_cache},
+        rounds=1,
+        iterations=1,
     )
     report_writer("fig14_combined", result.format_table())
 

@@ -3,37 +3,36 @@
 
 Run with:  python examples/quickstart.py [benchmark] [num_uops]
 
-The script builds the paper's baseline configuration (Table 1), generates a
-synthetic gcc-like micro-op trace, runs the coupled timing / power / thermal
-simulation and prints the headline numbers: IPC, power, and the temperature
-metrics of the paper's Figure 1 groups.
+The script declares a one-cell campaign on the paper's baseline configuration
+(Table 1), runs it through the campaign API — which scales the paper's
+10 M-cycle thermal/hop/remap interval down with the trace length — and prints
+the headline numbers: IPC, power, and the temperature metrics of the paper's
+Figure 1 groups.
 """
 
 from __future__ import annotations
 
 import sys
 
-from repro import baseline_config
-from repro.sim.engine import SimulationEngine
-from repro.workloads.generator import TraceGenerator
+from repro import Campaign, ExperimentSettings, baseline_config, run_campaign
 
 
 def main() -> None:
     benchmark = sys.argv[1] if len(sys.argv) > 1 else "gcc"
     num_uops = int(sys.argv[2]) if len(sys.argv) > 2 else 8_000
 
-    config = baseline_config()
-    # Scale the paper's 10 M-cycle thermal/hop/remap interval down with the
-    # trace length so the run still spans a few tens of thermal intervals.
-    interval_cycles = max(200, num_uops // 25)
-    config = config.with_intervals(interval_cycles)
-
-    print(config.describe())
+    settings = ExperimentSettings(
+        benchmarks=(benchmark,),
+        uops_per_benchmark=num_uops,
+        honor_relative_length=False,
+    )
+    campaign = Campaign.single(baseline_config(), settings, name="quickstart")
+    # The campaign expands into one cell; its config carries the scaled intervals.
+    print(campaign.cells()[0].config.describe())
     print()
 
-    trace = TraceGenerator(benchmark, seed=1).generate(num_uops)
-    engine = SimulationEngine(config, trace.uops, benchmark, interval_cycles=interval_cycles)
-    result = engine.run()
+    outcome = run_campaign(campaign)
+    result = outcome.summaries["baseline"].results[benchmark]
 
     stats = result.stats
     print(f"Simulated {stats.committed_uops} micro-ops in {stats.cycles} cycles "

@@ -13,8 +13,9 @@ from __future__ import annotations
 
 import sys
 
+from repro.campaign import available_benchmarks
 from repro.workloads.generator import TraceGenerator
-from repro.workloads.profiles import SPEC2000_PROFILES
+from repro.workloads.profiles import get_profile
 
 
 def main() -> None:
@@ -23,7 +24,8 @@ def main() -> None:
               f"{'mispred':>9}{'fp':>7}{'pcs':>7}{'lines':>8}")
     print(header)
     print("-" * len(header))
-    for name, profile in SPEC2000_PROFILES.items():
+    for name in available_benchmarks():
+        profile = get_profile(name)
         generator = TraceGenerator(profile, seed=0)
         trace = generator.generate(num_uops)
         stats = trace.statistics()

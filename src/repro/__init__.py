@@ -15,8 +15,15 @@ depends on:
   commit, trace-cache bank hopping and the thermal-aware biased bank mapping
   function (:mod:`repro.core`).
 
-Experiment drivers that regenerate every figure of the paper's evaluation
-live in :mod:`repro.experiments`.
+Experiments are declared and executed through :mod:`repro.campaign`: a
+:class:`Campaign` (configurations x benchmarks x an
+:class:`ExperimentSettings` scale) expands into independent cells that run on
+a pluggable executor — serially or across worker processes
+(:class:`ParallelExecutor`) — with an optional content-keyed on-disk
+:class:`ResultCache` so repeated runs skip simulation.  Ad-hoc configuration
+variants are derived with the fluent :class:`ConfigBuilder`.  The figure
+drivers in :mod:`repro.experiments` are thin layers over this API, and the
+``repro-campaign`` console script exposes it from the shell.
 """
 
 from repro.sim.config import ProcessorConfig
@@ -34,8 +41,20 @@ from repro.core.presets import (
     bank_hopping_biasing_config,
     distributed_frontend_config,
 )
+from repro.campaign import (
+    Campaign,
+    CampaignOutcome,
+    ConfigBuilder,
+    ConfigurationSummary,
+    ExperimentSettings,
+    ParallelExecutor,
+    ResultCache,
+    RunSpec,
+    SerialExecutor,
+    run_campaign,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ProcessorConfig",
@@ -52,5 +71,15 @@ __all__ = [
     "bank_hopping_config",
     "bank_hopping_biasing_config",
     "distributed_frontend_config",
+    "Campaign",
+    "CampaignOutcome",
+    "ConfigBuilder",
+    "ConfigurationSummary",
+    "ExperimentSettings",
+    "ParallelExecutor",
+    "ResultCache",
+    "RunSpec",
+    "SerialExecutor",
+    "run_campaign",
     "__version__",
 ]

@@ -1,0 +1,67 @@
+"""Declarative experiment orchestration for the reproduction.
+
+``repro.campaign`` is the public experiment API: declare *what* to simulate
+(a :class:`Campaign`: configurations x benchmarks x an
+:class:`ExperimentSettings` scale), pick *how* to run it (a
+:class:`SerialExecutor` or a process-pool :class:`ParallelExecutor`), and
+optionally *where* to remember it (a content-keyed :class:`ResultCache`), then
+call :func:`run_campaign`::
+
+    from repro.campaign import (
+        Campaign, ConfigBuilder, ExperimentSettings, ParallelExecutor,
+        ResultCache, run_campaign,
+    )
+
+    campaign = Campaign(
+        configs=[baseline_config(), distributed_frontend_config()],
+        settings=ExperimentSettings.quick(),
+    )
+    outcome = run_campaign(
+        campaign,
+        executor=ParallelExecutor(jobs=4),
+        cache=ResultCache("~/.cache/repro"),
+    )
+    outcome.summaries["distributed_frontend"].mean_metrics("Frontend")
+
+Every figure driver in :mod:`repro.experiments`, the ``repro-campaign`` CLI
+and the benchmark harness run through this layer; the legacy
+``summarize``/``summarize_many`` helpers are thin shims over it.
+"""
+
+from repro.campaign.builder import ConfigBuilder, scale_paper_intervals
+from repro.campaign.cache import ResultCache
+from repro.campaign.core import CampaignOutcome, run_campaign
+from repro.campaign.executors import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    execute_cell,
+    make_executor,
+)
+from repro.campaign.spec import (
+    QUICK_BENCHMARKS,
+    Campaign,
+    ExperimentSettings,
+    RunSpec,
+    available_benchmarks,
+)
+from repro.campaign.summary import ConfigurationSummary
+
+__all__ = [
+    "Campaign",
+    "CampaignOutcome",
+    "ConfigBuilder",
+    "ConfigurationSummary",
+    "Executor",
+    "ExperimentSettings",
+    "ParallelExecutor",
+    "QUICK_BENCHMARKS",
+    "ResultCache",
+    "RunSpec",
+    "SerialExecutor",
+    "available_benchmarks",
+    "execute_cell",
+    "make_executor",
+    "run_campaign",
+    "scale_paper_intervals",
+]

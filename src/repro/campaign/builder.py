@@ -1,0 +1,156 @@
+"""Fluent construction and rewriting of :class:`ProcessorConfig` trees.
+
+The processor configuration is a tree of frozen dataclasses, so deriving a
+variant used to require nested :func:`dataclasses.replace` calls at every
+site (``replace(config, frontend=replace(config.frontend, trace_cache=
+replace(...)))``).  :class:`ConfigBuilder` replaces that plumbing with a
+small fluent API: every method returns a *new* builder, so partially applied
+builders can be shared and reused safely::
+
+    config = (
+        ConfigBuilder.baseline()
+        .distributed(num_frontends=2)
+        .bank_hopping()
+        .biased_mapping()
+        .named("distributed_frontend")
+        .build()
+    )
+
+The presets in :mod:`repro.core.presets`, the ablation sweeps and the
+interval scaling applied by every experiment campaign are all expressed
+through this builder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.sim.config import ProcessorConfig, SteeringPolicy
+
+#: Any periodic interval at or above this value is considered "unscaled"
+#: (the paper's 10 M-cycle default) and is replaced by the experiment-scale
+#: interval; smaller values were set deliberately (e.g. by an ablation sweep)
+#: and are preserved.
+UNSCALED_INTERVAL_THRESHOLD = 1_000_000
+
+
+def scale_paper_intervals(config: ProcessorConfig, interval_cycles: int) -> ProcessorConfig:
+    """Scale the paper-default 10 M-cycle intervals of ``config`` down.
+
+    The thermal update, bank-hop and remap intervals that still carry the
+    paper's default are replaced by ``interval_cycles``; intervals below
+    :data:`UNSCALED_INTERVAL_THRESHOLD` were set deliberately (ablations)
+    and are preserved.
+    """
+    if interval_cycles <= 0:
+        raise ValueError("interval_cycles must be positive")
+    builder = ConfigBuilder(config)
+    tc = config.frontend.trace_cache
+    tc_changes = {}
+    if tc.hop_interval_cycles >= UNSCALED_INTERVAL_THRESHOLD:
+        tc_changes["hop_interval_cycles"] = interval_cycles
+    if tc.remap_interval_cycles >= UNSCALED_INTERVAL_THRESHOLD:
+        tc_changes["remap_interval_cycles"] = interval_cycles
+    if tc_changes:
+        builder = builder.trace_cache(**tc_changes)
+    if config.thermal.interval_cycles >= UNSCALED_INTERVAL_THRESHOLD:
+        builder = builder.thermal(interval_cycles=interval_cycles)
+    return builder.build()
+
+
+class ConfigBuilder:
+    """Immutable fluent builder over a :class:`ProcessorConfig`.
+
+    Every mutator returns a new builder wrapping a new configuration, so a
+    builder can be forked mid-chain; :meth:`build` returns the underlying
+    (already validated) frozen configuration.
+    """
+
+    __slots__ = ("_config",)
+
+    def __init__(self, base: Optional[ProcessorConfig] = None) -> None:
+        self._config = base if base is not None else ProcessorConfig.baseline()
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    @classmethod
+    def baseline(cls) -> "ConfigBuilder":
+        """Start from the paper's Table 1 baseline."""
+        return cls(ProcessorConfig.baseline())
+
+    @classmethod
+    def from_config(cls, config: ProcessorConfig) -> "ConfigBuilder":
+        """Start from an arbitrary existing configuration."""
+        return cls(config)
+
+    # ------------------------------------------------------------------
+    # Section rewrites (each keyword is a field of the section dataclass)
+    # ------------------------------------------------------------------
+    def _derive(self, **changes) -> "ConfigBuilder":
+        return ConfigBuilder(replace(self._config, **changes))
+
+    def frontend(self, **changes) -> "ConfigBuilder":
+        return self._derive(frontend=replace(self._config.frontend, **changes))
+
+    def trace_cache(self, **changes) -> "ConfigBuilder":
+        frontend = self._config.frontend
+        new_tc = replace(frontend.trace_cache, **changes)
+        return self._derive(frontend=replace(frontend, trace_cache=new_tc))
+
+    def backend(self, **changes) -> "ConfigBuilder":
+        return self._derive(backend=replace(self._config.backend, **changes))
+
+    def memory(self, **changes) -> "ConfigBuilder":
+        return self._derive(memory=replace(self._config.memory, **changes))
+
+    def interconnect(self, **changes) -> "ConfigBuilder":
+        return self._derive(interconnect=replace(self._config.interconnect, **changes))
+
+    def power(self, **changes) -> "ConfigBuilder":
+        return self._derive(power=replace(self._config.power, **changes))
+
+    def thermal(self, **changes) -> "ConfigBuilder":
+        return self._derive(thermal=replace(self._config.thermal, **changes))
+
+    # ------------------------------------------------------------------
+    # Paper-technique shorthands
+    # ------------------------------------------------------------------
+    def named(self, name: str) -> "ConfigBuilder":
+        return self._derive(name=name)
+
+    def steering(self, policy: SteeringPolicy) -> "ConfigBuilder":
+        return self._derive(steering_policy=policy)
+
+    def distributed(self, num_frontends: int = 2) -> "ConfigBuilder":
+        """Distribute rename and commit over ``num_frontends`` partitions."""
+        return self.frontend(num_frontends=num_frontends)
+
+    def bank_hopping(self, physical_banks: int = 3) -> "ConfigBuilder":
+        """Rotating Vdd-gating with ``physical_banks`` trace-cache banks."""
+        return self.trace_cache(physical_banks=physical_banks, bank_hopping=True)
+
+    def biased_mapping(self, threshold_celsius: Optional[float] = None) -> "ConfigBuilder":
+        """Enable the thermal-aware biased bank mapping function."""
+        changes = {"thermal_aware_mapping": True}
+        if threshold_celsius is not None:
+            changes["bias_threshold_celsius"] = threshold_celsius
+        return self.trace_cache(**changes)
+
+    def blank_silicon(self, physical_banks: int = 3) -> "ConfigBuilder":
+        """Statically gate the extra trace-cache bank(s)."""
+        return self.trace_cache(physical_banks=physical_banks, blank_silicon=True)
+
+    def scaled_intervals(self, interval_cycles: int) -> "ConfigBuilder":
+        """Scale paper-default thermal/hop/remap intervals (see
+        :func:`scale_paper_intervals`)."""
+        return ConfigBuilder(scale_paper_intervals(self._config, interval_cycles))
+
+    # ------------------------------------------------------------------
+    def build(self) -> ProcessorConfig:
+        """Return the built (frozen, validated) configuration."""
+        return self._config
+
+    def __repr__(self) -> str:
+        return f"ConfigBuilder({self._config.name!r})"

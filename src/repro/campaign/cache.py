@@ -1,0 +1,81 @@
+"""Content-keyed on-disk cache of simulated campaign cells.
+
+Each cell is stored as one JSON file named by the cell's
+:meth:`~repro.campaign.spec.RunSpec.cache_key` — a hash over the scaled
+configuration, benchmark, trace length, interval and seed — using the same
+schema as :mod:`repro.sim.serialization`.  Repeated figure runs therefore
+skip simulation entirely: a campaign whose cells are all cached performs
+zero simulator invocations.
+
+The cache is safe to share between runs and across released upgrades: a file
+that fails to load (corrupt, stale schema, foreign content) is treated as a
+miss, and the cache key embeds both the serialization ``SCHEMA_VERSION`` and
+the package version, so entries written by a different release are never
+matched.  The one case the key cannot see is a *local, unreleased* edit to
+simulation code — when developing on the simulator itself, point campaigns at
+a fresh ``--cache-dir`` (or delete the old one).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.campaign.spec import RunSpec
+from repro.sim.results import SimulationResult
+from repro.sim.serialization import SCHEMA_VERSION, load_result, save_result
+
+
+class ResultCache:
+    """Directory of per-cell results keyed by content hash."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory).expanduser()
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _key(self, spec: RunSpec) -> str:
+        # Both the serialization schema version and the package version
+        # participate in the key: a schema bump must not mis-load old files,
+        # and a code change that alters simulation output (without touching
+        # the schema) must not silently serve the previous version's numbers
+        # from a shared cache directory.
+        from repro import __version__
+
+        return f"v{SCHEMA_VERSION}-{__version__}-{spec.cache_key()}"
+
+    def path_for(self, spec: RunSpec) -> Path:
+        """On-disk location of the cell's result (whether or not it exists)."""
+        return self.directory / f"{self._key(spec)}.json"
+
+    def load(self, spec: RunSpec) -> Optional[SimulationResult]:
+        """Return the cached result for ``spec``, or ``None`` on a miss."""
+        path = self.path_for(spec)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            result = load_result(path)
+        except (ValueError, KeyError, TypeError, OSError, json.JSONDecodeError):
+            # Anything unreadable is a miss; the entry will be rewritten.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, spec: RunSpec, result: SimulationResult) -> Path:
+        """Persist a freshly simulated cell."""
+        self.stores += 1
+        return save_result(result, self.path_for(spec))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache({str(self.directory)!r}, hits={self.hits}, "
+            f"misses={self.misses}, stores={self.stores})"
+        )

@@ -1,0 +1,265 @@
+"""``repro-campaign`` — command-line front door of the campaign API.
+
+Subcommands:
+
+* ``list-presets`` — the named frontend organizations of the paper;
+* ``list-benchmarks`` — the synthetic SPEC2000-like workloads;
+* ``run`` — run a paper figure (``--figure fig01|fig12|fig13|fig14``) or an
+  ad-hoc campaign (``--configs``/``--benchmarks``), optionally in parallel
+  (``--jobs N``) and with a result cache (``--cache-dir DIR``), printing the
+  figure tables and/or writing a JSON summary (``--output FILE``);
+* ``floorplan`` — print the floorplan of a named preset.
+
+Examples::
+
+    repro-campaign run --figure fig12 --scale smoke --jobs 4
+    repro-campaign run --configs baseline,bank_hopping \\
+        --benchmarks gzip,swim --uops 3000 --cache-dir /tmp/repro-cache \\
+        --output summary.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, Optional, Sequence
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.core import CampaignOutcome, run_campaign
+from repro.campaign.executors import Executor, make_executor
+from repro.campaign.spec import Campaign, ExperimentSettings, available_benchmarks
+from repro.campaign.summary import ConfigurationSummary
+
+#: Block groups included in JSON summaries (the groups the paper reports on).
+SUMMARY_GROUPS = (
+    "Processor",
+    "Frontend",
+    "Backend",
+    "UL2",
+    "ReorderBuffer",
+    "RenameTable",
+    "TraceCache",
+)
+
+_SCALES = {
+    "smoke": ExperimentSettings.smoke,
+    "quick": ExperimentSettings.quick,
+    "full": ExperimentSettings.full,
+}
+
+
+def _settings_from_args(args: argparse.Namespace) -> ExperimentSettings:
+    settings = _SCALES[args.scale]()
+    changes: Dict[str, object] = {}
+    if args.benchmarks:
+        changes["benchmarks"] = tuple(args.benchmarks.split(","))
+    if args.uops is not None:
+        changes["uops_per_benchmark"] = args.uops
+    if args.seed is not None:
+        changes["seed"] = args.seed
+    if changes:
+        from dataclasses import replace
+
+        settings = replace(settings, **changes)
+    return settings
+
+
+def _summary_payload(summary: ConfigurationSummary) -> Dict[str, object]:
+    return {
+        "benchmarks": sorted(summary.results),
+        "mean_ipc": summary.mean_ipc(),
+        "mean_power_watts": summary.mean_power(),
+        "mean_trace_cache_hit_rate": summary.mean_trace_cache_hit_rate(),
+        "temperature_metrics": {
+            group: summary.mean_metrics(group) for group in SUMMARY_GROUPS
+        },
+    }
+
+
+def _outcome_payload(outcome: CampaignOutcome) -> Dict[str, object]:
+    return {
+        "campaign": outcome.campaign.name,
+        "total_cells": outcome.total_cells,
+        "cells_executed": outcome.cells_executed,
+        "cache_hits": outcome.cache_hits,
+        "executor": outcome.executor_description,
+        "configurations": {
+            name: _summary_payload(summary)
+            for name, summary in outcome.summaries.items()
+        },
+    }
+
+
+def _write_output(payload: Dict[str, object], output: Optional[str]) -> None:
+    if output is None:
+        return
+    from pathlib import Path
+
+    path = Path(output)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[summary written to {path}]")
+
+
+def _cmd_list_presets(_args: argparse.Namespace) -> int:
+    from repro.core.presets import FrontendOrganization, config_for
+
+    for organization in FrontendOrganization:
+        config = config_for(organization)
+        tc = config.frontend.trace_cache
+        traits = []
+        if config.frontend.num_frontends > 1:
+            traits.append(f"{config.frontend.num_frontends} frontends")
+        if tc.bank_hopping:
+            traits.append("bank hopping")
+        if tc.thermal_aware_mapping:
+            traits.append("biased mapping")
+        if tc.blank_silicon:
+            traits.append("blank silicon")
+        detail = ", ".join(traits) if traits else "paper baseline (Table 1)"
+        print(f"{organization.value:<22} {detail}")
+    return 0
+
+
+def _cmd_list_benchmarks(_args: argparse.Namespace) -> int:
+    from repro.workloads.profiles import get_profile
+
+    for name in available_benchmarks():
+        profile = get_profile(name)
+        print(f"{name:<10} {profile.suite}")
+    return 0
+
+
+def _cmd_floorplan(args: argparse.Namespace) -> int:
+    from repro.experiments.floorplans import floorplan_report_for
+
+    print(floorplan_report_for(args.preset).format_table())
+    return 0
+
+
+def _run_figure(
+    figure: str,
+    settings: ExperimentSettings,
+    executor: Executor,
+    cache: Optional[ResultCache],
+    output: Optional[str],
+) -> int:
+    from repro.experiments import run_fig01, run_fig12, run_fig13, run_fig14
+
+    drivers = {
+        "fig01": run_fig01,
+        "fig12": run_fig12,
+        "fig13": run_fig13,
+        "fig14": run_fig14,
+    }
+    result = drivers[figure](settings, executor=executor, cache=cache)
+    print(result.format_table())
+    # The figure results expose their ConfigurationSummary objects under
+    # slightly different attributes; collect whichever are present.
+    collected: Dict[str, ConfigurationSummary] = {}
+    for attribute in ("baseline", "distributed", "summary"):
+        summary = getattr(result, attribute, None)
+        if summary is not None:
+            collected[summary.config_name] = summary
+    for summary in (getattr(result, "summaries", None) or {}).values():
+        collected[summary.config_name] = summary
+    payload: Dict[str, object] = {
+        "figure": figure,
+        "configurations": {
+            name: _summary_payload(summary) for name, summary in collected.items()
+        },
+    }
+    _write_output(payload, output)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    settings = _settings_from_args(args)
+    executor = make_executor(args.jobs)
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+
+    if args.figure:
+        status = _run_figure(args.figure, settings, executor, cache, args.output)
+    else:
+        from repro.core.presets import FrontendOrganization, config_for
+
+        names = args.configs.split(",") if args.configs else ["baseline"]
+        configs = [config_for(FrontendOrganization(name)) for name in names]
+        campaign = Campaign(configs, settings, name="cli")
+        outcome = run_campaign(campaign, executor, cache)
+        from repro.experiments.reporting import format_campaign_outcome
+
+        print(format_campaign_outcome(outcome))
+        _write_output(_outcome_payload(outcome), args.output)
+        status = 0
+    if cache is not None:
+        print(f"[cache] {cache!r}")
+    return status
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-campaign",
+        description="Run experiment campaigns of the HPCA 2005 distributed-"
+        "frontend reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-presets", help="list the named processor configurations")
+    sub.add_parser("list-benchmarks", help="list the synthetic SPEC2000 workloads")
+
+    floorplan = sub.add_parser("floorplan", help="print the floorplan of a preset")
+    floorplan.add_argument("preset", help="preset name, e.g. baseline")
+
+    run = sub.add_parser("run", help="run a figure or an ad-hoc campaign")
+    run.add_argument(
+        "--figure",
+        choices=("fig01", "fig12", "fig13", "fig14"),
+        help="regenerate one paper figure instead of an ad-hoc campaign",
+    )
+    run.add_argument(
+        "--configs",
+        help="comma-separated preset names (default: baseline)",
+    )
+    run.add_argument(
+        "--scale",
+        choices=tuple(_SCALES),
+        default="smoke",
+        help="experiment scale (default: smoke)",
+    )
+    run.add_argument("--benchmarks", help="comma-separated benchmark override")
+    run.add_argument("--uops", type=int, help="micro-ops per benchmark override")
+    run.add_argument("--seed", type=int, help="trace-generation seed override")
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (1 = serial, 0 = all cores)",
+    )
+    run.add_argument("--cache-dir", help="directory of the on-disk result cache")
+    run.add_argument("--output", help="write a JSON summary to this file")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    commands = {
+        "list-presets": _cmd_list_presets,
+        "list-benchmarks": _cmd_list_benchmarks,
+        "floorplan": _cmd_floorplan,
+        "run": _cmd_run,
+    }
+    try:
+        return commands[args.command](args)
+    except (ValueError, KeyError) as error:
+        # Unknown preset/benchmark names and invalid settings raise from the
+        # domain layer with self-explanatory messages; present them as CLI
+        # errors rather than tracebacks.
+        message = error.args[0] if error.args else error
+        print(f"repro-campaign: error: {message}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,109 @@
+"""Campaign orchestration: cache lookup, execution, aggregation.
+
+:func:`run_campaign` is the single execution path of every experiment in the
+reproduction.  It expands a declarative :class:`~repro.campaign.spec.Campaign`
+into independent cells, satisfies as many as possible from the optional
+:class:`~repro.campaign.cache.ResultCache`, hands the remaining cells to the
+chosen :class:`~repro.campaign.executors.Executor`, stores fresh results back
+into the cache, and folds everything into per-configuration
+:class:`~repro.campaign.summary.ConfigurationSummary` objects keyed by
+configuration name — the shape the figure drivers consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.executors import Executor, SerialExecutor
+from repro.campaign.spec import Campaign, RunSpec
+from repro.campaign.summary import ConfigurationSummary
+from repro.sim.results import SimulationResult
+
+
+@dataclass
+class CampaignOutcome:
+    """Everything a finished campaign produced, plus execution provenance."""
+
+    campaign: Campaign
+    #: Per-configuration aggregates, keyed by configuration name in campaign
+    #: order.
+    summaries: Dict[str, ConfigurationSummary] = field(default_factory=dict)
+    #: Number of cells actually simulated by the executor.
+    cells_executed: int = 0
+    #: Number of cells satisfied from the result cache.
+    cache_hits: int = 0
+    #: Backend description (for reports / CLI output).
+    executor_description: str = "SerialExecutor"
+
+    @property
+    def total_cells(self) -> int:
+        return len(self.campaign)
+
+    def summary_for(self, config_name: str) -> ConfigurationSummary:
+        return self.summaries[config_name]
+
+    def describe(self) -> str:
+        return (
+            f"campaign '{self.campaign.name}': {self.total_cells} cells "
+            f"({len(self.campaign.configs)} configs x "
+            f"{len(self.campaign.settings.benchmarks)} benchmarks), "
+            f"{self.cells_executed} simulated, {self.cache_hits} from cache "
+            f"[{self.executor_description}]"
+        )
+
+
+def run_campaign(
+    campaign: Campaign,
+    executor: Optional[Executor] = None,
+    cache: Optional[ResultCache] = None,
+) -> CampaignOutcome:
+    """Execute a campaign and aggregate its results.
+
+    ``executor`` defaults to a fresh :class:`SerialExecutor`; pass a
+    :class:`~repro.campaign.executors.ParallelExecutor` to fan the cells out
+    over worker processes.  With a ``cache``, cells whose content key is
+    already present are loaded instead of simulated and fresh results are
+    stored back, so a repeated campaign performs zero simulator invocations.
+    """
+    if executor is None:
+        executor = SerialExecutor()
+    cells = campaign.cells()
+
+    results: List[Optional[SimulationResult]] = [None] * len(cells)
+    pending: List[RunSpec] = []
+    pending_slots: List[int] = []
+    cache_hits = 0
+    for index, spec in enumerate(cells):
+        cached = cache.load(spec) if cache is not None else None
+        if cached is not None:
+            results[index] = cached
+            cache_hits += 1
+        else:
+            pending.append(spec)
+            pending_slots.append(index)
+
+    executed_before = executor.cells_executed
+    fresh = executor.run_cells(pending) if pending else []
+    if len(fresh) != len(pending):
+        raise RuntimeError(
+            f"executor returned {len(fresh)} results for {len(pending)} cells"
+        )
+    for slot, spec, result in zip(pending_slots, pending, fresh):
+        results[slot] = result
+        if cache is not None:
+            cache.store(spec, result)
+
+    outcome = CampaignOutcome(
+        campaign=campaign,
+        cells_executed=executor.cells_executed - executed_before,
+        cache_hits=cache_hits,
+        executor_description=executor.describe(),
+    )
+    for config_name in campaign.config_names():
+        outcome.summaries[config_name] = ConfigurationSummary(config_name=config_name)
+    for spec, result in zip(cells, results):
+        assert result is not None
+        outcome.summaries[spec.config.name].results[spec.benchmark] = result
+    return outcome

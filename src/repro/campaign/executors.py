@@ -1,0 +1,111 @@
+"""Pluggable execution backends for campaign cells.
+
+An :class:`Executor` turns a sequence of :class:`~repro.campaign.spec.RunSpec`
+cells into :class:`~repro.sim.results.SimulationResult` objects, in order.
+Because every cell is self-contained (scaled config, trace length, interval
+and seed all live in the spec), the backends are interchangeable:
+
+* :class:`SerialExecutor` — the legacy in-process loop;
+* :class:`ParallelExecutor` — a :class:`concurrent.futures.ProcessPoolExecutor`
+  fan-out.  Seeding is deterministic per cell (the seed is part of the spec,
+  not of execution order), so a parallel run is metric-identical to a serial
+  one.
+
+Both count the cells they actually simulated in ``cells_executed``, which the
+result cache's hit/miss accounting — and the tests — rely on.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Sequence
+
+from repro.campaign.spec import RunSpec
+from repro.sim.results import SimulationResult
+from repro.workloads.generator import TraceGenerator
+
+
+def execute_cell(spec: RunSpec) -> SimulationResult:
+    """Simulate one campaign cell; the single entry point of every backend.
+
+    Module-level (rather than a method) so it pickles cleanly into worker
+    processes regardless of the multiprocessing start method.
+    """
+    # Imported lazily: ``repro.core.presets`` imports this package to get the
+    # ConfigBuilder, so pulling the engine (and through it the processor and
+    # ``repro.core``) in at module-import time would be circular.
+    from repro.sim.engine import SimulationEngine
+
+    generator = TraceGenerator(spec.benchmark, seed=spec.seed)
+    trace = generator.generate(spec.trace_uops)
+    engine = SimulationEngine(
+        spec.config, trace.uops, spec.benchmark, interval_cycles=spec.interval_cycles
+    )
+    result = engine.run()
+    result.provenance.update(spec.provenance())
+    return result
+
+
+class Executor:
+    """Base class of campaign execution backends."""
+
+    def __init__(self) -> None:
+        #: Total number of cells this executor has actually simulated.
+        self.cells_executed = 0
+
+    def run_cells(self, cells: Sequence[RunSpec]) -> List[SimulationResult]:
+        """Simulate every cell, returning results in cell order."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class SerialExecutor(Executor):
+    """Blocking in-process execution, one cell at a time."""
+
+    def run_cells(self, cells: Sequence[RunSpec]) -> List[SimulationResult]:
+        results = []
+        for spec in cells:
+            results.append(execute_cell(spec))
+            self.cells_executed += 1
+        return results
+
+
+class ParallelExecutor(Executor):
+    """Process-pool execution with ``jobs`` worker processes.
+
+    Cells are distributed one at a time (``chunksize=1``) because individual
+    simulations are long relative to the dispatch overhead and their
+    durations vary widely across benchmarks.
+    """
+
+    def __init__(self, jobs: int = 0) -> None:
+        super().__init__()
+        if jobs <= 0:
+            jobs = os.cpu_count() or 1
+        self.jobs = jobs
+
+    def describe(self) -> str:
+        return f"ParallelExecutor(jobs={self.jobs})"
+
+    def run_cells(self, cells: Sequence[RunSpec]) -> List[SimulationResult]:
+        if not cells:
+            return []
+        # A single worker (or a single cell) gains nothing from a pool;
+        # degrade gracefully to the serial path.
+        if self.jobs == 1 or len(cells) == 1:
+            return SerialExecutor.run_cells(self, cells)
+        workers = min(self.jobs, len(cells))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results = list(pool.map(execute_cell, cells, chunksize=1))
+        self.cells_executed += len(cells)
+        return results
+
+
+def make_executor(jobs: int = 1) -> Executor:
+    """Executor for a requested parallelism level (1 = serial)."""
+    if jobs == 1:
+        return SerialExecutor()
+    return ParallelExecutor(jobs=jobs)

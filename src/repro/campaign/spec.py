@@ -1,0 +1,220 @@
+"""Declarative experiment specifications.
+
+The paper's evaluation is a grid: ~8 frontend configurations x 26 SPEC2000
+workloads x ablation sweeps.  A :class:`Campaign` describes one such grid
+declaratively — a set of configurations, a set of benchmarks and an
+:class:`ExperimentSettings` scale — and expands it into independent
+:class:`RunSpec` cells.  Each cell carries everything needed to simulate it
+in isolation (configuration, benchmark, trace length, interval, seed), which
+is what makes the pluggable executors in :mod:`repro.campaign.executors`
+free to run cells serially, in a process pool, or — later — on remote
+shards, while the content-derived :meth:`RunSpec.cache_key` lets the result
+cache recognise already-simulated cells across runs.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.campaign.builder import scale_paper_intervals
+from repro.sim.config import ProcessorConfig
+from repro.workloads.profiles import SPEC2000_PROFILES, get_profile
+
+#: A representative subset used by the quick settings: mixes integer and FP,
+#: small and large working sets, high and low branch predictability.
+QUICK_BENCHMARKS: Tuple[str, ...] = ("gzip", "gcc", "mcf", "crafty", "swim", "equake", "mesa", "lucas")
+
+
+def available_benchmarks() -> Tuple[str, ...]:
+    """Names of every synthetic SPEC2000-like workload, in profile order."""
+    return tuple(SPEC2000_PROFILES)
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Controls the scale of an experiment run.
+
+    The paper simulates 200 M-instruction slices and updates temperature
+    every 10 M cycles; the reproduction scales both down together so each run
+    still spans a comparable number of thermal intervals (each representing
+    the same 1 ms of heating).
+    """
+
+    benchmarks: Tuple[str, ...] = tuple(SPEC2000_PROFILES)
+    uops_per_benchmark: int = 8_000
+    #: Thermal / hop / remap interval in cycles.  ``None`` derives it from the
+    #: trace length so that every run spans roughly ``target_intervals``.
+    interval_cycles: Optional[int] = None
+    target_intervals: int = 25
+    seed: int = 1
+    honor_relative_length: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.benchmarks:
+            raise ValueError("at least one benchmark is required")
+        if self.uops_per_benchmark <= 0:
+            raise ValueError("uops_per_benchmark must be positive")
+        if self.target_intervals <= 0:
+            raise ValueError("target_intervals must be positive")
+        for name in self.benchmarks:
+            get_profile(name)  # raises KeyError for unknown benchmarks
+
+    @classmethod
+    def full(cls) -> "ExperimentSettings":
+        """All 26 SPEC2000 workloads at the default scaled-down length."""
+        return cls()
+
+    @classmethod
+    def quick(cls, uops_per_benchmark: int = 6_000) -> "ExperimentSettings":
+        """A representative 8-benchmark subset (used by the benchmark harness)."""
+        return cls(benchmarks=QUICK_BENCHMARKS, uops_per_benchmark=uops_per_benchmark)
+
+    @classmethod
+    def smoke(cls) -> "ExperimentSettings":
+        """Tiny two-benchmark run used by the integration tests."""
+        return cls(benchmarks=("gzip", "swim"), uops_per_benchmark=3_000)
+
+    def with_benchmarks(self, benchmarks: Iterable[str]) -> "ExperimentSettings":
+        return replace(self, benchmarks=tuple(benchmarks))
+
+    def resolved_interval_cycles(self) -> int:
+        """Interval length in cycles, derived from the trace length if unset.
+
+        The floor of 800 cycles keeps the bank-hop period large compared to
+        the time the trace cache needs to refill a flushed bank; hopping at a
+        much finer grain than the paper's 10 M cycles would otherwise turn
+        every hop into a hit-rate cliff that the paper's configuration never
+        experiences.
+        """
+        if self.interval_cycles is not None:
+            return self.interval_cycles
+        # Assume roughly one committed micro-op per cycle when sizing the
+        # interval; the exact IPC does not matter, only that every run spans
+        # a few tens of intervals.
+        return max(800, self.uops_per_benchmark // self.target_intervals)
+
+    def trace_length(self, benchmark: str) -> int:
+        """Micro-ops generated for ``benchmark`` at this scale."""
+        length = self.uops_per_benchmark
+        if self.honor_relative_length:
+            profile = get_profile(benchmark)
+            length = max(500, int(round(length * profile.relative_length)))
+        return length
+
+
+def _jsonable(value):
+    """Recursively convert a value into canonical JSON-serializable form."""
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    return value
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent cell of a campaign: a (config, benchmark) simulation.
+
+    The configuration stored here is the *scaled* one (intervals already
+    reduced to the experiment scale), so executing a cell needs no further
+    context — any executor on any host produces the same result from the
+    same spec, and the cell's identity can be hashed for the result cache.
+    """
+
+    config: ProcessorConfig
+    benchmark: str
+    trace_uops: int
+    interval_cycles: int
+    seed: int
+
+    def provenance(self) -> Dict[str, object]:
+        """Settings provenance recorded into the produced result."""
+        return {
+            "benchmark": self.benchmark,
+            "trace_uops": self.trace_uops,
+            "interval_cycles": self.interval_cycles,
+            "seed": self.seed,
+        }
+
+    def key_material(self) -> Dict[str, object]:
+        """The canonical content this cell is identified by."""
+        return {
+            "config": _jsonable(self.config.to_dict()),
+            "benchmark": self.benchmark,
+            "trace_uops": self.trace_uops,
+            "interval_cycles": self.interval_cycles,
+            "seed": self.seed,
+        }
+
+    def cache_key(self) -> str:
+        """Stable content hash identifying this cell across processes/runs."""
+        payload = json.dumps(self.key_material(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """A declarative experiment grid: configurations x benchmarks x scale."""
+
+    configs: Tuple[ProcessorConfig, ...]
+    settings: ExperimentSettings
+    name: str = "campaign"
+
+    def __init__(
+        self,
+        configs: Iterable[ProcessorConfig],
+        settings: ExperimentSettings,
+        name: str = "campaign",
+    ) -> None:
+        object.__setattr__(self, "configs", tuple(configs))
+        object.__setattr__(self, "settings", settings)
+        object.__setattr__(self, "name", name)
+        if not self.configs:
+            raise ValueError("a campaign needs at least one configuration")
+        names = [config.name for config in self.configs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"configuration names must be unique, got {names}")
+
+    @classmethod
+    def single(
+        cls,
+        config: ProcessorConfig,
+        settings: ExperimentSettings,
+        name: Optional[str] = None,
+    ) -> "Campaign":
+        """A one-configuration campaign (the old ``summarize`` shape)."""
+        return cls((config,), settings, name=name or config.name)
+
+    def config_names(self) -> Tuple[str, ...]:
+        return tuple(config.name for config in self.configs)
+
+    def cells(self) -> Tuple[RunSpec, ...]:
+        """Expand the grid into independent, executor-ready cells.
+
+        Cells are ordered configuration-major (all benchmarks of the first
+        configuration first), matching the legacy serial loop.
+        """
+        interval = self.settings.resolved_interval_cycles()
+        specs = []
+        for config in self.configs:
+            scaled = scale_paper_intervals(config, interval)
+            for benchmark in self.settings.benchmarks:
+                specs.append(
+                    RunSpec(
+                        config=scaled,
+                        benchmark=benchmark,
+                        trace_uops=self.settings.trace_length(benchmark),
+                        interval_cycles=interval,
+                        seed=self.settings.seed,
+                    )
+                )
+        return tuple(specs)
+
+    def __len__(self) -> int:
+        return len(self.configs) * len(self.settings.benchmarks)

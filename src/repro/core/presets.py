@@ -20,15 +20,19 @@ Name                      Description
 ``distributed_frontend``  Distributed rename/commit + bank hopping + biasing
                           (Figure 14, the full proposal).
 ========================  =====================================================
+
+Every preset is expressed through the fluent
+:class:`~repro.campaign.builder.ConfigBuilder`, which is also how ad-hoc
+variants (ablation sweeps, CLI campaigns) should be derived.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import replace
 from typing import Callable, Dict
 
-from repro.sim.config import FrontendConfig, ProcessorConfig, TraceCacheConfig
+from repro.campaign.builder import ConfigBuilder
+from repro.sim.config import ProcessorConfig
 
 
 class FrontendOrganization(enum.Enum):
@@ -45,63 +49,70 @@ class FrontendOrganization(enum.Enum):
 
 def baseline_config() -> ProcessorConfig:
     """The paper's baseline (Table 1): unified frontend, 2-bank trace cache."""
-    return ProcessorConfig.baseline()
-
-
-def _with_trace_cache(config: ProcessorConfig, **changes) -> ProcessorConfig:
-    new_tc = replace(config.frontend.trace_cache, **changes)
-    return replace(config, frontend=replace(config.frontend, trace_cache=new_tc))
-
-
-def _with_frontend(config: ProcessorConfig, **changes) -> ProcessorConfig:
-    return replace(config, frontend=replace(config.frontend, **changes))
+    return ConfigBuilder.baseline().build()
 
 
 def distributed_rename_commit_config(num_frontends: int = 2) -> ProcessorConfig:
     """Distributed rename and commit (Section 3.1): N frontend partitions."""
-    config = baseline_config()
-    config = _with_frontend(config, num_frontends=num_frontends)
-    return config.renamed(FrontendOrganization.DISTRIBUTED_RENAME_COMMIT.value)
+    return (
+        ConfigBuilder.baseline()
+        .distributed(num_frontends)
+        .named(FrontendOrganization.DISTRIBUTED_RENAME_COMMIT.value)
+        .build()
+    )
 
 
 def address_biasing_config() -> ProcessorConfig:
     """Thermal-aware biased mapping on the baseline's two banks (Section 3.2.2)."""
-    config = baseline_config()
-    config = _with_trace_cache(config, thermal_aware_mapping=True)
-    return config.renamed(FrontendOrganization.ADDRESS_BIASING.value)
+    return (
+        ConfigBuilder.baseline()
+        .biased_mapping()
+        .named(FrontendOrganization.ADDRESS_BIASING.value)
+        .build()
+    )
 
 
 def blank_silicon_config() -> ProcessorConfig:
     """Three banks with one statically gated (the Figure 13 comparison)."""
-    config = baseline_config()
-    config = _with_trace_cache(config, physical_banks=3, blank_silicon=True)
-    return config.renamed(FrontendOrganization.BLANK_SILICON.value)
+    return (
+        ConfigBuilder.baseline()
+        .blank_silicon()
+        .named(FrontendOrganization.BLANK_SILICON.value)
+        .build()
+    )
 
 
 def bank_hopping_config() -> ProcessorConfig:
     """Bank hopping with one extra bank (Section 3.2.1)."""
-    config = baseline_config()
-    config = _with_trace_cache(config, physical_banks=3, bank_hopping=True)
-    return config.renamed(FrontendOrganization.BANK_HOPPING.value)
+    return (
+        ConfigBuilder.baseline()
+        .bank_hopping()
+        .named(FrontendOrganization.BANK_HOPPING.value)
+        .build()
+    )
 
 
 def bank_hopping_biasing_config() -> ProcessorConfig:
     """Bank hopping combined with the thermal-aware mapping function."""
-    config = baseline_config()
-    config = _with_trace_cache(
-        config, physical_banks=3, bank_hopping=True, thermal_aware_mapping=True
+    return (
+        ConfigBuilder.baseline()
+        .bank_hopping()
+        .biased_mapping()
+        .named(FrontendOrganization.BANK_HOPPING_BIASING.value)
+        .build()
     )
-    return config.renamed(FrontendOrganization.BANK_HOPPING_BIASING.value)
 
 
 def distributed_frontend_config(num_frontends: int = 2) -> ProcessorConfig:
     """The full distributed frontend: distributed rename/commit + hopping + biasing."""
-    config = baseline_config()
-    config = _with_frontend(config, num_frontends=num_frontends)
-    config = _with_trace_cache(
-        config, physical_banks=3, bank_hopping=True, thermal_aware_mapping=True
+    return (
+        ConfigBuilder.baseline()
+        .distributed(num_frontends)
+        .bank_hopping()
+        .biased_mapping()
+        .named(FrontendOrganization.DISTRIBUTED_FRONTEND.value)
+        .build()
     )
-    return config.renamed(FrontendOrganization.DISTRIBUTED_FRONTEND.value)
 
 
 _BUILDERS: Dict[FrontendOrganization, Callable[[], ProcessorConfig]] = {

@@ -7,13 +7,25 @@ of the proposed techniques to their main knobs:
 * the biased-mapping halving threshold (the paper uses 3 C);
 * the number of frontend partitions (the paper uses 2);
 * the steering policy (the paper uses dependence-based steering).
+
+Each sweep is expressed as one :class:`~repro.campaign.Campaign` (the swept
+variants are derived with the fluent
+:class:`~repro.campaign.ConfigBuilder`), so a parallel executor fans the
+whole sweep out at once and a result cache makes re-runs free.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.campaign import (
+    Campaign,
+    ConfigBuilder,
+    Executor,
+    ResultCache,
+    run_campaign,
+)
 from repro.core.presets import (
     bank_hopping_biasing_config,
     bank_hopping_config,
@@ -21,8 +33,8 @@ from repro.core.presets import (
     distributed_rename_commit_config,
 )
 from repro.experiments.reporting import format_value_table
-from repro.experiments.runner import ExperimentSettings, summarize
-from repro.sim.config import SteeringPolicy
+from repro.experiments.runner import ExperimentSettings
+from repro.sim.config import ProcessorConfig, SteeringPolicy
 
 
 @dataclass
@@ -42,30 +54,50 @@ class AblationResult:
         return format_value_table(f"Ablation: {self.name}", self.rows, columns, precision=3)
 
 
+def _run_sweep(
+    name: str,
+    labelled_configs: Sequence[Tuple[str, ProcessorConfig]],
+    settings: ExperimentSettings,
+    executor: Optional[Executor],
+    cache: Optional[ResultCache],
+    include_baseline: bool = True,
+):
+    """Run baseline + swept variants as one campaign; returns the outcome."""
+    configs: List[ProcessorConfig] = [baseline_config()] if include_baseline else []
+    configs.extend(config for _, config in labelled_configs)
+    campaign = Campaign(configs, settings, name=f"ablation-{name}")
+    return run_campaign(campaign, executor, cache)
+
+
 def run_hop_interval_ablation(
     settings: ExperimentSettings,
     multipliers: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
+    executor: Optional[Executor] = None,
+    cache: Optional[ResultCache] = None,
 ) -> AblationResult:
     """Sweep the bank-hop interval relative to the thermal interval."""
-    baseline = summarize(baseline_config(), settings)
-    result = AblationResult(name="bank-hop interval (x thermal interval)")
     interval = settings.resolved_interval_cycles()
-    for multiplier in multipliers:
-        config = bank_hopping_config()
-        tc = replace(
-            config.frontend.trace_cache,
-            hop_interval_cycles=max(1, int(interval * multiplier)),
-            remap_interval_cycles=interval,
+    labelled = [
+        (
+            f"{multiplier:g}x",
+            ConfigBuilder.from_config(bank_hopping_config())
+            .trace_cache(
+                hop_interval_cycles=max(1, int(interval * multiplier)),
+                remap_interval_cycles=interval,
+            )
+            .thermal(interval_cycles=interval)
+            .named(f"hop_x{multiplier:g}")
+            .build(),
         )
-        config = replace(
-            config,
-            frontend=replace(config.frontend, trace_cache=tc),
-            thermal=replace(config.thermal, interval_cycles=interval),
-            name=f"hop_x{multiplier:g}",
-        )
-        summary = summarize(config, settings)
+        for multiplier in multipliers
+    ]
+    outcome = _run_sweep("hop-interval", labelled, settings, executor, cache)
+    baseline = outcome.summaries["baseline"]
+    result = AblationResult(name="bank-hop interval (x thermal interval)")
+    for label, config in labelled:
+        summary = outcome.summaries[config.name]
         reductions = summary.mean_reductions_vs(baseline, "TraceCache")
-        result.rows[f"{multiplier:g}x"] = {
+        result.rows[label] = {
             "TC AbsMax reduction": reductions["AbsMax"],
             "TC Average reduction": reductions["Average"],
             "slowdown": summary.mean_slowdown_vs(baseline),
@@ -78,21 +110,27 @@ def run_hop_interval_ablation(
 def run_bias_threshold_ablation(
     settings: ExperimentSettings,
     thresholds_celsius: Sequence[float] = (1.5, 3.0, 6.0),
+    executor: Optional[Executor] = None,
+    cache: Optional[ResultCache] = None,
 ) -> AblationResult:
     """Sweep the temperature difference that halves a bank's mapping share."""
-    baseline = summarize(baseline_config(), settings)
-    result = AblationResult(name="biased-mapping halving threshold (C)")
-    for threshold in thresholds_celsius:
-        config = bank_hopping_biasing_config()
-        tc = replace(config.frontend.trace_cache, bias_threshold_celsius=threshold)
-        config = replace(
-            config,
-            frontend=replace(config.frontend, trace_cache=tc),
-            name=f"bias_{threshold:g}C",
+    labelled = [
+        (
+            f"{threshold:g} C",
+            ConfigBuilder.from_config(bank_hopping_biasing_config())
+            .biased_mapping(threshold_celsius=threshold)
+            .named(f"bias_{threshold:g}C")
+            .build(),
         )
-        summary = summarize(config, settings)
+        for threshold in thresholds_celsius
+    ]
+    outcome = _run_sweep("bias-threshold", labelled, settings, executor, cache)
+    baseline = outcome.summaries["baseline"]
+    result = AblationResult(name="biased-mapping halving threshold (C)")
+    for label, config in labelled:
+        summary = outcome.summaries[config.name]
         reductions = summary.mean_reductions_vs(baseline, "TraceCache")
-        result.rows[f"{threshold:g} C"] = {
+        result.rows[label] = {
             "TC AbsMax reduction": reductions["AbsMax"],
             "TC Average reduction": reductions["Average"],
             "slowdown": summary.mean_slowdown_vs(baseline),
@@ -103,17 +141,27 @@ def run_bias_threshold_ablation(
 def run_partition_count_ablation(
     settings: ExperimentSettings,
     partition_counts: Sequence[int] = (2, 4),
+    executor: Optional[Executor] = None,
+    cache: Optional[ResultCache] = None,
 ) -> AblationResult:
     """Sweep the number of frontend partitions of the distributed rename/commit."""
-    baseline = summarize(baseline_config(), settings)
+    labelled = [
+        (
+            str(count),
+            ConfigBuilder.from_config(distributed_rename_commit_config(num_frontends=count))
+            .named(f"distributed_rc_{count}")
+            .build(),
+        )
+        for count in partition_counts
+    ]
+    outcome = _run_sweep("partition-count", labelled, settings, executor, cache)
+    baseline = outcome.summaries["baseline"]
     result = AblationResult(name="frontend partitions")
-    for count in partition_counts:
-        config = distributed_rename_commit_config(num_frontends=count)
-        config = config.renamed(f"distributed_rc_{count}")
-        summary = summarize(config, settings)
+    for label, config in labelled:
+        summary = outcome.summaries[config.name]
         rob = summary.mean_reductions_vs(baseline, "ReorderBuffer")
         rat = summary.mean_reductions_vs(baseline, "RenameTable")
-        result.rows[str(count)] = {
+        result.rows[label] = {
             "ROB Average reduction": rob["Average"],
             "RAT Average reduction": rat["Average"],
             "slowdown": summary.mean_slowdown_vs(baseline),
@@ -125,19 +173,35 @@ def run_partition_count_ablation(
     return result
 
 
-def run_steering_policy_ablation(settings: ExperimentSettings) -> AblationResult:
+def run_steering_policy_ablation(
+    settings: ExperimentSettings,
+    executor: Optional[Executor] = None,
+    cache: Optional[ResultCache] = None,
+) -> AblationResult:
     """Compare steering policies on the baseline (temperature and IPC)."""
+    policies = (SteeringPolicy.DEPENDENCE, SteeringPolicy.LOAD_BALANCE, SteeringPolicy.ROUND_ROBIN)
+    labelled = [
+        (
+            policy.value,
+            ConfigBuilder.baseline()
+            .steering(policy)
+            .named(f"steer_{policy.value}")
+            .build(),
+        )
+        for policy in policies
+    ]
+    outcome = _run_sweep(
+        "steering-policy", labelled, settings, executor, cache, include_baseline=False
+    )
     result = AblationResult(name="steering policy")
-    reference = None
-    for policy in (SteeringPolicy.DEPENDENCE, SteeringPolicy.LOAD_BALANCE, SteeringPolicy.ROUND_ROBIN):
-        config = replace(baseline_config(), steering_policy=policy, name=f"steer_{policy.value}")
-        summary = summarize(config, settings)
-        if reference is None:
-            reference = summary
+    # Slowdowns are reported against the paper's default policy (the first).
+    reference = outcome.summaries[labelled[0][1].name]
+    for label, config in labelled:
+        summary = outcome.summaries[config.name]
         copies = sum(
             r.stats.copy_uops_generated for r in summary.results.values()
         ) / len(summary.results)
-        result.rows[policy.value] = {
+        result.rows[label] = {
             "IPC": summary.mean_ipc(),
             "Frontend Average (C)": summary.mean_metric("Frontend", "Average"),
             "Backend Average (C)": summary.mean_metric("Backend", "Average"),

@@ -11,11 +11,12 @@ the motivation for distributing it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
+from repro.campaign import Campaign, Executor, ResultCache, run_campaign
 from repro.core.presets import baseline_config
 from repro.experiments.reporting import format_value_table
-from repro.experiments.runner import ConfigurationSummary, ExperimentSettings, summarize
+from repro.experiments.runner import ConfigurationSummary, ExperimentSettings
 
 #: Approximate values read off the paper's Figure 1 (increase over ambient, C).
 PAPER_FIGURE1 = {
@@ -57,9 +58,14 @@ class Figure1Result:
         return frontend >= self.values["Backend"]["Peak"] and frontend >= self.values["UL2"]["Peak"]
 
 
-def run_fig01(settings: ExperimentSettings) -> Figure1Result:
+def run_fig01(
+    settings: ExperimentSettings,
+    executor: Optional[Executor] = None,
+    cache: Optional[ResultCache] = None,
+) -> Figure1Result:
     """Simulate the baseline and compute the Figure 1 groups."""
-    summary = summarize(baseline_config(), settings)
+    campaign = Campaign.single(baseline_config(), settings, name="fig01")
+    summary = run_campaign(campaign, executor, cache).summaries["baseline"]
     values: Dict[str, Dict[str, float]] = {}
     for group in FIGURE1_GROUPS:
         metrics = summary.mean_metrics(group)

@@ -11,11 +11,12 @@ partitions, together with the slowdown (2%), the processor-area overhead
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
+from repro.campaign import Campaign, Executor, ResultCache, run_campaign
 from repro.core.presets import baseline_config, distributed_rename_commit_config
 from repro.experiments.reporting import format_key_values, format_percentage_table
-from repro.experiments.runner import ConfigurationSummary, ExperimentSettings, summarize
+from repro.experiments.runner import ConfigurationSummary, ExperimentSettings
 from repro.sim.results import METRIC_NAMES
 
 #: Approximate values read off Figure 12 of the paper (fractional reductions).
@@ -63,10 +64,18 @@ class Figure12Result:
         return table + "\n\n" + extras
 
 
-def run_fig12(settings: ExperimentSettings) -> Figure12Result:
+def run_fig12(
+    settings: ExperimentSettings,
+    executor: Optional[Executor] = None,
+    cache: Optional[ResultCache] = None,
+) -> Figure12Result:
     """Simulate the baseline and the distributed rename/commit configuration."""
-    baseline = summarize(baseline_config(), settings)
-    distributed = summarize(distributed_rename_commit_config(), settings)
+    campaign = Campaign(
+        [baseline_config(), distributed_rename_commit_config()], settings, name="fig12"
+    )
+    outcome = run_campaign(campaign, executor, cache)
+    baseline = outcome.summaries["baseline"]
+    distributed = outcome.summaries["distributed_rc"]
 
     reductions = {
         group: distributed.mean_reductions_vs(baseline, group)

@@ -17,8 +17,9 @@ and the slowdown.  Section 4.2 also quotes a trace-cache hit-ratio loss below
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
+from repro.campaign import Campaign, Executor, ResultCache, run_campaign
 from repro.core.presets import (
     address_biasing_config,
     bank_hopping_biasing_config,
@@ -27,7 +28,7 @@ from repro.core.presets import (
     blank_silicon_config,
 )
 from repro.experiments.reporting import format_key_values, format_percentage_table
-from repro.experiments.runner import ConfigurationSummary, ExperimentSettings, summarize
+from repro.experiments.runner import ConfigurationSummary, ExperimentSettings
 from repro.sim.results import METRIC_NAMES
 
 FIGURE13_GROUPS = ("ReorderBuffer", "RenameTable", "TraceCache")
@@ -110,21 +111,27 @@ class Figure13Result:
         return hopping["AvgMax"] >= blank["AvgMax"]
 
 
-def run_fig13(settings: ExperimentSettings) -> Figure13Result:
+def run_fig13(
+    settings: ExperimentSettings,
+    executor: Optional[Executor] = None,
+    cache: Optional[ResultCache] = None,
+) -> Figure13Result:
     """Simulate the baseline and the four trace-cache configurations."""
-    baseline = summarize(baseline_config(), settings)
     configs = [
         address_biasing_config(),
         blank_silicon_config(),
         bank_hopping_config(),
         bank_hopping_biasing_config(),
     ]
+    campaign = Campaign([baseline_config()] + configs, settings, name="fig13")
+    outcome = run_campaign(campaign, executor, cache)
+    baseline = outcome.summaries["baseline"]
     result = Figure13Result(baseline=baseline)
     base_hit_rate = baseline.mean_trace_cache_hit_rate()
     base_area = baseline.group_area_mm2("Processor")
     for config in configs:
         label = CONFIG_LABELS[config.name]
-        summary = summarize(config, settings)
+        summary = outcome.summaries[config.name]
         result.summaries[label] = summary
         result.reductions[label] = {
             group: summary.mean_reductions_vs(baseline, group)

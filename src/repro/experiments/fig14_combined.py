@@ -10,8 +10,9 @@ rename-table and trace-cache temperature increases over ambient by roughly
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
+from repro.campaign import Campaign, Executor, ResultCache, run_campaign
 from repro.core.presets import (
     bank_hopping_biasing_config,
     baseline_config,
@@ -19,7 +20,7 @@ from repro.core.presets import (
     distributed_rename_commit_config,
 )
 from repro.experiments.reporting import format_key_values, format_percentage_table
-from repro.experiments.runner import ConfigurationSummary, ExperimentSettings, summarize
+from repro.experiments.runner import ConfigurationSummary, ExperimentSettings
 from repro.sim.results import METRIC_NAMES
 
 FIGURE14_GROUPS = ("ReorderBuffer", "RenameTable", "TraceCache")
@@ -80,18 +81,24 @@ class Figure14Result:
         )
 
 
-def run_fig14(settings: ExperimentSettings) -> Figure14Result:
+def run_fig14(
+    settings: ExperimentSettings,
+    executor: Optional[Executor] = None,
+    cache: Optional[ResultCache] = None,
+) -> Figure14Result:
     """Simulate the combined distributed frontend and its two components."""
-    baseline = summarize(baseline_config(), settings)
     configs = [
         bank_hopping_biasing_config(),
         distributed_rename_commit_config(),
         distributed_frontend_config(),
     ]
+    campaign = Campaign([baseline_config()] + configs, settings, name="fig14")
+    outcome = run_campaign(campaign, executor, cache)
+    baseline = outcome.summaries["baseline"]
     result = Figure14Result(baseline=baseline)
     for config in configs:
         label = CONFIG_LABELS[config.name]
-        summary = summarize(config, settings)
+        summary = outcome.summaries[config.name]
         result.summaries[label] = summary
         result.reductions[label] = {
             group: summary.mean_reductions_vs(baseline, group)

@@ -13,8 +13,10 @@ from dataclasses import dataclass
 from typing import Dict
 
 from repro.core.presets import (
+    FrontendOrganization,
     bank_hopping_config,
     baseline_config,
+    config_for,
     distributed_rename_commit_config,
 )
 from repro.power.energy import area_by_group, build_block_parameters
@@ -63,3 +65,8 @@ def describe_floorplans() -> Dict[str, FloorplanReport]:
         "bank hopping (Figure 11)": build_report(bank_hopping_config()),
         "distributed rename/commit": build_report(distributed_rename_commit_config()),
     }
+
+
+def floorplan_report_for(preset_name: str) -> FloorplanReport:
+    """Floorplan report of a named preset (used by the ``repro-campaign`` CLI)."""
+    return build_report(config_for(FrontendOrganization(preset_name)))

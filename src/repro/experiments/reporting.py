@@ -1,8 +1,8 @@
-"""Plain-text tables for the experiment drivers and benchmark harness."""
+"""Plain-text tables for the experiment drivers, CLI and benchmark harness."""
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 
 def format_percentage_table(
@@ -63,3 +63,27 @@ def format_key_values(title: str, values: Mapping[str, object]) -> str:
             rendered = str(value)
         lines.append(f"  {str(key):<{width}}  {rendered}")
     return "\n".join(lines)
+
+
+def format_campaign_outcome(outcome) -> str:
+    """Per-configuration overview table of a finished campaign.
+
+    Takes a :class:`repro.campaign.CampaignOutcome`; used by the
+    ``repro-campaign`` CLI for ad-hoc (non-figure) campaigns.
+    """
+    rows = {
+        name: {
+            "IPC": summary.mean_ipc(),
+            "power (W)": summary.mean_power(),
+            "TC hit rate": summary.mean_trace_cache_hit_rate(),
+            "FE peak (C)": summary.mean_metric("Frontend", "AbsMax"),
+            "FE avg (C)": summary.mean_metric("Frontend", "Average"),
+        }
+        for name, summary in outcome.summaries.items()
+    }
+    return format_value_table(
+        outcome.describe(),
+        rows,
+        columns=("IPC", "power (W)", "TC hit rate", "FE peak (C)", "FE avg (C)"),
+        precision=2,
+    )

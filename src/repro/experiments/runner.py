@@ -1,215 +1,72 @@
-"""Shared experiment machinery: workload selection, runs, aggregation.
+"""Legacy experiment-runner facade over :mod:`repro.campaign`.
 
-The paper evaluates every configuration on the 26 SPEC2000 applications and
-reports averages over them.  :class:`ExperimentSettings` controls which
-benchmarks are simulated and at which (scaled-down) length; the helpers here
-run one configuration over all of them and aggregate per-group temperature
-metrics, reductions versus a baseline, and slowdowns exactly the way the
-paper's figures do.
+Historically this module owned the serial experiment loop; the machinery now
+lives in the declarative campaign layer (:class:`repro.campaign.Campaign`
+expanded into cells, pluggable executors, an optional result cache).  The
+names below are kept as thin shims so existing imports — tests, examples,
+figure drivers, the benchmark harness — keep working:
+
+* :class:`ExperimentSettings` / :data:`QUICK_BENCHMARKS` — re-exported from
+  :mod:`repro.campaign.spec`;
+* :class:`ConfigurationSummary` — re-exported from
+  :mod:`repro.campaign.summary`;
+* :func:`run_configuration`, :func:`summarize`, :func:`summarize_many` —
+  one-campaign wrappers around :func:`repro.campaign.run_campaign`, now
+  accepting optional ``executor`` and ``cache`` arguments.
+
+New code should use :mod:`repro.campaign` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
+from repro.campaign.cache import ResultCache
+from repro.campaign.core import run_campaign
+from repro.campaign.executors import Executor
+from repro.campaign.spec import QUICK_BENCHMARKS, Campaign, ExperimentSettings
+from repro.campaign.summary import ConfigurationSummary
 from repro.sim.config import ProcessorConfig
-from repro.sim.engine import SimulationEngine
-from repro.sim.results import METRIC_NAMES, SimulationResult
-from repro.workloads.generator import TraceGenerator
-from repro.workloads.profiles import SPEC2000_PROFILES, get_profile
+from repro.sim.results import SimulationResult
 
-#: A representative subset used by the quick settings: mixes integer and FP,
-#: small and large working sets, high and low branch predictability.
-QUICK_BENCHMARKS: Tuple[str, ...] = ("gzip", "gcc", "mcf", "crafty", "swim", "equake", "mesa", "lucas")
-
-
-@dataclass(frozen=True)
-class ExperimentSettings:
-    """Controls the scale of an experiment run.
-
-    The paper simulates 200 M-instruction slices and updates temperature
-    every 10 M cycles; the reproduction scales both down together so each run
-    still spans a comparable number of thermal intervals (each representing
-    the same 1 ms of heating).
-    """
-
-    benchmarks: Tuple[str, ...] = tuple(SPEC2000_PROFILES)
-    uops_per_benchmark: int = 8_000
-    #: Thermal / hop / remap interval in cycles.  ``None`` derives it from the
-    #: trace length so that every run spans roughly ``target_intervals``.
-    interval_cycles: Optional[int] = None
-    target_intervals: int = 25
-    seed: int = 1
-    honor_relative_length: bool = True
-
-    def __post_init__(self) -> None:
-        if not self.benchmarks:
-            raise ValueError("at least one benchmark is required")
-        if self.uops_per_benchmark <= 0:
-            raise ValueError("uops_per_benchmark must be positive")
-        if self.target_intervals <= 0:
-            raise ValueError("target_intervals must be positive")
-        for name in self.benchmarks:
-            get_profile(name)  # raises KeyError for unknown benchmarks
-
-    @classmethod
-    def full(cls) -> "ExperimentSettings":
-        """All 26 SPEC2000 workloads at the default scaled-down length."""
-        return cls()
-
-    @classmethod
-    def quick(cls, uops_per_benchmark: int = 6_000) -> "ExperimentSettings":
-        """A representative 8-benchmark subset (used by the benchmark harness)."""
-        return cls(benchmarks=QUICK_BENCHMARKS, uops_per_benchmark=uops_per_benchmark)
-
-    @classmethod
-    def smoke(cls) -> "ExperimentSettings":
-        """Tiny two-benchmark run used by the integration tests."""
-        return cls(benchmarks=("gzip", "swim"), uops_per_benchmark=3_000)
-
-    def with_benchmarks(self, benchmarks: Iterable[str]) -> "ExperimentSettings":
-        return replace(self, benchmarks=tuple(benchmarks))
-
-    def resolved_interval_cycles(self) -> int:
-        """Interval length in cycles, derived from the trace length if unset.
-
-        The floor of 800 cycles keeps the bank-hop period large compared to
-        the time the trace cache needs to refill a flushed bank; hopping at a
-        much finer grain than the paper's 10 M cycles would otherwise turn
-        every hop into a hit-rate cliff that the paper's configuration never
-        experiences.
-        """
-        if self.interval_cycles is not None:
-            return self.interval_cycles
-        # Assume roughly one committed micro-op per cycle when sizing the
-        # interval; the exact IPC does not matter, only that every run spans
-        # a few tens of intervals.
-        return max(800, self.uops_per_benchmark // self.target_intervals)
-
-
-def _trace_length(settings: ExperimentSettings, benchmark: str) -> int:
-    profile = get_profile(benchmark)
-    length = settings.uops_per_benchmark
-    if settings.honor_relative_length:
-        length = max(500, int(round(length * profile.relative_length)))
-    return length
-
-
-#: Any periodic interval at or above this value is considered "unscaled"
-#: (the paper's 10 M-cycle default) and is replaced by the experiment-scale
-#: interval; smaller values were set deliberately (e.g. by an ablation sweep)
-#: and are preserved.
-_UNSCALED_INTERVAL_THRESHOLD = 1_000_000
-
-
-def _scale_config(config: ProcessorConfig, interval: int) -> ProcessorConfig:
-    """Scale the paper-default intervals of ``config`` down to ``interval``."""
-    from dataclasses import replace as _replace
-
-    tc = config.frontend.trace_cache
-    tc_changes = {}
-    if tc.hop_interval_cycles >= _UNSCALED_INTERVAL_THRESHOLD:
-        tc_changes["hop_interval_cycles"] = interval
-    if tc.remap_interval_cycles >= _UNSCALED_INTERVAL_THRESHOLD:
-        tc_changes["remap_interval_cycles"] = interval
-    if tc_changes:
-        config = _replace(
-            config, frontend=_replace(config.frontend, trace_cache=_replace(tc, **tc_changes))
-        )
-    if config.thermal.interval_cycles >= _UNSCALED_INTERVAL_THRESHOLD:
-        config = _replace(config, thermal=_replace(config.thermal, interval_cycles=interval))
-    return config
+__all__ = [
+    "QUICK_BENCHMARKS",
+    "ExperimentSettings",
+    "ConfigurationSummary",
+    "run_configuration",
+    "summarize",
+    "summarize_many",
+]
 
 
 def run_configuration(
     config: ProcessorConfig,
     settings: ExperimentSettings,
+    executor: Optional[Executor] = None,
+    cache: Optional[ResultCache] = None,
 ) -> Dict[str, SimulationResult]:
     """Simulate ``config`` on every benchmark of ``settings``."""
-    interval = settings.resolved_interval_cycles()
-    scaled_config = _scale_config(config, interval)
-    results: Dict[str, SimulationResult] = {}
-    for benchmark in settings.benchmarks:
-        generator = TraceGenerator(benchmark, seed=settings.seed)
-        trace = generator.generate(_trace_length(settings, benchmark))
-        engine = SimulationEngine(
-            scaled_config, trace.uops, benchmark, interval_cycles=interval
-        )
-        results[benchmark] = engine.run()
-    return results
-
-
-@dataclass
-class ConfigurationSummary:
-    """Per-configuration aggregates over all simulated benchmarks."""
-
-    config_name: str
-    results: Dict[str, SimulationResult] = field(default_factory=dict)
-
-    def mean_metric(self, group: str, metric: str) -> float:
-        """Average of a temperature metric (increase over ambient) over benchmarks."""
-        values = [r.temperature_metrics(group)[metric] for r in self.results.values()]
-        return sum(values) / len(values)
-
-    def mean_metrics(self, group: str) -> Dict[str, float]:
-        return {metric: self.mean_metric(group, metric) for metric in METRIC_NAMES}
-
-    def mean_reductions_vs(
-        self, baseline: "ConfigurationSummary", group: str
-    ) -> Dict[str, float]:
-        """Average per-benchmark fractional reductions versus a baseline."""
-        reductions = {metric: [] for metric in METRIC_NAMES}
-        for benchmark, result in self.results.items():
-            base = baseline.results[benchmark]
-            per_bench = result.temperature_reduction_vs(base, group)
-            for metric in METRIC_NAMES:
-                reductions[metric].append(per_bench[metric])
-        return {
-            metric: sum(values) / len(values) for metric, values in reductions.items()
-        }
-
-    def mean_slowdown_vs(self, baseline: "ConfigurationSummary") -> float:
-        """Average per-benchmark execution-time increase versus a baseline."""
-        slowdowns = [
-            result.slowdown_vs(baseline.results[benchmark])
-            for benchmark, result in self.results.items()
-        ]
-        return sum(slowdowns) / len(slowdowns)
-
-    def mean_power(self, group: Optional[str] = None) -> float:
-        """Average total power (W), optionally restricted to a block group."""
-        if group is None:
-            values = [r.average_power() for r in self.results.values()]
-        else:
-            values = [r.average_group_power(group) for r in self.results.values()]
-        return sum(values) / len(values)
-
-    def mean_ipc(self) -> float:
-        return sum(r.stats.ipc for r in self.results.values()) / len(self.results)
-
-    def mean_trace_cache_hit_rate(self) -> float:
-        return sum(
-            r.stats.trace_cache_hit_rate for r in self.results.values()
-        ) / len(self.results)
-
-    def group_area_mm2(self, group: str) -> float:
-        """Area of a block group (identical across benchmarks)."""
-        first = next(iter(self.results.values()))
-        return first.group_area_mm2(group)
+    outcome = run_campaign(Campaign.single(config, settings), executor, cache)
+    return outcome.summaries[config.name].results
 
 
 def summarize(
-    config: ProcessorConfig, settings: ExperimentSettings
+    config: ProcessorConfig,
+    settings: ExperimentSettings,
+    executor: Optional[Executor] = None,
+    cache: Optional[ResultCache] = None,
 ) -> ConfigurationSummary:
     """Run a configuration over all benchmarks and wrap it in a summary."""
-    return ConfigurationSummary(
-        config_name=config.name, results=run_configuration(config, settings)
-    )
+    outcome = run_campaign(Campaign.single(config, settings), executor, cache)
+    return outcome.summaries[config.name]
 
 
 def summarize_many(
-    configs: Sequence[ProcessorConfig], settings: ExperimentSettings
+    configs: Sequence[ProcessorConfig],
+    settings: ExperimentSettings,
+    executor: Optional[Executor] = None,
+    cache: Optional[ResultCache] = None,
 ) -> Dict[str, ConfigurationSummary]:
     """Summaries for several configurations, keyed by configuration name."""
-    return {config.name: summarize(config, settings) for config in configs}
+    outcome = run_campaign(Campaign(configs, settings), executor, cache)
+    return outcome.summaries

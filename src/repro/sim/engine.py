@@ -198,6 +198,7 @@ class SimulationEngine:
             block_groups=blocks.block_groups(self.config),
             block_areas_mm2=self.block_areas,
             ambient_celsius=self.config.thermal.ambient_celsius,
+            provenance={"interval_cycles": self.interval_cycles},
         )
         interval_index = 0
         emergency_limit = self.config.thermal.emergency_limit_celsius

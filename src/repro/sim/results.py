@@ -58,6 +58,11 @@ class SimulationResult:
     intervals: List[IntervalRecord] = field(default_factory=list)
     ambient_celsius: float = 45.0
     warmup_temperature: Dict[str, float] = field(default_factory=dict)
+    #: How the run was produced: the thermal/hop interval in cycles plus the
+    #: experiment-settings parameters (trace length, seed) the campaign layer
+    #: derives cache keys from.  Empty for results loaded from pre-provenance
+    #: (schema version 1) files.
+    provenance: Dict[str, object] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Temperature metrics

@@ -17,13 +17,20 @@ from repro.sim.results import IntervalRecord, SimulationResult
 from repro.sim.stats import SimulationStats
 
 #: Version stamp written into every file so future schema changes are detectable.
-SCHEMA_VERSION = 1
+#: Version 2 added the ``provenance`` mapping (thermal interval in cycles plus
+#: the experiment-settings parameters of the run) that the campaign result
+#: cache keys depend on; version-1 files still load, with empty provenance.
+SCHEMA_VERSION = 2
+
+#: Schema versions :func:`result_from_dict` can reconstruct.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 
 
 def result_to_dict(result: SimulationResult) -> Dict:
     """Convert a :class:`SimulationResult` to a JSON-serializable dictionary."""
     return {
         "schema_version": SCHEMA_VERSION,
+        "provenance": dict(result.provenance),
         "config_name": result.config_name,
         "benchmark": result.benchmark,
         "ambient_celsius": result.ambient_celsius,
@@ -48,9 +55,10 @@ def result_to_dict(result: SimulationResult) -> Dict:
 def result_from_dict(data: Dict) -> SimulationResult:
     """Rebuild a :class:`SimulationResult` from :func:`result_to_dict` output."""
     version = data.get("schema_version")
-    if version != SCHEMA_VERSION:
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
         raise ValueError(
-            f"unsupported result schema version {version!r} (expected {SCHEMA_VERSION})"
+            f"unsupported result schema version {version!r} "
+            f"(supported: {SUPPORTED_SCHEMA_VERSIONS})"
         )
     stats = SimulationStats()
     for key, value in data["stats"].items():
@@ -77,6 +85,9 @@ def result_from_dict(data: Dict) -> SimulationResult:
         intervals=intervals,
         ambient_celsius=data["ambient_celsius"],
         warmup_temperature=data.get("warmup_temperature", {}),
+        # Absent from schema-version-1 files; such results are still fully
+        # usable for metric queries, they just cannot seed the result cache.
+        provenance=data.get("provenance", {}),
     )
 
 

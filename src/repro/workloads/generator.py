@@ -22,6 +22,7 @@ and an explicit seed, so traces are fully reproducible.
 from __future__ import annotations
 
 import random
+import zlib
 from typing import Iterable, Iterator, List, Optional
 
 from repro.isa.microops import MicroOp, UopClass
@@ -84,7 +85,11 @@ class TraceGenerator:
         self.profile = profile
         self.seed = seed
         self.registers = register_space or RegisterSpace()
-        self._rng = random.Random((hash(profile.name) & 0xFFFFFFFF) ^ seed)
+        # ``zlib.crc32`` rather than ``hash()``: string hashing is randomized
+        # per process (PYTHONHASHSEED), which would make traces — and every
+        # downstream power/thermal number — differ between runs, between
+        # spawn-based worker processes, and against cached campaign results.
+        self._rng = random.Random(zlib.crc32(profile.name.encode("utf-8")) ^ seed)
         self._loops = self._build_program()
         # Dynamic generation state.
         self._current_loop_index = 0

@@ -1,0 +1,77 @@
+"""Unit tests of the content-keyed result cache (round-trip through
+sim/serialization, miss handling, key hygiene)."""
+
+import json
+
+import pytest
+
+from repro.campaign import Campaign, ExperimentSettings, ResultCache, execute_cell
+from repro.core.presets import baseline_config
+from repro.sim.serialization import SCHEMA_VERSION
+
+
+@pytest.fixture(scope="module")
+def cell():
+    settings = ExperimentSettings(benchmarks=("gzip",), uops_per_benchmark=1_500)
+    return Campaign.single(baseline_config(), settings).cells()[0]
+
+
+@pytest.fixture(scope="module")
+def simulated(cell):
+    return execute_cell(cell)
+
+
+def test_store_then_load_roundtrips_through_serialization(tmp_path, cell, simulated):
+    cache = ResultCache(tmp_path / "cache")
+    assert cache.load(cell) is None
+    assert cache.misses == 1
+
+    path = cache.store(cell, simulated)
+    assert path.exists()
+    assert json.loads(path.read_text())["schema_version"] == SCHEMA_VERSION
+
+    loaded = cache.load(cell)
+    assert cache.hits == 1
+    assert loaded is not None
+    assert loaded.stats.cycles == simulated.stats.cycles
+    assert loaded.provenance == simulated.provenance
+    for group in ("Frontend", "TraceCache"):
+        original = simulated.temperature_metrics(group)
+        restored = loaded.temperature_metrics(group)
+        for metric, value in original.items():
+            assert restored[metric] == pytest.approx(value)
+    assert len(cache) == 1
+
+
+def test_cache_key_embeds_schema_and_package_versions(tmp_path, cell):
+    import repro
+
+    cache = ResultCache(tmp_path / "cache")
+    assert cache.path_for(cell).name.startswith(
+        f"v{SCHEMA_VERSION}-{repro.__version__}-"
+    )
+
+
+def test_cache_directory_expands_user(tmp_path, monkeypatch):
+    monkeypatch.setenv("HOME", str(tmp_path))
+    cache = ResultCache("~/repro-cache")
+    assert cache.directory == tmp_path / "repro-cache"
+    assert "~" not in str(cache.directory)
+
+
+def test_corrupt_entries_are_misses(tmp_path, cell, simulated):
+    cache = ResultCache(tmp_path / "cache")
+    cache.store(cell, simulated)
+    cache.path_for(cell).write_text("{not json")
+    assert cache.load(cell) is None
+
+    # A well-formed file with a wrong schema is also a miss, not an error.
+    cache.path_for(cell).write_text(json.dumps({"schema_version": 999}))
+    assert cache.load(cell) is None
+    assert cache.misses == 2
+
+
+def test_cache_directory_is_created(tmp_path):
+    nested = tmp_path / "a" / "b" / "cache"
+    ResultCache(nested)
+    assert nested.is_dir()

@@ -1,0 +1,85 @@
+"""Tests of the ``repro-campaign`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.campaign.cli import main
+
+
+def test_list_presets(capsys):
+    assert main(["list-presets"]) == 0
+    out = capsys.readouterr().out
+    for name in ("baseline", "distributed_rc", "bank_hopping", "distributed_frontend"):
+        assert name in out
+
+
+def test_list_benchmarks(capsys):
+    assert main(["list-benchmarks"]) == 0
+    out = capsys.readouterr().out
+    assert "gzip" in out and "swim" in out
+    assert len(out.strip().splitlines()) == 26
+
+
+def test_floorplan_command(capsys):
+    assert main(["floorplan", "baseline"]) == 0
+    assert "Floorplan for configuration 'baseline'" in capsys.readouterr().out
+
+
+def test_run_adhoc_campaign_with_cache_and_output(tmp_path, capsys):
+    cache_dir = tmp_path / "cache"
+    output = tmp_path / "summary.json"
+    argv = [
+        "run",
+        "--configs", "baseline",
+        "--benchmarks", "gzip",
+        "--uops", "1200",
+        "--cache-dir", str(cache_dir),
+        "--output", str(output),
+    ]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert "1 simulated, 0 from cache" in first
+
+    payload = json.loads(output.read_text())
+    assert payload["cells_executed"] == 1
+    summary = payload["configurations"]["baseline"]
+    assert summary["benchmarks"] == ["gzip"]
+    assert summary["mean_ipc"] > 0
+    assert "Frontend" in summary["temperature_metrics"]
+
+    # Re-running the same campaign is served entirely from the cache.
+    assert main(argv) == 0
+    second = capsys.readouterr().out
+    assert "0 simulated, 1 from cache" in second
+    assert json.loads(output.read_text())["cells_executed"] == 0
+
+
+def test_run_figure_writes_table_and_json(tmp_path, capsys):
+    output = tmp_path / "fig01.json"
+    argv = [
+        "run",
+        "--figure", "fig01",
+        "--benchmarks", "gzip",
+        "--uops", "1200",
+        "--output", str(output),
+    ]
+    assert main(argv) == 0
+    assert "Figure 1" in capsys.readouterr().out
+    payload = json.loads(output.read_text())
+    assert payload["figure"] == "fig01"
+    assert "baseline" in payload["configurations"]
+
+
+def test_unknown_command_is_rejected():
+    with pytest.raises(SystemExit):
+        main(["definitely-not-a-command"])
+
+
+def test_domain_errors_become_cli_errors(capsys):
+    assert main(["run", "--configs", "notaconfig"]) == 2
+    assert "not a valid FrontendOrganization" in capsys.readouterr().err
+    assert main(["run", "--benchmarks", "gzip", "--uops", "0"]) == 2
+    assert "uops_per_benchmark must be positive" in capsys.readouterr().err
+    assert main(["run", "--benchmarks", "nosuchbench"]) == 2
+    assert "unknown benchmark" in capsys.readouterr().err

@@ -1,0 +1,148 @@
+"""Unit tests for the fluent ConfigBuilder and interval scaling."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.campaign.builder import (
+    UNSCALED_INTERVAL_THRESHOLD,
+    ConfigBuilder,
+    scale_paper_intervals,
+)
+from repro.core.presets import (
+    FrontendOrganization,
+    address_biasing_config,
+    bank_hopping_biasing_config,
+    bank_hopping_config,
+    baseline_config,
+    blank_silicon_config,
+    config_for,
+    distributed_frontend_config,
+    distributed_rename_commit_config,
+)
+from repro.sim.config import ProcessorConfig, SteeringPolicy
+
+
+def _manual_preset(organization: FrontendOrganization) -> ProcessorConfig:
+    """Each preset rebuilt with raw nested ``dataclasses.replace`` calls."""
+    config = ProcessorConfig.baseline()
+
+    def with_tc(config, **changes):
+        tc = replace(config.frontend.trace_cache, **changes)
+        return replace(config, frontend=replace(config.frontend, trace_cache=tc))
+
+    if organization is FrontendOrganization.BASELINE:
+        return config
+    if organization is FrontendOrganization.DISTRIBUTED_RENAME_COMMIT:
+        config = replace(config, frontend=replace(config.frontend, num_frontends=2))
+    elif organization is FrontendOrganization.ADDRESS_BIASING:
+        config = with_tc(config, thermal_aware_mapping=True)
+    elif organization is FrontendOrganization.BLANK_SILICON:
+        config = with_tc(config, physical_banks=3, blank_silicon=True)
+    elif organization is FrontendOrganization.BANK_HOPPING:
+        config = with_tc(config, physical_banks=3, bank_hopping=True)
+    elif organization is FrontendOrganization.BANK_HOPPING_BIASING:
+        config = with_tc(
+            config, physical_banks=3, bank_hopping=True, thermal_aware_mapping=True
+        )
+    elif organization is FrontendOrganization.DISTRIBUTED_FRONTEND:
+        config = replace(config, frontend=replace(config.frontend, num_frontends=2))
+        config = with_tc(
+            config, physical_banks=3, bank_hopping=True, thermal_aware_mapping=True
+        )
+    return replace(config, name=organization.value)
+
+
+def test_builder_reproduces_every_preset_exactly():
+    """Acceptance: ConfigBuilder output equals each core/presets.py preset."""
+    for organization in FrontendOrganization:
+        assert config_for(organization) == _manual_preset(organization), organization
+
+
+def test_builder_is_immutable_and_forkable():
+    base = ConfigBuilder.baseline()
+    hopping = base.bank_hopping()
+    biased = base.biased_mapping()
+    # Deriving from ``base`` twice must not leak changes across forks.
+    assert base.build() == baseline_config()
+    assert hopping.build().frontend.trace_cache.bank_hopping
+    assert not hopping.build().frontend.trace_cache.thermal_aware_mapping
+    assert biased.build().frontend.trace_cache.thermal_aware_mapping
+    assert not biased.build().frontend.trace_cache.bank_hopping
+
+
+def test_builder_section_rewrites_and_shorthands():
+    config = (
+        ConfigBuilder.baseline()
+        .frontend(fetch_width=4)
+        .backend(num_clusters=2)
+        .memory(ul2_hit_latency=20)
+        .interconnect(bus_latency=6)
+        .power(vdd=0.9)
+        .thermal(ambient_celsius=50.0)
+        .steering(SteeringPolicy.ROUND_ROBIN)
+        .named("custom")
+        .build()
+    )
+    assert config.name == "custom"
+    assert config.frontend.fetch_width == 4
+    assert config.backend.num_clusters == 2
+    assert config.memory.ul2_hit_latency == 20
+    assert config.interconnect.bus_latency == 6
+    assert config.power.vdd == 0.9
+    assert config.thermal.ambient_celsius == 50.0
+    assert config.steering_policy is SteeringPolicy.ROUND_ROBIN
+
+
+def test_builder_biased_mapping_threshold():
+    config = ConfigBuilder.baseline().biased_mapping(threshold_celsius=6.0).build()
+    assert config.frontend.trace_cache.thermal_aware_mapping
+    assert config.frontend.trace_cache.bias_threshold_celsius == 6.0
+
+
+def test_builder_validation_still_applies():
+    with pytest.raises(ValueError):
+        # Bank hopping without a spare physical bank is rejected by the
+        # TraceCacheConfig invariants, through the builder as well.
+        ConfigBuilder.baseline().trace_cache(bank_hopping=True)
+
+
+def test_scale_paper_intervals_rescales_defaults_only():
+    scaled = scale_paper_intervals(bank_hopping_config(), 900)
+    tc = scaled.frontend.trace_cache
+    assert tc.hop_interval_cycles == 900
+    assert tc.remap_interval_cycles == 900
+    assert scaled.thermal.interval_cycles == 900
+    assert scaled.name == "bank_hopping"
+
+    # A deliberately small (ablation-set) interval is preserved.
+    deliberate = (
+        ConfigBuilder.from_config(bank_hopping_config())
+        .trace_cache(hop_interval_cycles=1_234)
+        .build()
+    )
+    rescaled = scale_paper_intervals(deliberate, 900)
+    assert rescaled.frontend.trace_cache.hop_interval_cycles == 1_234
+    assert rescaled.frontend.trace_cache.remap_interval_cycles == 900
+    assert UNSCALED_INTERVAL_THRESHOLD > 1_234
+
+    with pytest.raises(ValueError):
+        scale_paper_intervals(baseline_config(), 0)
+
+
+def test_scaled_intervals_builder_method_matches_function():
+    via_builder = ConfigBuilder.from_config(bank_hopping_config()).scaled_intervals(900).build()
+    assert via_builder == scale_paper_intervals(bank_hopping_config(), 900)
+
+
+def test_presets_cover_all_organizations():
+    configs = [
+        baseline_config(),
+        distributed_rename_commit_config(),
+        address_biasing_config(),
+        blank_silicon_config(),
+        bank_hopping_config(),
+        bank_hopping_biasing_config(),
+        distributed_frontend_config(),
+    ]
+    assert [c.name for c in configs] == [o.value for o in FrontendOrganization]

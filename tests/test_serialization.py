@@ -8,6 +8,7 @@ from repro.core.presets import baseline_config
 from repro.sim.engine import SimulationEngine
 from repro.sim.serialization import (
     SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
     load_result,
     result_from_dict,
     result_to_dict,
@@ -65,3 +66,25 @@ def test_unsupported_schema_version_rejected(simulated_result):
 def test_dispatched_per_cluster_keys_restored_as_ints(simulated_result):
     restored = result_from_dict(result_to_dict(simulated_result))
     assert all(isinstance(k, int) for k in restored.stats.dispatched_per_cluster)
+
+
+def test_schema_v2_records_interval_provenance(simulated_result):
+    """The engine stamps the interval the run was simulated at (schema v2)."""
+    assert SCHEMA_VERSION == 2
+    data = result_to_dict(simulated_result)
+    assert data["provenance"]["interval_cycles"] == 400
+    restored = result_from_dict(data)
+    assert restored.provenance == simulated_result.provenance
+
+
+def test_schema_v1_files_still_load_without_provenance(simulated_result):
+    """Backward compatibility: pre-provenance files load with empty provenance."""
+    assert 1 in SUPPORTED_SCHEMA_VERSIONS
+    data = result_to_dict(simulated_result)
+    data["schema_version"] = 1
+    del data["provenance"]
+    restored = result_from_dict(data)
+    assert restored.provenance == {}
+    assert restored.stats.cycles == simulated_result.stats.cycles
+    for metric, value in simulated_result.temperature_metrics("Frontend").items():
+        assert restored.temperature_metrics("Frontend")[metric] == pytest.approx(value)

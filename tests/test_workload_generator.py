@@ -20,6 +20,42 @@ def test_generator_rejects_wrong_profile_type():
         TraceGenerator(42)
 
 
+def test_generator_seed_is_stable_across_processes():
+    """Traces must not depend on PYTHONHASHSEED (string-hash randomization).
+
+    The campaign layer relies on this: spawn-based worker processes and
+    content-keyed cached results are only interchangeable with in-process
+    simulation if the same (benchmark, seed) always yields the same trace.
+    """
+    import os
+    import subprocess
+    import sys
+
+    script = (
+        "from repro.workloads.generator import TraceGenerator\n"
+        "t = TraceGenerator('gzip', seed=7).generate(300)\n"
+        "print([(u.pc, u.mem_addr) for u in t][:50])\n"
+    )
+    outputs = set()
+    for hash_seed in ("1", "2"):
+        completed = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+            env={
+                **os.environ,
+                "PYTHONHASHSEED": hash_seed,
+                "PYTHONPATH": os.pathsep.join(sys.path),
+            },
+        )
+        outputs.add(completed.stdout)
+    assert len(outputs) == 1
+
+    in_process = TraceGenerator("gzip", seed=7).generate(300)
+    assert str([(u.pc, u.mem_addr) for u in in_process][:50]) == outputs.pop().strip()
+
+
 def test_generator_rejects_non_positive_length():
     generator = TraceGenerator("gzip")
     with pytest.raises(ValueError):

@@ -4,19 +4,161 @@ These are conventional pytest-benchmark timings (multiple rounds) of the two
 hot paths of the reproduction: the cycle-level timing simulator and the
 thermal RC solve.  They exist so performance regressions of the simulator are
 visible, independently of the paper's figures.
+
+``test_bench_interval_pipeline_json`` additionally emits a machine-readable
+``benchmarks/output/BENCH_simulator.json`` with the simulator's throughput
+numbers (uops/sec of the timing model, intervals/sec of the power/thermal
+interval pipeline, the thermal solver's share of pipeline time) next to a
+pre-change baseline recorded below, so the performance trajectory of the
+inner loop is tracked from PR to PR (the CI workflow uploads the file as an
+artifact).  Set ``REPRO_BENCH_STRICT=1`` to turn the recorded fast-path
+speedup into a hard assertion (meaningful on hardware comparable to the
+baseline machine).
 """
 
 from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
 
 import pytest
 
 from repro.core.presets import baseline_config
 from repro.power.energy import build_block_parameters
+from repro.sim.engine import SimulationEngine, run_benchmark
 from repro.sim.processor import Processor
 from repro.thermal.floorplan import build_floorplan
 from repro.thermal.rc_model import ThermalRCNetwork
 from repro.thermal.solver import ThermalSolver
 from repro.workloads.generator import TraceGenerator
+
+#: Throughput of the dict-per-block pipeline at commit aceea7f (the state
+#: before the array-backed fast path landed), measured with exactly this
+#: harness (same trace, same interval length, same tight-loop iteration
+#: count) on the reference development container.  Recorded here so
+#: ``BENCH_simulator.json`` always reports the fast-path speedup relative to
+#: the pre-change implementation.
+PRE_CHANGE_BASELINE = {
+    "commit": "aceea7f",
+    "pipeline": "dict-per-block power/thermal pipeline, per-solve np.linalg.solve",
+    "uops_per_second": 16243.2,
+    "intervals_per_second": 8562.9,
+    "solver_time_share": 0.402,
+}
+
+#: Harness parameters (shared by the baseline recording and every rerun).
+BENCH_TRACE_UOPS = 6_000
+BENCH_INTERVAL_CYCLES = 800
+BENCH_PIPELINE_ITERATIONS = 3_000
+
+
+def _measure_uops_per_second(repeats: int = 3) -> float:
+    """End-to-end engine throughput (timing model + power/thermal pipeline)."""
+    best = 0.0
+    for _ in range(repeats):
+        trace = TraceGenerator("gzip", seed=7).generate(BENCH_TRACE_UOPS)
+        start = time.perf_counter()
+        result = run_benchmark(
+            baseline_config(), trace.uops, "gzip",
+            interval_cycles=BENCH_INTERVAL_CYCLES,
+        )
+        elapsed = time.perf_counter() - start
+        best = max(best, result.stats.committed_uops / elapsed)
+    return best
+
+
+def _measure_interval_pipeline() -> dict:
+    """Tight-loop throughput of the per-interval power/thermal pipeline.
+
+    Builds an engine, runs a few real intervals so the leakage averages and
+    the thermal state are realistic, then drives
+    :meth:`SimulationEngine.interval_pipeline` — the exact production hot
+    path — with a fixed activity vector.  The tight loop isolates the
+    pipeline from the (much slower) pure-Python timing simulation, so the
+    number is stable and directly comparable across implementations.
+    """
+    trace = TraceGenerator("gzip", seed=7).generate(BENCH_TRACE_UOPS)
+    engine = SimulationEngine(
+        baseline_config(), trace.uops, "gzip",
+        interval_cycles=BENCH_INTERVAL_CYCLES,
+    )
+    engine.run(max_intervals=3)
+    counts = engine.block_index.array_from_mapping(
+        engine.processor.activity.total_counts()
+    )
+
+    solver_seconds = 0.0
+    original_advance = engine.solver.advance_nodes
+
+    def timed_advance(*args, **kwargs):
+        nonlocal solver_seconds
+        start = time.perf_counter()
+        out = original_advance(*args, **kwargs)
+        solver_seconds += time.perf_counter() - start
+        return out
+
+    engine.solver.advance_nodes = timed_advance
+    dt = engine.config.thermal.interval_seconds
+    records = []
+    start = time.perf_counter()
+    for i in range(BENCH_PIPELINE_ITERATIONS):
+        records.append(
+            engine.interval_pipeline(
+                counts, BENCH_INTERVAL_CYCLES, cycle=i, seconds=i * dt
+            )
+        )
+    elapsed = time.perf_counter() - start
+    assert len(records) == BENCH_PIPELINE_ITERATIONS
+    return {
+        "intervals_per_second": BENCH_PIPELINE_ITERATIONS / elapsed,
+        "solver_time_share": solver_seconds / elapsed,
+        "microseconds_per_interval": elapsed / BENCH_PIPELINE_ITERATIONS * 1e6,
+    }
+
+
+def test_bench_interval_pipeline_json(report_writer):
+    """Measure simulator throughput and emit ``BENCH_simulator.json``."""
+    pipeline = _measure_interval_pipeline()
+    uops_per_second = _measure_uops_per_second()
+    speedup = (
+        pipeline["intervals_per_second"] / PRE_CHANGE_BASELINE["intervals_per_second"]
+    )
+    payload = {
+        "schema_version": 1,
+        "parameters": {
+            "benchmark": "gzip",
+            "trace_uops": BENCH_TRACE_UOPS,
+            "interval_cycles": BENCH_INTERVAL_CYCLES,
+            "pipeline_iterations": BENCH_PIPELINE_ITERATIONS,
+        },
+        "baseline": dict(PRE_CHANGE_BASELINE),
+        "current": {
+            "uops_per_second": uops_per_second,
+            **pipeline,
+        },
+        "speedup_intervals_per_second": speedup,
+    }
+    output_path = Path(__file__).parent / "output" / "BENCH_simulator.json"
+    output_path.parent.mkdir(exist_ok=True)
+    output_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    report_writer(
+        "BENCH_simulator",
+        f"interval pipeline: {pipeline['intervals_per_second']:.0f} intervals/s "
+        f"({pipeline['microseconds_per_interval']:.1f} us/interval, "
+        f"solver share {pipeline['solver_time_share']:.2f}), "
+        f"engine: {uops_per_second:.0f} uops/s, "
+        f"{speedup:.2f}x vs pre-fast-path baseline "
+        f"[JSON: {output_path}]",
+    )
+
+    assert pipeline["intervals_per_second"] > 0
+    if os.environ.get("REPRO_BENCH_STRICT") == "1":
+        assert speedup >= 1.5, (
+            f"interval pipeline is only {speedup:.2f}x the recorded pre-change "
+            f"baseline (expected >= 1.5x on comparable hardware)"
+        )
 
 
 def test_bench_processor_throughput(benchmark):

@@ -5,15 +5,27 @@
 with an additional always-on idle component (clock distribution) proportional
 to the block's area.  Vdd-gated blocks (trace-cache banks under bank hopping
 or blank silicon) dissipate neither dynamic nor idle nor leakage power.
+
+The model is array-backed: per-block energies and idle powers are
+precomputed into NumPy vectors laid out by the model's
+:class:`~repro.sim.block_index.BlockIndex`, and the per-interval hot path
+(:meth:`PowerModel.dynamic_power_array`, :meth:`PowerModel.compute_arrays`)
+turns an activity-count vector into dynamic and leakage power vectors
+without allocating a single per-block dictionary.  The original
+mapping-based methods remain as wrappers over the same arithmetic, so the
+dict and array paths cannot drift apart.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Optional
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+import numpy as np
 
 from repro.power.energy import BlockPowerParameters
 from repro.power.leakage import LeakageModel
+from repro.sim.block_index import BlockIndex
 from repro.sim.config import PowerConfig
 
 
@@ -50,9 +62,63 @@ class PowerModel:
     ) -> None:
         self.config = config
         self.block_parameters = dict(block_parameters)
-        self.leakage_model = LeakageModel(config, self.block_parameters.keys())
+        self.index = BlockIndex(self.block_parameters.keys())
+        self.leakage_model = LeakageModel(config, self.index.names)
         self._frequency_hz = config.frequency_ghz * 1e9
+        self._energy_per_access_nj = np.array(
+            [p.energy_per_access_nj for p in self.block_parameters.values()]
+        )
+        self._idle_power_w = np.array(
+            [p.idle_power_w for p in self.block_parameters.values()]
+        )
 
+    # ------------------------------------------------------------------
+    # Array fast path
+    # ------------------------------------------------------------------
+    def dynamic_power_array(
+        self,
+        activity_counts: np.ndarray,
+        cycles: int,
+        gated_mask: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Per-block dynamic power (W) from a block-index-ordered count vector.
+
+        The expression keeps the scalar implementation's exact association
+        order (``((rate * e_nJ) * 1e-9) * f + idle``) so the vectorized path
+        is bit-identical to the historical dict path, which the golden-metric
+        suite locks down.
+        """
+        if cycles <= 0:
+            raise ValueError("cycles must be positive")
+        access_rate = activity_counts / cycles
+        power = (
+            access_rate * self._energy_per_access_nj * 1e-9 * self._frequency_hz
+            + self._idle_power_w
+        )
+        if gated_mask is not None:
+            power[gated_mask] = 0.0
+        return power
+
+    def compute_arrays(
+        self,
+        activity_counts: np.ndarray,
+        cycles: int,
+        temperatures: np.ndarray,
+        gated_mask: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Dynamic and leakage power vectors for one interval (the hot path).
+
+        Like :meth:`compute`, the leakage model's running average of dynamic
+        power is updated with this interval's dynamic power before leakage is
+        evaluated.
+        """
+        dynamic = self.dynamic_power_array(activity_counts, cycles, gated_mask)
+        self.leakage_model.observe_dynamic_power_array(dynamic)
+        leakage = self.leakage_model.leakage_power_array(temperatures, gated_mask)
+        return dynamic, leakage
+
+    # ------------------------------------------------------------------
+    # Mapping boundary (wrappers over the array path)
     # ------------------------------------------------------------------
     def dynamic_power(
         self,
@@ -61,19 +127,11 @@ class PowerModel:
         gated_blocks: Optional[Iterable[str]] = None,
     ) -> Dict[str, float]:
         """Per-block dynamic power (W) for an interval of ``cycles`` cycles."""
-        if cycles <= 0:
-            raise ValueError("cycles must be positive")
-        gated = set(gated_blocks or ())
-        power: Dict[str, float] = {}
-        for block, params in self.block_parameters.items():
-            if block in gated:
-                power[block] = 0.0
-                continue
-            accesses = activity_counts.get(block, 0)
-            access_rate = accesses / cycles
-            switching = access_rate * params.energy_per_access_nj * 1e-9 * self._frequency_hz
-            power[block] = switching + params.idle_power_w
-        return power
+        counts = self.index.array_from_mapping(activity_counts)
+        mask = self.index.mask(gated_blocks) if gated_blocks else None
+        return self.index.mapping_from_array(
+            self.dynamic_power_array(counts, cycles, mask)
+        )
 
     def compute(
         self,
@@ -87,10 +145,16 @@ class PowerModel:
         The leakage model's running average of dynamic power is updated with
         this interval's dynamic power before leakage is evaluated.
         """
-        dynamic = self.dynamic_power(activity_counts, cycles, gated_blocks)
-        self.leakage_model.observe_dynamic_power(dynamic)
-        leakage = self.leakage_model.leakage_power(temperatures, gated_blocks)
-        return PowerBreakdown(dynamic=dynamic, leakage=leakage)
+        counts = self.index.array_from_mapping(activity_counts)
+        temps = self.index.array_from_mapping(
+            temperatures, default=self.config.ambient_celsius
+        )
+        mask = self.index.mask(gated_blocks) if gated_blocks else None
+        dynamic, leakage = self.compute_arrays(counts, cycles, temps, mask)
+        return PowerBreakdown(
+            dynamic=self.index.mapping_from_array(dynamic),
+            leakage=self.index.mapping_from_array(leakage),
+        )
 
     # ------------------------------------------------------------------
     def nominal_power(
@@ -107,8 +171,10 @@ class PowerModel:
         helper returns dynamic power plus ambient-temperature leakage and
         seeds the leakage model's nominal power.
         """
-        dynamic = self.dynamic_power(activity_counts, cycles, gated_blocks)
-        self.leakage_model.seed_nominal_power(dynamic)
-        ambient = {block: self.config.ambient_celsius for block in dynamic}
-        leakage = self.leakage_model.leakage_power(ambient, gated_blocks)
-        return {block: dynamic[block] + leakage[block] for block in dynamic}
+        counts = self.index.array_from_mapping(activity_counts)
+        mask = self.index.mask(gated_blocks) if gated_blocks else None
+        dynamic = self.dynamic_power_array(counts, cycles, mask)
+        self.leakage_model.seed_nominal_power_array(dynamic)
+        ambient = np.full(len(self.index), self.config.ambient_celsius)
+        leakage = self.leakage_model.leakage_power_array(ambient, mask)
+        return self.index.mapping_from_array(dynamic + leakage)

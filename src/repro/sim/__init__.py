@@ -19,11 +19,13 @@ from repro.sim.config import (
     ThermalConfig,
     SteeringPolicy,
 )
+from repro.sim.block_index import BlockIndex
 from repro.sim.processor import Processor
 from repro.sim.results import SimulationResult
 from repro.sim.stats import ActivityCounters, SimulationStats
 
 __all__ = [
+    "BlockIndex",
     "ProcessorConfig",
     "FrontendConfig",
     "TraceCacheConfig",

@@ -1,0 +1,91 @@
+"""A fixed, ordered index of functional-block names.
+
+The power and thermal fast path operates on NumPy vectors instead of
+per-block dictionaries.  A :class:`BlockIndex` pins the order of those
+vectors: position ``i`` of every activity / power / temperature array refers
+to ``index.names[i]``.  The activity counters, the power and leakage models
+and the simulation engine all share one index per run, so per-interval data
+flows through the pipeline as arrays and dictionaries only appear at the
+public result boundary (:class:`~repro.sim.results.IntervalRecord`,
+serialization, metric queries).
+
+The index is deliberately independent of any particular subsystem's naming
+order — the processor's activity counters, the power parameters and the
+floorplan each enumerate blocks in their own order, and the conversion
+helpers here (plus :meth:`positions`) make the alignment explicit instead of
+implicit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+
+class BlockIndex:
+    """An immutable ``name <-> position`` mapping for block-vector layouts."""
+
+    __slots__ = ("names", "_positions")
+
+    def __init__(self, names: Iterable[str]) -> None:
+        self.names: tuple = tuple(names)
+        if not self.names:
+            raise ValueError("a block index needs at least one block")
+        self._positions: Dict[str, int] = {
+            name: i for i, name in enumerate(self.names)
+        }
+        if len(self._positions) != len(self.names):
+            raise ValueError("duplicate block names in block index")
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._positions
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BlockIndex({len(self.names)} blocks)"
+
+    def position(self, name: str) -> int:
+        """Vector position of ``name`` (raises ``KeyError`` if unknown)."""
+        return self._positions[name]
+
+    def positions(self, names: Sequence[str]) -> np.ndarray:
+        """Vector positions of several names, as an integer array."""
+        return np.array([self._positions[name] for name in names], dtype=np.intp)
+
+    # ------------------------------------------------------------------
+    # Conversions between the array layout and the dict boundary
+    # ------------------------------------------------------------------
+    def array_from_mapping(
+        self, mapping: Mapping[str, float], default: float = 0.0
+    ) -> np.ndarray:
+        """Dense float vector from a (possibly sparse) per-block mapping."""
+        out = np.full(len(self.names), float(default))
+        for i, name in enumerate(self.names):
+            value = mapping.get(name)
+            if value is not None:
+                out[i] = value
+        return out
+
+    def mapping_from_array(self, values: np.ndarray) -> Dict[str, float]:
+        """Per-block dictionary from a dense vector (the result boundary)."""
+        return {name: float(values[i]) for i, name in enumerate(self.names)}
+
+    def mask(self, names: Iterable[str]) -> np.ndarray:
+        """Boolean vector with ``True`` at the positions of ``names``.
+
+        Unknown names are ignored: the engine's gated-bank list can mention
+        physical banks that a particular floorplan does not instantiate.
+        """
+        out = np.zeros(len(self.names), dtype=bool)
+        for name in names:
+            pos = self._positions.get(name)
+            if pos is not None:
+                out[pos] = True
+        return out

@@ -14,11 +14,23 @@ Before measurement the processor is *warmed up*: the steady-state
 temperatures for the nominal average power (first interval's activity) are
 computed, iterating the leakage-temperature feedback until convergence or the
 381 K emergency limit, mirroring Section 4 of the paper.
+
+The per-interval power/thermal pipeline is array-backed end to end: activity
+counts drain into a NumPy vector laid out by the engine's
+:class:`~repro.sim.block_index.BlockIndex`, power and leakage are evaluated
+as vectors, the thermal solve reuses a precomputed LU factorization of the
+conductance matrix, and :class:`~repro.sim.results.IntervalRecord` stores
+the vectors directly — per-block dictionaries are only materialized at the
+result boundary.  The golden-metric suite (``tests/test_golden_metrics.py``)
+locks this fast path bit-for-bit against the original dict-per-block
+implementation.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Optional, Sequence
+from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.bank_hopping import BankHoppingController
 from repro.core.thermal_mapping import BalancedMappingPolicy, ThermalAwareMappingPolicy
@@ -107,11 +119,27 @@ class SimulationEngine:
         self._hop_every = max(1, round(tc_config.hop_interval_cycles / self.interval_cycles))
         self._remap_every = max(1, round(tc_config.remap_interval_cycles / self.interval_cycles))
 
-        self._thermal_state = self.network.uniform_state(config.thermal.ambient_celsius)
-        self._temperatures: Dict[str, float] = self.solver.block_temperatures(
-            self._thermal_state
+        # --------------------------------------------------------------
+        # Array fast path: one block index (the power model's order) for
+        # every per-interval vector, plus the explicit permutation that
+        # scatters block vectors into thermal-node space.  The activity
+        # counters, the floorplan and the power model each enumerate blocks
+        # in their own order, so nothing here assumes the orders agree.
+        # --------------------------------------------------------------
+        self.block_index = self.power_model.index
+        self._node_positions = self.network.node_positions(self.block_index.names)
+        self._node_power = np.zeros(self.network.num_nodes)
+        self._gated_cache: Tuple[tuple, list, np.ndarray] = (
+            (),
+            [],
+            np.zeros(len(self.block_index), dtype=bool),
         )
-        self.warmup_temperatures: Dict[str, float] = dict(self._temperatures)
+
+        self._thermal_state = self.network.uniform_state(config.thermal.ambient_celsius)
+        self._temperature_array: np.ndarray = self._thermal_state[self._node_positions]
+        self.warmup_temperatures: Dict[str, float] = self.block_index.mapping_from_array(
+            self._temperature_array
+        )
         self.emergency_intervals = 0
 
     # ------------------------------------------------------------------
@@ -131,33 +159,54 @@ class SimulationEngine:
         ul2.hits = 0
         ul2.misses = 0
 
-    def _gated_blocks(self) -> list:
+    def _gated_state(self) -> Tuple[list, Optional[np.ndarray]]:
+        """Names and block-index mask of the Vdd-gated trace-cache banks.
+
+        Cached per gated-bank set: the set only changes when the hopping
+        controller rotates, so the steady intervals between hops reuse one
+        mask instead of rebuilding it.
+        """
         if self.hopping is None:
-            return []
-        return [
-            blocks.trace_cache_bank_block(b) for b in self.hopping.gated_banks
-        ]
+            return [], None
+        banks = tuple(self.hopping.gated_banks)
+        cached = self._gated_cache
+        if cached[0] != banks:
+            names = [blocks.trace_cache_bank_block(b) for b in banks]
+            cached = (banks, names, self.block_index.mask(names))
+            self._gated_cache = cached
+        return cached[1], cached[2]
 
-    def _warmup(self, activity_counts: Dict[str, int], cycles: int) -> None:
+    def _warmup(self, activity_counts: np.ndarray, cycles: int) -> None:
         """Warm the processor to the steady state of its nominal power."""
-        gated = self._gated_blocks()
-        nominal = self.power_model.nominal_power(activity_counts, cycles, gated)
+        _, gated_mask = self._gated_state()
+        leakage_model = self.power_model.leakage_model
+        # The first interval's dynamic power (constant across the warm-up
+        # fixed point) seeds the leakage model's nominal power; the iteration
+        # below then couples leakage and temperature until convergence (or
+        # the 381 K emergency limit).
+        dynamic = self.power_model.dynamic_power_array(
+            activity_counts, cycles, gated_mask
+        )
+        leakage_model.seed_nominal_power_array(dynamic)
+        node_positions = self._node_positions
+        node_power = self._node_power
 
-        def power_at(temperatures: Dict[str, float]) -> Dict[str, float]:
-            dynamic = self.power_model.dynamic_power(activity_counts, cycles, gated)
-            leakage = self.power_model.leakage_model.leakage_power(temperatures, gated)
-            return {b: dynamic[b] + leakage[b] for b in dynamic}
+        def node_power_at(state: np.ndarray) -> np.ndarray:
+            temperatures = state[node_positions]
+            leakage = leakage_model.leakage_power_array(temperatures, gated_mask)
+            node_power[:] = 0.0
+            node_power[node_positions] = dynamic + leakage
+            return node_power
 
-        # ``nominal`` seeds the leakage model; the warm-up iteration then
-        # couples leakage and temperature until convergence (or 381 K).
-        del nominal
-        state, temperatures = self.solver.warmup(
-            power_at,
+        state, _ = self.solver.warmup_nodes(
+            node_power_at,
             emergency_limit_celsius=self.config.thermal.emergency_limit_celsius,
         )
         self._thermal_state = state
-        self._temperatures = temperatures
-        self.warmup_temperatures = dict(temperatures)
+        self._temperature_array = state[node_positions]
+        self.warmup_temperatures = self.block_index.mapping_from_array(
+            self._temperature_array
+        )
 
     def _apply_bank_management(self, interval_index: int) -> None:
         """Rotate the gated bank and rebuild the mapping table when due."""
@@ -176,7 +225,16 @@ class SimulationEngine:
         remap_due = (interval_index + 1) % self._remap_every == 0
         if hopped or (remap_due and tc_config.thermal_aware_mapping):
             enabled = tc.enabled_banks()
-            readings = self.sensors.read_all(self._temperatures)
+            # Sensors read only the trace-cache banks; build just that small
+            # mapping from the temperature vector (the result boundary).
+            temperatures = self._temperature_array
+            index = self.block_index
+            readings = self.sensors.read_all(
+                {
+                    name: float(temperatures[index.position(name)])
+                    for name in self._tc_bank_blocks
+                }
+            )
             bank_temps = {
                 bank: readings[blocks.trace_cache_bank_block(bank)] for bank in enabled
             }
@@ -184,6 +242,51 @@ class SimulationEngine:
             tc.set_mapping_shares(shares)
 
     # ------------------------------------------------------------------
+    def interval_pipeline(
+        self,
+        activity_counts: np.ndarray,
+        cycles_elapsed: int,
+        cycle: int,
+        seconds: float,
+    ) -> IntervalRecord:
+        """The power/thermal hot path of one interval: counts -> record.
+
+        Converts a drained activity-count vector (block-index order) into
+        dynamic and leakage power, advances the thermal RC network by the
+        interval's wall-clock duration, tracks the emergency-limit counter
+        and returns the interval's :class:`IntervalRecord` — all on NumPy
+        vectors, with no per-block dict allocation.  ``run`` calls this once
+        per interval; the throughput benchmark drives it directly.
+        """
+        _, gated_mask = self._gated_state()
+        dynamic, leakage = self.power_model.compute_arrays(
+            activity_counts, cycles_elapsed, self._temperature_array, gated_mask
+        )
+        node_power = self._node_power
+        node_power[:] = 0.0
+        node_power[self._node_positions] = dynamic + leakage
+        dt = self.config.thermal.interval_seconds * (
+            cycles_elapsed / self.interval_cycles
+        )
+        self._thermal_state = self.solver.advance_nodes(
+            self._thermal_state, node_power, dt
+        )
+        # Fancy indexing copies, so each record owns its temperature vector.
+        self._temperature_array = self._thermal_state[self._node_positions]
+        if (
+            float(self._temperature_array.max())
+            >= self.config.thermal.emergency_limit_celsius
+        ):
+            self.emergency_intervals += 1
+        return IntervalRecord.from_arrays(
+            cycle=cycle,
+            seconds=seconds,
+            block_names=self.block_index.names,
+            dynamic_power=dynamic,
+            leakage_power=leakage,
+            temperature=self._temperature_array,
+        )
+
     def run(
         self,
         max_intervals: Optional[int] = None,
@@ -201,7 +304,6 @@ class SimulationEngine:
             provenance={"interval_cycles": self.interval_cycles},
         )
         interval_index = 0
-        emergency_limit = self.config.thermal.emergency_limit_celsius
         interval_seconds = self.config.thermal.interval_seconds
 
         while not self.processor.finished:
@@ -212,29 +314,19 @@ class SimulationEngine:
             cycles_elapsed = self.processor.cycle - start_cycle
             if cycles_elapsed == 0:
                 break
-            activity_counts = self.processor.activity.end_interval()
-            gated = self._gated_blocks()
+            activity_counts = self.processor.activity.end_interval_array(
+                self.block_index
+            )
 
             if interval_index == 0 and warmup:
                 self._warmup(activity_counts, cycles_elapsed)
 
-            breakdown = self.power_model.compute(
-                activity_counts, cycles_elapsed, self._temperatures, gated
-            )
-            total_power = breakdown.per_block_total()
-            dt = interval_seconds * (cycles_elapsed / self.interval_cycles)
-            self._thermal_state = self.solver.advance(self._thermal_state, total_power, dt)
-            self._temperatures = self.solver.block_temperatures(self._thermal_state)
-            if max(self._temperatures.values()) >= emergency_limit:
-                self.emergency_intervals += 1
-
             result.intervals.append(
-                IntervalRecord(
+                self.interval_pipeline(
+                    activity_counts,
+                    cycles_elapsed,
                     cycle=self.processor.cycle,
                     seconds=(interval_index + 1) * interval_seconds,
-                    dynamic_power=breakdown.dynamic,
-                    leakage_power=breakdown.leakage,
-                    temperature=dict(self._temperatures),
                 )
             )
             self._apply_bank_management(interval_index)

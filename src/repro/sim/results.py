@@ -18,27 +18,121 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
+import numpy as np
+
 from repro.sim.stats import SimulationStats
 
 
-@dataclass
 class IntervalRecord:
-    """Power and temperature snapshot of one thermal interval."""
+    """Power and temperature snapshot of one thermal interval.
 
-    #: Cycle at which the interval ended.
-    cycle: int
-    #: Wall-clock seconds of simulated (thermal) time at the end of the interval.
-    seconds: float
-    #: Dynamic power per block (Watts) during the interval.
-    dynamic_power: Dict[str, float]
-    #: Leakage power per block (Watts) during the interval.
-    leakage_power: Dict[str, float]
-    #: Temperature per block (Celsius) at the end of the interval.
-    temperature: Dict[str, float]
+    The engine's fast path stores the per-block data as NumPy vectors (see
+    :meth:`from_arrays`) so that recording an interval allocates no per-block
+    dictionaries; the ``dynamic_power`` / ``leakage_power`` / ``temperature``
+    mappings are materialized lazily — and cached — the first time a consumer
+    (metrics, serialization, plots) asks for them.  Records can equally be
+    built from plain dictionaries, which is what deserialization and the
+    tests do.
+    """
+
+    __slots__ = (
+        "cycle",
+        "seconds",
+        "_block_names",
+        "_dynamic_array",
+        "_leakage_array",
+        "_temperature_array",
+        "_dynamic_dict",
+        "_leakage_dict",
+        "_temperature_dict",
+    )
+
+    def __init__(
+        self,
+        cycle: int,
+        seconds: float,
+        dynamic_power: Mapping[str, float],
+        leakage_power: Mapping[str, float],
+        temperature: Mapping[str, float],
+    ) -> None:
+        #: Cycle at which the interval ended.
+        self.cycle = cycle
+        #: Wall-clock seconds of simulated (thermal) time at the interval's end.
+        self.seconds = seconds
+        self._block_names: Optional[Sequence[str]] = None
+        self._dynamic_array: Optional[np.ndarray] = None
+        self._leakage_array: Optional[np.ndarray] = None
+        self._temperature_array: Optional[np.ndarray] = None
+        self._dynamic_dict: Optional[Dict[str, float]] = dict(dynamic_power)
+        self._leakage_dict: Optional[Dict[str, float]] = dict(leakage_power)
+        self._temperature_dict: Optional[Dict[str, float]] = dict(temperature)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        cycle: int,
+        seconds: float,
+        block_names: Sequence[str],
+        dynamic_power: np.ndarray,
+        leakage_power: np.ndarray,
+        temperature: np.ndarray,
+    ) -> "IntervalRecord":
+        """Zero-dict constructor used by the engine's interval fast path.
+
+        The arrays are stored as-is (not copied): callers hand over freshly
+        computed vectors, ordered like ``block_names``, and must not mutate
+        them afterwards.
+        """
+        record = cls.__new__(cls)
+        record.cycle = cycle
+        record.seconds = seconds
+        record._block_names = block_names
+        record._dynamic_array = dynamic_power
+        record._leakage_array = leakage_power
+        record._temperature_array = temperature
+        record._dynamic_dict = None
+        record._leakage_dict = None
+        record._temperature_dict = None
+        return record
+
+    @staticmethod
+    def _as_dict(names: Sequence[str], values: np.ndarray) -> Dict[str, float]:
+        return {name: float(values[i]) for i, name in enumerate(names)}
+
+    @property
+    def dynamic_power(self) -> Dict[str, float]:
+        """Dynamic power per block (Watts) during the interval."""
+        if self._dynamic_dict is None:
+            self._dynamic_dict = self._as_dict(self._block_names, self._dynamic_array)
+        return self._dynamic_dict
+
+    @property
+    def leakage_power(self) -> Dict[str, float]:
+        """Leakage power per block (Watts) during the interval."""
+        if self._leakage_dict is None:
+            self._leakage_dict = self._as_dict(self._block_names, self._leakage_array)
+        return self._leakage_dict
+
+    @property
+    def temperature(self) -> Dict[str, float]:
+        """Temperature per block (Celsius) at the end of the interval."""
+        if self._temperature_dict is None:
+            self._temperature_dict = self._as_dict(
+                self._block_names, self._temperature_array
+            )
+        return self._temperature_dict
 
     def total_power(self) -> float:
         """Total processor power (dynamic + leakage) during the interval."""
+        if self._dynamic_array is not None and self._leakage_array is not None:
+            return float(np.sum(self._dynamic_array) + np.sum(self._leakage_array))
         return sum(self.dynamic_power.values()) + sum(self.leakage_power.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"IntervalRecord(cycle={self.cycle}, seconds={self.seconds}, "
+            f"blocks={len(self.temperature)})"
+        )
 
 
 #: The three temperature metrics of the paper's figures.

@@ -11,7 +11,11 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping
+from typing import Dict, Iterable, Mapping, Optional
+
+import numpy as np
+
+from repro.sim.block_index import BlockIndex
 
 
 class ActivityCounters:
@@ -50,6 +54,25 @@ class ActivityCounters:
         snapshot = self.interval_counts()
         self._interval.clear()
         return snapshot
+
+    def end_interval_array(self, index: Optional[BlockIndex] = None) -> np.ndarray:
+        """Drain the per-interval counts into a vector laid out by ``index``.
+
+        The fast-path equivalent of :meth:`end_interval`: the engine hands the
+        counts straight to the vectorized power model without building a
+        per-block dictionary.  ``index`` defaults to this counter's own block
+        order; blocks the index knows but this counter does not (or vice
+        versa) simply read as zero, matching the dict path's ``.get(b, 0)``.
+        """
+        names = index.names if index is not None else self._blocks
+        counts = np.zeros(len(names), dtype=np.int64)
+        interval = self._interval
+        for i, name in enumerate(names):
+            value = interval.get(name)
+            if value:
+                counts[i] = value
+        interval.clear()
+        return counts
 
 
 @dataclass

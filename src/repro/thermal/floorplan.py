@@ -233,11 +233,15 @@ def build_floorplan(
         Area of every block in mm^2 (typically from
         :func:`repro.power.energy.build_block_parameters`).
     """
-    expected = set(blocks.all_blocks(config))
-    missing = expected - set(block_areas_mm2)
+    expected = blocks.all_blocks(config)
+    missing = set(expected) - set(block_areas_mm2)
     if missing:
         raise ValueError(f"missing areas for blocks: {sorted(missing)}")
 
+    # Iterate in canonical block order, NOT over a set: the total-area sum
+    # below feeds the die width, and a hash-seed-dependent summation order
+    # would perturb every floorplan coordinate (and hence every conductance
+    # and temperature) in the last ulp from one process to the next.
     areas_m2 = {name: block_areas_mm2[name] * 1e-6 for name in expected}
     total_area = sum(areas_m2.values())
     die_width = total_area ** 0.5  # roughly square die

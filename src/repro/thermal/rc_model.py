@@ -53,6 +53,16 @@ class ThermalRCNetwork:
     def node_index(self, block_name: str) -> int:
         return self._index[block_name]
 
+    def node_positions(self, block_names) -> np.ndarray:
+        """Node indices of several blocks, as an integer array.
+
+        The fast path keeps per-block vectors in the power model's block
+        order, which need not match the floorplan's; this is the explicit
+        permutation that scatters such a vector into node space (and gathers
+        node temperatures back out).
+        """
+        return np.array([self._index[name] for name in block_names], dtype=np.intp)
+
     # ------------------------------------------------------------------
     # Matrix construction
     # ------------------------------------------------------------------

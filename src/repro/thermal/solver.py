@@ -7,8 +7,21 @@
 * The **transient** solve advances the node temperatures over one thermal
   interval using the exact matrix-exponential solution of the linear system
   ``C dT/dt = b - G T`` (power is held constant within the interval).  The
-  propagator ``exp(-C^-1 G dt)`` is cached because every interval has the
-  same duration.
+  propagator ``exp(-C^-1 G dt)`` is cached per interval length, keyed by the
+  exact ``dt`` value: every steady interval shares one propagator and the
+  shorter final interval of a trace (fewer cycles than the configured
+  interval) transparently gets its own.
+
+The conductance matrix ``G`` never changes after construction, so it is
+**LU-factorized once** and every steady-state solve — including each
+iteration of the warm-up fixed point and the implicit steady-state target of
+every transient ``advance`` — reuses the factors.  LAPACK's ``gesv`` (what
+``np.linalg.solve`` wraps) is exactly ``getrf`` + ``getrs``, i.e. the same
+factorization followed by the same triangular solves, so the factorized path
+is bit-identical to solving from scratch; the golden-metric suite relies on
+that.  Without SciPy the steady-state solves fall back to
+``np.linalg.solve`` per call — slower, but identical results (the matrix
+exponential falls back to scaling-and-squaring, as before).
 """
 
 from __future__ import annotations
@@ -23,6 +36,12 @@ try:  # SciPy gives an exact matrix exponential; fall back to scaling+squaring.
     from scipy.linalg import expm as _expm
 except ImportError:  # pragma: no cover - scipy is available in the target env
     _expm = None
+
+try:  # Reusable LU factors for the constant conductance matrix.
+    from scipy.linalg import lu_factor as _lu_factor, lu_solve as _lu_solve
+except ImportError:  # pragma: no cover - scipy is available in the target env
+    _lu_factor = None
+    _lu_solve = None
 
 
 def _matrix_exponential(matrix: np.ndarray) -> np.ndarray:
@@ -54,19 +73,80 @@ class ThermalSolver:
         # on the sink node, so plain solves are safe.
         self._g = network.conductance
         self._c = network.capacitance
+        self._ambient_source = network.ambient_source()
+        # C^-1 G (row-scaled), the generator of every transient propagator.
+        self._rate_matrix = (self._g.T / self._c).T
+        self._lu = _lu_factor(self._g) if _lu_factor is not None else None
+
+    # ------------------------------------------------------------------
+    # Linear solves against the constant conductance matrix
+    # ------------------------------------------------------------------
+    def _solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``G x = rhs`` reusing the precomputed factorization.
+
+        ``check_finite=False`` skips SciPy's input-validation pass (which
+        costs more than the 50-node triangular solves themselves); it does
+        not change the arithmetic.  The rhs is always a freshly built
+        temporary, so letting LAPACK overwrite it is safe.
+        """
+        if self._lu is not None:
+            return _lu_solve(self._lu, rhs, overwrite_b=True, check_finite=False)
+        return np.linalg.solve(self._g, rhs)
 
     # ------------------------------------------------------------------
     # Steady state
     # ------------------------------------------------------------------
-    def steady_state(self, block_power: Mapping[str, float]) -> Dict[str, float]:
-        """Steady-state block temperatures for a constant power map."""
-        rhs = self.network.power_vector(block_power) + self.network.ambient_source()
-        state = np.linalg.solve(self._g, rhs)
-        return self.network.temperatures_by_block(state)
+    def steady_state_nodes(self, node_power: np.ndarray) -> np.ndarray:
+        """Steady-state node vector for a per-node power injection vector."""
+        return self._solve(node_power + self._ambient_source)
 
     def steady_state_vector(self, block_power: Mapping[str, float]) -> np.ndarray:
-        rhs = self.network.power_vector(block_power) + self.network.ambient_source()
-        return np.linalg.solve(self._g, rhs)
+        return self.steady_state_nodes(self.network.power_vector(block_power))
+
+    def steady_state(self, block_power: Mapping[str, float]) -> Dict[str, float]:
+        """Steady-state block temperatures for a constant power map."""
+        return self.network.temperatures_by_block(
+            self.steady_state_vector(block_power)
+        )
+
+    def warmup_nodes(
+        self,
+        node_power_at_state: Callable[[np.ndarray], np.ndarray],
+        max_iterations: int = 50,
+        tolerance_celsius: float = 0.05,
+        emergency_limit_celsius: Optional[float] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Array fast path of :meth:`warmup`.
+
+        ``node_power_at_state`` maps the current node-state vector to the
+        per-node power injection vector (dynamic + leakage at the state's
+        temperatures).  Iteration stops when the largest block-temperature
+        change falls below the tolerance, or when any block reaches the
+        emergency limit — the paper warms the processor "until temperature
+        converges or reaches the emergency limit (381 K)".
+
+        Returns the final node-state vector and the block-temperature slice
+        (a view of the state in the network's block order).
+        """
+        network = self.network
+        state = network.uniform_state(network.config.ambient_celsius)
+        block_temps = state[: network.num_blocks]
+        limit = (
+            emergency_limit_celsius
+            if emergency_limit_celsius is not None
+            else network.config.emergency_limit_celsius
+        )
+        for _ in range(max_iterations):
+            power = node_power_at_state(state)
+            state = self.steady_state_nodes(power)
+            new_block_temps = state[: network.num_blocks]
+            delta = float(np.max(np.abs(new_block_temps - block_temps)))
+            block_temps = new_block_temps
+            if float(np.max(block_temps)) >= limit:
+                break
+            if delta < tolerance_celsius:
+                break
+        return state, block_temps
 
     def warmup(
         self,
@@ -78,55 +158,52 @@ class ThermalSolver:
         """Iterate steady-state solves with temperature-dependent power.
 
         ``power_at_temperature`` maps the current block temperatures to the
-        per-block power (dynamic + leakage at those temperatures).  Iteration
-        stops when the largest block-temperature change falls below the
-        tolerance, or when any block reaches the emergency limit — the paper
-        warms the processor "until temperature converges or reaches the
-        emergency limit (381 K)".
+        per-block power (dynamic + leakage at those temperatures).  This is
+        the mapping-boundary wrapper over :meth:`warmup_nodes`.
 
         Returns the final node-state vector and the block temperatures.
         """
-        temperatures = self.network.temperatures_by_block(
-            self.network.uniform_state(self.network.config.ambient_celsius)
+        network = self.network
+
+        def node_power_at(state: np.ndarray) -> np.ndarray:
+            temperatures = network.temperatures_by_block(state)
+            return network.power_vector(power_at_temperature(temperatures))
+
+        state, _ = self.warmup_nodes(
+            node_power_at,
+            max_iterations=max_iterations,
+            tolerance_celsius=tolerance_celsius,
+            emergency_limit_celsius=emergency_limit_celsius,
         )
-        state = self.network.uniform_state(self.network.config.ambient_celsius)
-        limit = (
-            emergency_limit_celsius
-            if emergency_limit_celsius is not None
-            else self.network.config.emergency_limit_celsius
-        )
-        for _ in range(max_iterations):
-            power = power_at_temperature(temperatures)
-            state = self.steady_state_vector(power)
-            new_temperatures = self.network.temperatures_by_block(state)
-            delta = max(
-                abs(new_temperatures[name] - temperatures[name])
-                for name in new_temperatures
-            )
-            temperatures = new_temperatures
-            if max(temperatures.values()) >= limit:
-                break
-            if delta < tolerance_celsius:
-                break
-        return state, temperatures
+        return state, network.temperatures_by_block(state)
 
     # ------------------------------------------------------------------
     # Transient
     # ------------------------------------------------------------------
     def _propagator(self, dt_seconds: float) -> np.ndarray:
-        """Cache ``exp(-C^-1 G dt)`` for a fixed interval length."""
-        if dt_seconds not in self._propagator_cache:
-            a = (self._g.T / self._c).T  # C^-1 G, row-scaled
-            self._propagator_cache[dt_seconds] = _matrix_exponential(-a * dt_seconds)
-        return self._propagator_cache[dt_seconds]
+        """Cache ``exp(-C^-1 G dt)`` per exact interval length.
 
-    def advance(
+        The cache key is the exact float value of ``dt_seconds``: the steady
+        intervals of a run all share one bit-identical ``dt`` (hence one
+        cached propagator), while the variable-length final interval — whose
+        ``dt`` is scaled by the cycles the trace actually ran — misses the
+        cache and gets a propagator of its own instead of silently reusing
+        the steady-interval matrix.
+        """
+        key = float(dt_seconds)
+        propagator = self._propagator_cache.get(key)
+        if propagator is None:
+            propagator = _matrix_exponential(self._rate_matrix * (-key))
+            self._propagator_cache[key] = propagator
+        return propagator
+
+    def advance_nodes(
         self,
         state: np.ndarray,
-        block_power: Mapping[str, float],
+        node_power: np.ndarray,
         dt_seconds: float,
     ) -> np.ndarray:
-        """Advance the node temperatures by ``dt_seconds`` under constant power.
+        """Advance the node state by ``dt_seconds`` under constant node power.
 
         Uses the exact solution ``T(t+dt) = T_ss + e^{-C^{-1}G dt} (T(t) - T_ss)``
         where ``T_ss`` is the steady state the system would converge to if the
@@ -134,9 +211,20 @@ class ThermalSolver:
         """
         if dt_seconds <= 0:
             raise ValueError("dt must be positive")
-        steady = self.steady_state_vector(block_power)
+        steady = self.steady_state_nodes(node_power)
         propagator = self._propagator(dt_seconds)
         return steady + propagator @ (np.asarray(state, dtype=float) - steady)
+
+    def advance(
+        self,
+        state: np.ndarray,
+        block_power: Mapping[str, float],
+        dt_seconds: float,
+    ) -> np.ndarray:
+        """Advance the node temperatures by ``dt_seconds`` under constant power."""
+        return self.advance_nodes(
+            state, self.network.power_vector(block_power), dt_seconds
+        )
 
     def block_temperatures(self, state: np.ndarray) -> Dict[str, float]:
         """Per-block temperatures of a node-state vector."""

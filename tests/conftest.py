@@ -5,6 +5,15 @@ from __future__ import annotations
 import pytest
 
 from repro.core.presets import baseline_config
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--regen",
+        action="store_true",
+        default=False,
+        help="regenerate the golden-metric fixtures under tests/golden/",
+    )
 from repro.isa.registers import RegisterSpace
 from repro.sim.config import ProcessorConfig
 from repro.workloads.generator import TraceGenerator

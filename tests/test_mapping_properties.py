@@ -1,0 +1,111 @@
+"""Property tests for the bank-mapping and hopping invariants.
+
+The paper's thermal-aware mapping function (Section 3.2.2) reapportions the
+32-entry combination table between the enabled trace-cache banks from their
+sensor temperatures.  Whatever the temperature map, the policies must uphold
+two invariants:
+
+* the per-bank shares always sum to exactly the table size (every
+  combination maps to exactly one bank);
+* entries are only ever assigned to *enabled* banks — a Vdd-gated bank must
+  receive no accesses (its contents are lost and it must not heat up).
+
+These are exercised over randomized temperature maps, bank subsets and table
+sizes (fixed seeds — the sweep is deterministic).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.bank_hopping import BankHoppingController
+from repro.core.thermal_mapping import (
+    BalancedMappingPolicy,
+    BankMappingTable,
+    ThermalAwareMappingPolicy,
+)
+
+
+def _random_cases(seed: int, cases: int):
+    """Randomized (enabled_banks, temperatures, num_entries) scenarios."""
+    rng = random.Random(seed)
+    for _ in range(cases):
+        physical = rng.randint(1, 8)
+        enabled = sorted(
+            rng.sample(range(physical), rng.randint(1, physical))
+        )
+        temperatures = {bank: 45.0 + rng.uniform(0.0, 60.0) for bank in enabled}
+        # Table at least as large as the bank count so every enabled bank can
+        # hold its guaranteed minimum of one entry.
+        num_entries = rng.choice([n for n in (8, 16, 32, 64) if n >= len(enabled)])
+        yield enabled, temperatures, num_entries
+
+
+@pytest.mark.parametrize("policy_cls", [BalancedMappingPolicy, ThermalAwareMappingPolicy])
+def test_shares_always_sum_to_table_size(policy_cls):
+    for enabled, temperatures, num_entries in _random_cases(seed=11, cases=200):
+        policy = policy_cls(num_entries)
+        shares = policy.compute_shares(enabled, temperatures)
+        assert sum(shares.values()) == num_entries, (
+            f"{policy_cls.__name__} shares {shares} do not cover the "
+            f"{num_entries}-entry table for banks {enabled}"
+        )
+
+
+@pytest.mark.parametrize("policy_cls", [BalancedMappingPolicy, ThermalAwareMappingPolicy])
+def test_shares_never_assign_to_gated_banks(policy_cls):
+    for enabled, temperatures, num_entries in _random_cases(seed=23, cases=200):
+        policy = policy_cls(num_entries)
+        shares = policy.compute_shares(enabled, temperatures)
+        assert set(shares) <= set(enabled), (
+            f"{policy_cls.__name__} assigned entries to gated banks "
+            f"{set(shares) - set(enabled)}"
+        )
+        assert all(count >= 0 for count in shares.values())
+
+
+@pytest.mark.parametrize("policy_cls", [BalancedMappingPolicy, ThermalAwareMappingPolicy])
+def test_mapping_table_entries_only_point_at_enabled_banks(policy_cls):
+    for enabled, temperatures, num_entries in _random_cases(seed=37, cases=100):
+        policy = policy_cls(num_entries)
+        table = BankMappingTable(num_entries, enabled)
+        table.set_assignment(policy.compute_shares(enabled, temperatures))
+        assert set(table.entries) <= set(enabled)
+        per_bank = table.entries_per_bank()
+        assert sum(per_bank.values()) == num_entries
+
+
+def test_thermal_policy_biases_towards_colder_banks():
+    policy = ThermalAwareMappingPolicy(num_entries=32, bias_threshold_celsius=3.0)
+    for seed in range(20):
+        rng = random.Random(seed)
+        enabled = [0, 1, 2, 3]
+        temperatures = {bank: 50.0 + rng.uniform(0.0, 30.0) for bank in enabled}
+        shares = policy.compute_shares(enabled, temperatures)
+        coldest = min(enabled, key=temperatures.get)
+        hottest = max(enabled, key=temperatures.get)
+        assert shares[coldest] >= shares[hottest]
+        # No enabled bank is ever starved entirely.
+        assert min(shares.values()) >= 1
+
+
+def test_hopping_controller_gated_and_enabled_banks_partition():
+    """Across every hop, gated + enabled banks partition the physical banks."""
+    for static in ([], [3]):
+        controller = BankHoppingController(
+            physical_banks=4,
+            active_banks=3,
+            hop_interval_cycles=1000,
+            enabled=not static,
+            static_gated_banks=static,
+        )
+        for _ in range(10):
+            gated = set(controller.gated_banks)
+            enabled = set(controller.enabled_banks)
+            assert gated | enabled == set(range(4))
+            assert gated & enabled == set()
+            assert set(static) <= gated
+            if controller.enabled:
+                controller.hop()

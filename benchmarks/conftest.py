@@ -24,7 +24,7 @@ from pathlib import Path
 import pytest
 
 from repro.campaign import ResultCache, make_executor
-from repro.experiments.runner import ExperimentSettings
+from repro.campaign import ExperimentSettings
 
 OUTPUT_DIR = Path(__file__).parent / "output"
 

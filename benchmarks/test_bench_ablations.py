@@ -10,7 +10,7 @@ from repro.experiments.ablations import (
     run_partition_count_ablation,
     run_steering_policy_ablation,
 )
-from repro.experiments.runner import ExperimentSettings
+from repro.campaign import ExperimentSettings
 
 
 @pytest.fixture(scope="module")

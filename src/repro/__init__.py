@@ -24,6 +24,13 @@ a pluggable executor — serially or across worker processes
 variants are derived with the fluent :class:`ConfigBuilder`.  The figure
 drivers in :mod:`repro.experiments` are thin layers over this API, and the
 ``repro-campaign`` console script exposes it from the shell.
+
+Beyond the paper's layout techniques, :mod:`repro.dtm` adds the *control*
+side of thermal management — sensor-triggered fetch throttling, stop-go
+clock gating, per-cluster DVFS and a hybrid policy — swept over the named
+workload scenarios of :mod:`repro.scenarios` via the campaign's
+``dtm_policies`` axis (``repro-campaign run --figure dtm``).  The full
+documentation lives under ``docs/``.
 """
 
 from repro.sim.config import ProcessorConfig
@@ -53,8 +60,14 @@ from repro.campaign import (
     SerialExecutor,
     run_campaign,
 )
+from repro.dtm import (
+    DTMPolicy,
+    available_policies,
+    make_policy,
+)
+from repro.scenarios import SCENARIOS, SCENARIO_NAMES, Scenario, get_scenario
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ProcessorConfig",
@@ -81,5 +94,12 @@ __all__ = [
     "RunSpec",
     "SerialExecutor",
     "run_campaign",
+    "DTMPolicy",
+    "available_policies",
+    "make_policy",
+    "SCENARIOS",
+    "SCENARIO_NAMES",
+    "Scenario",
+    "get_scenario",
     "__version__",
 ]

@@ -23,14 +23,27 @@ call :func:`run_campaign`::
     )
     outcome.summaries["distributed_frontend"].mean_metrics("Frontend")
 
+A campaign optionally sweeps a dynamic-thermal-management axis
+(``Campaign(..., dtm_policies=("none", "dvfs", ...))``, see
+:mod:`repro.dtm`): every (config, benchmark) cell is then simulated once per
+policy and summaries are keyed ``"<config>@<policy>"``.
+
 Every figure driver in :mod:`repro.experiments`, the ``repro-campaign`` CLI
-and the benchmark harness run through this layer; the legacy
-``summarize``/``summarize_many`` helpers are thin shims over it.
+and the benchmark harness run through this layer; the single-configuration
+helpers :func:`run_configuration`/:func:`summarize`/:func:`summarize_many`
+are conveniences over it (their old home, ``repro.experiments.runner``, is a
+deprecated shim).
 """
 
 from repro.campaign.builder import ConfigBuilder, scale_paper_intervals
 from repro.campaign.cache import ResultCache
-from repro.campaign.core import CampaignOutcome, run_campaign
+from repro.campaign.core import (
+    CampaignOutcome,
+    run_campaign,
+    run_configuration,
+    summarize,
+    summarize_many,
+)
 from repro.campaign.executors import (
     Executor,
     ParallelExecutor,
@@ -63,5 +76,8 @@ __all__ = [
     "execute_cell",
     "make_executor",
     "run_campaign",
+    "run_configuration",
     "scale_paper_intervals",
+    "summarize",
+    "summarize_many",
 ]

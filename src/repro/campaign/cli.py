@@ -4,15 +4,28 @@ Subcommands:
 
 * ``list-presets`` — the named frontend organizations of the paper;
 * ``list-benchmarks`` — the synthetic SPEC2000-like workloads;
-* ``run`` — run a paper figure (``--figure fig01|fig12|fig13|fig14``) or an
-  ad-hoc campaign (``--configs``/``--benchmarks``), optionally in parallel
+* ``list-scenarios`` — the named workload scenarios (:mod:`repro.scenarios`);
+* ``list-policies`` — the dynamic-thermal-management policies (:mod:`repro.dtm`);
+* ``run`` — run a paper figure (``--figure fig01|fig12|fig13|fig14``), the
+  DTM policy x scenario comparison (``--figure dtm``) or an ad-hoc campaign
+  (``--configs``/``--benchmarks``/``--dtm``), optionally in parallel
   (``--jobs N``) and with a result cache (``--cache-dir DIR``), printing the
   figure tables and/or writing a JSON summary (``--output FILE``);
 * ``floorplan`` — print the floorplan of a named preset.
 
+Benchmark lists accept scenario names everywhere (``--benchmarks
+thermal_virus,gzip`` is a valid mix), and ``--benchmarks scenarios`` expands
+to the whole scenario library.  ``--dtm`` adds a DTM policy axis to an
+ad-hoc campaign: policies are separated by ``;`` or ``,`` — a bare
+``key=value`` token continues the previous policy's parameter list, so
+``none,dvfs:target=85`` parses as two policies.
+
 Examples::
 
     repro-campaign run --figure fig12 --scale smoke --jobs 4
+    repro-campaign run --figure dtm --jobs 4 --output dtm.json
+    repro-campaign run --configs baseline --benchmarks scenarios \\
+        --dtm "none;dvfs;fetch_throttle:trigger=80,duty=0.25" --uops 6000
     repro-campaign run --configs baseline,bank_hopping \\
         --benchmarks gzip,swim --uops 3000 --cache-dir /tmp/repro-cache \\
         --output summary.json
@@ -49,11 +62,63 @@ _SCALES = {
 }
 
 
+def _benchmarks_from_arg(text: str) -> tuple:
+    """Expand a ``--benchmarks`` value; ``scenarios`` means the whole library."""
+    names = []
+    for name in text.split(","):
+        name = name.strip()
+        if name == "scenarios":
+            from repro.scenarios import SCENARIO_NAMES
+
+            names.extend(SCENARIO_NAMES)
+        elif name:
+            names.append(name)
+    return tuple(names)
+
+
+def _policies_from_arg(text: str) -> tuple:
+    """Split a ``--dtm`` value into policy specs.
+
+    ``;`` always separates policies.  A comma separates them too, except
+    that a ``key=value`` token (no ``:``) continues the previous policy's
+    parameter list — so both ``none,dvfs:target=85`` and
+    ``fetch_throttle:trigger=80,duty=0.25,none`` parse as intended.
+    """
+    policies = []
+    for piece in text.split(";"):
+        current = []
+        for token in piece.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            if "=" in token and ":" not in token:
+                # A bare key=value continues the previous spec's parameters
+                # (":" opens the parameter list, "," extends it) — but only
+                # within one ";"-delimited piece, since ";" always starts a
+                # new policy.
+                if not current:
+                    raise ValueError(
+                        f"misplaced DTM policy parameter {token!r} in "
+                        f"{text!r}: a key=value token must follow the "
+                        "policy it parameterizes"
+                    )
+                joiner = "," if ":" in current[-1] else ":"
+                current[-1] = f"{current[-1]}{joiner}{token}"
+            else:
+                current.append(token)
+        policies.extend(current)
+    return tuple(policies)
+
+
 def _settings_from_args(args: argparse.Namespace) -> ExperimentSettings:
-    settings = _SCALES[args.scale]()
+    settings = _SCALES[args.scale or "smoke"]()
     changes: Dict[str, object] = {}
     if args.benchmarks:
-        changes["benchmarks"] = tuple(args.benchmarks.split(","))
+        changes["benchmarks"] = _benchmarks_from_arg(args.benchmarks)
+        # Scenario sweeps run every workload at full length; the SPEC
+        # relative-length table only applies to the paper's benchmarks.
+        if all(b not in _spec_names() for b in changes["benchmarks"]):
+            changes["honor_relative_length"] = False
     if args.uops is not None:
         changes["uops_per_benchmark"] = args.uops
     if args.seed is not None:
@@ -65,8 +130,14 @@ def _settings_from_args(args: argparse.Namespace) -> ExperimentSettings:
     return settings
 
 
+def _spec_names() -> tuple:
+    from repro.workloads.profiles import SPEC2000_PROFILES
+
+    return tuple(SPEC2000_PROFILES)
+
+
 def _summary_payload(summary: ConfigurationSummary) -> Dict[str, object]:
-    return {
+    payload: Dict[str, object] = {
         "benchmarks": sorted(summary.results),
         "mean_ipc": summary.mean_ipc(),
         "mean_power_watts": summary.mean_power(),
@@ -75,6 +146,13 @@ def _summary_payload(summary: ConfigurationSummary) -> Dict[str, object]:
             group: summary.mean_metrics(group) for group in SUMMARY_GROUPS
         },
     }
+    if any(r.dtm for r in summary.results.values()):
+        payload["dtm"] = {
+            "mean_throttle_ratio": summary.mean_dtm("throttle_ratio"),
+            "mean_gated_intervals": summary.mean_dtm("gated_intervals"),
+            "mean_freq_ratio": summary.mean_dtm("mean_freq_ratio", default=1.0),
+        }
+    return payload
 
 
 def _outcome_payload(outcome: CampaignOutcome) -> Dict[str, object]:
@@ -131,10 +209,88 @@ def _cmd_list_benchmarks(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_list_scenarios(_args: argparse.Namespace) -> int:
+    from repro.scenarios import SCENARIOS
+
+    for scenario in SCENARIOS.values():
+        print(f"{scenario.name:<22} {scenario.title}")
+        print(f"{'':<22} stresses: {scenario.stresses}")
+    return 0
+
+
+def _cmd_list_policies(_args: argparse.Namespace) -> int:
+    import inspect
+
+    from repro.dtm import POLICIES
+
+    for name, factory in POLICIES.items():
+        defaults = ", ".join(
+            f"{p.name}={p.default:g}"
+            for p in inspect.signature(factory).parameters.values()
+            if isinstance(p.default, (int, float)) and not isinstance(p.default, bool)
+        )
+        summary = ((inspect.getdoc(factory) or "").splitlines() or [""])[0]
+        print(f"{name:<16} {summary}")
+        if defaults:
+            print(f"{'':<16} defaults: {defaults}")
+    return 0
+
+
 def _cmd_floorplan(args: argparse.Namespace) -> int:
     from repro.experiments.floorplans import floorplan_report_for
 
     print(floorplan_report_for(args.preset).format_table())
+    return 0
+
+
+def _run_dtm_figure(
+    args: argparse.Namespace,
+    executor: Executor,
+    cache: Optional[ResultCache],
+) -> int:
+    """``--figure dtm``: the policy x scenario comparison sweep."""
+    from repro.experiments.fig_dtm_comparison import (
+        DEFAULT_POLICIES,
+        dtm_settings,
+        run_dtm_comparison,
+    )
+
+    if args.scale is not None:
+        raise ValueError(
+            "--scale does not apply to --figure dtm (the sweep has its own "
+            "scenario scale); use --benchmarks/--uops/--seed to adjust it"
+        )
+    config = None
+    if args.configs:
+        from repro.core.presets import FrontendOrganization, config_for
+
+        names = args.configs.split(",")
+        if len(names) != 1:
+            raise ValueError(
+                "--figure dtm compares policies on one configuration; give "
+                f"a single --configs preset (got {names})"
+            )
+        config = config_for(FrontendOrganization(names[0]))
+    settings = dtm_settings(
+        scenarios=_benchmarks_from_arg(args.benchmarks) if args.benchmarks else None,
+        uops_per_scenario=args.uops if args.uops is not None else 8_000,
+        seed=args.seed if args.seed is not None else 7,
+    )
+    policies = _policies_from_arg(args.dtm) if args.dtm else DEFAULT_POLICIES
+    result = run_dtm_comparison(
+        settings, policies=policies, config=config, executor=executor, cache=cache
+    )
+    print(result.format_table())
+    payload: Dict[str, object] = {
+        "figure": "dtm",
+        "config": result.config_name,
+        "performance_loss_vs_peak_temp": result.performance_loss_vs_peak_temp(),
+        "policies": {
+            policy: _summary_payload(summary)
+            for policy, summary in result.summaries.items()
+        },
+    }
+    _write_output(payload, args.output)
     return 0
 
 
@@ -175,18 +331,28 @@ def _run_figure(
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    settings = _settings_from_args(args)
+    if args.figure and args.figure != "dtm" and args.dtm:
+        raise ValueError(
+            f"--dtm does not apply to --figure {args.figure}; the paper "
+            "figures simulate without DTM (use --figure dtm or an ad-hoc "
+            "--configs campaign to sweep policies)"
+        )
     executor = make_executor(args.jobs)
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
 
-    if args.figure:
+    if args.figure == "dtm":
+        status = _run_dtm_figure(args, executor, cache)
+    elif args.figure:
+        settings = _settings_from_args(args)
         status = _run_figure(args.figure, settings, executor, cache, args.output)
     else:
         from repro.core.presets import FrontendOrganization, config_for
 
+        settings = _settings_from_args(args)
         names = args.configs.split(",") if args.configs else ["baseline"]
         configs = [config_for(FrontendOrganization(name)) for name in names]
-        campaign = Campaign(configs, settings, name="cli")
+        policies = _policies_from_arg(args.dtm) if args.dtm else ()
+        campaign = Campaign(configs, settings, name="cli", dtm_policies=policies)
         outcome = run_campaign(campaign, executor, cache)
         from repro.experiments.reporting import format_campaign_outcome
 
@@ -208,6 +374,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list-presets", help="list the named processor configurations")
     sub.add_parser("list-benchmarks", help="list the synthetic SPEC2000 workloads")
+    sub.add_parser("list-scenarios", help="list the named workload scenarios")
+    sub.add_parser("list-policies", help="list the DTM policies and their defaults")
 
     floorplan = sub.add_parser("floorplan", help="print the floorplan of a preset")
     floorplan.add_argument("preset", help="preset name, e.g. baseline")
@@ -215,20 +383,32 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run a figure or an ad-hoc campaign")
     run.add_argument(
         "--figure",
-        choices=("fig01", "fig12", "fig13", "fig14"),
-        help="regenerate one paper figure instead of an ad-hoc campaign",
+        choices=("fig01", "fig12", "fig13", "fig14", "dtm"),
+        help="regenerate one paper figure (or the DTM policy x scenario "
+        "comparison) instead of an ad-hoc campaign",
     )
     run.add_argument(
         "--configs",
         help="comma-separated preset names (default: baseline)",
     )
     run.add_argument(
+        "--dtm",
+        help="DTM policy axis: policy specs separated by ';' or ',' (a "
+        "key=value token continues the previous policy's parameters, so "
+        "\"none,dvfs:target=85\" and \"fetch_throttle:trigger=80,duty=0.25;none\" "
+        "both work)",
+    )
+    run.add_argument(
         "--scale",
         choices=tuple(_SCALES),
-        default="smoke",
-        help="experiment scale (default: smoke)",
+        default=None,
+        help="experiment scale (default: smoke; not applicable to --figure dtm)",
     )
-    run.add_argument("--benchmarks", help="comma-separated benchmark override")
+    run.add_argument(
+        "--benchmarks",
+        help="comma-separated benchmark/scenario override "
+        "('scenarios' expands to the whole scenario library)",
+    )
     run.add_argument("--uops", type=int, help="micro-ops per benchmark override")
     run.add_argument("--seed", type=int, help="trace-generation seed override")
     run.add_argument(
@@ -247,6 +427,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     commands = {
         "list-presets": _cmd_list_presets,
         "list-benchmarks": _cmd_list_benchmarks,
+        "list-scenarios": _cmd_list_scenarios,
+        "list-policies": _cmd_list_policies,
         "floorplan": _cmd_floorplan,
         "run": _cmd_run,
     }

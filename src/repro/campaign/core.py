@@ -5,20 +5,26 @@ reproduction.  It expands a declarative :class:`~repro.campaign.spec.Campaign`
 into independent cells, satisfies as many as possible from the optional
 :class:`~repro.campaign.cache.ResultCache`, hands the remaining cells to the
 chosen :class:`~repro.campaign.executors.Executor`, stores fresh results back
-into the cache, and folds everything into per-configuration
-:class:`~repro.campaign.summary.ConfigurationSummary` objects keyed by
-configuration name — the shape the figure drivers consume.
+into the cache, and folds everything into per-variant
+:class:`~repro.campaign.summary.ConfigurationSummary` objects — keyed by
+configuration name, or by ``"<config>@<policy>"`` when the campaign sweeps a
+DTM policy axis — the shape the figure drivers consume.
+
+The single-configuration conveniences :func:`run_configuration`,
+:func:`summarize` and :func:`summarize_many` live here too; they used to be
+the experiment runner (``repro.experiments.runner``, now a deprecated shim).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.campaign.cache import ResultCache
 from repro.campaign.executors import Executor, SerialExecutor
-from repro.campaign.spec import Campaign, RunSpec
+from repro.campaign.spec import Campaign, ExperimentSettings, RunSpec
 from repro.campaign.summary import ConfigurationSummary
+from repro.sim.config import ProcessorConfig
 from repro.sim.results import SimulationResult
 
 
@@ -27,8 +33,9 @@ class CampaignOutcome:
     """Everything a finished campaign produced, plus execution provenance."""
 
     campaign: Campaign
-    #: Per-configuration aggregates, keyed by configuration name in campaign
-    #: order.
+    #: Per-variant aggregates in campaign order, keyed by configuration name
+    #: — or, when the campaign has a DTM policy axis, by the
+    #: ``"<config>@<policy>"`` variant name (see :attr:`RunSpec.variant`).
     summaries: Dict[str, ConfigurationSummary] = field(default_factory=dict)
     #: Number of cells actually simulated by the executor.
     cells_executed: int = 0
@@ -45,9 +52,14 @@ class CampaignOutcome:
         return self.summaries[config_name]
 
     def describe(self) -> str:
+        policy_axis = (
+            f"{len(self.campaign.dtm_policies)} DTM policies x "
+            if self.campaign.dtm_policies
+            else ""
+        )
         return (
             f"campaign '{self.campaign.name}': {self.total_cells} cells "
-            f"({len(self.campaign.configs)} configs x "
+            f"({len(self.campaign.configs)} configs x {policy_axis}"
             f"{len(self.campaign.settings.benchmarks)} benchmarks), "
             f"{self.cells_executed} simulated, {self.cache_hits} from cache "
             f"[{self.executor_description}]"
@@ -101,9 +113,48 @@ def run_campaign(
         cache_hits=cache_hits,
         executor_description=executor.describe(),
     )
-    for config_name in campaign.config_names():
-        outcome.summaries[config_name] = ConfigurationSummary(config_name=config_name)
+    for variant in campaign.variant_names():
+        outcome.summaries[variant] = ConfigurationSummary(config_name=variant)
     for spec, result in zip(cells, results):
         assert result is not None
-        outcome.summaries[spec.config.name].results[spec.benchmark] = result
+        outcome.summaries[spec.variant].results[spec.benchmark] = result
     return outcome
+
+
+# ----------------------------------------------------------------------
+# Single-configuration conveniences (the pre-campaign experiment API)
+# ----------------------------------------------------------------------
+def run_configuration(
+    config: ProcessorConfig,
+    settings: ExperimentSettings,
+    executor: Optional[Executor] = None,
+    cache: Optional[ResultCache] = None,
+) -> Dict[str, SimulationResult]:
+    """Simulate ``config`` on every benchmark of ``settings``.
+
+    Returns the per-benchmark results, keyed by benchmark name.
+    """
+    outcome = run_campaign(Campaign.single(config, settings), executor, cache)
+    return outcome.summaries[config.name].results
+
+
+def summarize(
+    config: ProcessorConfig,
+    settings: ExperimentSettings,
+    executor: Optional[Executor] = None,
+    cache: Optional[ResultCache] = None,
+) -> ConfigurationSummary:
+    """Run a configuration over all benchmarks and wrap it in a summary."""
+    outcome = run_campaign(Campaign.single(config, settings), executor, cache)
+    return outcome.summaries[config.name]
+
+
+def summarize_many(
+    configs: Sequence[ProcessorConfig],
+    settings: ExperimentSettings,
+    executor: Optional[Executor] = None,
+    cache: Optional[ResultCache] = None,
+) -> Dict[str, ConfigurationSummary]:
+    """Summaries for several configurations, keyed by configuration name."""
+    outcome = run_campaign(Campaign(configs, settings), executor, cache)
+    return outcome.summaries

@@ -30,17 +30,29 @@ def execute_cell(spec: RunSpec) -> SimulationResult:
     """Simulate one campaign cell; the single entry point of every backend.
 
     Module-level (rather than a method) so it pickles cleanly into worker
-    processes regardless of the multiprocessing start method.
+    processes regardless of the multiprocessing start method.  The cell's
+    DTM policy (if any) is instantiated *here*, from its spec string, so
+    policy controller state is always fresh per cell and never needs to
+    cross a process boundary.
     """
     # Imported lazily: ``repro.core.presets`` imports this package to get the
     # ConfigBuilder, so pulling the engine (and through it the processor and
     # ``repro.core``) in at module-import time would be circular.
     from repro.sim.engine import SimulationEngine
 
+    dtm_policy = None
+    if spec.dtm_policy is not None:
+        from repro.dtm import make_policy
+
+        dtm_policy = make_policy(spec.dtm_policy)
     generator = TraceGenerator(spec.benchmark, seed=spec.seed)
     trace = generator.generate(spec.trace_uops)
     engine = SimulationEngine(
-        spec.config, trace.uops, spec.benchmark, interval_cycles=spec.interval_cycles
+        spec.config,
+        trace.uops,
+        spec.benchmark,
+        interval_cycles=spec.interval_cycles,
+        dtm_policy=dtm_policy,
     )
     result = engine.run()
     result.provenance.update(spec.provenance())

@@ -117,6 +117,20 @@ def _jsonable(value):
     return value
 
 
+def variant_name(config_name: str, dtm_policy: Optional[str]) -> str:
+    """Canonical name of a (configuration, DTM policy) combination.
+
+    The key of :attr:`CampaignOutcome.summaries`: the plain configuration
+    name for cells without a policy (so pre-DTM campaigns key exactly as
+    before), ``"<config>@<policy>"`` otherwise.  Defined once here —
+    :attr:`RunSpec.variant`, :meth:`Campaign.variant_names` and the DTM
+    comparison driver all go through it.
+    """
+    if dtm_policy is None:
+        return config_name
+    return f"{config_name}@{dtm_policy}"
+
+
 @dataclass(frozen=True)
 class RunSpec:
     """One independent cell of a campaign: a (config, benchmark) simulation.
@@ -125,6 +139,12 @@ class RunSpec:
     reduced to the experiment scale), so executing a cell needs no further
     context — any executor on any host produces the same result from the
     same spec, and the cell's identity can be hashed for the result cache.
+
+    ``dtm_policy`` optionally names a dynamic-thermal-management policy
+    (a :func:`repro.dtm.make_policy` spec string such as ``"dvfs"`` or
+    ``"fetch_throttle:trigger=80"``) instantiated fresh inside the executing
+    process; ``None`` (the default) simulates without DTM, exactly as before
+    the policy axis existed.
     """
 
     config: ProcessorConfig
@@ -132,25 +152,45 @@ class RunSpec:
     trace_uops: int
     interval_cycles: int
     seed: int
+    dtm_policy: Optional[str] = None
+
+    @property
+    def variant(self) -> str:
+        """Name of this cell's (configuration, DTM policy) combination.
+
+        See :func:`variant_name` — the key of
+        :attr:`CampaignOutcome.summaries`.
+        """
+        return variant_name(self.config.name, self.dtm_policy)
 
     def provenance(self) -> Dict[str, object]:
         """Settings provenance recorded into the produced result."""
-        return {
+        provenance: Dict[str, object] = {
             "benchmark": self.benchmark,
             "trace_uops": self.trace_uops,
             "interval_cycles": self.interval_cycles,
             "seed": self.seed,
         }
+        if self.dtm_policy is not None:
+            provenance["dtm_policy"] = self.dtm_policy
+        return provenance
 
     def key_material(self) -> Dict[str, object]:
-        """The canonical content this cell is identified by."""
-        return {
+        """The canonical content this cell is identified by.
+
+        The DTM policy only enters the material when set, so every cache key
+        minted before the policy axis existed still matches its cell.
+        """
+        material: Dict[str, object] = {
             "config": _jsonable(self.config.to_dict()),
             "benchmark": self.benchmark,
             "trace_uops": self.trace_uops,
             "interval_cycles": self.interval_cycles,
             "seed": self.seed,
         }
+        if self.dtm_policy is not None:
+            material["dtm_policy"] = self.dtm_policy
+        return material
 
     def cache_key(self) -> str:
         """Stable content hash identifying this cell across processes/runs."""
@@ -160,26 +200,47 @@ class RunSpec:
 
 @dataclass(frozen=True)
 class Campaign:
-    """A declarative experiment grid: configurations x benchmarks x scale."""
+    """A declarative experiment grid: configs x DTM policies x benchmarks.
+
+    ``dtm_policies`` is the optional dynamic-thermal-management axis: a
+    tuple of :func:`repro.dtm.make_policy` spec strings (``"none"``,
+    ``"dvfs"``, ``"fetch_throttle:trigger=80"``, ...).  Left empty — the
+    default — the campaign has no policy axis and expands exactly as it did
+    before DTM existed; with N policies every (config, benchmark) cell is
+    simulated once per policy, and summaries are keyed by the cell
+    :attr:`~RunSpec.variant` (``"<config>@<policy>"``).
+    """
 
     configs: Tuple[ProcessorConfig, ...]
     settings: ExperimentSettings
     name: str = "campaign"
+    dtm_policies: Tuple[str, ...] = ()
 
     def __init__(
         self,
         configs: Iterable[ProcessorConfig],
         settings: ExperimentSettings,
         name: str = "campaign",
+        dtm_policies: Iterable[str] = (),
     ) -> None:
         object.__setattr__(self, "configs", tuple(configs))
         object.__setattr__(self, "settings", settings)
         object.__setattr__(self, "name", name)
+        object.__setattr__(self, "dtm_policies", tuple(dtm_policies))
         if not self.configs:
             raise ValueError("a campaign needs at least one configuration")
         names = [config.name for config in self.configs]
         if len(set(names)) != len(names):
             raise ValueError(f"configuration names must be unique, got {names}")
+        if len(set(self.dtm_policies)) != len(self.dtm_policies):
+            raise ValueError(
+                f"DTM policy specs must be unique, got {list(self.dtm_policies)}"
+            )
+        # Fail fast on unknown policies/parameters, before any simulation.
+        from repro.dtm import make_policy
+
+        for policy in self.dtm_policies:
+            make_policy(policy)
 
     @classmethod
     def single(
@@ -194,27 +255,48 @@ class Campaign:
     def config_names(self) -> Tuple[str, ...]:
         return tuple(config.name for config in self.configs)
 
+    def variant_names(self) -> Tuple[str, ...]:
+        """Names of every (config, DTM policy) combination, in cell order.
+
+        Without a policy axis these are exactly :meth:`config_names`.
+        """
+        if not self.dtm_policies:
+            return self.config_names()
+        return tuple(
+            variant_name(config.name, policy)
+            for config in self.configs
+            for policy in self.dtm_policies
+        )
+
     def cells(self) -> Tuple[RunSpec, ...]:
         """Expand the grid into independent, executor-ready cells.
 
-        Cells are ordered configuration-major (all benchmarks of the first
-        configuration first), matching the legacy serial loop.
+        Cells are ordered configuration-major, then policy-major (all
+        benchmarks of the first configuration's first policy first); with no
+        policy axis the order matches the legacy serial loop.
         """
         interval = self.settings.resolved_interval_cycles()
+        policies: Tuple[Optional[str], ...] = self.dtm_policies or (None,)
         specs = []
         for config in self.configs:
             scaled = scale_paper_intervals(config, interval)
-            for benchmark in self.settings.benchmarks:
-                specs.append(
-                    RunSpec(
-                        config=scaled,
-                        benchmark=benchmark,
-                        trace_uops=self.settings.trace_length(benchmark),
-                        interval_cycles=interval,
-                        seed=self.settings.seed,
+            for policy in policies:
+                for benchmark in self.settings.benchmarks:
+                    specs.append(
+                        RunSpec(
+                            config=scaled,
+                            benchmark=benchmark,
+                            trace_uops=self.settings.trace_length(benchmark),
+                            interval_cycles=interval,
+                            seed=self.settings.seed,
+                            dtm_policy=policy,
+                        )
                     )
-                )
         return tuple(specs)
 
     def __len__(self) -> int:
-        return len(self.configs) * len(self.settings.benchmarks)
+        return (
+            len(self.configs)
+            * max(1, len(self.dtm_policies))
+            * len(self.settings.benchmarks)
+        )

@@ -53,6 +53,31 @@ class ConfigurationSummary:
         ]
         return sum(slowdowns) / len(slowdowns)
 
+    def mean_time_slowdown_vs(self, baseline: "ConfigurationSummary") -> float:
+        """Average per-benchmark wall-clock-time increase versus a baseline.
+
+        The DTM performance-loss metric (dimensionless fraction): unlike
+        :meth:`mean_slowdown_vs` it also charges whole clock-gated
+        intervals, which add wall-clock seconds but no cycles.
+        """
+        slowdowns = [
+            result.time_slowdown_vs(baseline.results[benchmark])
+            for benchmark, result in self.results.items()
+        ]
+        return sum(slowdowns) / len(slowdowns)
+
+    def mean_dtm(self, key: str, default: float = 0.0) -> float:
+        """Average of a numeric DTM telemetry field over benchmarks.
+
+        ``key`` names a scalar field of ``SimulationResult.dtm`` (e.g.
+        ``"throttle_ratio"``, ``"mean_freq_ratio"``, ``"gated_intervals"``);
+        results without DTM telemetry contribute ``default``.
+        """
+        values = [
+            float(r.dtm.get(key, default)) for r in self.results.values()
+        ]
+        return sum(values) / len(values)
+
     def mean_power(self, group: Optional[str] = None) -> float:
         """Average total power (W), optionally restricted to a block group."""
         if group is None:

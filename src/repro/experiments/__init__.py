@@ -16,9 +16,9 @@ thermal / hopping / remapping intervals) so they run in minutes of pure
 Python; see DESIGN.md for the substitution rationale.
 """
 
-from repro.experiments.runner import (
-    ExperimentSettings,
+from repro.campaign import (
     ConfigurationSummary,
+    ExperimentSettings,
     run_configuration,
     summarize,
     summarize_many,
@@ -27,6 +27,11 @@ from repro.experiments.fig01_baseline_temperature import run_fig01, Figure1Resul
 from repro.experiments.fig12_distributed_rename_commit import run_fig12, Figure12Result
 from repro.experiments.fig13_trace_cache import run_fig13, Figure13Result
 from repro.experiments.fig14_combined import run_fig14, Figure14Result
+from repro.experiments.fig_dtm_comparison import (
+    DTMComparisonResult,
+    dtm_settings,
+    run_dtm_comparison,
+)
 from repro.experiments.floorplans import describe_floorplans, floorplan_report_for
 from repro.experiments.ablations import (
     run_hop_interval_ablation,
@@ -49,6 +54,9 @@ __all__ = [
     "Figure13Result",
     "run_fig14",
     "Figure14Result",
+    "run_dtm_comparison",
+    "DTMComparisonResult",
+    "dtm_settings",
     "describe_floorplans",
     "floorplan_report_for",
     "run_hop_interval_ablation",

@@ -33,7 +33,7 @@ from repro.core.presets import (
     distributed_rename_commit_config,
 )
 from repro.experiments.reporting import format_value_table
-from repro.experiments.runner import ExperimentSettings
+from repro.campaign import ExperimentSettings
 from repro.sim.config import ProcessorConfig, SteeringPolicy
 
 

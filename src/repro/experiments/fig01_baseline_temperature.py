@@ -16,7 +16,7 @@ from typing import Dict, Optional
 from repro.campaign import Campaign, Executor, ResultCache, run_campaign
 from repro.core.presets import baseline_config
 from repro.experiments.reporting import format_value_table
-from repro.experiments.runner import ConfigurationSummary, ExperimentSettings
+from repro.campaign import ConfigurationSummary, ExperimentSettings
 
 #: Approximate values read off the paper's Figure 1 (increase over ambient, C).
 PAPER_FIGURE1 = {

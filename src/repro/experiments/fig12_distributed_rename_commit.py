@@ -16,7 +16,7 @@ from typing import Dict, Optional
 from repro.campaign import Campaign, Executor, ResultCache, run_campaign
 from repro.core.presets import baseline_config, distributed_rename_commit_config
 from repro.experiments.reporting import format_key_values, format_percentage_table
-from repro.experiments.runner import ConfigurationSummary, ExperimentSettings
+from repro.campaign import ConfigurationSummary, ExperimentSettings
 from repro.sim.results import METRIC_NAMES
 
 #: Approximate values read off Figure 12 of the paper (fractional reductions).

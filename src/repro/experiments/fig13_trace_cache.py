@@ -28,7 +28,7 @@ from repro.core.presets import (
     blank_silicon_config,
 )
 from repro.experiments.reporting import format_key_values, format_percentage_table
-from repro.experiments.runner import ConfigurationSummary, ExperimentSettings
+from repro.campaign import ConfigurationSummary, ExperimentSettings
 from repro.sim.results import METRIC_NAMES
 
 FIGURE13_GROUPS = ("ReorderBuffer", "RenameTable", "TraceCache")

@@ -20,7 +20,7 @@ from repro.core.presets import (
     distributed_rename_commit_config,
 )
 from repro.experiments.reporting import format_key_values, format_percentage_table
-from repro.experiments.runner import ConfigurationSummary, ExperimentSettings
+from repro.campaign import ConfigurationSummary, ExperimentSettings
 from repro.sim.results import METRIC_NAMES
 
 FIGURE14_GROUPS = ("ReorderBuffer", "RenameTable", "TraceCache")

@@ -1,33 +1,35 @@
-"""Legacy experiment-runner facade over :mod:`repro.campaign`.
+"""Deprecated experiment-runner shim — import :mod:`repro.campaign` instead.
 
-Historically this module owned the serial experiment loop; the machinery now
-lives in the declarative campaign layer (:class:`repro.campaign.Campaign`
-expanded into cells, pluggable executors, an optional result cache).  The
-names below are kept as thin shims so existing imports — tests, examples,
-figure drivers, the benchmark harness — keep working:
+Historically this module owned the serial experiment loop; everything it
+exported now lives in the declarative campaign layer:
 
-* :class:`ExperimentSettings` / :data:`QUICK_BENCHMARKS` — re-exported from
+* :class:`ExperimentSettings` / :data:`QUICK_BENCHMARKS` —
   :mod:`repro.campaign.spec`;
-* :class:`ConfigurationSummary` — re-exported from
-  :mod:`repro.campaign.summary`;
+* :class:`ConfigurationSummary` — :mod:`repro.campaign.summary`;
 * :func:`run_configuration`, :func:`summarize`, :func:`summarize_many` —
-  one-campaign wrappers around :func:`repro.campaign.run_campaign`, now
-  accepting optional ``executor`` and ``cache`` arguments.
+  :mod:`repro.campaign.core`.
 
-New code should use :mod:`repro.campaign` directly.
+Importing this module emits a :class:`DeprecationWarning` (asserted by the
+test suite); the re-exports themselves are identical objects, so existing
+code keeps working unchanged.  New code should import from
+:mod:`repro.campaign`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+import warnings
 
-from repro.campaign.cache import ResultCache
-from repro.campaign.core import run_campaign
-from repro.campaign.executors import Executor
-from repro.campaign.spec import QUICK_BENCHMARKS, Campaign, ExperimentSettings
+from repro.campaign.core import run_configuration, summarize, summarize_many
+from repro.campaign.spec import QUICK_BENCHMARKS, ExperimentSettings
 from repro.campaign.summary import ConfigurationSummary
-from repro.sim.config import ProcessorConfig
-from repro.sim.results import SimulationResult
+
+warnings.warn(
+    "repro.experiments.runner is deprecated; import ExperimentSettings, "
+    "ConfigurationSummary, run_configuration, summarize and summarize_many "
+    "from repro.campaign instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 __all__ = [
     "QUICK_BENCHMARKS",
@@ -37,36 +39,3 @@ __all__ = [
     "summarize",
     "summarize_many",
 ]
-
-
-def run_configuration(
-    config: ProcessorConfig,
-    settings: ExperimentSettings,
-    executor: Optional[Executor] = None,
-    cache: Optional[ResultCache] = None,
-) -> Dict[str, SimulationResult]:
-    """Simulate ``config`` on every benchmark of ``settings``."""
-    outcome = run_campaign(Campaign.single(config, settings), executor, cache)
-    return outcome.summaries[config.name].results
-
-
-def summarize(
-    config: ProcessorConfig,
-    settings: ExperimentSettings,
-    executor: Optional[Executor] = None,
-    cache: Optional[ResultCache] = None,
-) -> ConfigurationSummary:
-    """Run a configuration over all benchmarks and wrap it in a summary."""
-    outcome = run_campaign(Campaign.single(config, settings), executor, cache)
-    return outcome.summaries[config.name]
-
-
-def summarize_many(
-    configs: Sequence[ProcessorConfig],
-    settings: ExperimentSettings,
-    executor: Optional[Executor] = None,
-    cache: Optional[ResultCache] = None,
-) -> Dict[str, ConfigurationSummary]:
-    """Summaries for several configurations, keyed by configuration name."""
-    outcome = run_campaign(Campaign(configs, settings), executor, cache)
-    return outcome.summaries

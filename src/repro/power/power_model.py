@@ -105,16 +105,32 @@ class PowerModel:
         cycles: int,
         temperatures: np.ndarray,
         gated_mask: Optional[np.ndarray] = None,
+        dynamic_scale: Optional[np.ndarray] = None,
+        leakage_scale: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """Dynamic and leakage power vectors for one interval (the hot path).
+        """Dynamic and leakage power vectors (W) for one interval (the hot path).
 
         Like :meth:`compute`, the leakage model's running average of dynamic
         power is updated with this interval's dynamic power before leakage is
         evaluated.
+
+        ``dynamic_scale`` / ``leakage_scale`` are optional per-block
+        multiplier vectors (block-index order, dimensionless) supplied by the
+        DTM subsystem's DVFS actuators: dynamic power scales as
+        ``(f/f0) * (V/V0)^2`` and leakage as ``V/V0``.  The dynamic scale is
+        applied *before* the leakage model observes the interval — a scaled
+        domain's nominal-power average reflects the power it actually
+        dissipated.  When both are ``None`` (the default) the arithmetic is
+        bit-identical to the pre-DTM pipeline, which the golden-metric suite
+        locks down.
         """
         dynamic = self.dynamic_power_array(activity_counts, cycles, gated_mask)
+        if dynamic_scale is not None:
+            dynamic = dynamic * dynamic_scale
         self.leakage_model.observe_dynamic_power_array(dynamic)
         leakage = self.leakage_model.leakage_power_array(temperatures, gated_mask)
+        if leakage_scale is not None:
+            leakage = leakage * leakage_scale
         return dynamic, leakage
 
     # ------------------------------------------------------------------

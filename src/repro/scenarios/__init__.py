@@ -1,0 +1,32 @@
+"""Named workload scenarios beyond the 26 SPEC2000 profiles.
+
+Where :mod:`repro.workloads.profiles` reproduces the paper's benchmark
+suite, this package curates *scenarios*: synthetic workloads that each probe
+one corner of the thermal design space — a maximum-power virus, pathological
+phase alternation, a deliberately imbalanced cluster, trace-cache thrashing,
+and so on.  They are the workload axis of DTM policy sweeps
+(``Campaign(..., dtm_policies=...)``, ``repro-campaign run --figure dtm``).
+
+A scenario is just a named :class:`~repro.workloads.profiles.WorkloadProfile`
+wrapped with documentation (:class:`Scenario`), so everything that accepts a
+benchmark name — :class:`~repro.campaign.ExperimentSettings`,
+:class:`~repro.workloads.generator.TraceGenerator`, the CLI — accepts a
+scenario name too: :func:`repro.workloads.profiles.get_profile` falls back
+to this registry.  See ``docs/scenarios.md`` for the full catalogue.
+"""
+
+from repro.scenarios.library import (
+    SCENARIO_NAMES,
+    SCENARIO_PROFILES,
+    SCENARIOS,
+    Scenario,
+    get_scenario,
+)
+
+__all__ = [
+    "SCENARIO_NAMES",
+    "SCENARIO_PROFILES",
+    "SCENARIOS",
+    "Scenario",
+    "get_scenario",
+]

@@ -1,0 +1,247 @@
+"""The named workload scenarios.
+
+Every scenario is a :class:`~repro.workloads.profiles.WorkloadProfile`
+pushed to a corner of the workload space the SPEC2000 profiles only brush:
+maximum-power viruses, pathological phase behaviour, deliberately imbalanced
+cluster load, cache and trace-cache thrashing.  The profile's ``name`` *is*
+the scenario name, so the deterministic trace seeding
+(``zlib.crc32(name) ^ seed``), the campaign cache keys and the CLI all work
+on scenarios exactly as they do on benchmarks.
+
+The parameters bend the same knobs the SPEC profiles use (see
+``repro/workloads/profiles.py`` for the meaning and units of every field);
+the comments on each scenario say which blocks it is designed to stress and
+why a DTM policy should care.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.workloads.profiles import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named workload scenario.
+
+    Attributes
+    ----------
+    name:
+        Registry key; also the generated trace's benchmark name.
+    title:
+        One-line human-readable summary (CLI listings, docs).
+    stresses:
+        The block group or behaviour the scenario is designed to stress,
+        e.g. ``"TraceCache"`` or ``"phase transitions"``.
+    profile:
+        The trace-generator profile, with ``profile.name == name``.
+    """
+
+    name: str
+    title: str
+    stresses: str
+    profile: WorkloadProfile
+
+    def __post_init__(self) -> None:
+        if self.profile.name != self.name:
+            raise ValueError(
+                f"scenario {self.name!r} wraps a profile named "
+                f"{self.profile.name!r}; the names must match"
+            )
+
+
+def _scenario(name: str, title: str, stresses: str, is_fp: bool, **kwargs) -> Scenario:
+    return Scenario(
+        name=name,
+        title=title,
+        stresses=stresses,
+        profile=WorkloadProfile(name=name, is_fp=is_fp, **kwargs),
+    )
+
+
+_SCENARIOS: Tuple[Scenario, ...] = (
+    # A single tiny loop that lives in the trace cache and never misses:
+    # the frontend (trace cache + decoder) runs flat out, which is the
+    # paper's motivating hotspot.
+    _scenario(
+        "hot_loop",
+        "one tiny loop, near-perfect trace-cache reuse",
+        "Frontend",
+        is_fp=False,
+        load_fraction=0.15, store_fraction=0.05, branch_fraction=0.10,
+        branch_taken_rate=0.95, branch_misprediction_rate=0.005,
+        fp_fraction=0.00, long_op_fraction=0.01,
+        mean_dependency_distance=6.0, working_set_kb=8,
+        spatial_locality=0.95, loop_body_uops=32, num_hot_loops=1,
+        phase_length_uops=100_000,
+    ),
+    # The maximum-power workload: high ILP (long dependency distances),
+    # both datapaths busy, no stalls from memory or mispredictions.  The
+    # whole die heats; DTM policies must engage hardest here.
+    _scenario(
+        "thermal_virus",
+        "maximum sustained activity on every datapath",
+        "Processor (peak power)",
+        is_fp=True,
+        load_fraction=0.16, store_fraction=0.06, branch_fraction=0.06,
+        branch_taken_rate=0.95, branch_misprediction_rate=0.002,
+        fp_fraction=0.50, long_op_fraction=0.04,
+        mean_dependency_distance=8.0, working_set_kb=8,
+        spatial_locality=0.95, loop_body_uops=48, num_hot_loops=2,
+        phase_length_uops=50_000,
+    ),
+    # mcf taken to the extreme: a working set far beyond the UL2 with almost
+    # no locality, so the core idles on 500-cycle memory latencies and the
+    # UL2 becomes the relatively hottest structure.
+    _scenario(
+        "memory_bound",
+        "giant working set, near-random access, memory-latency bound",
+        "UL2 / memory path",
+        is_fp=False,
+        load_fraction=0.38, store_fraction=0.10, branch_fraction=0.12,
+        branch_taken_rate=0.55, branch_misprediction_rate=0.05,
+        fp_fraction=0.00, long_op_fraction=0.01,
+        mean_dependency_distance=2.2, working_set_kb=262_144,
+        spatial_locality=0.10, loop_body_uops=40, num_hot_loops=4,
+        phase_length_uops=4000,
+    ),
+    # Two hot regions and a short phase length: activity ping-pongs between
+    # them, producing the bursty frontend behaviour the thermal-aware
+    # mapping reacts to and the worst case for trigger/hysteresis tuning.
+    _scenario(
+        "phase_alternating",
+        "rapid alternation between a hot and a cool program phase",
+        "phase transitions",
+        is_fp=True,
+        load_fraction=0.22, store_fraction=0.08, branch_fraction=0.10,
+        branch_taken_rate=0.75, branch_misprediction_rate=0.02,
+        fp_fraction=0.50, long_op_fraction=0.10,
+        mean_dependency_distance=5.0, working_set_kb=1024,
+        spatial_locality=0.70, loop_body_uops=64, num_hot_loops=2,
+        phase_length_uops=600,
+    ),
+    # Very short dependency distances chain every value to its neighbour;
+    # dependence-based steering rides each chain on one cluster until the
+    # load penalty forces a spill (generating a flood of inter-cluster
+    # copies), which leaves the clusters visibly unevenly heated — the
+    # asymmetric-hotspot case per-cluster DVFS exists for.
+    _scenario(
+        "imbalanced_cluster",
+        "serial dependence chains that pile heat onto single clusters",
+        "uneven backend-cluster heating",
+        is_fp=False,
+        load_fraction=0.18, store_fraction=0.07, branch_fraction=0.10,
+        branch_taken_rate=0.80, branch_misprediction_rate=0.01,
+        fp_fraction=0.00, long_op_fraction=0.02,
+        mean_dependency_distance=1.2, working_set_kb=64,
+        spatial_locality=0.90, loop_body_uops=40, num_hot_loops=2,
+        phase_length_uops=20_000,
+    ),
+    # Branch-dominated code with a high misprediction rate: the frontend
+    # churns (predictor, redirects, refills) while the backend starves.
+    _scenario(
+        "branch_storm",
+        "branchy code with frequent mispredictions",
+        "branch predictor / frontend churn",
+        is_fp=False,
+        load_fraction=0.20, store_fraction=0.08, branch_fraction=0.30,
+        branch_taken_rate=0.50, branch_misprediction_rate=0.15,
+        fp_fraction=0.00, long_op_fraction=0.01,
+        mean_dependency_distance=3.0, working_set_kb=512,
+        spatial_locality=0.60, loop_body_uops=48, num_hot_loops=12,
+        phase_length_uops=2000,
+    ),
+    # The FP datapath saturated with long-latency multiplies and divides.
+    _scenario(
+        "fp_saturate",
+        "floating-point pipelines saturated with long operations",
+        "FP functional units",
+        is_fp=True,
+        load_fraction=0.18, store_fraction=0.06, branch_fraction=0.03,
+        branch_taken_rate=0.92, branch_misprediction_rate=0.005,
+        fp_fraction=0.95, long_op_fraction=0.30,
+        mean_dependency_distance=7.0, working_set_kb=256,
+        spatial_locality=0.90, loop_body_uops=96, num_hot_loops=3,
+        phase_length_uops=30_000,
+    ),
+    # The integer mirror image of fp_saturate.
+    _scenario(
+        "int_saturate",
+        "integer ALUs saturated with high-ILP arithmetic",
+        "integer functional units",
+        is_fp=False,
+        load_fraction=0.15, store_fraction=0.05, branch_fraction=0.08,
+        branch_taken_rate=0.90, branch_misprediction_rate=0.01,
+        fp_fraction=0.00, long_op_fraction=0.03,
+        mean_dependency_distance=7.0, working_set_kb=128,
+        spatial_locality=0.92, loop_body_uops=64, num_hot_loops=2,
+        phase_length_uops=40_000,
+    ),
+    # A working set sized to thrash the UL2 with moderate locality: the L1s
+    # miss constantly, the buses and UL2 stay busy, the core limps.
+    _scenario(
+        "cache_thrash",
+        "L1- and UL2-thrashing strided access",
+        "cache hierarchy / buses",
+        is_fp=False,
+        load_fraction=0.34, store_fraction=0.14, branch_fraction=0.10,
+        branch_taken_rate=0.70, branch_misprediction_rate=0.03,
+        fp_fraction=0.05, long_op_fraction=0.02,
+        mean_dependency_distance=3.5, working_set_kb=16_384,
+        spatial_locality=0.30, loop_body_uops=72, num_hot_loops=16,
+        phase_length_uops=1500,
+    ),
+    # A static footprint much larger than the trace cache: every phase
+    # change refills lines, so bank hopping's flush cost and the mapping
+    # function see maximum pressure.
+    _scenario(
+        "trace_cache_pressure",
+        "instruction footprint far beyond the trace-cache capacity",
+        "TraceCache",
+        is_fp=False,
+        load_fraction=0.24, store_fraction=0.10, branch_fraction=0.16,
+        branch_taken_rate=0.60, branch_misprediction_rate=0.04,
+        fp_fraction=0.00, long_op_fraction=0.01,
+        mean_dependency_distance=4.0, working_set_kb=4096,
+        spatial_locality=0.65, loop_body_uops=200, num_hot_loops=120,
+        phase_length_uops=800,
+    ),
+    # The cold control case: serial chains of long-latency operations,
+    # frequent mispredictions and a cache-hostile working set keep IPC (and
+    # power) minimal.  DTM policies must stay disengaged; any throttling
+    # here is a false positive.
+    _scenario(
+        "idle_crawl",
+        "low-IPC serial crawl; the control case DTM must not touch",
+        "nothing (cool-die control)",
+        is_fp=True,
+        load_fraction=0.26, store_fraction=0.08, branch_fraction=0.20,
+        branch_taken_rate=0.52, branch_misprediction_rate=0.15,
+        fp_fraction=0.40, long_op_fraction=0.50,
+        mean_dependency_distance=1.05, working_set_kb=32_768,
+        spatial_locality=0.30, loop_body_uops=56, num_hot_loops=8,
+        phase_length_uops=1500,
+    ),
+)
+
+#: Every scenario, keyed by name, in presentation order.
+SCENARIOS: Dict[str, Scenario] = {s.name: s for s in _SCENARIOS}
+
+#: The scenario profiles, keyed by name — what
+#: :func:`repro.workloads.profiles.get_profile` falls back to.
+SCENARIO_PROFILES: Dict[str, WorkloadProfile] = {
+    s.name: s.profile for s in _SCENARIOS
+}
+
+SCENARIO_NAMES: Tuple[str, ...] = tuple(SCENARIOS)
+
+
+def get_scenario(name: str) -> Scenario:
+    """Return scenario ``name``; raises ``KeyError`` listing valid names."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        valid = ", ".join(SCENARIO_NAMES)
+        raise KeyError(f"unknown scenario {name!r}; valid names: {valid}") from None

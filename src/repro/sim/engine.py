@@ -24,6 +24,18 @@ the vectors directly — per-block dictionaries are only materialized at the
 result boundary.  The golden-metric suite (``tests/test_golden_metrics.py``)
 locks this fast path bit-for-bit against the original dict-per-block
 implementation.
+
+Optionally the engine hosts a dynamic-thermal-management policy
+(``dtm_policy=``, see :mod:`repro.dtm`): before every interval after the
+first, the policy reads a full-die :class:`~repro.thermal.sensors.SensorBank`
+(quantized block temperatures in block-index order) and mutates the clamped
+:class:`~repro.dtm.controls.DTMControls` — fetch duty, whole-interval clock
+gating, per-cluster DVFS steps.  The engine translates the controls into a
+processor fetch gate (DVFS frequency reductions ride the same gate, so the
+activity counts carry the ``f`` factor of ``P = a C V^2 f``) and per-block
+voltage power-multiplier vectors on the interval pipeline.  With no policy —
+or the no-op policy — none of the DTM branches perturb the arithmetic, so
+the golden metrics are reproduced bit-for-bit.
 """
 
 from __future__ import annotations
@@ -34,6 +46,8 @@ import numpy as np
 
 from repro.core.bank_hopping import BankHoppingController
 from repro.core.thermal_mapping import BalancedMappingPolicy, ThermalAwareMappingPolicy
+from repro.dtm.controls import DTMControls, DTMTelemetry, FETCH_DUTY_PERIOD
+from repro.dtm.policies import DTMObservation, DTMPolicy
 from repro.isa.microops import MicroOp
 from repro.power.energy import build_block_parameters
 from repro.power.power_model import PowerModel
@@ -50,6 +64,12 @@ from repro.thermal.solver import ThermalSolver
 class SimulationEngine:
     """Runs one benchmark on one configuration, producing a SimulationResult."""
 
+    #: Consecutive fully clock-gated intervals after which the engine aborts:
+    #: a sane stop-go policy releases as soon as leakage-only cooling brings
+    #: the die below its trigger, so a streak this long means the trigger is
+    #: unreachable (e.g. set below the ambient temperature).
+    _MAX_GATED_STREAK = 10_000
+
     def __init__(
         self,
         config: ProcessorConfig,
@@ -57,6 +77,7 @@ class SimulationEngine:
         benchmark: str = "synthetic",
         interval_cycles: Optional[int] = None,
         prewarm_caches: bool = True,
+        dtm_policy: Optional[DTMPolicy] = None,
     ) -> None:
         self.config = config
         self.benchmark = benchmark
@@ -142,6 +163,24 @@ class SimulationEngine:
         )
         self.emergency_intervals = 0
 
+        # --------------------------------------------------------------
+        # Dynamic thermal management (optional).  The DTM sensor bank spans
+        # every block (the paper's mapping function only needs the trace-
+        # cache banks; DTM policies watch the whole die) in block-index
+        # order, so policy observations are plain vectors.
+        # --------------------------------------------------------------
+        self.dtm_policy = dtm_policy
+        self.dtm_controls: Optional[DTMControls] = None
+        self.dtm_telemetry: Optional[DTMTelemetry] = None
+        self.dtm_sensors: Optional[SensorBank] = None
+        if dtm_policy is not None:
+            # The controls adopt the policy's declared VF table (DVFS/hybrid
+            # policies carry their ``table=`` parameter as ``policy.table``).
+            self.dtm_controls = DTMControls(self.block_index, table=dtm_policy.table)
+            self.dtm_telemetry = DTMTelemetry(self.dtm_controls.table)
+            self.dtm_sensors = SensorBank(self.block_index.names)
+            dtm_policy.bind(self.block_index, config, self.dtm_controls)
+
     # ------------------------------------------------------------------
     def _prewarm_memory(self, trace: Sequence[MicroOp]) -> None:
         """Touch the trace's data footprint in the UL2 (functional warm-up).
@@ -177,7 +216,13 @@ class SimulationEngine:
         return cached[1], cached[2]
 
     def _warmup(self, activity_counts: np.ndarray, cycles: int) -> None:
-        """Warm the processor to the steady state of its nominal power."""
+        """Warm the processor to the steady state of its nominal power.
+
+        ``activity_counts`` are the first interval's per-block access counts
+        (block-index order) over ``cycles`` cycles; the resulting dynamic
+        power (W) is held constant while the leakage-temperature fixed point
+        iterates (temperatures in degrees Celsius, limit 381 K).
+        """
         _, gated_mask = self._gated_state()
         leakage_model = self.power_model.leakage_model
         # The first interval's dynamic power (constant across the warm-up
@@ -242,32 +287,83 @@ class SimulationEngine:
             tc.set_mapping_shares(shares)
 
     # ------------------------------------------------------------------
-    def interval_pipeline(
+    # Dynamic thermal management
+    # ------------------------------------------------------------------
+    def _apply_dtm(self, interval_index: int) -> bool:
+        """Run the DTM policy hook before simulating interval ``interval_index``.
+
+        The policy observes the previous interval's sensor-quantized block
+        temperatures (degrees Celsius, block-index order) and mutates the
+        clamped controls; the granted fetch duty is translated into the
+        processor's fetch gate.  Returns ``True`` when the policy was
+        granted a fully clock-gated interval (never for interval 0, whose
+        cycles have already run when the post-warm-up observation happens).
+        """
+        controls = self.dtm_controls
+        controls.begin_interval(gating_allowed=interval_index > 0)
+        readings = self.dtm_sensors.read_array(self._temperature_array)
+        observation = DTMObservation(
+            interval_index=interval_index,
+            temperatures=readings,
+            index=self.block_index,
+        )
+        self.dtm_policy.apply(observation, controls)
+        on_cycles = controls.effective_fetch_on_cycles
+        if on_cycles < FETCH_DUTY_PERIOD:
+            self.processor.set_fetch_gate(on_cycles, FETCH_DUTY_PERIOD)
+        else:
+            self.processor.clear_fetch_gate()
+        return controls.gate_interval
+
+    def _gated_interval(self, cycle: int, seconds: float) -> IntervalRecord:
+        """Record one fully clock-gated interval (stop-go DTM).
+
+        The processor executes nothing: dynamic power — clock distribution
+        included — is 0 W, only leakage at the current temperatures is
+        injected, and the thermal network advances by one full nominal
+        interval of wall-clock (the clock is stopped; time is not).  The
+        leakage model's running dynamic-power average is deliberately *not*
+        updated: a gated interval says nothing about the workload's nominal
+        power profile.  Bank hops and remaps are also skipped — the paper's
+        mechanisms are clocked, and the clock is off.
+        """
+        _, gated_mask = self._gated_state()
+        dynamic = np.zeros(len(self.block_index))
+        leakage = self.power_model.leakage_model.leakage_power_array(
+            self._temperature_array, gated_mask
+        )
+        if self.dtm_controls is not None:
+            _, leakage_scale = self.dtm_controls.power_scales()
+            if leakage_scale is not None:
+                leakage = leakage * leakage_scale
+        return self._advance_and_record(
+            dynamic,
+            leakage,
+            self.config.thermal.interval_seconds,
+            cycle=cycle,
+            seconds=seconds,
+        )
+
+    def _advance_and_record(
         self,
-        activity_counts: np.ndarray,
-        cycles_elapsed: int,
+        dynamic: np.ndarray,
+        leakage: np.ndarray,
+        dt: float,
         cycle: int,
         seconds: float,
     ) -> IntervalRecord:
-        """The power/thermal hot path of one interval: counts -> record.
+        """Shared tail of every interval: power vectors -> thermal -> record.
 
-        Converts a drained activity-count vector (block-index order) into
-        dynamic and leakage power, advances the thermal RC network by the
-        interval's wall-clock duration, tracks the emergency-limit counter
-        and returns the interval's :class:`IntervalRecord` — all on NumPy
-        vectors, with no per-block dict allocation.  ``run`` calls this once
-        per interval; the throughput benchmark drives it directly.
+        Scatters the block power vectors (W) into thermal-node space,
+        advances the RC network by ``dt`` seconds, refreshes the cached
+        block-temperature slice, counts emergency-limit intervals and
+        returns the interval's record.  Both the normal interval pipeline
+        and the clock-gated path end here, so the bookkeeping cannot
+        diverge between them.
         """
-        _, gated_mask = self._gated_state()
-        dynamic, leakage = self.power_model.compute_arrays(
-            activity_counts, cycles_elapsed, self._temperature_array, gated_mask
-        )
         node_power = self._node_power
         node_power[:] = 0.0
         node_power[self._node_positions] = dynamic + leakage
-        dt = self.config.thermal.interval_seconds * (
-            cycles_elapsed / self.interval_cycles
-        )
         self._thermal_state = self.solver.advance_nodes(
             self._thermal_state, node_power, dt
         )
@@ -285,6 +381,48 @@ class SimulationEngine:
             dynamic_power=dynamic,
             leakage_power=leakage,
             temperature=self._temperature_array,
+        )
+
+    # ------------------------------------------------------------------
+    def interval_pipeline(
+        self,
+        activity_counts: np.ndarray,
+        cycles_elapsed: int,
+        cycle: int,
+        seconds: float,
+        dynamic_scale: Optional[np.ndarray] = None,
+        leakage_scale: Optional[np.ndarray] = None,
+    ) -> IntervalRecord:
+        """The power/thermal hot path of one interval: counts -> record.
+
+        Converts a drained activity-count vector (block-index order) into
+        dynamic and leakage power (W), advances the thermal RC network by the
+        interval's wall-clock duration (s), tracks the emergency-limit
+        counter and returns the interval's :class:`IntervalRecord` — all on
+        NumPy vectors, with no per-block dict allocation.  ``run`` calls this
+        once per interval; the throughput benchmark drives it directly.
+
+        ``dynamic_scale`` / ``leakage_scale`` are the DTM DVFS power
+        multiplier vectors (see :meth:`PowerModel.compute_arrays`); the
+        frequency component of DVFS is realized through the fetch duty, so
+        it arrives here already folded into ``activity_counts``.  The
+        ``None`` defaults leave the arithmetic bit-identical to the pre-DTM
+        pipeline.
+        """
+        _, gated_mask = self._gated_state()
+        dynamic, leakage = self.power_model.compute_arrays(
+            activity_counts,
+            cycles_elapsed,
+            self._temperature_array,
+            gated_mask,
+            dynamic_scale,
+            leakage_scale,
+        )
+        dt = self.config.thermal.interval_seconds * (
+            cycles_elapsed / self.interval_cycles
+        )
+        return self._advance_and_record(
+            dynamic, leakage, dt, cycle=cycle, seconds=seconds
         )
 
     def run(
@@ -305,10 +443,32 @@ class SimulationEngine:
         )
         interval_index = 0
         interval_seconds = self.config.thermal.interval_seconds
+        dtm = self.dtm_policy is not None
+        gated_streak = 0
 
         while not self.processor.finished:
             if max_intervals is not None and interval_index >= max_intervals:
                 break
+            if dtm and interval_index > 0 and self._apply_dtm(interval_index):
+                # Fully clock-gated interval: wall-clock advances, the
+                # processor does not.
+                gated_streak += 1
+                if gated_streak > self._MAX_GATED_STREAK:
+                    raise RuntimeError(
+                        f"DTM policy {self.dtm_policy.name!r} clock-gated "
+                        f"{gated_streak} consecutive intervals; its trigger "
+                        "temperature is unreachable by cooling"
+                    )
+                result.intervals.append(
+                    self._gated_interval(
+                        cycle=self.processor.cycle,
+                        seconds=(interval_index + 1) * interval_seconds,
+                    )
+                )
+                self.dtm_telemetry.record_interval(self.dtm_controls, gated=True)
+                interval_index += 1
+                continue
+            gated_streak = 0
             start_cycle = self.processor.cycle
             self.processor.run_cycles(self.interval_cycles)
             cycles_elapsed = self.processor.cycle - start_cycle
@@ -320,6 +480,20 @@ class SimulationEngine:
 
             if interval_index == 0 and warmup:
                 self._warmup(activity_counts, cycles_elapsed)
+                if dtm:
+                    # Let the policy observe the warmed-up die before the
+                    # first power/thermal step: under DTM the processor
+                    # would have been managed throughout the warm-up
+                    # history too, so interval 0's power already runs at
+                    # the policy's operating point.  A whole-interval gate
+                    # cannot apply here (the cycles already ran); the
+                    # controls deny it and the policy re-decides next
+                    # interval.
+                    self._apply_dtm(0)
+
+            dynamic_scale = leakage_scale = None
+            if dtm:
+                dynamic_scale, leakage_scale = self.dtm_controls.power_scales()
 
             result.intervals.append(
                 self.interval_pipeline(
@@ -327,8 +501,19 @@ class SimulationEngine:
                     cycles_elapsed,
                     cycle=self.processor.cycle,
                     seconds=(interval_index + 1) * interval_seconds,
+                    dynamic_scale=dynamic_scale,
+                    leakage_scale=leakage_scale,
                 )
             )
+            if dtm:
+                # Interval 0's cycles ran before the policy could gate fetch
+                # (it only observes the die after warm-up), so its duty and
+                # frequency are charged at nominal.
+                self.dtm_telemetry.record_interval(
+                    self.dtm_controls,
+                    gated=False,
+                    fetch_actuated=interval_index > 0,
+                )
             self._apply_bank_management(interval_index)
             interval_index += 1
 
@@ -336,6 +521,11 @@ class SimulationEngine:
         result.stats.trace_cache_hits = self.processor.trace_cache.hits
         result.stats.trace_cache_misses = self.processor.trace_cache.misses
         result.stats.trace_cache_hop_flushes = self.processor.trace_cache.hop_flushes
+        if dtm:
+            result.dtm = {
+                "policy": self.dtm_policy.name,
+                **self.dtm_telemetry.as_dict(),
+            }
         return result
 
 
@@ -347,9 +537,15 @@ def run_benchmark(
     max_intervals: Optional[int] = None,
     warmup: bool = True,
     prewarm_caches: bool = True,
+    dtm_policy: Optional[DTMPolicy] = None,
 ) -> SimulationResult:
     """Convenience wrapper: build an engine, run it, return the result."""
     engine = SimulationEngine(
-        config, uop_source, benchmark, interval_cycles, prewarm_caches=prewarm_caches
+        config,
+        uop_source,
+        benchmark,
+        interval_cycles,
+        prewarm_caches=prewarm_caches,
+        dtm_policy=dtm_policy,
     )
     return engine.run(max_intervals=max_intervals, warmup=warmup)

@@ -61,6 +61,10 @@ class Processor:
         self.cycle = 0
         self.stats = SimulationStats()
         self.activity = ActivityCounters(blocks.all_blocks(config))
+        #: Fetch duty gate: ``(on_cycles, period)`` lets fetch run only on
+        #: the first ``on_cycles`` of every ``period`` cycles (DTM fetch
+        #: throttling).  ``None`` (the default) means fetch is never gated.
+        self.fetch_gate: Optional[Tuple[int, int]] = None
 
         # Backend clusters -------------------------------------------------
         self.clusters: List[Cluster] = [
@@ -151,6 +155,22 @@ class Processor:
     def _frontend_latency(self) -> int:
         fe = self.config.frontend
         return fe.trace_cache.fetch_to_dispatch_latency + fe.decode_rename_steer_latency
+
+    def set_fetch_gate(self, on_cycles: int, period: int) -> None:
+        """Gate fetch to ``on_cycles`` out of every ``period`` cycles.
+
+        Used by DTM fetch throttling: the rest of the pipeline keeps
+        draining (in-flight micro-ops issue, complete and commit), only the
+        supply of new micro-ops is rationed.  ``on_cycles`` must be at least
+        1 so the pipeline always makes forward progress.
+        """
+        if period <= 0 or not 1 <= on_cycles <= period:
+            raise ValueError("fetch gate needs 1 <= on_cycles <= period")
+        self.fetch_gate = (on_cycles, period) if on_cycles < period else None
+
+    def clear_fetch_gate(self) -> None:
+        """Remove any DTM fetch gate (fetch runs every cycle again)."""
+        self.fetch_gate = None
 
     @property
     def finished(self) -> bool:
@@ -456,6 +476,11 @@ class Processor:
     # Fetch
     # ------------------------------------------------------------------
     def _fetch_stage(self, cycle: int) -> None:
+        gate = self.fetch_gate
+        if gate is not None and (cycle % gate[1]) >= gate[0]:
+            # DTM fetch throttling: this is a gated fetch slot.
+            self.stats.fetch_stall_cycles += 1
+            return
         buffered = len(self._decode_pipe) + len(self._rename_queue)
         if buffered >= self._FRONTEND_BUFFER_LIMIT:
             return

@@ -157,6 +157,12 @@ class SimulationResult:
     #: derives cache keys from.  Empty for results loaded from pre-provenance
     #: (schema version 1) files.
     provenance: Dict[str, object] = field(default_factory=dict)
+    #: Dynamic-thermal-management telemetry of the run (schema version 3):
+    #: policy name, ``throttle_ratio`` (fraction of fetch capacity removed),
+    #: ``gated_intervals``, ``dvfs_residency`` (fraction of block-intervals
+    #: per VF step, keyed by frequency ratio) and ``mean_freq_ratio``.
+    #: Empty when the run had no DTM policy or predates schema version 3.
+    dtm: Dict[str, object] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Temperature metrics
@@ -255,10 +261,76 @@ class SimulationResult:
         return reductions
 
     def slowdown_vs(self, baseline: "SimulationResult") -> float:
-        """Execution-time increase relative to ``baseline`` (0.02 = 2% slower)."""
+        """Execution-time increase relative to ``baseline`` (0.02 = 2% slower).
+
+        Measured in cycles, so it captures throttling-induced IPC loss but
+        not DVFS wall-clock stretching; for DTM comparisons use
+        :meth:`time_slowdown_vs`.
+        """
         if baseline.stats.cycles <= 0:
             return 0.0
         return self.stats.cycles / baseline.stats.cycles - 1.0
+
+    def total_seconds(self) -> float:
+        """Simulated wall-clock seconds the run spanned.
+
+        Includes whole clock-gated intervals (which add wall-clock but no
+        cycles), so it is the denominator of real DTM performance: the same
+        trace under throttling, DVFS or gating simply takes longer.
+
+        The per-record ``seconds`` timestamps count whole nominal intervals,
+        but the *final* interval of a trace usually runs fewer cycles; this
+        method reconstructs each interval's true duration from the recorded
+        cycle deltas (a zero delta is a clock-gated interval, charged one
+        full interval), so short runs don't quantize the performance-loss
+        metric to whole intervals.  Results without interval provenance
+        (schema v1 files) fall back to the nominal accounting.
+        """
+        if not self.intervals:
+            return 0.0
+        interval_cycles = self.provenance.get("interval_cycles")
+        if not interval_cycles:
+            return self._nominal_total_seconds()
+        interval_seconds = self.intervals[0].seconds
+        total = 0.0
+        previous_cycle = 0
+        for record in self.intervals:
+            delta = record.cycle - previous_cycle
+            previous_cycle = record.cycle
+            if delta == 0:
+                total += interval_seconds
+            else:
+                total += interval_seconds * (delta / interval_cycles)
+        return total
+
+    def _nominal_total_seconds(self) -> float:
+        """Run length in whole nominal intervals (the per-record timestamps)."""
+        return self.intervals[-1].seconds if self.intervals else 0.0
+
+    def time_slowdown_vs(self, baseline: "SimulationResult") -> float:
+        """Wall-clock-time increase relative to ``baseline`` (0.05 = 5% slower).
+
+        The DTM performance-loss metric: unlike :meth:`slowdown_vs` (cycles)
+        it also charges whole clock-gated intervals, which stretch
+        wall-clock without adding cycles.
+
+        Both sides must use the same accounting: when either result lacks
+        interval provenance (schema v1 files), the comparison falls back to
+        whole-interval accounting for both, instead of silently comparing
+        an exact duration against a quantized one.
+        """
+        exact = (
+            self.provenance.get("interval_cycles")
+            and baseline.provenance.get("interval_cycles")
+        )
+        if exact:
+            ours, base = self.total_seconds(), baseline.total_seconds()
+        else:
+            ours = self._nominal_total_seconds()
+            base = baseline._nominal_total_seconds()
+        if base <= 0:
+            return 0.0
+        return ours / base - 1.0
 
     def summary(self) -> str:
         """Short human-readable summary of the run."""

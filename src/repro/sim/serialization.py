@@ -19,11 +19,14 @@ from repro.sim.stats import SimulationStats
 #: Version stamp written into every file so future schema changes are detectable.
 #: Version 2 added the ``provenance`` mapping (thermal interval in cycles plus
 #: the experiment-settings parameters of the run) that the campaign result
-#: cache keys depend on; version-1 files still load, with empty provenance.
-SCHEMA_VERSION = 2
+#: cache keys depend on; version 3 added the ``dtm`` mapping (DTM policy name,
+#: interval/engagement counts, throttle ratio, DVFS step residency and mean
+#: frequency ratio).  Files of either earlier version still load, with the
+#: missing mappings empty.
+SCHEMA_VERSION = 3
 
 #: Schema versions :func:`result_from_dict` can reconstruct.
-SUPPORTED_SCHEMA_VERSIONS = (1, 2)
+SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3)
 
 
 def result_to_dict(result: SimulationResult) -> Dict:
@@ -31,6 +34,7 @@ def result_to_dict(result: SimulationResult) -> Dict:
     return {
         "schema_version": SCHEMA_VERSION,
         "provenance": dict(result.provenance),
+        "dtm": dict(result.dtm),
         "config_name": result.config_name,
         "benchmark": result.benchmark,
         "ambient_celsius": result.ambient_celsius,
@@ -88,6 +92,8 @@ def result_from_dict(data: Dict) -> SimulationResult:
         # Absent from schema-version-1 files; such results are still fully
         # usable for metric queries, they just cannot seed the result cache.
         provenance=data.get("provenance", {}),
+        # Absent before schema version 3 (and from runs without a DTM policy).
+        dtm=data.get("dtm", {}),
     )
 
 

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Mapping
 
+import numpy as np
+
 
 class ThermalSensor:
     """A single on-die temperature sensor attached to one block."""
@@ -43,10 +45,42 @@ class SensorBank:
         }
         if not self.sensors:
             raise ValueError("a sensor bank needs at least one sensor")
+        #: Per-sensor quantization steps (degrees Celsius), in sensor order —
+        #: precomputed for the vectorized :meth:`read_array` path.
+        self._quantization_steps = np.array(
+            [s.quantization_celsius for s in self.sensors.values()]
+        )
 
     def read_all(self, temperatures: Mapping[str, float]) -> Dict[str, float]:
-        """Sample every sensor and return block -> reading."""
+        """Sample every sensor and return block -> reading (degrees Celsius)."""
         return {name: sensor.read(temperatures) for name, sensor in self.sensors.items()}
+
+    def read_array(self, temperatures: np.ndarray) -> np.ndarray:
+        """Sample every sensor from a temperature vector (the DTM fast path).
+
+        ``temperatures`` must be ordered like this bank's sensors (the DTM
+        hook builds the bank from the engine's block index, so both share
+        one order).  Quantization is vectorized — ``np.round`` rounds half
+        to even exactly like the scalar :meth:`ThermalSensor.read` path —
+        and each sensor's ``last_reading`` is still updated so
+        introspection keeps working.  Returns the readings as a new vector,
+        degrees Celsius.
+        """
+        sensors = list(self.sensors.values())
+        if len(temperatures) != len(sensors):
+            raise ValueError(
+                f"temperature vector has {len(temperatures)} entries for "
+                f"{len(sensors)} sensors"
+            )
+        steps = self._quantization_steps
+        readings = np.where(
+            steps > 0,
+            np.round(temperatures / np.where(steps > 0, steps, 1.0)) * steps,
+            temperatures,
+        )
+        for sensor, reading in zip(sensors, readings.tolist()):
+            sensor.last_reading = reading
+        return readings
 
     def hottest(self, temperatures: Mapping[str, float]) -> str:
         """Block with the highest sensor reading."""

@@ -97,14 +97,20 @@ class ThermalSolver:
     # Steady state
     # ------------------------------------------------------------------
     def steady_state_nodes(self, node_power: np.ndarray) -> np.ndarray:
-        """Steady-state node vector for a per-node power injection vector."""
+        """Steady-state node temperatures (degrees Celsius) for a power vector.
+
+        ``node_power`` injects Watts per thermal node (die blocks first,
+        then spreader/sink nodes); the ambient boundary condition is added
+        internally.
+        """
         return self._solve(node_power + self._ambient_source)
 
     def steady_state_vector(self, block_power: Mapping[str, float]) -> np.ndarray:
+        """Steady-state node temperatures (degrees Celsius) from a block map (W)."""
         return self.steady_state_nodes(self.network.power_vector(block_power))
 
     def steady_state(self, block_power: Mapping[str, float]) -> Dict[str, float]:
-        """Steady-state block temperatures for a constant power map."""
+        """Steady-state block temperatures (degrees Celsius) for constant power (W)."""
         return self.network.temperatures_by_block(
             self.steady_state_vector(block_power)
         )
@@ -118,15 +124,17 @@ class ThermalSolver:
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Array fast path of :meth:`warmup`.
 
-        ``node_power_at_state`` maps the current node-state vector to the
-        per-node power injection vector (dynamic + leakage at the state's
-        temperatures).  Iteration stops when the largest block-temperature
-        change falls below the tolerance, or when any block reaches the
-        emergency limit — the paper warms the processor "until temperature
-        converges or reaches the emergency limit (381 K)".
+        ``node_power_at_state`` maps the current node-state vector (degrees
+        Celsius) to the per-node power injection vector (W: dynamic +
+        leakage at the state's temperatures).  Iteration stops when the
+        largest block-temperature change falls below ``tolerance_celsius``
+        (degrees Celsius), or when any block reaches
+        ``emergency_limit_celsius`` — the paper warms the processor "until
+        temperature converges or reaches the emergency limit (381 K)".
 
         Returns the final node-state vector and the block-temperature slice
-        (a view of the state in the network's block order).
+        (both degrees Celsius; the slice is a view of the state in the
+        network's block order).
         """
         network = self.network
         state = network.uniform_state(network.config.ambient_celsius)
@@ -157,11 +165,13 @@ class ThermalSolver:
     ) -> Tuple[np.ndarray, Dict[str, float]]:
         """Iterate steady-state solves with temperature-dependent power.
 
-        ``power_at_temperature`` maps the current block temperatures to the
-        per-block power (dynamic + leakage at those temperatures).  This is
-        the mapping-boundary wrapper over :meth:`warmup_nodes`.
+        ``power_at_temperature`` maps the current block temperatures
+        (degrees Celsius) to the per-block power in Watts (dynamic + leakage
+        at those temperatures).  This is the mapping-boundary wrapper over
+        :meth:`warmup_nodes`.
 
-        Returns the final node-state vector and the block temperatures.
+        Returns the final node-state vector and the block temperatures
+        (degrees Celsius).
         """
         network = self.network
 
@@ -205,9 +215,11 @@ class ThermalSolver:
     ) -> np.ndarray:
         """Advance the node state by ``dt_seconds`` under constant node power.
 
-        Uses the exact solution ``T(t+dt) = T_ss + e^{-C^{-1}G dt} (T(t) - T_ss)``
-        where ``T_ss`` is the steady state the system would converge to if the
-        interval's power were applied forever.
+        ``state`` holds node temperatures in degrees Celsius, ``node_power``
+        Watts per node, ``dt_seconds`` seconds.  Uses the exact solution
+        ``T(t+dt) = T_ss + e^{-C^{-1}G dt} (T(t) - T_ss)`` where ``T_ss`` is
+        the steady state the system would converge to if the interval's
+        power were applied forever.
         """
         if dt_seconds <= 0:
             raise ValueError("dt must be positive")
@@ -221,11 +233,12 @@ class ThermalSolver:
         block_power: Mapping[str, float],
         dt_seconds: float,
     ) -> np.ndarray:
-        """Advance the node temperatures by ``dt_seconds`` under constant power."""
+        """Advance the node temperatures by ``dt_seconds`` (s) under constant
+        per-block power (W)."""
         return self.advance_nodes(
             state, self.network.power_vector(block_power), dt_seconds
         )
 
     def block_temperatures(self, state: np.ndarray) -> Dict[str, float]:
-        """Per-block temperatures of a node-state vector."""
+        """Per-block temperatures (degrees Celsius) of a node-state vector."""
         return self.network.temperatures_by_block(state)

@@ -383,16 +383,33 @@ SPECFP_NAMES: Tuple[str, ...] = tuple(p.name for p in _CFP)
 
 
 def get_profile(name: str) -> WorkloadProfile:
-    """Return the profile for SPEC2000 benchmark ``name``.
+    """Return the profile for benchmark or scenario ``name``.
+
+    SPEC2000 benchmark names resolve from :data:`SPEC2000_PROFILES`; any
+    other name falls back to the scenario library
+    (:mod:`repro.scenarios`), which registers profiles for its named
+    workload scenarios.  The fallback import is lazy and happens wherever a
+    trace is generated — including campaign worker processes — so scenario
+    names are valid everywhere benchmark names are.
 
     Raises
     ------
     KeyError
-        If the benchmark name is unknown, with a message listing the valid
-        names.
+        If the name is neither a benchmark nor a scenario, with a message
+        listing all valid names.
     """
     try:
         return SPEC2000_PROFILES[name]
     except KeyError:
-        valid = ", ".join(sorted(SPEC2000_PROFILES))
-        raise KeyError(f"unknown benchmark {name!r}; valid names: {valid}") from None
+        pass
+    # Imported lazily: repro.scenarios builds its profiles from this module,
+    # so a top-level import would be circular.
+    from repro.scenarios import SCENARIO_PROFILES
+
+    try:
+        return SCENARIO_PROFILES[name]
+    except KeyError:
+        valid = ", ".join(sorted(SPEC2000_PROFILES) + sorted(SCENARIO_PROFILES))
+        raise KeyError(
+            f"unknown benchmark or scenario {name!r}; valid names: {valid}"
+        ) from None

@@ -122,7 +122,7 @@ def test_cached_rerun_performs_zero_simulator_invocations(
 
 
 def test_legacy_shims_accept_executor_and_cache(tmp_path):
-    from repro.experiments.runner import summarize, summarize_many
+    from repro.campaign import summarize, summarize_many
 
     settings = ExperimentSettings(benchmarks=("gzip",), uops_per_benchmark=1_500)
     cache = ResultCache(tmp_path / "cache")

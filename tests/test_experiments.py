@@ -14,7 +14,7 @@ from repro.experiments.reporting import (
     format_percentage_table,
     format_value_table,
 )
-from repro.experiments.runner import run_configuration, summarize_many
+from repro.campaign import run_configuration, summarize_many
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,70 @@
+"""The scenario library: registry integrity and end-to-end usability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import Campaign, ExperimentSettings, run_campaign
+from repro.core.presets import baseline_config
+from repro.scenarios import SCENARIO_NAMES, SCENARIOS, get_scenario
+from repro.workloads.generator import TraceGenerator
+from repro.workloads.profiles import SPEC2000_PROFILES, get_profile
+
+
+def test_library_has_the_advertised_breadth():
+    assert len(SCENARIOS) >= 10
+    for scenario in SCENARIOS.values():
+        assert scenario.title and scenario.stresses
+        assert scenario.profile.name == scenario.name
+
+
+def test_scenario_names_do_not_shadow_spec_benchmarks():
+    assert not set(SCENARIO_NAMES) & set(SPEC2000_PROFILES)
+
+
+def test_get_profile_resolves_scenarios_and_reports_both_namespaces():
+    profile = get_profile("thermal_virus")
+    assert profile is SCENARIOS["thermal_virus"].profile
+    with pytest.raises(KeyError, match="thermal_virus"):
+        # The error message advertises scenario names next to benchmarks.
+        get_profile("not_a_workload")
+
+
+def test_get_scenario_rejects_unknown_names():
+    assert get_scenario("hot_loop").name == "hot_loop"
+    with pytest.raises(KeyError, match="valid names"):
+        get_scenario("warp_loop")
+
+
+def test_scenario_traces_are_deterministic():
+    a = TraceGenerator("phase_alternating", seed=11).generate(2_000)
+    b = TraceGenerator("phase_alternating", seed=11).generate(2_000)
+    assert [u.pc for u in a.uops] == [u.pc for u in b.uops]
+    assert [u.uop_class for u in a.uops] == [u.uop_class for u in b.uops]
+
+
+def test_experiment_settings_accept_scenario_names():
+    settings = ExperimentSettings(
+        benchmarks=("hot_loop", "gzip"), uops_per_benchmark=1_500
+    )
+    assert settings.trace_length("hot_loop") == 1_500
+
+
+def test_scenarios_simulate_through_the_campaign_layer():
+    """A mixed benchmark/scenario campaign runs end to end."""
+    settings = ExperimentSettings(
+        benchmarks=("hot_loop", "memory_bound"),
+        uops_per_benchmark=1_500,
+        honor_relative_length=False,
+    )
+    outcome = run_campaign(Campaign.single(baseline_config(), settings, name="scn"))
+    results = outcome.summaries["baseline"].results
+    assert set(results) == {"hot_loop", "memory_bound"}
+    for result in results.values():
+        assert result.stats.committed_uops == 1_500
+        assert result.intervals
+    # The scenarios behave as designed: the latency-bound crawl commits
+    # far fewer micro-ops per cycle than the trace-cache-resident loop.
+    assert (
+        results["memory_bound"].stats.ipc < results["hot_loop"].stats.ipc
+    )

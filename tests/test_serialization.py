@@ -1,5 +1,6 @@
 """Unit tests for JSON serialization of simulation results."""
 
+import dataclasses
 import json
 
 import pytest
@@ -69,12 +70,27 @@ def test_dispatched_per_cluster_keys_restored_as_ints(simulated_result):
 
 
 def test_schema_v2_records_interval_provenance(simulated_result):
-    """The engine stamps the interval the run was simulated at (schema v2)."""
-    assert SCHEMA_VERSION == 2
+    """The engine stamps the interval the run was simulated at (since schema v2)."""
+    assert SCHEMA_VERSION >= 2
     data = result_to_dict(simulated_result)
     assert data["provenance"]["interval_cycles"] == 400
     restored = result_from_dict(data)
     assert restored.provenance == simulated_result.provenance
+
+
+def test_schema_v3_round_trips_dtm_telemetry(simulated_result):
+    """Schema v3 persists the DTM telemetry mapping; v2 files load without it."""
+    assert SCHEMA_VERSION == 3
+    telemetry = {"policy": "dvfs:target=82", "throttle_ratio": 0.25}
+    # Copy rather than mutate: the fixture is module-scoped.
+    managed = dataclasses.replace(simulated_result, dtm=telemetry)
+    data = result_to_dict(managed)
+    restored = result_from_dict(data)
+    assert restored.dtm == telemetry
+    # A pre-DTM (schema v2) file loads with empty telemetry.
+    data["schema_version"] = 2
+    del data["dtm"]
+    assert result_from_dict(data).dtm == {}
 
 
 def test_schema_v1_files_still_load_without_provenance(simulated_result):

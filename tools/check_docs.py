@@ -1,0 +1,174 @@
+#!/usr/bin/env python
+"""Documentation checker: links, code fences, and runnable smoke snippets.
+
+Three passes over ``docs/*.md`` and ``README.md``:
+
+1. **Links** — every relative Markdown link (inline ``[text](target)``,
+   including image links) must resolve to an existing file or directory.
+   Absolute URLs (``http(s)://``) are not fetched; ``#fragment`` anchors —
+   bare or on a cross-file link to another Markdown file — are checked
+   against the target file's headings (GitHub-style slugs).
+2. **Fences** — every ` ```python ` fence must at least compile
+   (``compile(source, ..., "exec")``), so documented code cannot rot into
+   syntax errors silently.
+3. **Smoke snippets** — a ` ```python ` fence immediately preceded by a
+   ``<!-- docs-smoke -->`` marker line is *executed* (with ``src/`` on
+   ``sys.path``), which is how CI proves the DTM tutorial actually runs.
+
+Exit status 0 when everything passes; 1 with a per-problem listing
+otherwise.  Usage::
+
+    python tools/check_docs.py            # check + run smoke snippets
+    python tools/check_docs.py --no-run   # checks only (fast)
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = sorted((REPO_ROOT / "docs").glob("*.md")) + [REPO_ROOT / "README.md"]
+
+SMOKE_MARKER = "<!-- docs-smoke -->"
+
+#: Inline Markdown links / images: [text](target) — target without spaces.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def _strip_fences(text: str) -> str:
+    """Remove fenced code blocks so links inside code are not checked."""
+    return re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+
+
+def _github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading (close enough for our docs)."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def _extract_fences(text: str) -> List[Tuple[int, str, bool]]:
+    """Return (line_number, source, is_smoke) for every ```python fence."""
+    fences = []
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        line = lines[i].strip()
+        if line.startswith("```python"):
+            smoke = i > 0 and lines[i - 1].strip() == SMOKE_MARKER
+            start = i + 1
+            i += 1
+            while i < len(lines) and not lines[i].strip().startswith("```"):
+                i += 1
+            fences.append((start + 1, "\n".join(lines[start:i]), smoke))
+        i += 1
+    return fences
+
+
+def _headings_of_text(text: str) -> set:
+    # Strip code fences first: a '# comment' line inside a fence is not a
+    # heading, and must not satisfy an anchor check.
+    return {_github_slug(h) for h in _HEADING_RE.findall(_strip_fences(text))}
+
+
+def _headings_of(path: Path) -> set:
+    return _headings_of_text(path.read_text())
+
+
+def check_links(path: Path, text: str) -> List[str]:
+    problems = []
+    headings = _headings_of_text(text)
+    for target in _LINK_RE.findall(_strip_fences(text)):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            if target[1:] not in headings:
+                problems.append(f"{path.name}: broken anchor {target!r}")
+            continue
+        file_part, _, fragment = target.partition("#")
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            problems.append(f"{path.name}: broken link {target!r} -> {resolved}")
+        elif fragment and resolved.suffix == ".md":
+            if fragment not in _headings_of(resolved):
+                problems.append(
+                    f"{path.name}: broken anchor {target!r} "
+                    f"(no heading #{fragment} in {resolved.name})"
+                )
+    return problems
+
+
+def check_fences(path: Path, text: str) -> Tuple[List[str], List[Tuple[str, int, str]]]:
+    problems = []
+    smoke: List[Tuple[str, int, str]] = []
+    for line, source, is_smoke in _extract_fences(text):
+        try:
+            compile(source, f"{path.name}:{line}", "exec")
+        except SyntaxError as error:
+            problems.append(f"{path.name}:{line}: python fence does not parse: {error}")
+            continue
+        if is_smoke:
+            smoke.append((path.name, line, source))
+    return problems, smoke
+
+
+def run_smoke(snippets: List[Tuple[str, int, str]]) -> List[str]:
+    problems = []
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    for name, line, source in snippets:
+        print(f"[smoke] {name}:{line} ...")
+        namespace: Dict[str, object] = {"__name__": f"docs_smoke_{name}_{line}"}
+        try:
+            exec(compile(source, f"{name}:{line}", "exec"), namespace)
+        except Exception as error:  # noqa: BLE001 - report, don't crash
+            problems.append(f"{name}:{line}: smoke snippet failed: {error!r}")
+        else:
+            print(f"[smoke] {name}:{line} OK")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--no-run", action="store_true",
+        help="skip executing the docs-smoke snippets (checks only)",
+    )
+    args = parser.parse_args(argv)
+
+    problems: List[str] = []
+    smoke: List[Tuple[str, int, str]] = []
+    checked = 0
+    for path in DOC_FILES:
+        if not path.exists():
+            problems.append(f"missing documentation file: {path}")
+            continue
+        text = path.read_text()
+        problems.extend(check_links(path, text))
+        fence_problems, fence_smoke = check_fences(path, text)
+        problems.extend(fence_problems)
+        smoke.extend(fence_smoke)
+        checked += 1
+
+    if not smoke:
+        problems.append("no docs-smoke snippet found (the tutorial must stay runnable)")
+    if not args.no_run and smoke:
+        problems.extend(run_smoke(smoke))
+
+    if problems:
+        print(f"\n{len(problems)} documentation problem(s):", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    ran = 0 if args.no_run else len(smoke)
+    print(f"docs OK: {checked} files, {ran} smoke snippet(s) executed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

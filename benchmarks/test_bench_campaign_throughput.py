@@ -1,0 +1,123 @@
+"""End-to-end campaign throughput: coupled vs two-stage capture+replay.
+
+The two-stage simulation core exists for exactly one workload shape — the
+paper's own: sweeping physics-side parameters (package, leakage, frequency)
+over identical instruction streams.  This benchmark times that shape both
+ways through the real :func:`repro.campaign.run_campaign` path and emits a
+machine-readable ``benchmarks/output/BENCH_campaign.json`` (cells/s coupled,
+cells/s with replay, speedup) next to the in-file baseline semantics, so the
+campaign-level performance trajectory is tracked from PR to PR (the CI
+workflow uploads the file as an artifact).
+
+The sweep: one benchmark trace, :data:`SWEEP_CELLS` configurations that
+differ only in leakage fraction and package convection resistance.  Coupled,
+every cell pays the per-uop timing simulation; with replay, exactly one cell
+does and the rest ride the captured activity trace through the array-backed
+physics stage.  The acceptance floor (>= 3x cells/s) is asserted directly:
+replay removes ~95% of per-cell work here, so the margin is wide even on
+noisy CI hardware.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from pathlib import Path
+
+from repro.campaign import (
+    Campaign,
+    ExperimentSettings,
+    SerialExecutor,
+    run_campaign,
+)
+from repro.core.presets import baseline_config
+
+#: Cells in the physics sweep (one timing key shared by all of them).
+SWEEP_CELLS = 8
+#: Trace length per cell; long enough that the timing stage dominates a
+#: coupled cell, short enough to keep the coupled baseline measurement fast.
+SWEEP_TRACE_UOPS = 4_000
+#: Acceptance floor for the two-stage path on this sweep.
+MIN_SPEEDUP = 3.0
+
+
+def _physics_sweep() -> Campaign:
+    """A leakage x package grid over one shared instruction stream."""
+    base = baseline_config()
+    configs = []
+    for i in range(SWEEP_CELLS):
+        configs.append(
+            dataclasses.replace(
+                base,
+                name=f"phys_{i}",
+                power=dataclasses.replace(
+                    base.power,
+                    leakage_fraction_at_ambient=0.20 + 0.04 * (i % 4),
+                ),
+                thermal=dataclasses.replace(
+                    base.thermal,
+                    convection_resistance_k_per_w=0.14 + 0.04 * (i // 4),
+                ),
+            )
+        )
+    settings = ExperimentSettings(
+        benchmarks=("gzip",), uops_per_benchmark=SWEEP_TRACE_UOPS, seed=7
+    )
+    return Campaign(configs, settings, name="bench_physics_sweep")
+
+
+def _timed_run(campaign: Campaign, replay: bool) -> dict:
+    start = time.perf_counter()
+    outcome = run_campaign(campaign, executor=SerialExecutor(), replay=replay)
+    elapsed = time.perf_counter() - start
+    return {
+        "seconds": elapsed,
+        "cells": outcome.total_cells,
+        "cells_per_second": outcome.total_cells / elapsed,
+        "cells_executed": outcome.cells_executed,
+        "cells_replayed": outcome.cells_replayed,
+        "traces_captured": outcome.traces_captured,
+    }
+
+
+def test_bench_campaign_replay_throughput_json(report_writer):
+    """Measure the physics sweep both ways and emit ``BENCH_campaign.json``."""
+    campaign = _physics_sweep()
+    coupled = _timed_run(campaign, replay=False)
+    replayed = _timed_run(campaign, replay=True)
+    assert coupled["cells_executed"] == SWEEP_CELLS
+    assert replayed["cells_executed"] == 1
+    assert replayed["cells_replayed"] == SWEEP_CELLS - 1
+
+    speedup = replayed["cells_per_second"] / coupled["cells_per_second"]
+    payload = {
+        "schema_version": 1,
+        "parameters": {
+            "benchmark": "gzip",
+            "sweep_cells": SWEEP_CELLS,
+            "trace_uops": SWEEP_TRACE_UOPS,
+            "executor": "SerialExecutor",
+        },
+        "coupled": coupled,
+        "replay": replayed,
+        "speedup_cells_per_second": speedup,
+        "min_speedup": MIN_SPEEDUP,
+    }
+    output_path = Path(__file__).parent / "output" / "BENCH_campaign.json"
+    output_path.parent.mkdir(exist_ok=True)
+    output_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    report_writer(
+        "BENCH_campaign",
+        f"physics sweep ({SWEEP_CELLS} cells x {SWEEP_TRACE_UOPS} uops): "
+        f"coupled {coupled['cells_per_second']:.2f} cells/s, "
+        f"capture+replay {replayed['cells_per_second']:.2f} cells/s "
+        f"({replayed['cells_executed']} simulated + "
+        f"{replayed['cells_replayed']} replayed), "
+        f"{speedup:.1f}x [JSON: {output_path}]",
+    )
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"two-stage replay is only {speedup:.2f}x the coupled baseline on a "
+        f"physics-only sweep (acceptance floor: {MIN_SPEEDUP}x)"
+    )

@@ -67,7 +67,7 @@ from repro.dtm import (
 )
 from repro.scenarios import SCENARIOS, SCENARIO_NAMES, Scenario, get_scenario
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ProcessorConfig",

@@ -28,11 +28,21 @@ A campaign optionally sweeps a dynamic-thermal-management axis
 :mod:`repro.dtm`): every (config, benchmark) cell is then simulated once per
 policy and summaries are keyed ``"<config>@<policy>"``.
 
+Campaigns execute through the engine's two-stage simulation core: cells
+whose configurations differ only in physics-side parameters (package,
+leakage, frequency — anything the timing model never reads) share one
+:meth:`~repro.campaign.spec.RunSpec.timing_key`, capture the per-uop timing
+simulation once as an :class:`~repro.sim.activity_trace.ActivityTrace`
+(stored as a content-keyed artifact in the :class:`ResultCache`) and replay
+the array-backed physics stage over it — bit-identical to the coupled run.
+Cells with temperature-into-timing feedback (thermal-aware mapping,
+feedback-bearing DTM policies) are detected automatically and simulated
+coupled.
+
 Every figure driver in :mod:`repro.experiments`, the ``repro-campaign`` CLI
 and the benchmark harness run through this layer; the single-configuration
 helpers :func:`run_configuration`/:func:`summarize`/:func:`summarize_many`
-are conveniences over it (their old home, ``repro.experiments.runner``, is a
-deprecated shim).
+are conveniences over it.
 """
 
 from repro.campaign.builder import ConfigBuilder, scale_paper_intervals
@@ -49,6 +59,9 @@ from repro.campaign.executors import (
     ParallelExecutor,
     SerialExecutor,
     execute_cell,
+    execute_cell_capture,
+    execute_cell_replay,
+    execute_replay_group,
     make_executor,
 )
 from repro.campaign.spec import (
@@ -74,6 +87,9 @@ __all__ = [
     "SerialExecutor",
     "available_benchmarks",
     "execute_cell",
+    "execute_cell_capture",
+    "execute_cell_replay",
+    "execute_replay_group",
     "make_executor",
     "run_campaign",
     "run_configuration",

@@ -1,34 +1,50 @@
-"""Content-keyed on-disk cache of simulated campaign cells.
+"""Content-keyed on-disk cache of simulated campaign cells and trace artifacts.
 
-Each cell is stored as one JSON file named by the cell's
+Each *result* is stored as one JSON file named by the cell's
 :meth:`~repro.campaign.spec.RunSpec.cache_key` — a hash over the scaled
 configuration, benchmark, trace length, interval and seed — using the same
 schema as :mod:`repro.sim.serialization`.  Repeated figure runs therefore
 skip simulation entirely: a campaign whose cells are all cached performs
 zero simulator invocations.
 
+Since the two-stage simulation core landed, the cache also holds *activity
+traces* (``*.trace.json``): the timing stage's serialized output, keyed by
+the cell's :meth:`~repro.campaign.spec.RunSpec.timing_key`.  A physics
+sweep that misses on every result key can still hit the trace artifact and
+replay all of its cells without a single per-uop timing simulation — the
+expensive stage is shared across campaigns, not just within one.
+
 The cache is safe to share between runs and across released upgrades: a file
 that fails to load (corrupt, stale schema, foreign content) is treated as a
-miss, and the cache key embeds both the serialization ``SCHEMA_VERSION`` and
-the package version, so entries written by a different release are never
-matched.  The one case the key cannot see is a *local, unreleased* edit to
-simulation code — when developing on the simulator itself, point campaigns at
-a fresh ``--cache-dir`` (or delete the old one).
+miss, and both key kinds embed their schema version and the package version,
+so entries written by a different release are never matched.  The one case
+the keys cannot see is a *local, unreleased* edit to simulation code — when
+developing on the simulator itself, point campaigns at a fresh
+``--cache-dir`` (or delete the old one).
+
+Because trace artifacts accumulate alongside results, the cache exposes
+:meth:`ResultCache.stats` and :meth:`ResultCache.prune` (oldest-first, down
+to a byte budget), surfaced on the CLI as ``repro-campaign cache stats`` and
+``repro-campaign cache prune --max-bytes N``.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Optional, Union
+from typing import Dict, Optional, Union
 
 from repro.campaign.spec import RunSpec
+from repro.sim.activity_trace import TRACE_SCHEMA_VERSION, ActivityTrace
 from repro.sim.results import SimulationResult
 from repro.sim.serialization import SCHEMA_VERSION, load_result, save_result
 
+#: Suffix distinguishing trace artifacts from result files.
+TRACE_SUFFIX = ".trace.json"
+
 
 class ResultCache:
-    """Directory of per-cell results keyed by content hash."""
+    """Directory of per-cell results and trace artifacts keyed by content hash."""
 
     def __init__(self, directory: Union[str, Path]) -> None:
         self.directory = Path(directory).expanduser()
@@ -36,6 +52,9 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.trace_hits = 0
+        self.trace_misses = 0
+        self.trace_stores = 0
 
     def _key(self, spec: RunSpec) -> str:
         # Both the serialization schema version and the package version
@@ -71,11 +90,100 @@ class ResultCache:
         self.stores += 1
         return save_result(result, self.path_for(spec))
 
+    # ------------------------------------------------------------------
+    # Activity-trace artifacts (keyed by RunSpec.timing_key)
+    # ------------------------------------------------------------------
+    def trace_path_for(self, timing_key: str) -> Path:
+        """On-disk location of a timing key's trace artifact."""
+        from repro import __version__
+
+        name = f"trace-v{TRACE_SCHEMA_VERSION}-{__version__}-{timing_key}"
+        return self.directory / f"{name}{TRACE_SUFFIX}"
+
+    def load_trace(self, timing_key: str) -> Optional[ActivityTrace]:
+        """Return the cached activity trace for a timing key, or ``None``."""
+        path = self.trace_path_for(timing_key)
+        if not path.exists():
+            self.trace_misses += 1
+            return None
+        try:
+            trace = ActivityTrace.load(path)
+        except (ValueError, KeyError, TypeError, OSError, json.JSONDecodeError):
+            self.trace_misses += 1
+            return None
+        self.trace_hits += 1
+        return trace
+
+    def store_trace(self, timing_key: str, trace: ActivityTrace) -> Path:
+        """Persist a freshly captured activity trace."""
+        self.trace_stores += 1
+        return trace.save(self.trace_path_for(timing_key))
+
+    # ------------------------------------------------------------------
+    # Housekeeping
+    # ------------------------------------------------------------------
+    def _result_files(self):
+        return [
+            path
+            for path in self.directory.glob("*.json")
+            if not path.name.endswith(TRACE_SUFFIX)
+        ]
+
+    def _trace_files(self):
+        return list(self.directory.glob(f"*{TRACE_SUFFIX}"))
+
+    def stats(self) -> Dict[str, int]:
+        """Entry and byte counts by kind (results vs trace artifacts)."""
+        results = self._result_files()
+        traces = self._trace_files()
+        result_bytes = sum(path.stat().st_size for path in results)
+        trace_bytes = sum(path.stat().st_size for path in traces)
+        return {
+            "results": len(results),
+            "result_bytes": result_bytes,
+            "traces": len(traces),
+            "trace_bytes": trace_bytes,
+            "total_bytes": result_bytes + trace_bytes,
+        }
+
+    def prune(self, max_bytes: int) -> Dict[str, int]:
+        """Delete the oldest entries until the cache fits in ``max_bytes``.
+
+        Results and trace artifacts age together (least-recently-modified
+        first) — every entry is re-creatable, a trace merely costs one
+        timing simulation to rebuild.  Returns what was removed.
+        """
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
+        entries = sorted(
+            self._result_files() + self._trace_files(),
+            key=lambda path: path.stat().st_mtime,
+        )
+        total = sum(path.stat().st_size for path in entries)
+        removed = 0
+        removed_bytes = 0
+        for path in entries:
+            if total <= max_bytes:
+                break
+            size = path.stat().st_size
+            path.unlink()
+            total -= size
+            removed += 1
+            removed_bytes += size
+        return {
+            "removed": removed,
+            "removed_bytes": removed_bytes,
+            "remaining_bytes": total,
+        }
+
     def __len__(self) -> int:
-        return sum(1 for _ in self.directory.glob("*.json"))
+        """Number of cached *results* (trace artifacts are not cells)."""
+        return len(self._result_files())
 
     def __repr__(self) -> str:
         return (
             f"ResultCache({str(self.directory)!r}, hits={self.hits}, "
-            f"misses={self.misses}, stores={self.stores})"
+            f"misses={self.misses}, stores={self.stores}, "
+            f"trace_hits={self.trace_hits}, trace_misses={self.trace_misses}, "
+            f"trace_stores={self.trace_stores})"
         )

@@ -11,6 +11,11 @@ Subcommands:
   (``--configs``/``--benchmarks``/``--dtm``), optionally in parallel
   (``--jobs N``) and with a result cache (``--cache-dir DIR``), printing the
   figure tables and/or writing a JSON summary (``--output FILE``);
+* ``cache`` — housekeeping for an on-disk result cache, which since the
+  two-stage simulation core also holds activity-trace artifacts:
+  ``cache stats --cache-dir DIR`` prints entry/byte counts by kind, and
+  ``cache prune --cache-dir DIR --max-bytes N`` deletes the oldest entries
+  until the directory fits the budget;
 * ``floorplan`` — print the floorplan of a named preset.
 
 Benchmark lists accept scenario names everywhere (``--benchmarks
@@ -236,6 +241,41 @@ def _cmd_list_policies(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_bytes(count: int) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if count < 1024 or unit == "GiB":
+            return f"{count:.1f} {unit}" if unit != "B" else f"{count} B"
+        count /= 1024
+    return f"{count} B"  # pragma: no cover - unreachable
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.action == "stats":
+        stats = cache.stats()
+        print(f"cache directory: {cache.directory}")
+        print(
+            f"  results: {stats['results']} entries, "
+            f"{_format_bytes(stats['result_bytes'])}"
+        )
+        print(
+            f"  traces : {stats['traces']} artifacts, "
+            f"{_format_bytes(stats['trace_bytes'])}"
+        )
+        print(f"  total  : {_format_bytes(stats['total_bytes'])}")
+        return 0
+    # prune
+    if args.max_bytes is None:
+        raise ValueError("cache prune requires --max-bytes")
+    report = cache.prune(args.max_bytes)
+    print(
+        f"pruned {report['removed']} entries "
+        f"({_format_bytes(report['removed_bytes'])}); "
+        f"{_format_bytes(report['remaining_bytes'])} remain"
+    )
+    return 0
+
+
 def _cmd_floorplan(args: argparse.Namespace) -> int:
     from repro.experiments.floorplans import floorplan_report_for
 
@@ -380,6 +420,21 @@ def build_parser() -> argparse.ArgumentParser:
     floorplan = sub.add_parser("floorplan", help="print the floorplan of a preset")
     floorplan.add_argument("preset", help="preset name, e.g. baseline")
 
+    cache = sub.add_parser(
+        "cache", help="inspect or prune an on-disk result/trace cache"
+    )
+    cache.add_argument(
+        "action", choices=("stats", "prune"), help="what to do with the cache"
+    )
+    cache.add_argument(
+        "--cache-dir", required=True, help="directory of the on-disk result cache"
+    )
+    cache.add_argument(
+        "--max-bytes",
+        type=int,
+        help="prune: delete oldest entries until the cache fits this budget",
+    )
+
     run = sub.add_parser("run", help="run a figure or an ad-hoc campaign")
     run.add_argument(
         "--figure",
@@ -430,6 +485,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "list-scenarios": _cmd_list_scenarios,
         "list-policies": _cmd_list_policies,
         "floorplan": _cmd_floorplan,
+        "cache": _cmd_cache,
         "run": _cmd_run,
     }
     try:

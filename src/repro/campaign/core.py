@@ -1,29 +1,46 @@
-"""Campaign orchestration: cache lookup, execution, aggregation.
+"""Campaign orchestration: cache lookup, trace sharing, execution, aggregation.
 
 :func:`run_campaign` is the single execution path of every experiment in the
 reproduction.  It expands a declarative :class:`~repro.campaign.spec.Campaign`
 into independent cells, satisfies as many as possible from the optional
-:class:`~repro.campaign.cache.ResultCache`, hands the remaining cells to the
-chosen :class:`~repro.campaign.executors.Executor`, stores fresh results back
-into the cache, and folds everything into per-variant
-:class:`~repro.campaign.summary.ConfigurationSummary` objects — keyed by
-configuration name, or by ``"<config>@<policy>"`` when the campaign sweeps a
-DTM policy axis — the shape the figure drivers consume.
+:class:`~repro.campaign.cache.ResultCache`, and routes the remainder through
+the two-stage simulation core:
+
+1. cells whose timing depends on their physics (thermal-aware mapping,
+   feedback-bearing DTM — see :meth:`RunSpec.replay_reason`) run the exact
+   *coupled* path, as before;
+2. replay-eligible cells are grouped by
+   :meth:`~repro.campaign.spec.RunSpec.timing_key`; each group captures its
+   per-uop timing simulation **once** (an
+   :class:`~repro.sim.activity_trace.ActivityTrace`, stored as a
+   content-keyed artifact in the cache) and every other cell of the group
+   *replays* the physics stage over the shared trace — bit-identical to the
+   coupled run, at array-pipeline speed.
+
+Fresh results are stored back into the cache, and everything folds into
+per-variant :class:`~repro.campaign.summary.ConfigurationSummary` objects —
+keyed by configuration name, or by ``"<config>@<policy>"`` when the campaign
+sweeps a DTM policy axis — the shape the figure drivers consume.
 
 The single-configuration conveniences :func:`run_configuration`,
-:func:`summarize` and :func:`summarize_many` live here too; they used to be
-the experiment runner (``repro.experiments.runner``, now a deprecated shim).
+:func:`summarize` and :func:`summarize_many` live here too.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.campaign.cache import ResultCache
-from repro.campaign.executors import Executor, SerialExecutor
+from repro.campaign.executors import (
+    Executor,
+    SerialExecutor,
+    execute_campaign_task,
+    execute_replay_group,
+)
 from repro.campaign.spec import Campaign, ExperimentSettings, RunSpec
 from repro.campaign.summary import ConfigurationSummary
+from repro.sim.activity_trace import ActivityTrace
 from repro.sim.config import ProcessorConfig
 from repro.sim.results import SimulationResult
 
@@ -37,8 +54,13 @@ class CampaignOutcome:
     #: — or, when the campaign has a DTM policy axis, by the
     #: ``"<config>@<policy>"`` variant name (see :attr:`RunSpec.variant`).
     summaries: Dict[str, ConfigurationSummary] = field(default_factory=dict)
-    #: Number of cells actually simulated by the executor.
+    #: Number of cells that ran a coupled timing simulation (captures
+    #: included) in the executor.
     cells_executed: int = 0
+    #: Number of cells satisfied by replaying a shared activity trace.
+    cells_replayed: int = 0
+    #: Number of activity traces captured during this campaign.
+    traces_captured: int = 0
     #: Number of cells satisfied from the result cache.
     cache_hits: int = 0
     #: Backend description (for reports / CLI output).
@@ -61,15 +83,64 @@ class CampaignOutcome:
             f"campaign '{self.campaign.name}': {self.total_cells} cells "
             f"({len(self.campaign.configs)} configs x {policy_axis}"
             f"{len(self.campaign.settings.benchmarks)} benchmarks), "
-            f"{self.cells_executed} simulated, {self.cache_hits} from cache "
+            f"{self.cells_executed} simulated, {self.cells_replayed} replayed, "
+            f"{self.cache_hits} from cache "
             f"[{self.executor_description}]"
         )
+
+
+def _plan_two_stage(
+    pending: Sequence[Tuple[int, RunSpec]],
+    cache: Optional[ResultCache],
+) -> Tuple[
+    List[Tuple[str, RunSpec, int]],
+    List[Tuple[int, RunSpec, Optional[str]]],
+    Dict[str, ActivityTrace],
+]:
+    """Split pending cells into replay groups and coupled stragglers.
+
+    Returns ``(replays, phase1, cached_traces)`` where ``phase1`` holds
+    ``(slot, spec, capture_key)`` tasks (``capture_key`` is the timing key
+    to record a trace for, or ``None`` for a plain coupled run) and
+    ``replays`` holds ``(timing_key, spec, slot)`` cells whose trace comes
+    either from ``cached_traces`` or from this campaign's capture cell.
+
+    A replay-eligible singleton group only captures when a cache is
+    attached (the trace then pays off across campaigns); without one, a
+    trace nobody replays would be pure overhead.
+    """
+    replays: List[Tuple[str, RunSpec, int]] = []
+    phase1: List[Tuple[int, RunSpec, Optional[str]]] = []
+    cached_traces: Dict[str, ActivityTrace] = {}
+
+    groups: Dict[str, List[Tuple[int, RunSpec]]] = {}
+    for slot, spec in pending:
+        if spec.replayable:
+            groups.setdefault(spec.timing_key(), []).append((slot, spec))
+        else:
+            phase1.append((slot, spec, None))
+
+    for key, members in groups.items():
+        trace = cache.load_trace(key) if cache is not None else None
+        if trace is not None:
+            cached_traces[key] = trace
+            replays.extend((key, spec, slot) for slot, spec in members)
+            continue
+        if len(members) == 1 and cache is None:
+            slot, spec = members[0]
+            phase1.append((slot, spec, None))
+            continue
+        (first_slot, first_spec), rest = members[0], members[1:]
+        phase1.append((first_slot, first_spec, key))
+        replays.extend((key, spec, slot) for slot, spec in rest)
+    return replays, phase1, cached_traces
 
 
 def run_campaign(
     campaign: Campaign,
     executor: Optional[Executor] = None,
     cache: Optional[ResultCache] = None,
+    replay: bool = True,
 ) -> CampaignOutcome:
     """Execute a campaign and aggregate its results.
 
@@ -78,14 +149,19 @@ def run_campaign(
     over worker processes.  With a ``cache``, cells whose content key is
     already present are loaded instead of simulated and fresh results are
     stored back, so a repeated campaign performs zero simulator invocations.
+
+    ``replay`` enables the two-stage fast path (the default): cells sharing
+    a :meth:`~repro.campaign.spec.RunSpec.timing_key` run the per-uop timing
+    simulation once and replay the physics stage over the captured activity
+    trace — bit-identical to the coupled path, which ``replay=False``
+    forces for every cell (useful for benchmarking and equivalence tests).
     """
     if executor is None:
         executor = SerialExecutor()
     cells = campaign.cells()
 
     results: List[Optional[SimulationResult]] = [None] * len(cells)
-    pending: List[RunSpec] = []
-    pending_slots: List[int] = []
+    pending: List[Tuple[int, RunSpec]] = []
     cache_hits = 0
     for index, spec in enumerate(cells):
         cached = cache.load(spec) if cache is not None else None
@@ -93,23 +169,82 @@ def run_campaign(
             results[index] = cached
             cache_hits += 1
         else:
-            pending.append(spec)
-            pending_slots.append(index)
+            pending.append((index, spec))
 
+    # A pre-two-stage Executor subclass may only implement run_cells; the
+    # capture/replay phases need the generic run_tasks primitive, so such
+    # executors transparently get the historical all-coupled behaviour.
+    supports_tasks = type(executor).run_tasks is not Executor.run_tasks
+    if replay and supports_tasks:
+        replays, phase1, traces = _plan_two_stage(pending, cache)
+    else:
+        replays, phase1, traces = [], [(s, spec, None) for s, spec in pending], {}
+
+    # Phase 1: coupled timing simulations (some of them capturing a trace).
     executed_before = executor.cells_executed
-    fresh = executor.run_cells(pending) if pending else []
-    if len(fresh) != len(pending):
+    if any(key is not None for _, _, key in phase1):
+        tasks = [
+            ("capture" if key is not None else "run", spec)
+            for _, spec, key in phase1
+        ]
+        outputs = executor.run_tasks(execute_campaign_task, tasks)
+        executor.cells_executed += len(tasks)
+    else:
+        specs = [spec for _, spec, _ in phase1]
+        fresh = executor.run_cells(specs) if specs else []
+        outputs = [(result, None) for result in fresh]
+    if len(outputs) != len(phase1):
         raise RuntimeError(
-            f"executor returned {len(fresh)} results for {len(pending)} cells"
+            f"executor returned {len(outputs)} results for {len(phase1)} cells"
         )
-    for slot, spec, result in zip(pending_slots, pending, fresh):
+    traces_captured = 0
+    for (slot, spec, key), (result, trace) in zip(phase1, outputs):
         results[slot] = result
         if cache is not None:
             cache.store(spec, result)
+        if key is not None:
+            if trace is None:
+                raise RuntimeError(
+                    f"capture cell {spec.benchmark!r} returned no activity trace"
+                )
+            traces[key] = trace
+            traces_captured += 1
+            if cache is not None:
+                cache.store_trace(key, trace)
+
+    # Phase 2: physics-only replays, one task per timing-key group so each
+    # shared trace crosses a process boundary once, not once per cell.
+    group_members: Dict[str, List[Tuple[RunSpec, int]]] = {}
+    for key, spec, slot in replays:
+        group_members.setdefault(key, []).append((spec, slot))
+    replay_tasks = [
+        (traces[key], tuple(spec for spec, _ in members))
+        for key, members in group_members.items()
+    ]
+    replayed_groups = (
+        executor.run_tasks(execute_replay_group, replay_tasks) if replay_tasks else []
+    )
+    if len(replayed_groups) != len(replay_tasks):
+        raise RuntimeError(
+            f"executor returned {len(replayed_groups)} groups for "
+            f"{len(replay_tasks)} replayed groups"
+        )
+    for members, group_results in zip(group_members.values(), replayed_groups):
+        if len(group_results) != len(members):
+            raise RuntimeError(
+                f"replay group returned {len(group_results)} results for "
+                f"{len(members)} cells"
+            )
+        for (spec, slot), result in zip(members, group_results):
+            results[slot] = result
+            if cache is not None:
+                cache.store(spec, result)
 
     outcome = CampaignOutcome(
         campaign=campaign,
         cells_executed=executor.cells_executed - executed_before,
+        cells_replayed=len(replays),
+        traces_captured=traces_captured,
         cache_hits=cache_hits,
         executor_description=executor.describe(),
     )

@@ -11,30 +11,41 @@ and seed all live in the spec), the backends are interchangeable:
   not of execution order), so a parallel run is metric-identical to a serial
   one.
 
-Both count the cells they actually simulated in ``cells_executed``, which the
-result cache's hit/miss accounting — and the tests — rely on.
+Since the two-stage simulation core landed, an executor actually runs three
+kinds of work, all module-level functions so they pickle cleanly into worker
+processes:
+
+* :func:`execute_cell` — the classic coupled timing+physics simulation;
+* :func:`execute_cell_capture` — a coupled run that also records the
+  timing stage's :class:`~repro.sim.activity_trace.ActivityTrace`;
+* :func:`execute_cell_replay` — a physics-only replay of a previously
+  captured trace (orders of magnitude cheaper than a coupled run).
+
+The campaign layer routes cells between them (see
+:func:`repro.campaign.core.run_campaign`); the generic :meth:`Executor.run_tasks`
+is the single fan-out primitive underneath.  ``cells_executed`` counts the
+cells that ran a *timing* simulation (coupled or capture) — replays are
+accounted separately by the campaign outcome — which the result cache's
+hit/miss accounting and the tests rely on.
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import List, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.campaign.spec import RunSpec
+from repro.sim.activity_trace import ActivityTrace
 from repro.sim.results import SimulationResult
 from repro.workloads.generator import TraceGenerator
 
+_Task = TypeVar("_Task")
+_Result = TypeVar("_Result")
 
-def execute_cell(spec: RunSpec) -> SimulationResult:
-    """Simulate one campaign cell; the single entry point of every backend.
 
-    Module-level (rather than a method) so it pickles cleanly into worker
-    processes regardless of the multiprocessing start method.  The cell's
-    DTM policy (if any) is instantiated *here*, from its spec string, so
-    policy controller state is always fresh per cell and never needs to
-    cross a process boundary.
-    """
+def _build_engine(spec: RunSpec):
+    """The shared front half of the coupled execution paths."""
     # Imported lazily: ``repro.core.presets`` imports this package to get the
     # ConfigBuilder, so pulling the engine (and through it the processor and
     # ``repro.core``) in at module-import time would be circular.
@@ -47,48 +58,138 @@ def execute_cell(spec: RunSpec) -> SimulationResult:
         dtm_policy = make_policy(spec.dtm_policy)
     generator = TraceGenerator(spec.benchmark, seed=spec.seed)
     trace = generator.generate(spec.trace_uops)
-    engine = SimulationEngine(
+    return SimulationEngine(
         spec.config,
         trace.uops,
         spec.benchmark,
         interval_cycles=spec.interval_cycles,
         dtm_policy=dtm_policy,
     )
-    result = engine.run()
+
+
+def execute_cell(spec: RunSpec) -> SimulationResult:
+    """Simulate one campaign cell coupled (timing + physics, one interval loop).
+
+    Module-level (rather than a method) so it pickles cleanly into worker
+    processes regardless of the multiprocessing start method.  The cell's
+    DTM policy (if any) is instantiated *here*, from its spec string, so
+    policy controller state is always fresh per cell and never needs to
+    cross a process boundary.
+    """
+    result = _build_engine(spec).run()
     result.provenance.update(spec.provenance())
     return result
 
 
+def execute_cell_capture(spec: RunSpec) -> Tuple[SimulationResult, ActivityTrace]:
+    """Simulate one cell coupled *and* capture its activity trace.
+
+    The result is exactly what :func:`execute_cell` produces (recording only
+    observes the timing stage); the trace can replay every other cell that
+    shares this spec's :meth:`~repro.campaign.spec.RunSpec.timing_key`.
+    """
+    result, trace = _build_engine(spec).run_with_trace()
+    result.provenance.update(spec.provenance())
+    return result, trace
+
+
+def execute_cell_replay(task: Tuple[RunSpec, ActivityTrace]) -> SimulationResult:
+    """Replay one cell's physics over a shared activity trace.
+
+    Takes a single ``(spec, trace)`` tuple so the function maps directly
+    over a process pool.  No trace generation, no processor, no per-uop
+    simulation — just the array-backed physics stage, bit-identical to the
+    coupled run of the same spec.
+    """
+    spec, trace = task
+    from repro.sim.engine import PhysicsStage
+
+    dtm_policy = None
+    if spec.dtm_policy is not None:
+        from repro.dtm import make_policy
+
+        dtm_policy = make_policy(spec.dtm_policy)
+    stage = PhysicsStage(spec.config, interval_cycles=spec.interval_cycles)
+    result = stage.replay(trace, dtm_policy=dtm_policy)
+    result.provenance.update(spec.provenance())
+    result.provenance["replayed"] = True
+    return result
+
+
+def execute_replay_group(
+    task: Tuple[ActivityTrace, Sequence[RunSpec]],
+) -> List[SimulationResult]:
+    """Replay every cell of one timing-key group over its shared trace.
+
+    The campaign layer fans replays out one *group* per task rather than
+    one cell per task, so the (potentially large) trace crosses the process
+    boundary once per group instead of once per cell; each cell still gets
+    its own fresh :class:`~repro.sim.engine.PhysicsStage`.
+    """
+    trace, specs = task
+    return [execute_cell_replay((spec, trace)) for spec in specs]
+
+
+def execute_campaign_task(
+    task: Tuple[str, RunSpec],
+) -> Tuple[SimulationResult, Optional[ActivityTrace]]:
+    """Dispatch one phase-1 campaign task: ``("run" | "capture", spec)``.
+
+    One uniform function lets a single executor pass mix plain coupled
+    cells with trace-capturing ones.
+    """
+    mode, spec = task
+    if mode == "capture":
+        return execute_cell_capture(spec)
+    return execute_cell(spec), None
+
+
 class Executor:
-    """Base class of campaign execution backends."""
+    """Base class of campaign execution backends.
+
+    :meth:`run_tasks` is the abstract fan-out primitive — subclasses
+    implement it once and :meth:`run_cells` (and the campaign layer's
+    capture/replay phases) ride on top.  A pre-two-stage subclass that only
+    overrides :meth:`run_cells` still works: :func:`repro.campaign.core.
+    run_campaign` detects the missing ``run_tasks`` override and routes
+    every pending cell through the coupled :meth:`run_cells` path (no
+    trace replay, exactly the historical behaviour).
+    """
 
     def __init__(self) -> None:
-        #: Total number of cells this executor has actually simulated.
+        #: Total number of cells this executor has simulated *coupled*
+        #: (including trace captures); physics-only replays do not count.
         self.cells_executed = 0
 
-    def run_cells(self, cells: Sequence[RunSpec]) -> List[SimulationResult]:
-        """Simulate every cell, returning results in cell order."""
+    def run_tasks(
+        self, fn: Callable[[_Task], _Result], tasks: Sequence[_Task]
+    ) -> List[_Result]:
+        """Apply ``fn`` to every task, returning results in task order."""
         raise NotImplementedError
+
+    def run_cells(self, cells: Sequence[RunSpec]) -> List[SimulationResult]:
+        """Simulate every cell coupled, returning results in cell order."""
+        results = self.run_tasks(execute_cell, cells)
+        self.cells_executed += len(cells)
+        return results
 
     def describe(self) -> str:
         return type(self).__name__
 
 
 class SerialExecutor(Executor):
-    """Blocking in-process execution, one cell at a time."""
+    """Blocking in-process execution, one task at a time."""
 
-    def run_cells(self, cells: Sequence[RunSpec]) -> List[SimulationResult]:
-        results = []
-        for spec in cells:
-            results.append(execute_cell(spec))
-            self.cells_executed += 1
-        return results
+    def run_tasks(
+        self, fn: Callable[[_Task], _Result], tasks: Sequence[_Task]
+    ) -> List[_Result]:
+        return [fn(task) for task in tasks]
 
 
 class ParallelExecutor(Executor):
     """Process-pool execution with ``jobs`` worker processes.
 
-    Cells are distributed one at a time (``chunksize=1``) because individual
+    Tasks are distributed one at a time (``chunksize=1``) because individual
     simulations are long relative to the dispatch overhead and their
     durations vary widely across benchmarks.
     """
@@ -102,18 +203,18 @@ class ParallelExecutor(Executor):
     def describe(self) -> str:
         return f"ParallelExecutor(jobs={self.jobs})"
 
-    def run_cells(self, cells: Sequence[RunSpec]) -> List[SimulationResult]:
-        if not cells:
+    def run_tasks(
+        self, fn: Callable[[_Task], _Result], tasks: Sequence[_Task]
+    ) -> List[_Result]:
+        if not tasks:
             return []
-        # A single worker (or a single cell) gains nothing from a pool;
+        # A single worker (or a single task) gains nothing from a pool;
         # degrade gracefully to the serial path.
-        if self.jobs == 1 or len(cells) == 1:
-            return SerialExecutor.run_cells(self, cells)
-        workers = min(self.jobs, len(cells))
+        if self.jobs == 1 or len(tasks) == 1:
+            return [fn(task) for task in tasks]
+        workers = min(self.jobs, len(tasks))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            results = list(pool.map(execute_cell, cells, chunksize=1))
-        self.cells_executed += len(cells)
-        return results
+            return list(pool.map(fn, tasks, chunksize=1))
 
 
 def make_executor(jobs: int = 1) -> Executor:

@@ -21,8 +21,17 @@ from dataclasses import dataclass, replace
 from typing import Dict, Iterable, Optional, Tuple
 
 from repro.campaign.builder import scale_paper_intervals
+from repro.sim.activity_trace import timing_feedback_reason
 from repro.sim.config import ProcessorConfig
 from repro.workloads.profiles import SPEC2000_PROFILES, get_profile
+
+#: Sections of :meth:`ProcessorConfig.to_dict` that the timing stage never
+#: reads.  Everything else — pipeline widths, steering, clustering, caches,
+#: the trace-cache banking/hopping knobs — shapes the instruction stream and
+#: therefore participates in :meth:`RunSpec.timing_key`.  The thermal
+#: section's one timing-relevant value (``interval_cycles``) is keyed
+#: explicitly through :attr:`RunSpec.interval_cycles`.
+PHYSICS_CONFIG_SECTIONS = ("power", "thermal")
 
 #: A representative subset used by the quick settings: mixes integer and FP,
 #: small and large working sets, high and low branch predictability.
@@ -195,6 +204,62 @@ class RunSpec:
     def cache_key(self) -> str:
         """Stable content hash identifying this cell across processes/runs."""
         payload = json.dumps(self.key_material(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------
+    # Two-stage execution: the timing-relevant projection of a cell
+    # ------------------------------------------------------------------
+    def replay_reason(self) -> Optional[str]:
+        """Why this cell must be simulated coupled (``None`` = replayable).
+
+        Mirrors the engine's capture guard
+        (:func:`repro.sim.activity_trace.timing_feedback_reason`):
+        thermal-aware bank mapping and feedback-bearing DTM policies couple
+        temperatures into timing, so their activity trace is a function of
+        the physics parameters and cannot be shared across a sweep.
+        """
+        return timing_feedback_reason(self.config, self.dtm_policy)
+
+    @property
+    def replayable(self) -> bool:
+        """Whether the cell's physics can be replayed over a shared trace."""
+        return self.replay_reason() is None
+
+    def timing_key_material(self) -> Dict[str, object]:
+        """The timing-relevant subset of :meth:`key_material`.
+
+        Two specs with equal material here produce *byte-identical*
+        activity traces: the timing stage never reads the ``power`` /
+        ``thermal`` config sections (nor the configuration's display name),
+        and a non-feedback DTM policy never perturbs timing — so the DTM
+        axis is deliberately absent (cells with ``dtm_policy=None`` and
+        ``"none"`` share one trace; feedback-bearing policies never get
+        here, they are excluded by :meth:`replay_reason`).
+        """
+        config = _jsonable(self.config.to_dict())
+        timing_config = {
+            key: value
+            for key, value in config.items()
+            if key not in PHYSICS_CONFIG_SECTIONS and key != "name"
+        }
+        return {
+            "config": timing_config,
+            "benchmark": self.benchmark,
+            "trace_uops": self.trace_uops,
+            "interval_cycles": self.interval_cycles,
+            "seed": self.seed,
+        }
+
+    def timing_key(self) -> str:
+        """Content hash of the timing-relevant projection of this cell.
+
+        Cells sharing a timing key capture one
+        :class:`~repro.sim.activity_trace.ActivityTrace` between them; the
+        campaign cache stores the trace artifact under this key.
+        """
+        payload = json.dumps(
+            self.timing_key_material(), sort_keys=True, separators=(",", ":")
+        )
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 

@@ -4,8 +4,7 @@
 :class:`~repro.sim.results.SimulationResult` objects of one configuration
 and aggregates them the way the paper's figures do: averages over the
 workloads of the temperature metrics, reductions versus a baseline, and
-slowdowns.  It is produced by :func:`repro.campaign.core.run_campaign` and
-remains importable from :mod:`repro.experiments.runner` for compatibility.
+slowdowns.  It is produced by :func:`repro.campaign.core.run_campaign`.
 """
 
 from __future__ import annotations

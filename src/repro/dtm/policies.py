@@ -99,6 +99,15 @@ class DTMPolicy:
     #: VF table the engine should build the run's controls with, if any.
     table: Optional[VFTable] = None
 
+    #: Whether the policy actuates on sensor readings, i.e. couples
+    #: temperatures back into the *timing* of the run.  Feedback-bearing
+    #: policies are excluded from the campaign layer's activity-trace replay
+    #: (see :func:`repro.sim.activity_trace.timing_feedback_reason`): their
+    #: instruction stream depends on the physics parameters being swept.
+    #: Every real policy reacts to temperatures; only the explicit no-op
+    #: overrides this to ``False``.
+    feedback: bool = True
+
     def __init__(self, name: str) -> None:
         self.name = name
 
@@ -127,6 +136,8 @@ class NoDTMPolicy(DTMPolicy):
     golden fixtures), which makes it the natural baseline of every
     policy x scenario sweep.
     """
+
+    feedback = False
 
     def __init__(self) -> None:
         super().__init__("none")

@@ -99,6 +99,34 @@ class PowerModel:
             power[gated_mask] = 0.0
         return power
 
+    def dynamic_power_matrix(
+        self,
+        activity_counts: np.ndarray,
+        cycles: np.ndarray,
+        gated_masks: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Stacked dynamic power (W) for many intervals at once.
+
+        ``activity_counts`` is an (intervals x blocks) count matrix (one
+        activity-trace row per interval, block-index order) and ``cycles``
+        the per-interval cycle counts; ``gated_masks`` optionally gates
+        blocks per interval with a boolean matrix of the same shape.  Every
+        element is computed with exactly the scalar association order of
+        :meth:`dynamic_power_array` — NumPy elementwise broadcasting does
+        not reassociate — so row ``i`` is bit-identical to the per-interval
+        call, which the trace-replay equivalence suite relies on.
+        """
+        if np.any(cycles <= 0):
+            raise ValueError("cycles must be positive")
+        access_rate = activity_counts / cycles[:, None]
+        power = (
+            access_rate * self._energy_per_access_nj * 1e-9 * self._frequency_hz
+            + self._idle_power_w
+        )
+        if gated_masks is not None:
+            power[gated_masks] = 0.0
+        return power
+
     def compute_arrays(
         self,
         activity_counts: np.ndarray,

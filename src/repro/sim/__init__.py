@@ -19,12 +19,14 @@ from repro.sim.config import (
     ThermalConfig,
     SteeringPolicy,
 )
+from repro.sim.activity_trace import ActivityTrace, timing_feedback_reason
 from repro.sim.block_index import BlockIndex
 from repro.sim.processor import Processor
 from repro.sim.results import SimulationResult
 from repro.sim.stats import ActivityCounters, SimulationStats
 
 __all__ = [
+    "ActivityTrace",
     "BlockIndex",
     "ProcessorConfig",
     "FrontendConfig",
@@ -39,4 +41,5 @@ __all__ = [
     "SimulationResult",
     "ActivityCounters",
     "SimulationStats",
+    "timing_feedback_reason",
 ]

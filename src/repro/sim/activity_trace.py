@@ -1,0 +1,243 @@
+"""Serializable activity traces: the hand-off between the two simulation stages.
+
+The engine's per-uop timing simulation is pure Python and dominates the cost
+of a cell (~16 k uops/s), while the array-backed physics pipeline processes
+thousands of intervals per second.  Yet only the *physics* side depends on
+the power/thermal parameters a sweep typically varies — the timing model
+never reads ``config.power`` or ``config.thermal`` beyond the interval
+length.  An :class:`ActivityTrace` captures everything the physics stage
+consumes from the timing stage:
+
+* the per-interval activity-count matrix over the engine's
+  :class:`~repro.sim.block_index.BlockIndex` (``counts``, accesses),
+* the cycles each interval actually ran and the processor cycle at which it
+  ended (the variable-length final interval is preserved exactly),
+* the per-interval Vdd-gated-bank masks produced by the (deterministic,
+  temperature-independent) bank-hopping rotation,
+* the run's final :class:`~repro.sim.stats.SimulationStats`.
+
+Replaying a trace through :class:`~repro.sim.engine.PhysicsStage` reproduces
+the coupled run bit-for-bit — provided the timing stage genuinely never saw
+a temperature.  :func:`timing_feedback_reason` is the single authority on
+that: thermal-aware bank mapping and feedback-bearing DTM policies couple
+temperatures back into timing, so such cells must never be captured or
+replayed (the campaign layer falls back to the exact coupled path
+automatically).
+
+Traces serialize to canonical JSON (:meth:`ActivityTrace.to_json`): two
+specs that differ only in physics-side parameters produce *byte-identical*
+trace documents, which is what lets the campaign
+:class:`~repro.campaign.cache.ResultCache` store one trace artifact per
+:meth:`~repro.campaign.spec.RunSpec.timing_key` and share it across every
+cell of a physics sweep.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.sim.stats import SimulationStats
+
+#: Version stamp of the trace document format.  Bump on any change to the
+#: captured fields; the campaign cache embeds it in trace-artifact keys so a
+#: stale on-disk trace is never replayed by a newer implementation.
+TRACE_SCHEMA_VERSION = 1
+
+
+def timing_feedback_reason(config, dtm_policy: Optional[str] = None) -> Optional[str]:
+    """Why a cell's timing depends on its physics — or ``None`` if it doesn't.
+
+    The two-stage split is only sound when temperatures never influence the
+    instruction stream.  Two mechanisms break that:
+
+    * the paper's thermal-aware bank mapping (Section 3.2.2) biases the
+      trace-cache mapping table by sensor readings, steering fetch — and
+      with it every downstream activity count — by temperature;
+    * any DTM policy that actuates on sensor readings (fetch throttling,
+      clock gating, DVFS — everything except the explicit no-op policy,
+      see :attr:`repro.dtm.policies.DTMPolicy.feedback`).
+
+    Returns a human-readable reason for the coupled fallback, or ``None``
+    when the cell is safe to capture and replay.  ``dtm_policy`` is a
+    :func:`repro.dtm.make_policy` spec string (or ``None``).
+    """
+    if config.frontend.trace_cache.thermal_aware_mapping:
+        return "thermal-aware bank mapping steers fetch by temperature"
+    if dtm_policy is not None:
+        # Imported lazily: repro.dtm pulls in the block index and config
+        # modules, and this helper is also called from the campaign layer.
+        from repro.dtm import make_policy
+
+        policy = make_policy(dtm_policy)
+        if policy.feedback:
+            return f"DTM policy {policy.name!r} actuates on temperatures"
+    return None
+
+
+@dataclass(frozen=True)
+class ActivityTrace:
+    """The timing stage's complete output for one (config, benchmark) cell.
+
+    Arrays are laid out interval-major: row ``i`` of :attr:`counts` (and of
+    :attr:`gated_masks`, when present) describes interval ``i``.  All content
+    is timing-side only — nothing here depends on ``config.power`` or
+    ``config.thermal``, which is what makes one trace replayable under every
+    physics variant of its timing key.
+    """
+
+    #: Benchmark the trace was generated from.
+    benchmark: str
+    #: Block names in capture order (the engine's block-index order).
+    block_names: Tuple[str, ...]
+    #: Nominal thermal-interval length in cycles.
+    interval_cycles: int
+    #: Per-interval activity counts, shape (intervals, blocks), accesses.
+    counts: np.ndarray
+    #: Cycles each interval actually ran (the final one may be shorter).
+    cycles: np.ndarray
+    #: Processor cycle at the end of each interval.
+    end_cycles: np.ndarray
+    #: Per-interval Vdd-gated-bank masks, shape (intervals, blocks), or
+    #: ``None`` when the configuration gates no banks.
+    gated_masks: Optional[np.ndarray]
+    #: Final timing statistics of the captured run.
+    stats: SimulationStats
+
+    def __len__(self) -> int:
+        return int(self.counts.shape[0])
+
+    @property
+    def num_blocks(self) -> int:
+        return int(self.counts.shape[1])
+
+    def gated_mask(self, interval: int) -> Optional[np.ndarray]:
+        """Interval ``interval``'s gated-bank mask (or ``None``)."""
+        if self.gated_masks is None:
+            return None
+        return self.gated_masks[interval]
+
+    def stats_copy(self) -> SimulationStats:
+        """A private stats object for one replayed result."""
+        return self.stats.clone()
+
+    # ------------------------------------------------------------------
+    # Canonical serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-ready document (canonical: a pure function of the content)."""
+        return {
+            "trace_schema_version": TRACE_SCHEMA_VERSION,
+            "benchmark": self.benchmark,
+            "block_names": list(self.block_names),
+            "interval_cycles": self.interval_cycles,
+            "counts": self.counts.tolist(),
+            "cycles": self.cycles.tolist(),
+            "end_cycles": self.end_cycles.tolist(),
+            "gated_masks": (
+                None
+                if self.gated_masks is None
+                else [[bool(v) for v in row] for row in self.gated_masks]
+            ),
+            "stats": self.stats.to_payload(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ActivityTrace":
+        version = data.get("trace_schema_version")
+        if version != TRACE_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported activity-trace schema version {version!r} "
+                f"(supported: {TRACE_SCHEMA_VERSION})"
+            )
+        stats = SimulationStats.from_payload(data["stats"])
+        gated = data["gated_masks"]
+        return cls(
+            benchmark=data["benchmark"],
+            block_names=tuple(data["block_names"]),
+            interval_cycles=data["interval_cycles"],
+            counts=np.asarray(data["counts"], dtype=np.int64),
+            cycles=np.asarray(data["cycles"], dtype=np.int64),
+            end_cycles=np.asarray(data["end_cycles"], dtype=np.int64),
+            gated_masks=None if gated is None else np.asarray(gated, dtype=bool),
+            stats=stats,
+        )
+
+    def to_json(self) -> str:
+        """Canonical JSON: byte-identical for identical timing content."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "ActivityTrace":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ActivityTrace":
+        return cls.from_json(Path(path).read_text())
+
+
+class TraceRecorder:
+    """Accumulates per-interval timing output during a coupled (capture) run.
+
+    The engine calls :meth:`record` once per simulated interval — right
+    after the activity counters are drained, with exactly the vectors the
+    physics stage is about to consume — and :meth:`finish` at the end of the
+    run.  Counts and masks are copied: the engine hands over live arrays.
+    """
+
+    def __init__(self, benchmark: str, block_names: Sequence[str], interval_cycles: int) -> None:
+        self.benchmark = benchmark
+        self.block_names = tuple(block_names)
+        self.interval_cycles = interval_cycles
+        self._counts = []
+        self._cycles = []
+        self._end_cycles = []
+        self._masks = []
+        self._any_gated = False
+
+    def record(
+        self,
+        counts: np.ndarray,
+        cycles_elapsed: int,
+        end_cycle: int,
+        gated_mask: Optional[np.ndarray],
+    ) -> None:
+        self._counts.append(np.array(counts, dtype=np.int64))
+        self._cycles.append(cycles_elapsed)
+        self._end_cycles.append(end_cycle)
+        if gated_mask is not None:
+            self._any_gated = True
+        self._masks.append(None if gated_mask is None else np.array(gated_mask, dtype=bool))
+
+    def finish(self, stats: SimulationStats) -> ActivityTrace:
+        if not self._counts:
+            raise ValueError("cannot build an ActivityTrace from zero intervals")
+        masks: Optional[np.ndarray] = None
+        if self._any_gated:
+            blocks = len(self.block_names)
+            masks = np.stack(
+                [
+                    m if m is not None else np.zeros(blocks, dtype=bool)
+                    for m in self._masks
+                ]
+            )
+        return ActivityTrace(
+            benchmark=self.benchmark,
+            block_names=self.block_names,
+            interval_cycles=self.interval_cycles,
+            counts=np.stack(self._counts),
+            cycles=np.asarray(self._cycles, dtype=np.int64),
+            end_cycles=np.asarray(self._end_cycles, dtype=np.int64),
+            gated_masks=masks,
+            stats=stats.clone(),
+        )

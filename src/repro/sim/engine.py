@@ -1,29 +1,42 @@
-"""Simulation engine: couples the timing model with power and temperature.
+"""Two-stage simulation core: per-uop timing capture + array-backed physics.
 
-The engine advances the :class:`~repro.sim.processor.Processor` one thermal
-interval at a time.  At the end of every interval it
+The engine couples two explicit stages, one thermal interval at a time:
 
-1. drains the per-block activity counters and converts them to dynamic power,
-2. evaluates the temperature-dependent leakage at the current temperatures,
-3. advances the thermal RC network by the interval's wall-clock duration,
-4. lets the bank-hopping controller rotate the gated trace-cache bank and the
-   (balanced or thermal-aware) mapping policy rebuild the bank mapping table,
-   exactly as the paper does every 10 M cycles.
+* :class:`TimingStage` — the per-uop pipeline simulation.  It advances the
+  :class:`~repro.sim.processor.Processor` by one interval, drains the
+  per-block activity counters into a block-index-ordered vector, and runs
+  the paper's *deterministic* timing-side mechanisms: the bank-hopping
+  rotation of the Vdd-gated trace-cache bank and the mapping-table rebuild
+  (every 10 M cycles in the paper).
+* :class:`PhysicsStage` — everything downstream of the activity counts:
+  dynamic power -> temperature-dependent leakage -> thermal RC advance ->
+  sensors -> :class:`~repro.sim.results.IntervalRecord`.  The stage owns the
+  floorplan, RC network, LU-factorized solver and power model, and is fully
+  array-backed (see ``docs/interval-pipeline.md``).
+
+:meth:`SimulationEngine.run` is the coupled loop over both stages — exactly
+the historical per-interval pipeline, bit-for-bit (the golden-metric suite
+locks it).  The split exists because the two stages have wildly different
+costs and dependencies: the timing stage is pure Python (~16 k uops/s) but
+never reads ``config.power``/``config.thermal``, while the physics stage is
+fast NumPy but is what a parameter sweep actually varies.  So the timing
+stage's complete output can be captured once as a serializable
+:class:`~repro.sim.activity_trace.ActivityTrace`
+(:meth:`SimulationEngine.run_with_trace`) and *replayed* under any
+physics-side variant (:meth:`PhysicsStage.replay`) — bit-identical to the
+coupled run, at physics-stage speed.  The campaign layer uses this to turn
+an N-cell physics sweep into one timing simulation plus N cheap replays.
+
+Replay is only sound when temperatures never feed back into timing.
+Thermal-aware bank mapping and feedback-bearing DTM policies do exactly
+that; :func:`~repro.sim.activity_trace.timing_feedback_reason` detects them
+and such runs refuse to capture (the campaign layer falls back to the
+coupled path automatically).
 
 Before measurement the processor is *warmed up*: the steady-state
 temperatures for the nominal average power (first interval's activity) are
-computed, iterating the leakage-temperature feedback until convergence or the
-381 K emergency limit, mirroring Section 4 of the paper.
-
-The per-interval power/thermal pipeline is array-backed end to end: activity
-counts drain into a NumPy vector laid out by the engine's
-:class:`~repro.sim.block_index.BlockIndex`, power and leakage are evaluated
-as vectors, the thermal solve reuses a precomputed LU factorization of the
-conductance matrix, and :class:`~repro.sim.results.IntervalRecord` stores
-the vectors directly — per-block dictionaries are only materialized at the
-result boundary.  The golden-metric suite (``tests/test_golden_metrics.py``)
-locks this fast path bit-for-bit against the original dict-per-block
-implementation.
+computed, iterating the leakage-temperature feedback until convergence or
+the 381 K emergency limit, mirroring Section 4 of the paper.
 
 Optionally the engine hosts a dynamic-thermal-management policy
 (``dtm_policy=``, see :mod:`repro.dtm`): before every interval after the
@@ -52,6 +65,8 @@ from repro.isa.microops import MicroOp
 from repro.power.energy import build_block_parameters
 from repro.power.power_model import PowerModel
 from repro.sim import blocks
+from repro.sim.activity_trace import ActivityTrace, TraceRecorder, timing_feedback_reason
+from repro.sim.block_index import BlockIndex
 from repro.sim.config import ProcessorConfig
 from repro.sim.processor import Processor
 from repro.sim.results import IntervalRecord, SimulationResult
@@ -61,29 +76,30 @@ from repro.thermal.sensors import SensorBank
 from repro.thermal.solver import ThermalSolver
 
 
-class SimulationEngine:
-    """Runs one benchmark on one configuration, producing a SimulationResult."""
+class TimingStage:
+    """Per-uop pipeline simulation: the processor plus its timing-side hooks.
 
-    #: Consecutive fully clock-gated intervals after which the engine aborts:
-    #: a sane stop-go policy releases as soon as leakage-only cooling brings
-    #: the die below its trigger, so a streak this long means the trigger is
-    #: unreachable (e.g. set below the ambient temperature).
-    _MAX_GATED_STREAK = 10_000
+    Owns the :class:`Processor`, the (optional) bank-hopping controller and
+    the bank mapping policy.  The stage never reads a power or thermal
+    parameter; the only physics input it can consume is the temperature
+    vector handed to :meth:`apply_bank_management` — and only the
+    thermal-aware mapping policy actually uses it, which is exactly the
+    configuration :func:`timing_feedback_reason` excludes from replay.
+    """
 
     def __init__(
         self,
         config: ProcessorConfig,
         uop_source: Iterable[MicroOp],
-        benchmark: str = "synthetic",
-        interval_cycles: Optional[int] = None,
+        interval_cycles: int,
+        block_index: BlockIndex,
         prewarm_caches: bool = True,
-        dtm_policy: Optional[DTMPolicy] = None,
     ) -> None:
         self.config = config
-        self.benchmark = benchmark
-        self.interval_cycles = interval_cycles or config.thermal.interval_cycles
-        if self.interval_cycles <= 0:
-            raise ValueError("interval_cycles must be positive")
+        self.interval_cycles = interval_cycles
+        #: The canonical block order every emitted activity/gating vector is
+        #: laid out in (the physics stage's power-model index).
+        self.block_index = block_index
 
         uop_stream: Iterator[MicroOp]
         if isinstance(uop_source, Sequence):
@@ -100,18 +116,10 @@ class SimulationEngine:
         self.processor = Processor(config, uop_stream)
         if prewarm_caches and self._prewarm_source is not None:
             self._prewarm_memory(self._prewarm_source)
-        self.block_parameters = build_block_parameters(config)
-        self.block_areas = {
-            name: params.area_mm2 for name, params in self.block_parameters.items()
-        }
-        self.floorplan = build_floorplan(config, self.block_areas)
-        self.network = ThermalRCNetwork(self.floorplan, config.thermal)
-        self.solver = ThermalSolver(self.network)
-        self.power_model = PowerModel(config.power, self.block_parameters)
 
         tc_config = config.frontend.trace_cache
-        self._tc_bank_blocks = blocks.trace_cache_blocks(config)
-        self.sensors = SensorBank(self._tc_bank_blocks)
+        self.tc_bank_blocks = blocks.trace_cache_blocks(config)
+        self.sensors = SensorBank(self.tc_bank_blocks)
         self.hopping: Optional[BankHoppingController] = None
         if tc_config.bank_hopping or tc_config.blank_silicon:
             static_gated = []
@@ -137,49 +145,14 @@ class SimulationEngine:
         else:
             self.mapping_policy = BalancedMappingPolicy(tc_config.mapping_table_entries)
         # Intervals between hops / remaps, expressed in thermal intervals.
-        self._hop_every = max(1, round(tc_config.hop_interval_cycles / self.interval_cycles))
-        self._remap_every = max(1, round(tc_config.remap_interval_cycles / self.interval_cycles))
+        self._hop_every = max(1, round(tc_config.hop_interval_cycles / interval_cycles))
+        self._remap_every = max(1, round(tc_config.remap_interval_cycles / interval_cycles))
 
-        # --------------------------------------------------------------
-        # Array fast path: one block index (the power model's order) for
-        # every per-interval vector, plus the explicit permutation that
-        # scatters block vectors into thermal-node space.  The activity
-        # counters, the floorplan and the power model each enumerate blocks
-        # in their own order, so nothing here assumes the orders agree.
-        # --------------------------------------------------------------
-        self.block_index = self.power_model.index
-        self._node_positions = self.network.node_positions(self.block_index.names)
-        self._node_power = np.zeros(self.network.num_nodes)
         self._gated_cache: Tuple[tuple, list, np.ndarray] = (
             (),
             [],
-            np.zeros(len(self.block_index), dtype=bool),
+            np.zeros(len(block_index), dtype=bool),
         )
-
-        self._thermal_state = self.network.uniform_state(config.thermal.ambient_celsius)
-        self._temperature_array: np.ndarray = self._thermal_state[self._node_positions]
-        self.warmup_temperatures: Dict[str, float] = self.block_index.mapping_from_array(
-            self._temperature_array
-        )
-        self.emergency_intervals = 0
-
-        # --------------------------------------------------------------
-        # Dynamic thermal management (optional).  The DTM sensor bank spans
-        # every block (the paper's mapping function only needs the trace-
-        # cache banks; DTM policies watch the whole die) in block-index
-        # order, so policy observations are plain vectors.
-        # --------------------------------------------------------------
-        self.dtm_policy = dtm_policy
-        self.dtm_controls: Optional[DTMControls] = None
-        self.dtm_telemetry: Optional[DTMTelemetry] = None
-        self.dtm_sensors: Optional[SensorBank] = None
-        if dtm_policy is not None:
-            # The controls adopt the policy's declared VF table (DVFS/hybrid
-            # policies carry their ``table=`` parameter as ``policy.table``).
-            self.dtm_controls = DTMControls(self.block_index, table=dtm_policy.table)
-            self.dtm_telemetry = DTMTelemetry(self.dtm_controls.table)
-            self.dtm_sensors = SensorBank(self.block_index.names)
-            dtm_policy.bind(self.block_index, config, self.dtm_controls)
 
     # ------------------------------------------------------------------
     def _prewarm_memory(self, trace: Sequence[MicroOp]) -> None:
@@ -198,7 +171,7 @@ class SimulationEngine:
         ul2.hits = 0
         ul2.misses = 0
 
-    def _gated_state(self) -> Tuple[list, Optional[np.ndarray]]:
+    def gated_state(self) -> Tuple[list, Optional[np.ndarray]]:
         """Names and block-index mask of the Vdd-gated trace-cache banks.
 
         Cached per gated-bank set: the set only changes when the hopping
@@ -215,15 +188,117 @@ class SimulationEngine:
             self._gated_cache = cached
         return cached[1], cached[2]
 
-    def _warmup(self, activity_counts: np.ndarray, cycles: int) -> None:
-        """Warm the processor to the steady state of its nominal power.
+    def run_interval(self, max_cycles: int) -> Tuple[Optional[np.ndarray], int]:
+        """Advance the processor by one interval and drain the activity counts.
+
+        Returns ``(counts, cycles_elapsed)`` in block-index order, or
+        ``(None, 0)`` when the trace ended exactly on the previous interval
+        boundary (no cycles ran).
+        """
+        processor = self.processor
+        start_cycle = processor.cycle
+        processor.run_cycles(max_cycles)
+        cycles_elapsed = processor.cycle - start_cycle
+        if cycles_elapsed == 0:
+            return None, 0
+        return processor.activity.end_interval_array(self.block_index), cycles_elapsed
+
+    def apply_bank_management(self, interval_index: int, temperatures: np.ndarray) -> None:
+        """Rotate the gated bank and rebuild the mapping table when due.
+
+        ``temperatures`` is the physics stage's block-temperature vector
+        (degrees Celsius, block-index order); only the thermal-aware mapping
+        policy reads it.
+        """
+        tc = self.processor.trace_cache
+        tc_config = self.config.frontend.trace_cache
+        hopped = False
+        if (
+            self.hopping is not None
+            and self.hopping.enabled
+            and (interval_index + 1) % self._hop_every == 0
+        ):
+            self.hopping.hop()
+            tc.set_enabled_banks(self.hopping.enabled_banks)
+            self.processor.stats.trace_cache_hop_flushes = tc.hop_flushes
+            hopped = True
+        remap_due = (interval_index + 1) % self._remap_every == 0
+        if hopped or (remap_due and tc_config.thermal_aware_mapping):
+            enabled = tc.enabled_banks()
+            # Sensors read only the trace-cache banks; build just that small
+            # mapping from the temperature vector (the result boundary).
+            index = self.block_index
+            readings = self.sensors.read_all(
+                {
+                    name: float(temperatures[index.position(name)])
+                    for name in self.tc_bank_blocks
+                }
+            )
+            bank_temps = {
+                bank: readings[blocks.trace_cache_bank_block(bank)] for bank in enabled
+            }
+            shares = self.mapping_policy.compute_shares(enabled, bank_temps)
+            tc.set_mapping_shares(shares)
+
+
+class PhysicsStage:
+    """Power -> leakage -> thermal -> record, over activity-count vectors.
+
+    Owns every physics-side model of one cell: block power parameters, the
+    floorplan and its RC network, the LU-factorized
+    :class:`~repro.thermal.solver.ThermalSolver` and the
+    :class:`~repro.power.power_model.PowerModel` (whose
+    :class:`~repro.sim.block_index.BlockIndex` is the canonical block order
+    of every per-interval vector).  The coupled engine feeds it one drained
+    activity-count vector per interval; :meth:`replay` feeds it a whole
+    captured :class:`~repro.sim.activity_trace.ActivityTrace` instead —
+    the same arithmetic, in the same order, so the results are bit-identical.
+    """
+
+    def __init__(self, config: ProcessorConfig, interval_cycles: Optional[int] = None) -> None:
+        self.config = config
+        self.interval_cycles = interval_cycles or config.thermal.interval_cycles
+        if self.interval_cycles <= 0:
+            raise ValueError("interval_cycles must be positive")
+        self.block_parameters = build_block_parameters(config)
+        self.block_areas = {
+            name: params.area_mm2 for name, params in self.block_parameters.items()
+        }
+        self.floorplan = build_floorplan(config, self.block_areas)
+        self.network = ThermalRCNetwork(self.floorplan, config.thermal)
+        self.solver = ThermalSolver(self.network)
+        self.power_model = PowerModel(config.power, self.block_parameters)
+
+        # One block index (the power model's order) for every per-interval
+        # vector, plus the explicit permutation that scatters block vectors
+        # into thermal-node space.  The activity counters, the floorplan and
+        # the power model each enumerate blocks in their own order, so
+        # nothing here assumes the orders agree.
+        self.block_index = self.power_model.index
+        self._node_positions = self.network.node_positions(self.block_index.names)
+        self._node_power = np.zeros(self.network.num_nodes)
+
+        self._thermal_state = self.network.uniform_state(config.thermal.ambient_celsius)
+        self.temperature_array: np.ndarray = self._thermal_state[self._node_positions]
+        self.warmup_temperatures: Dict[str, float] = self.block_index.mapping_from_array(
+            self.temperature_array
+        )
+        self.emergency_intervals = 0
+
+    # ------------------------------------------------------------------
+    def warmup(
+        self,
+        activity_counts: np.ndarray,
+        cycles: int,
+        gated_mask: Optional[np.ndarray],
+    ) -> None:
+        """Warm the die to the steady state of its nominal power.
 
         ``activity_counts`` are the first interval's per-block access counts
         (block-index order) over ``cycles`` cycles; the resulting dynamic
         power (W) is held constant while the leakage-temperature fixed point
         iterates (temperatures in degrees Celsius, limit 381 K).
         """
-        _, gated_mask = self._gated_state()
         leakage_model = self.power_model.leakage_model
         # The first interval's dynamic power (constant across the warm-up
         # fixed point) seeds the leakage model's nominal power; the iteration
@@ -248,43 +323,397 @@ class SimulationEngine:
             emergency_limit_celsius=self.config.thermal.emergency_limit_celsius,
         )
         self._thermal_state = state
-        self._temperature_array = state[node_positions]
+        self.temperature_array = state[node_positions]
         self.warmup_temperatures = self.block_index.mapping_from_array(
-            self._temperature_array
+            self.temperature_array
         )
 
-    def _apply_bank_management(self, interval_index: int) -> None:
-        """Rotate the gated bank and rebuild the mapping table when due."""
-        tc = self.processor.trace_cache
-        tc_config = self.config.frontend.trace_cache
-        hopped = False
+    def _advance_and_record(
+        self,
+        dynamic: np.ndarray,
+        leakage: np.ndarray,
+        dt: float,
+        cycle: int,
+        seconds: float,
+    ) -> IntervalRecord:
+        """Shared tail of every interval: power vectors -> thermal -> record.
+
+        Scatters the block power vectors (W) into thermal-node space,
+        advances the RC network by ``dt`` seconds, refreshes the cached
+        block-temperature slice, counts emergency-limit intervals and
+        returns the interval's record.  The coupled pipeline, the clock-gated
+        DTM path and trace replay all end here, so the bookkeeping cannot
+        diverge between them.
+        """
+        node_power = self._node_power
+        node_power[:] = 0.0
+        node_power[self._node_positions] = dynamic + leakage
+        self._thermal_state = self.solver.advance_nodes(
+            self._thermal_state, node_power, dt
+        )
+        # Fancy indexing copies, so each record owns its temperature vector.
+        self.temperature_array = self._thermal_state[self._node_positions]
         if (
-            self.hopping is not None
-            and self.hopping.enabled
-            and (interval_index + 1) % self._hop_every == 0
+            float(self.temperature_array.max())
+            >= self.config.thermal.emergency_limit_celsius
         ):
-            self.hopping.hop()
-            tc.set_enabled_banks(self.hopping.enabled_banks)
-            self.processor.stats.trace_cache_hop_flushes = tc.hop_flushes
-            hopped = True
-        remap_due = (interval_index + 1) % self._remap_every == 0
-        if hopped or (remap_due and tc_config.thermal_aware_mapping):
-            enabled = tc.enabled_banks()
-            # Sensors read only the trace-cache banks; build just that small
-            # mapping from the temperature vector (the result boundary).
-            temperatures = self._temperature_array
-            index = self.block_index
-            readings = self.sensors.read_all(
-                {
-                    name: float(temperatures[index.position(name)])
-                    for name in self._tc_bank_blocks
-                }
+            self.emergency_intervals += 1
+        return IntervalRecord.from_arrays(
+            cycle=cycle,
+            seconds=seconds,
+            block_names=self.block_index.names,
+            dynamic_power=dynamic,
+            leakage_power=leakage,
+            temperature=self.temperature_array,
+        )
+
+    def interval_pipeline(
+        self,
+        activity_counts: np.ndarray,
+        cycles_elapsed: int,
+        cycle: int,
+        seconds: float,
+        gated_mask: Optional[np.ndarray] = None,
+        dynamic_scale: Optional[np.ndarray] = None,
+        leakage_scale: Optional[np.ndarray] = None,
+    ) -> IntervalRecord:
+        """The power/thermal hot path of one interval: counts -> record.
+
+        Converts a drained activity-count vector (block-index order) into
+        dynamic and leakage power (W), advances the thermal RC network by the
+        interval's wall-clock duration (s), tracks the emergency-limit
+        counter and returns the interval's :class:`IntervalRecord` — all on
+        NumPy vectors, with no per-block dict allocation.
+
+        ``dynamic_scale`` / ``leakage_scale`` are the DTM DVFS power
+        multiplier vectors (see :meth:`PowerModel.compute_arrays`); the
+        frequency component of DVFS is realized through the fetch duty, so
+        it arrives here already folded into ``activity_counts``.  The
+        ``None`` defaults leave the arithmetic bit-identical to the pre-DTM
+        pipeline.
+        """
+        dynamic, leakage = self.power_model.compute_arrays(
+            activity_counts,
+            cycles_elapsed,
+            self.temperature_array,
+            gated_mask,
+            dynamic_scale,
+            leakage_scale,
+        )
+        dt = self.config.thermal.interval_seconds * (
+            cycles_elapsed / self.interval_cycles
+        )
+        return self._advance_and_record(
+            dynamic, leakage, dt, cycle=cycle, seconds=seconds
+        )
+
+    def leakage_only_interval(
+        self,
+        cycle: int,
+        seconds: float,
+        gated_mask: Optional[np.ndarray],
+        leakage_scale: Optional[np.ndarray] = None,
+    ) -> IntervalRecord:
+        """Record one fully clock-gated interval (stop-go DTM).
+
+        The processor executes nothing: dynamic power — clock distribution
+        included — is 0 W, only leakage at the current temperatures is
+        injected, and the thermal network advances by one full nominal
+        interval of wall-clock (the clock is stopped; time is not).  The
+        leakage model's running dynamic-power average is deliberately *not*
+        updated: a gated interval says nothing about the workload's nominal
+        power profile.
+        """
+        dynamic = np.zeros(len(self.block_index))
+        leakage = self.power_model.leakage_model.leakage_power_array(
+            self.temperature_array, gated_mask
+        )
+        if leakage_scale is not None:
+            leakage = leakage * leakage_scale
+        return self._advance_and_record(
+            dynamic,
+            leakage,
+            self.config.thermal.interval_seconds,
+            cycle=cycle,
+            seconds=seconds,
+        )
+
+    # ------------------------------------------------------------------
+    def new_result(self, benchmark: str) -> SimulationResult:
+        """An empty result shell carrying this stage's physics metadata."""
+        return SimulationResult(
+            config_name=self.config.name,
+            benchmark=benchmark,
+            stats=None,  # filled in by the caller
+            block_names=list(self.block_parameters.keys()),
+            block_groups=blocks.block_groups(self.config),
+            block_areas_mm2=self.block_areas,
+            ambient_celsius=self.config.thermal.ambient_celsius,
+            provenance={"interval_cycles": self.interval_cycles},
+        )
+
+    def replay(
+        self,
+        trace: ActivityTrace,
+        max_intervals: Optional[int] = None,
+        warmup: bool = True,
+        dtm_policy: Optional[DTMPolicy] = None,
+    ) -> SimulationResult:
+        """Replay a captured activity trace through this cell's physics.
+
+        Performs, in order, exactly the operations the coupled
+        :meth:`SimulationEngine.run` loop performs downstream of the
+        activity counters — the stacked per-interval dynamic-power matrix is
+        computed in one vectorized pass (each row with the same scalar
+        association order as the per-interval call, hence bit-identical),
+        then the inherently sequential leakage/thermal chain walks the
+        intervals.  The result is bit-identical to simulating the cell
+        coupled, which ``tests/test_campaign_replay.py`` locks against the
+        golden fixtures.
+
+        ``dtm_policy`` may only be a non-feedback policy (the no-op
+        ``"none"``); its telemetry is reconstructed exactly as the coupled
+        run would have recorded it.
+        """
+        if list(trace.block_names) != list(self.block_index.names):
+            raise ValueError(
+                "activity trace was captured over a different block set; "
+                "it cannot be replayed on this configuration"
             )
-            bank_temps = {
-                bank: readings[blocks.trace_cache_bank_block(bank)] for bank in enabled
-            }
-            shares = self.mapping_policy.compute_shares(enabled, bank_temps)
-            tc.set_mapping_shares(shares)
+        if trace.interval_cycles != self.interval_cycles:
+            raise ValueError(
+                f"activity trace was captured at interval_cycles="
+                f"{trace.interval_cycles}, not {self.interval_cycles}"
+            )
+        if dtm_policy is not None and dtm_policy.feedback:
+            raise ValueError(
+                f"DTM policy {dtm_policy.name!r} actuates on temperatures; "
+                "its cells must be simulated coupled, not replayed"
+            )
+
+        intervals = len(trace)
+        if max_intervals is not None:
+            intervals = min(intervals, max_intervals)
+        result = self.new_result(trace.benchmark)
+        result.stats = trace.stats_copy()
+        result.provenance["replayed"] = True
+
+        power_model = self.power_model
+        leakage_model = power_model.leakage_model
+        interval_seconds = self.config.thermal.interval_seconds
+        counts = trace.counts
+        cycles = trace.cycles
+        end_cycles = trace.end_cycles
+        # The whole run's dynamic power in one (intervals x blocks) pass:
+        # dynamic power depends only on counts and gating, never on the
+        # temperatures the sequential loop below produces.
+        dynamic_matrix = power_model.dynamic_power_matrix(
+            counts[:intervals], cycles[:intervals],
+            None if trace.gated_masks is None else trace.gated_masks[:intervals],
+        )
+        for i in range(intervals):
+            gated_mask = trace.gated_mask(i)
+            cycles_elapsed = int(cycles[i])
+            if i == 0 and warmup:
+                self.warmup(counts[0], cycles_elapsed, gated_mask)
+            dynamic = dynamic_matrix[i]
+            # Mirror PowerModel.compute_arrays: observe this interval's
+            # dynamic power, then evaluate leakage at the current
+            # temperatures (scalar math.exp loop — the bit-exact kernel).
+            leakage_model.observe_dynamic_power_array(dynamic)
+            leakage = leakage_model.leakage_power_array(
+                self.temperature_array, gated_mask
+            )
+            dt = interval_seconds * (cycles_elapsed / self.interval_cycles)
+            result.intervals.append(
+                self._advance_and_record(
+                    dynamic,
+                    leakage,
+                    dt,
+                    cycle=int(end_cycles[i]),
+                    seconds=(i + 1) * interval_seconds,
+                )
+            )
+        result.warmup_temperature = self.warmup_temperatures
+        if dtm_policy is not None:
+            # A non-feedback policy never deviates from nominal, so its
+            # telemetry is a pure function of the interval count — rebuild
+            # it exactly as the coupled loop records it (interval 0's cycles
+            # run before the policy can gate fetch).
+            controls = DTMControls(self.block_index, table=dtm_policy.table)
+            telemetry = DTMTelemetry(controls.table)
+            for i in range(intervals):
+                telemetry.record_interval(
+                    controls, gated=False, fetch_actuated=i > 0
+                )
+            result.dtm = {"policy": dtm_policy.name, **telemetry.as_dict()}
+        return result
+
+
+def replay_trace(
+    config: ProcessorConfig,
+    trace: ActivityTrace,
+    interval_cycles: Optional[int] = None,
+    warmup: bool = True,
+    dtm_policy: Optional[DTMPolicy] = None,
+) -> SimulationResult:
+    """Convenience wrapper: build a :class:`PhysicsStage` and replay a trace."""
+    stage = PhysicsStage(config, interval_cycles)
+    return stage.replay(trace, warmup=warmup, dtm_policy=dtm_policy)
+
+
+class SimulationEngine:
+    """Runs one benchmark on one configuration, producing a SimulationResult.
+
+    Composes a :class:`TimingStage` and a :class:`PhysicsStage` and drives
+    them coupled, one thermal interval at a time.  The historical attribute
+    surface (``engine.processor``, ``engine.solver``, ``engine.block_index``,
+    ...) is preserved as delegating properties.
+    """
+
+    #: Consecutive fully clock-gated intervals after which the engine aborts:
+    #: a sane stop-go policy releases as soon as leakage-only cooling brings
+    #: the die below its trigger, so a streak this long means the trigger is
+    #: unreachable (e.g. set below the ambient temperature).
+    _MAX_GATED_STREAK = 10_000
+
+    def __init__(
+        self,
+        config: ProcessorConfig,
+        uop_source: Iterable[MicroOp],
+        benchmark: str = "synthetic",
+        interval_cycles: Optional[int] = None,
+        prewarm_caches: bool = True,
+        dtm_policy: Optional[DTMPolicy] = None,
+    ) -> None:
+        self.config = config
+        self.benchmark = benchmark
+        self.interval_cycles = interval_cycles or config.thermal.interval_cycles
+        if self.interval_cycles <= 0:
+            raise ValueError("interval_cycles must be positive")
+
+        self.physics = PhysicsStage(config, self.interval_cycles)
+        self.timing = TimingStage(
+            config,
+            uop_source,
+            self.interval_cycles,
+            self.physics.block_index,
+            prewarm_caches=prewarm_caches,
+        )
+
+        # --------------------------------------------------------------
+        # Dynamic thermal management (optional).  The DTM sensor bank spans
+        # every block (the paper's mapping function only needs the trace-
+        # cache banks; DTM policies watch the whole die) in block-index
+        # order, so policy observations are plain vectors.
+        # --------------------------------------------------------------
+        self.dtm_policy = dtm_policy
+        self.dtm_controls: Optional[DTMControls] = None
+        self.dtm_telemetry: Optional[DTMTelemetry] = None
+        self.dtm_sensors: Optional[SensorBank] = None
+        if dtm_policy is not None:
+            # The controls adopt the policy's declared VF table (DVFS/hybrid
+            # policies carry their ``table=`` parameter as ``policy.table``).
+            self.dtm_controls = DTMControls(self.block_index, table=dtm_policy.table)
+            self.dtm_telemetry = DTMTelemetry(self.dtm_controls.table)
+            self.dtm_sensors = SensorBank(self.block_index.names)
+            dtm_policy.bind(self.block_index, config, self.dtm_controls)
+
+    # ------------------------------------------------------------------
+    # Delegating views over the two stages (the historical engine surface)
+    # ------------------------------------------------------------------
+    @property
+    def processor(self) -> Processor:
+        return self.timing.processor
+
+    @property
+    def hopping(self) -> Optional[BankHoppingController]:
+        return self.timing.hopping
+
+    @property
+    def mapping_policy(self):
+        return self.timing.mapping_policy
+
+    @property
+    def sensors(self) -> SensorBank:
+        return self.timing.sensors
+
+    @property
+    def block_parameters(self):
+        return self.physics.block_parameters
+
+    @property
+    def block_areas(self):
+        return self.physics.block_areas
+
+    @property
+    def floorplan(self):
+        return self.physics.floorplan
+
+    @property
+    def network(self) -> ThermalRCNetwork:
+        return self.physics.network
+
+    @property
+    def solver(self) -> ThermalSolver:
+        return self.physics.solver
+
+    @property
+    def power_model(self) -> PowerModel:
+        return self.physics.power_model
+
+    @property
+    def block_index(self) -> BlockIndex:
+        return self.physics.block_index
+
+    @property
+    def warmup_temperatures(self) -> Dict[str, float]:
+        return self.physics.warmup_temperatures
+
+    @property
+    def emergency_intervals(self) -> int:
+        return self.physics.emergency_intervals
+
+    @property
+    def _temperature_array(self) -> np.ndarray:
+        return self.physics.temperature_array
+
+    @property
+    def replay_safe_reason(self) -> Optional[str]:
+        """Why this run cannot be captured for replay (``None`` = it can)."""
+        reason = timing_feedback_reason(self.config)
+        if reason is not None:
+            return reason
+        if self.dtm_policy is not None and self.dtm_policy.feedback:
+            return (
+                f"DTM policy {self.dtm_policy.name!r} actuates on temperatures"
+            )
+        return None
+
+    def interval_pipeline(
+        self,
+        activity_counts: np.ndarray,
+        cycles_elapsed: int,
+        cycle: int,
+        seconds: float,
+        dynamic_scale: Optional[np.ndarray] = None,
+        leakage_scale: Optional[np.ndarray] = None,
+    ) -> IntervalRecord:
+        """One coupled interval's physics (the benchmarked hot path).
+
+        Resolves the current Vdd-gated-bank mask from the timing stage and
+        delegates to :meth:`PhysicsStage.interval_pipeline`.
+        """
+        _, gated_mask = self.timing.gated_state()
+        return self.physics.interval_pipeline(
+            activity_counts,
+            cycles_elapsed,
+            cycle=cycle,
+            seconds=seconds,
+            gated_mask=gated_mask,
+            dynamic_scale=dynamic_scale,
+            leakage_scale=leakage_scale,
+        )
 
     # ------------------------------------------------------------------
     # Dynamic thermal management
@@ -301,7 +730,7 @@ class SimulationEngine:
         """
         controls = self.dtm_controls
         controls.begin_interval(gating_allowed=interval_index > 0)
-        readings = self.dtm_sensors.read_array(self._temperature_array)
+        readings = self.dtm_sensors.read_array(self.physics.temperature_array)
         observation = DTMObservation(
             interval_index=interval_index,
             temperatures=readings,
@@ -318,129 +747,44 @@ class SimulationEngine:
     def _gated_interval(self, cycle: int, seconds: float) -> IntervalRecord:
         """Record one fully clock-gated interval (stop-go DTM).
 
-        The processor executes nothing: dynamic power — clock distribution
-        included — is 0 W, only leakage at the current temperatures is
-        injected, and the thermal network advances by one full nominal
-        interval of wall-clock (the clock is stopped; time is not).  The
-        leakage model's running dynamic-power average is deliberately *not*
-        updated: a gated interval says nothing about the workload's nominal
-        power profile.  Bank hops and remaps are also skipped — the paper's
-        mechanisms are clocked, and the clock is off.
+        Bank hops and remaps are skipped — the paper's mechanisms are
+        clocked, and the clock is off.
         """
-        _, gated_mask = self._gated_state()
-        dynamic = np.zeros(len(self.block_index))
-        leakage = self.power_model.leakage_model.leakage_power_array(
-            self._temperature_array, gated_mask
-        )
+        _, gated_mask = self.timing.gated_state()
+        leakage_scale = None
         if self.dtm_controls is not None:
             _, leakage_scale = self.dtm_controls.power_scales()
-            if leakage_scale is not None:
-                leakage = leakage * leakage_scale
-        return self._advance_and_record(
-            dynamic,
-            leakage,
-            self.config.thermal.interval_seconds,
+        return self.physics.leakage_only_interval(
             cycle=cycle,
             seconds=seconds,
-        )
-
-    def _advance_and_record(
-        self,
-        dynamic: np.ndarray,
-        leakage: np.ndarray,
-        dt: float,
-        cycle: int,
-        seconds: float,
-    ) -> IntervalRecord:
-        """Shared tail of every interval: power vectors -> thermal -> record.
-
-        Scatters the block power vectors (W) into thermal-node space,
-        advances the RC network by ``dt`` seconds, refreshes the cached
-        block-temperature slice, counts emergency-limit intervals and
-        returns the interval's record.  Both the normal interval pipeline
-        and the clock-gated path end here, so the bookkeeping cannot
-        diverge between them.
-        """
-        node_power = self._node_power
-        node_power[:] = 0.0
-        node_power[self._node_positions] = dynamic + leakage
-        self._thermal_state = self.solver.advance_nodes(
-            self._thermal_state, node_power, dt
-        )
-        # Fancy indexing copies, so each record owns its temperature vector.
-        self._temperature_array = self._thermal_state[self._node_positions]
-        if (
-            float(self._temperature_array.max())
-            >= self.config.thermal.emergency_limit_celsius
-        ):
-            self.emergency_intervals += 1
-        return IntervalRecord.from_arrays(
-            cycle=cycle,
-            seconds=seconds,
-            block_names=self.block_index.names,
-            dynamic_power=dynamic,
-            leakage_power=leakage,
-            temperature=self._temperature_array,
+            gated_mask=gated_mask,
+            leakage_scale=leakage_scale,
         )
 
     # ------------------------------------------------------------------
-    def interval_pipeline(
-        self,
-        activity_counts: np.ndarray,
-        cycles_elapsed: int,
-        cycle: int,
-        seconds: float,
-        dynamic_scale: Optional[np.ndarray] = None,
-        leakage_scale: Optional[np.ndarray] = None,
-    ) -> IntervalRecord:
-        """The power/thermal hot path of one interval: counts -> record.
-
-        Converts a drained activity-count vector (block-index order) into
-        dynamic and leakage power (W), advances the thermal RC network by the
-        interval's wall-clock duration (s), tracks the emergency-limit
-        counter and returns the interval's :class:`IntervalRecord` — all on
-        NumPy vectors, with no per-block dict allocation.  ``run`` calls this
-        once per interval; the throughput benchmark drives it directly.
-
-        ``dynamic_scale`` / ``leakage_scale`` are the DTM DVFS power
-        multiplier vectors (see :meth:`PowerModel.compute_arrays`); the
-        frequency component of DVFS is realized through the fetch duty, so
-        it arrives here already folded into ``activity_counts``.  The
-        ``None`` defaults leave the arithmetic bit-identical to the pre-DTM
-        pipeline.
-        """
-        _, gated_mask = self._gated_state()
-        dynamic, leakage = self.power_model.compute_arrays(
-            activity_counts,
-            cycles_elapsed,
-            self._temperature_array,
-            gated_mask,
-            dynamic_scale,
-            leakage_scale,
-        )
-        dt = self.config.thermal.interval_seconds * (
-            cycles_elapsed / self.interval_cycles
-        )
-        return self._advance_and_record(
-            dynamic, leakage, dt, cycle=cycle, seconds=seconds
-        )
-
     def run(
         self,
         max_intervals: Optional[int] = None,
         warmup: bool = True,
+        recorder: Optional[TraceRecorder] = None,
     ) -> SimulationResult:
-        """Run the benchmark to completion and return the full result."""
-        result = SimulationResult(
-            config_name=self.config.name,
-            benchmark=self.benchmark,
-            stats=self.processor.stats,
-            block_names=list(self.block_parameters.keys()),
-            block_groups=blocks.block_groups(self.config),
-            block_areas_mm2=self.block_areas,
-            ambient_celsius=self.config.thermal.ambient_celsius,
-            provenance={"interval_cycles": self.interval_cycles},
-        )
+        """Run the benchmark to completion and return the full result.
+
+        With a ``recorder``, every interval's timing-stage output (activity
+        counts, cycles, gated-bank mask) is also captured for later replay;
+        recording refuses configurations whose timing depends on
+        temperature (see :func:`timing_feedback_reason`), because a trace
+        captured under one physics variant would silently misrepresent
+        another.
+        """
+        if recorder is not None:
+            reason = self.replay_safe_reason
+            if reason is not None:
+                raise ValueError(f"cannot capture an activity trace: {reason}")
+        result = self.physics.new_result(self.benchmark)
+        result.stats = self.processor.stats
+        timing = self.timing
+        physics = self.physics
         interval_index = 0
         interval_seconds = self.config.thermal.interval_seconds
         dtm = self.dtm_policy is not None
@@ -469,17 +813,17 @@ class SimulationEngine:
                 interval_index += 1
                 continue
             gated_streak = 0
-            start_cycle = self.processor.cycle
-            self.processor.run_cycles(self.interval_cycles)
-            cycles_elapsed = self.processor.cycle - start_cycle
-            if cycles_elapsed == 0:
+            activity_counts, cycles_elapsed = timing.run_interval(self.interval_cycles)
+            if activity_counts is None:
                 break
-            activity_counts = self.processor.activity.end_interval_array(
-                self.block_index
-            )
+            _, gated_mask = timing.gated_state()
+            if recorder is not None:
+                recorder.record(
+                    activity_counts, cycles_elapsed, self.processor.cycle, gated_mask
+                )
 
             if interval_index == 0 and warmup:
-                self._warmup(activity_counts, cycles_elapsed)
+                physics.warmup(activity_counts, cycles_elapsed, gated_mask)
                 if dtm:
                     # Let the policy observe the warmed-up die before the
                     # first power/thermal step: under DTM the processor
@@ -496,11 +840,12 @@ class SimulationEngine:
                 dynamic_scale, leakage_scale = self.dtm_controls.power_scales()
 
             result.intervals.append(
-                self.interval_pipeline(
+                physics.interval_pipeline(
                     activity_counts,
                     cycles_elapsed,
                     cycle=self.processor.cycle,
                     seconds=(interval_index + 1) * interval_seconds,
+                    gated_mask=gated_mask,
                     dynamic_scale=dynamic_scale,
                     leakage_scale=leakage_scale,
                 )
@@ -514,10 +859,10 @@ class SimulationEngine:
                     gated=False,
                     fetch_actuated=interval_index > 0,
                 )
-            self._apply_bank_management(interval_index)
+            timing.apply_bank_management(interval_index, physics.temperature_array)
             interval_index += 1
 
-        result.warmup_temperature = self.warmup_temperatures
+        result.warmup_temperature = physics.warmup_temperatures
         result.stats.trace_cache_hits = self.processor.trace_cache.hits
         result.stats.trace_cache_misses = self.processor.trace_cache.misses
         result.stats.trace_cache_hop_flushes = self.processor.trace_cache.hop_flushes
@@ -527,6 +872,25 @@ class SimulationEngine:
                 **self.dtm_telemetry.as_dict(),
             }
         return result
+
+    def run_with_trace(
+        self,
+        max_intervals: Optional[int] = None,
+        warmup: bool = True,
+    ) -> Tuple[SimulationResult, ActivityTrace]:
+        """Coupled run that also captures the timing stage's activity trace.
+
+        The returned result is exactly what :meth:`run` would have produced
+        (capture only *observes* the timing stage); the trace, replayed
+        through a :class:`PhysicsStage` built from any physics-side variant
+        of this configuration, reproduces that variant's coupled run
+        bit-for-bit.
+        """
+        recorder = TraceRecorder(
+            self.benchmark, self.physics.block_index.names, self.interval_cycles
+        )
+        result = self.run(max_intervals=max_intervals, warmup=warmup, recorder=recorder)
+        return result, recorder.finish(result.stats)
 
 
 def run_benchmark(

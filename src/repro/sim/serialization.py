@@ -42,7 +42,7 @@ def result_to_dict(result: SimulationResult) -> Dict:
         "block_groups": {group: list(names) for group, names in result.block_groups.items()},
         "block_areas_mm2": dict(result.block_areas_mm2),
         "warmup_temperature": dict(result.warmup_temperature),
-        "stats": dict(result.stats.__dict__),
+        "stats": result.stats.to_payload(),
         "intervals": [
             {
                 "cycle": record.cycle,
@@ -64,11 +64,7 @@ def result_from_dict(data: Dict) -> SimulationResult:
             f"unsupported result schema version {version!r} "
             f"(supported: {SUPPORTED_SCHEMA_VERSIONS})"
         )
-    stats = SimulationStats()
-    for key, value in data["stats"].items():
-        if key == "dispatched_per_cluster":
-            value = {int(cluster): count for cluster, count in value.items()}
-        setattr(stats, key, value)
+    stats = SimulationStats.from_payload(data["stats"])
     intervals = [
         IntervalRecord(
             cycle=entry["cycle"],

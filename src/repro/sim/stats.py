@@ -118,6 +118,41 @@ class SimulationStats:
     def misprediction_rate(self) -> float:
         return self.mispredicted_branches / self.branches if self.branches else 0.0
 
+    def to_payload(self) -> Dict[str, object]:
+        """Full JSON-ready snapshot of every field (mutable containers copied).
+
+        The single serializer of a stats object: both result files
+        (:mod:`repro.sim.serialization`) and activity-trace documents
+        (:mod:`repro.sim.activity_trace`) write this shape, and
+        :meth:`from_payload` restores it — including the integer keys of
+        ``dispatched_per_cluster``, which JSON turns into strings.
+        """
+        return {
+            key: (dict(value) if isinstance(value, dict) else value)
+            for key, value in self.__dict__.items()
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, object]) -> "SimulationStats":
+        """Rebuild a stats object from :meth:`to_payload` (or JSON thereof)."""
+        stats = cls()
+        for key, value in payload.items():
+            if key == "dispatched_per_cluster":
+                value = {int(cluster): count for cluster, count in value.items()}
+            setattr(stats, key, value)
+        return stats
+
+    def clone(self) -> "SimulationStats":
+        """An independent copy (mutable containers included).
+
+        Replayed cells share one captured :class:`~repro.sim.activity_trace.
+        ActivityTrace`; each resulting :class:`~repro.sim.results.
+        SimulationResult` gets its own stats object so late mutation (the
+        engine patches trace-cache totals at the end of a run) can never
+        leak between cells.
+        """
+        return SimulationStats(**self.to_payload())
+
     def record_dispatch(self, cluster: int) -> None:
         self.dispatched_per_cluster[cluster] = (
             self.dispatched_per_cluster.get(cluster, 0) + 1

@@ -10,7 +10,17 @@
   propagator ``exp(-C^-1 G dt)`` is cached per interval length, keyed by the
   exact ``dt`` value: every steady interval shares one propagator and the
   shorter final interval of a trace (fewer cycles than the configured
-  interval) transparently gets its own.
+  interval) transparently gets its own.  The cache is a bounded LRU
+  (:attr:`ThermalSolver.PROPAGATOR_CACHE_SIZE`): campaigns sweeping many
+  distinct interval lengths recompute cold propagators instead of growing
+  a dense-matrix cache without limit.
+* The **batched** kernels (:meth:`ThermalSolver.steady_state_nodes_batch`,
+  :meth:`ThermalSolver.advance_nodes_batch`) apply the same factors and
+  propagators to (nodes x cells) matrices — one multi-RHS solve and one
+  ``gemm`` for a whole campaign sweep.  They are numerically equivalent to
+  the per-column calls but not bit-identical (blocked LAPACK/BLAS kernels
+  may round the last ulp differently), which is why the result-bearing
+  campaign replay path sticks to per-cell solves.
 
 The conductance matrix ``G`` never changes after construction, so it is
 **LU-factorized once** and every steady-state solve — including each
@@ -26,6 +36,7 @@ exponential falls back to scaling-and-squaring, as before).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Callable, Dict, Mapping, Optional, Tuple
 
 import numpy as np
@@ -66,9 +77,17 @@ def _matrix_exponential(matrix: np.ndarray) -> np.ndarray:
 class ThermalSolver:
     """Solves the RC network built by :class:`ThermalRCNetwork`."""
 
+    #: Upper bound on cached transient propagators.  A single run needs two
+    #: (the steady interval plus the shorter final one), but a campaign that
+    #: sweeps interval lengths — or replays many traces whose final
+    #: intervals all differ — would otherwise grow the cache without limit,
+    #: each entry a dense (nodes x nodes) matrix.  Least-recently-used
+    #: entries are evicted first; recomputing one is a single ``expm``.
+    PROPAGATOR_CACHE_SIZE = 32
+
     def __init__(self, network: ThermalRCNetwork) -> None:
         self.network = network
-        self._propagator_cache: Dict[float, np.ndarray] = {}
+        self._propagator_cache: "OrderedDict[float, np.ndarray]" = OrderedDict()
         # G is symmetric positive definite thanks to the ambient conductance
         # on the sink node, so plain solves are safe.
         self._g = network.conductance
@@ -191,20 +210,27 @@ class ThermalSolver:
     # Transient
     # ------------------------------------------------------------------
     def _propagator(self, dt_seconds: float) -> np.ndarray:
-        """Cache ``exp(-C^-1 G dt)`` per exact interval length.
+        """Cache ``exp(-C^-1 G dt)`` per exact interval length (bounded LRU).
 
         The cache key is the exact float value of ``dt_seconds``: the steady
         intervals of a run all share one bit-identical ``dt`` (hence one
         cached propagator), while the variable-length final interval — whose
         ``dt`` is scaled by the cycles the trace actually ran — misses the
         cache and gets a propagator of its own instead of silently reusing
-        the steady-interval matrix.
+        the steady-interval matrix.  At most
+        :attr:`PROPAGATOR_CACHE_SIZE` propagators are retained, oldest-used
+        evicted first.
         """
         key = float(dt_seconds)
-        propagator = self._propagator_cache.get(key)
+        cache = self._propagator_cache
+        propagator = cache.get(key)
         if propagator is None:
             propagator = _matrix_exponential(self._rate_matrix * (-key))
-            self._propagator_cache[key] = propagator
+            cache[key] = propagator
+            if len(cache) > self.PROPAGATOR_CACHE_SIZE:
+                cache.popitem(last=False)
+        else:
+            cache.move_to_end(key)
         return propagator
 
     def advance_nodes(
@@ -226,6 +252,45 @@ class ThermalSolver:
         steady = self.steady_state_nodes(node_power)
         propagator = self._propagator(dt_seconds)
         return steady + propagator @ (np.asarray(state, dtype=float) - steady)
+
+    # ------------------------------------------------------------------
+    # Batched transient kernels (many cells, one solver)
+    # ------------------------------------------------------------------
+    def steady_state_nodes_batch(self, node_power: np.ndarray) -> np.ndarray:
+        """Steady-state temperatures for many power vectors at once.
+
+        ``node_power`` is a (nodes x cells) matrix of per-node injections
+        (W); one multi-RHS triangular solve against the shared LU factors
+        replaces ``cells`` individual solves.  Numerically equivalent to the
+        per-column :meth:`steady_state_nodes` (same factorization, same
+        recurrences) but **not bit-identical** to it: LAPACK's blocked
+        multi-RHS kernels may round the last ulp differently.  The campaign
+        replay path therefore propagates result-bearing cells per column,
+        and uses the batch kernels where exactness versus the coupled run is
+        not contractual (screening, steady-state maps, benchmarks).
+        """
+        return self._solve(node_power + self._ambient_source[:, None])
+
+    def advance_nodes_batch(
+        self,
+        states: np.ndarray,
+        node_power: np.ndarray,
+        dt_seconds: float,
+    ) -> np.ndarray:
+        """Advance many cells' node states by ``dt_seconds`` in one step.
+
+        ``states`` and ``node_power`` are (nodes x cells) matrices — the
+        campaign replay layout, one column per swept cell.  Applies the
+        cached LU-factorized propagator to the whole matrix (one ``gemm``
+        per interval for the entire sweep).  Shares
+        :meth:`steady_state_nodes_batch`'s caveat: equivalent to per-column
+        :meth:`advance_nodes` within last-ulp rounding, not bit-identical.
+        """
+        if dt_seconds <= 0:
+            raise ValueError("dt must be positive")
+        steady = self.steady_state_nodes_batch(node_power)
+        propagator = self._propagator(dt_seconds)
+        return steady + propagator @ (np.asarray(states, dtype=float) - steady)
 
     def advance(
         self,

@@ -1,0 +1,210 @@
+"""Properties of activity traces and timing keys (the two-stage contract).
+
+The replay fast path rests on one claim: *timing never reads the physics
+config*.  These tests pin that claim down from both sides — specs differing
+only in physics axes produce identical timing keys and byte-identical
+captured traces, every timing axis perturbs the key, and every
+temperature-feedback mechanism (thermal-aware mapping, feedback-bearing DTM
+policies) is excluded from capture and replay.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.campaign import Campaign, ExperimentSettings
+from repro.core.presets import bank_hopping_config, baseline_config
+from repro.dtm import POLICIES, make_policy
+from repro.sim.activity_trace import (
+    ActivityTrace,
+    TraceRecorder,
+    timing_feedback_reason,
+)
+from repro.sim.config import ProcessorConfig
+from repro.sim.engine import SimulationEngine
+from repro.workloads.generator import TraceGenerator
+
+SETTINGS = ExperimentSettings(benchmarks=("gzip",), uops_per_benchmark=1_500, seed=7)
+
+
+def _spec(config: ProcessorConfig, settings: ExperimentSettings = SETTINGS, **kwargs):
+    campaign = Campaign.single(config, settings)
+    spec = campaign.cells()[0]
+    return dataclasses.replace(spec, **kwargs) if kwargs else spec
+
+
+def _physics_variant(config: ProcessorConfig, index: int, **power_changes) -> ProcessorConfig:
+    changes = power_changes or {"leakage_fraction_at_ambient": 0.25 + 0.05 * index}
+    return dataclasses.replace(
+        config,
+        name=f"variant_{index}",
+        power=dataclasses.replace(config.power, **changes),
+    )
+
+
+# ----------------------------------------------------------------------
+# Timing keys
+# ----------------------------------------------------------------------
+def test_physics_axes_do_not_perturb_the_timing_key():
+    """Package/leakage/frequency (and the config name) are physics-side."""
+    base = _spec(baseline_config())
+    variants = [
+        _physics_variant(baseline_config(), 1),
+        _physics_variant(baseline_config(), 2, frequency_ghz=8.0),
+        _physics_variant(baseline_config(), 3, vdd=1.0),
+        dataclasses.replace(
+            baseline_config(),
+            name="cool_package",
+            thermal=dataclasses.replace(
+                baseline_config().thermal, convection_resistance_k_per_w=0.12
+            ),
+        ),
+    ]
+    for config in variants:
+        assert _spec(config).timing_key() == base.timing_key()
+        # ... while the full cache key still tells the cells apart.
+        assert _spec(config).cache_key() != base.cache_key()
+
+
+@pytest.mark.parametrize(
+    "change",
+    [
+        {"benchmark": "swim"},
+        {"trace_uops": 2_000},
+        {"interval_cycles": 1_000},
+        {"seed": 8},
+    ],
+)
+def test_every_timing_axis_perturbs_the_key(change):
+    base = _spec(baseline_config())
+    assert _spec(baseline_config(), **change).timing_key() != base.timing_key()
+
+
+def test_timing_side_config_changes_perturb_the_key():
+    base = _spec(baseline_config())
+    frontend = dataclasses.replace(baseline_config().frontend, fetch_width=4)
+    narrow = dataclasses.replace(baseline_config(), name="narrow", frontend=frontend)
+    assert _spec(narrow).timing_key() != base.timing_key()
+
+
+def test_non_feedback_dtm_policy_shares_the_timing_key():
+    """``None`` and the no-op policy produce the same instruction stream."""
+    base = _spec(baseline_config())
+    with_none = _spec(baseline_config(), dtm_policy="none")
+    assert with_none.timing_key() == base.timing_key()
+    assert with_none.cache_key() != base.cache_key()
+
+
+# ----------------------------------------------------------------------
+# Feedback exclusion
+# ----------------------------------------------------------------------
+def test_every_feedback_bearing_policy_is_excluded_from_replay():
+    """Each registered DTM policy except the no-op must force coupled runs."""
+    for name in POLICIES:
+        policy = make_policy(name)
+        spec = _spec(baseline_config(), dtm_policy=name)
+        if name == "none":
+            assert policy.feedback is False
+            assert spec.replayable
+            assert spec.replay_reason() is None
+        else:
+            assert policy.feedback is True
+            assert not spec.replayable
+            assert "actuates on temperatures" in spec.replay_reason()
+
+
+def test_temperature_steered_mapping_is_excluded_from_replay():
+    biased = (
+        dataclasses.replace(
+            baseline_config().frontend.trace_cache, thermal_aware_mapping=True
+        )
+    )
+    config = dataclasses.replace(
+        baseline_config(),
+        name="biased",
+        frontend=dataclasses.replace(baseline_config().frontend, trace_cache=biased),
+    )
+    assert "thermal-aware" in timing_feedback_reason(config)
+    assert not _spec(config).replayable
+    # ... and the engine refuses to capture such a run at all.
+    trace = TraceGenerator("gzip", seed=7).generate(1_000)
+    engine = SimulationEngine(config, trace.uops, "gzip", interval_cycles=800)
+    with pytest.raises(ValueError, match="thermal-aware"):
+        engine.run_with_trace()
+
+
+def test_engine_refuses_capture_under_feedback_dtm():
+    trace = TraceGenerator("gzip", seed=7).generate(1_000)
+    engine = SimulationEngine(
+        baseline_config(),
+        trace.uops,
+        "gzip",
+        interval_cycles=800,
+        dtm_policy=make_policy("dvfs"),
+    )
+    with pytest.raises(ValueError, match="actuates on temperatures"):
+        engine.run_with_trace()
+
+
+# ----------------------------------------------------------------------
+# Captured traces
+# ----------------------------------------------------------------------
+def _capture(config: ProcessorConfig) -> ActivityTrace:
+    from repro.campaign import scale_paper_intervals
+
+    scaled = scale_paper_intervals(config, 800)
+    trace = TraceGenerator("gzip", seed=7).generate(1_500)
+    engine = SimulationEngine(scaled, trace.uops, "gzip", interval_cycles=800)
+    _, captured = engine.run_with_trace()
+    return captured
+
+
+def test_physics_variants_capture_byte_identical_traces():
+    """The strongest form of the no-feedback claim: the serialized trace of
+    a physics variant is byte-for-byte the trace of the base config."""
+    reference = _capture(baseline_config()).to_json()
+    for index, changes in enumerate(
+        [{}, {"frequency_ghz": 8.0}, {"leakage_fraction_at_ambient": 0.6}], start=1
+    ):
+        variant = _physics_variant(baseline_config(), index, **(changes or {"vdd": 1.0}))
+        assert _capture(variant).to_json() == reference
+
+
+def test_trace_round_trips_through_json():
+    trace = _capture(bank_hopping_config())
+    clone = ActivityTrace.from_json(trace.to_json())
+    assert clone.to_json() == trace.to_json()
+    assert clone.benchmark == trace.benchmark
+    assert clone.block_names == trace.block_names
+    assert np.array_equal(clone.counts, trace.counts)
+    assert np.array_equal(clone.cycles, trace.cycles)
+    assert np.array_equal(clone.end_cycles, trace.end_cycles)
+    assert np.array_equal(clone.gated_masks, trace.gated_masks)
+    assert clone.stats.__dict__ == trace.stats.__dict__
+
+
+def test_trace_schema_version_is_enforced():
+    trace = _capture(baseline_config())
+    data = trace.to_dict()
+    data["trace_schema_version"] = 999
+    with pytest.raises(ValueError, match="schema version"):
+        ActivityTrace.from_dict(data)
+
+
+def test_recorder_refuses_empty_runs():
+    recorder = TraceRecorder("gzip", ("a", "b"), 800)
+    with pytest.raises(ValueError, match="zero intervals"):
+        recorder.finish(stats=_capture(baseline_config()).stats)
+
+
+def test_hopping_trace_records_the_gating_schedule():
+    trace = _capture(bank_hopping_config())
+    assert trace.gated_masks is not None
+    assert trace.gated_masks.shape == trace.counts.shape
+    # Exactly one bank gated per interval under rotation hopping.
+    assert set(trace.gated_masks.sum(axis=1).tolist()) == {1}
+    # The rotation moves: not every interval gates the same bank.
+    assert len({tuple(row) for row in trace.gated_masks}) > 1

@@ -75,3 +75,101 @@ def test_cache_directory_is_created(tmp_path):
     nested = tmp_path / "a" / "b" / "cache"
     ResultCache(nested)
     assert nested.is_dir()
+
+
+# ----------------------------------------------------------------------
+# Activity-trace artifacts
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def captured(cell):
+    from repro.campaign import execute_cell_capture
+
+    _, trace = execute_cell_capture(cell)
+    return trace
+
+
+def test_trace_artifacts_roundtrip(tmp_path, cell, captured):
+    import numpy as np
+
+    cache = ResultCache(tmp_path / "cache")
+    key = cell.timing_key()
+    assert cache.load_trace(key) is None
+    assert cache.trace_misses == 1
+
+    path = cache.store_trace(key, captured)
+    assert path.exists() and path.name.endswith(".trace.json")
+    loaded = cache.load_trace(key)
+    assert cache.trace_hits == 1
+    assert loaded.to_json() == captured.to_json()
+    assert np.array_equal(loaded.counts, captured.counts)
+    # Trace artifacts are not campaign cells.
+    assert len(cache) == 0
+
+
+def test_trace_key_embeds_schema_and_package_versions(tmp_path, cell):
+    import repro
+    from repro.sim.activity_trace import TRACE_SCHEMA_VERSION
+
+    cache = ResultCache(tmp_path / "cache")
+    assert cache.trace_path_for(cell.timing_key()).name.startswith(
+        f"trace-v{TRACE_SCHEMA_VERSION}-{repro.__version__}-"
+    )
+
+
+def test_corrupt_trace_artifacts_are_misses(tmp_path, cell, captured):
+    cache = ResultCache(tmp_path / "cache")
+    key = cell.timing_key()
+    cache.store_trace(key, captured)
+    cache.trace_path_for(key).write_text("{not json")
+    assert cache.load_trace(key) is None
+    cache.trace_path_for(key).write_text(json.dumps({"trace_schema_version": 999}))
+    assert cache.load_trace(key) is None
+    assert cache.trace_misses == 2
+
+
+# ----------------------------------------------------------------------
+# Housekeeping: stats and prune
+# ----------------------------------------------------------------------
+def test_stats_report_results_and_traces_separately(tmp_path, cell, simulated, captured):
+    cache = ResultCache(tmp_path / "cache")
+    assert cache.stats() == {
+        "results": 0,
+        "result_bytes": 0,
+        "traces": 0,
+        "trace_bytes": 0,
+        "total_bytes": 0,
+    }
+    cache.store(cell, simulated)
+    cache.store_trace(cell.timing_key(), captured)
+    stats = cache.stats()
+    assert stats["results"] == 1 and stats["traces"] == 1
+    assert stats["result_bytes"] > 0 and stats["trace_bytes"] > 0
+    assert stats["total_bytes"] == stats["result_bytes"] + stats["trace_bytes"]
+
+
+def test_prune_removes_oldest_entries_down_to_the_budget(
+    tmp_path, cell, simulated, captured
+):
+    import os
+
+    cache = ResultCache(tmp_path / "cache")
+    result_path = cache.store(cell, simulated)
+    trace_path = cache.store_trace(cell.timing_key(), captured)
+    # Make the result strictly older than the trace artifact.
+    os.utime(result_path, (1, 1))
+
+    stats = cache.stats()
+    report = cache.prune(max_bytes=stats["trace_bytes"])
+    assert report["removed"] == 1
+    assert not result_path.exists() and trace_path.exists()
+    assert report["remaining_bytes"] == cache.stats()["total_bytes"]
+
+    # Prune to zero clears everything; pruning an empty cache is a no-op.
+    assert cache.prune(max_bytes=0)["removed"] == 1
+    assert cache.prune(max_bytes=0) == {
+        "removed": 0,
+        "removed_bytes": 0,
+        "remaining_bytes": 0,
+    }
+    with pytest.raises(ValueError):
+        cache.prune(max_bytes=-1)

@@ -39,7 +39,7 @@ def test_run_adhoc_campaign_with_cache_and_output(tmp_path, capsys):
     ]
     assert main(argv) == 0
     first = capsys.readouterr().out
-    assert "1 simulated, 0 from cache" in first
+    assert "1 simulated, 0 replayed, 0 from cache" in first
 
     payload = json.loads(output.read_text())
     assert payload["cells_executed"] == 1
@@ -51,7 +51,7 @@ def test_run_adhoc_campaign_with_cache_and_output(tmp_path, capsys):
     # Re-running the same campaign is served entirely from the cache.
     assert main(argv) == 0
     second = capsys.readouterr().out
-    assert "0 simulated, 1 from cache" in second
+    assert "0 simulated, 0 replayed, 1 from cache" in second
     assert json.loads(output.read_text())["cells_executed"] == 0
 
 
@@ -83,3 +83,29 @@ def test_domain_errors_become_cli_errors(capsys):
     assert "uops_per_benchmark must be positive" in capsys.readouterr().err
     assert main(["run", "--benchmarks", "nosuchbench"]) == 2
     assert "unknown benchmark" in capsys.readouterr().err
+
+
+def test_cache_stats_and_prune_subcommands(tmp_path, capsys):
+    cache_dir = tmp_path / "cache"
+    # Populate the cache (results + trace artifacts) with a tiny campaign.
+    assert main([
+        "run", "--configs", "baseline", "--benchmarks", "gzip",
+        "--uops", "1200", "--cache-dir", str(cache_dir),
+    ]) == 0
+    capsys.readouterr()
+
+    assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "results: 1 entries" in out
+    assert "traces : 1 artifacts" in out
+
+    assert main([
+        "cache", "prune", "--cache-dir", str(cache_dir), "--max-bytes", "0",
+    ]) == 0
+    assert "pruned 2 entries" in capsys.readouterr().out
+    assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
+    assert "results: 0 entries" in capsys.readouterr().out
+
+    # prune without a budget is a usage error, reported CLI-style.
+    assert main(["cache", "prune", "--cache-dir", str(cache_dir)]) == 2
+    assert "requires --max-bytes" in capsys.readouterr().err

@@ -123,6 +123,72 @@ def test_advance_rejects_nonpositive_dt(network, solver):
         solver.advance(state, _power(network), 0.0)
 
 
+def test_propagator_cache_is_bounded_lru(network, solver):
+    """A campaign with many distinct final-interval lengths must not grow
+    the propagator cache without limit (regression: PR 2 keyed by exact dt
+    with no cap)."""
+    cap = ThermalSolver.PROPAGATOR_CACHE_SIZE
+    power = _power(network)
+    state = network.uniform_state(50.0)
+    for i in range(cap + 20):
+        solver.advance(state, power, 1e-3 * (1 + i / 1000))
+    assert len(solver._propagator_cache) == cap
+
+    # LRU, not FIFO: re-touching the oldest surviving entry keeps it alive
+    # through the next eviction.
+    oldest_key = next(iter(solver._propagator_cache))
+    solver.advance(state, power, oldest_key)
+    solver.advance(state, power, 99e-3)  # evicts one entry, not oldest_key
+    assert oldest_key in solver._propagator_cache
+    assert len(solver._propagator_cache) == cap
+
+    # Evicted propagators are transparently recomputed with the same result.
+    evicted_dt = 1e-3
+    fresh = ThermalSolver(network)
+    np.testing.assert_array_equal(
+        solver.advance(state, power, evicted_dt),
+        fresh.advance(state, power, evicted_dt),
+    )
+
+
+# ----------------------------------------------------------------------
+# Batched transient kernels (the campaign-replay layout)
+# ----------------------------------------------------------------------
+def test_batched_steady_state_matches_per_column(network, solver):
+    rng = np.random.default_rng(3)
+    cells = 7
+    node_power = rng.uniform(0.0, 3.0, size=(network.num_nodes, cells))
+    batched = solver.steady_state_nodes_batch(node_power)
+    assert batched.shape == (network.num_nodes, cells)
+    for c in range(cells):
+        np.testing.assert_allclose(
+            batched[:, c],
+            solver.steady_state_nodes(node_power[:, c].copy()),
+            rtol=1e-12,
+            atol=1e-12,
+        )
+
+
+def test_batched_advance_matches_per_column(network, solver):
+    rng = np.random.default_rng(4)
+    cells = 5
+    states = np.full((network.num_nodes, cells), 45.0) + rng.uniform(
+        0, 5, size=(network.num_nodes, cells)
+    )
+    node_power = rng.uniform(0.0, 2.5, size=(network.num_nodes, cells))
+    batched = solver.advance_nodes_batch(states, node_power, 1e-3)
+    assert batched.shape == states.shape
+    for c in range(cells):
+        np.testing.assert_allclose(
+            batched[:, c],
+            solver.advance_nodes(states[:, c].copy(), node_power[:, c].copy(), 1e-3),
+            rtol=1e-12,
+            atol=1e-12,
+        )
+    with pytest.raises(ValueError):
+        solver.advance_nodes_batch(states, node_power, 0.0)
+
+
 # ----------------------------------------------------------------------
 # Warm-up convergence and the 381 K emergency early exit
 # ----------------------------------------------------------------------

@@ -1,0 +1,111 @@
+"""Multi-core campaign throughput: per-core trace reuse across a physics sweep.
+
+The chip layer's performance claim mirrors the single-core two-stage core,
+one level up: a physics-side sweep over an N-core die should pay the per-uop
+timing cost once per *distinct thread workload* — not once per (cell x
+core).  This benchmark runs a 4-core physics-only sweep (configurations
+differing only in leakage fraction) at two grid sizes and emits
+``benchmarks/output/BENCH_multicore.json`` (cells/s, captures, replays),
+asserting the structural property directly: ``cells_executed`` (coupled
+timing simulations, captures included) stays flat — 4, one per thread
+scenario — as the physics grid grows, while every added cell is a pure
+composite-die physics replay.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from pathlib import Path
+
+from repro.campaign import Campaign, ExperimentSettings, SerialExecutor, run_campaign
+from repro.core.presets import baseline_config
+
+#: Threads of the 4-core mix (one per core, mixed intensity).
+MIX = ("hot_loop", "thermal_virus", "memory_bound", "idle_crawl")
+#: Physics-grid sizes compared by the flatness assertion.
+SMALL_CELLS = 2
+LARGE_CELLS = 6
+#: Trace length per thread.
+TRACE_UOPS = 2_500
+
+
+def _physics_sweep(cells: int) -> Campaign:
+    """``cells`` leakage variants of one 4-core chip mix (one timing set)."""
+    base = baseline_config()
+    configs = [
+        dataclasses.replace(
+            base,
+            name=f"chip_phys_{i}",
+            power=dataclasses.replace(
+                base.power, leakage_fraction_at_ambient=0.20 + 0.02 * i
+            ),
+        )
+        for i in range(cells)
+    ]
+    settings = ExperimentSettings(
+        benchmarks=MIX,
+        uops_per_benchmark=TRACE_UOPS,
+        seed=7,
+        honor_relative_length=False,
+    )
+    return Campaign(
+        configs,
+        settings,
+        name=f"bench_multicore_{cells}",
+        cores=len(MIX),
+        per_core_scenarios=(MIX,),
+    )
+
+
+def _timed_run(cells: int) -> dict:
+    campaign = _physics_sweep(cells)
+    start = time.perf_counter()
+    outcome = run_campaign(campaign, executor=SerialExecutor())
+    elapsed = time.perf_counter() - start
+    return {
+        "seconds": elapsed,
+        "cells": outcome.total_cells,
+        "cells_per_second": outcome.total_cells / elapsed,
+        "cells_executed": outcome.cells_executed,
+        "cells_replayed": outcome.cells_replayed,
+        "traces_captured": outcome.traces_captured,
+    }
+
+
+def test_bench_multicore_throughput_json(report_writer):
+    """Time the 4-core physics sweep and emit ``BENCH_multicore.json``."""
+    small = _timed_run(SMALL_CELLS)
+    large = _timed_run(LARGE_CELLS)
+
+    # The structural claim: timing work is per-scenario, not per-cell.
+    assert small["cells_executed"] == len(MIX)
+    assert large["cells_executed"] == len(MIX)
+    assert small["cells_replayed"] == SMALL_CELLS
+    assert large["cells_replayed"] == LARGE_CELLS
+
+    payload = {
+        "schema_version": 1,
+        "parameters": {
+            "mix": list(MIX),
+            "cores": len(MIX),
+            "trace_uops": TRACE_UOPS,
+            "small_cells": SMALL_CELLS,
+            "large_cells": LARGE_CELLS,
+            "executor": "SerialExecutor",
+        },
+        "small": small,
+        "large": large,
+    }
+    output_path = Path(__file__).parent / "output" / "BENCH_multicore.json"
+    output_path.parent.mkdir(exist_ok=True)
+    output_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    report_writer(
+        "BENCH_multicore",
+        f"4-core physics sweep ({TRACE_UOPS} uops/thread): "
+        f"{SMALL_CELLS} cells at {small['cells_per_second']:.2f} cells/s, "
+        f"{LARGE_CELLS} cells at {large['cells_per_second']:.2f} cells/s; "
+        f"captures flat at {large['cells_executed']} "
+        f"(one per thread scenario) [JSON: {output_path}]",
+    )

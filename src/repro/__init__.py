@@ -29,8 +29,15 @@ Beyond the paper's layout techniques, :mod:`repro.dtm` adds the *control*
 side of thermal management — sensor-triggered fetch throttling, stop-go
 clock gating, per-cluster DVFS and a hybrid policy — swept over the named
 workload scenarios of :mod:`repro.scenarios` via the campaign's
-``dtm_policies`` axis (``repro-campaign run --figure dtm``).  The full
-documentation lives under ``docs/``.
+``dtm_policies`` axis (``repro-campaign run --figure dtm``).
+
+:mod:`repro.chip` composes everything into chip multiprocessors: N per-core
+timing stages over one composite-die physics stage (namespaced floorplan
+composition, cross-core thermal coupling through the shared silicon,
+spreader and sink), chip-level DTM (``core_migration``, ``chip_dvfs``), and
+campaign ``cores`` / ``per_core_scenarios`` axes whose replay path reuses
+cached *single-core* activity traces (``repro-campaign run --figure
+multicore``).  The full documentation lives under ``docs/``.
 """
 
 from repro.sim.config import ProcessorConfig
@@ -65,9 +72,16 @@ from repro.dtm import (
     available_policies,
     make_policy,
 )
+from repro.chip import (
+    ChipEngine,
+    ChipRunSpec,
+    available_chip_policies,
+    make_chip_policy,
+    replay_chip,
+)
 from repro.scenarios import SCENARIOS, SCENARIO_NAMES, Scenario, get_scenario
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "ProcessorConfig",
@@ -97,6 +111,11 @@ __all__ = [
     "DTMPolicy",
     "available_policies",
     "make_policy",
+    "ChipEngine",
+    "ChipRunSpec",
+    "available_chip_policies",
+    "make_chip_policy",
+    "replay_chip",
     "SCENARIOS",
     "SCENARIO_NAMES",
     "Scenario",

@@ -7,10 +7,16 @@ Subcommands:
 * ``list-scenarios`` — the named workload scenarios (:mod:`repro.scenarios`);
 * ``list-policies`` — the dynamic-thermal-management policies (:mod:`repro.dtm`);
 * ``run`` — run a paper figure (``--figure fig01|fig12|fig13|fig14``), the
-  DTM policy x scenario comparison (``--figure dtm``) or an ad-hoc campaign
+  DTM policy x scenario comparison (``--figure dtm``), the multi-core
+  scaling sweep (``--figure multicore``) or an ad-hoc campaign
   (``--configs``/``--benchmarks``/``--dtm``), optionally in parallel
   (``--jobs N``) and with a result cache (``--cache-dir DIR``), printing the
-  figure tables and/or writing a JSON summary (``--output FILE``);
+  figure tables and/or writing a JSON summary (``--output FILE``).
+  ``--cores N`` composes every configuration into an N-core chip
+  (:mod:`repro.chip`); ``--per-core-scenarios "virus+idle;gzip+gzip"``
+  names explicit per-core workload mixes (``+`` separates cores, ``;`` or
+  ``,`` separates mixes), and ``--dtm`` then sweeps *chip-level* policies
+  (``none``, ``core_migration``, ``chip_dvfs``);
 * ``cache`` — housekeeping for an on-disk result cache, which since the
   two-stage simulation core also holds activity-trace artifacts:
   ``cache stats --cache-dir DIR`` prints entry/byte counts by kind, and
@@ -79,6 +85,26 @@ def _benchmarks_from_arg(text: str) -> tuple:
         elif name:
             names.append(name)
     return tuple(names)
+
+
+def _mixes_from_arg(text: str) -> tuple:
+    """Split a ``--per-core-scenarios`` value into per-core workload mixes.
+
+    ``;`` and ``,`` separate mixes; ``+`` separates the cores within one
+    mix, so ``"thermal_virus+idle_crawl;gzip+gzip"`` is two 2-core mixes.
+    """
+    mixes = []
+    for piece in text.replace(";", ",").split(","):
+        piece = piece.strip()
+        if not piece:
+            continue
+        mix = tuple(name.strip() for name in piece.split("+") if name.strip())
+        if not mix:
+            raise ValueError(f"empty per-core scenario mix in {text!r}")
+        mixes.append(mix)
+    if not mixes:
+        raise ValueError(f"no per-core scenario mixes in {text!r}")
+    return tuple(mixes)
 
 
 def _policies_from_arg(text: str) -> tuple:
@@ -226,18 +252,25 @@ def _cmd_list_scenarios(_args: argparse.Namespace) -> int:
 def _cmd_list_policies(_args: argparse.Namespace) -> int:
     import inspect
 
+    from repro.chip import CHIP_POLICIES
     from repro.dtm import POLICIES
 
-    for name, factory in POLICIES.items():
-        defaults = ", ".join(
-            f"{p.name}={p.default:g}"
-            for p in inspect.signature(factory).parameters.values()
-            if isinstance(p.default, (int, float)) and not isinstance(p.default, bool)
-        )
-        summary = ((inspect.getdoc(factory) or "").splitlines() or [""])[0]
-        print(f"{name:<16} {summary}")
-        if defaults:
-            print(f"{'':<16} defaults: {defaults}")
+    def show(registry) -> None:
+        for name, factory in registry.items():
+            defaults = ", ".join(
+                f"{p.name}={p.default:g}"
+                for p in inspect.signature(factory).parameters.values()
+                if isinstance(p.default, (int, float)) and not isinstance(p.default, bool)
+            )
+            summary = ((inspect.getdoc(factory) or "").splitlines() or [""])[0]
+            print(f"{name:<16} {summary}")
+            if defaults:
+                print(f"{'':<16} defaults: {defaults}")
+
+    show(POLICIES)
+    print()
+    print("chip-level policies (--cores > 1):")
+    show(CHIP_POLICIES)
     return 0
 
 
@@ -370,18 +403,80 @@ def _run_figure(
     return 0
 
 
+def _run_multicore_figure(
+    args: argparse.Namespace,
+    executor: Executor,
+    cache: Optional[ResultCache],
+) -> int:
+    """``--figure multicore``: the core-count x mix scaling sweep."""
+    from repro.experiments.fig_multicore_scaling import run_multicore_scaling
+
+    config = None
+    if args.configs:
+        from repro.core.presets import FrontendOrganization, config_for
+
+        names = args.configs.split(",")
+        if len(names) != 1:
+            raise ValueError(
+                "--figure multicore scales one configuration across core "
+                f"counts; give a single --configs preset (got {names})"
+            )
+        config = config_for(FrontendOrganization(names[0]))
+    kwargs = {}
+    if args.cores is not None:
+        # Scale 1 -> N in powers of two (always anchored at the 1-core run,
+        # which is bit-identical to the single-core engine).
+        counts = [1]
+        while counts[-1] * 2 <= args.cores:
+            counts.append(counts[-1] * 2)
+        if counts[-1] != args.cores:
+            counts.append(args.cores)
+        kwargs["core_counts"] = tuple(counts)
+    result = run_multicore_scaling(
+        config=config,
+        uops_per_thread=args.uops if args.uops is not None else 2_500,
+        seed=args.seed if args.seed is not None else 7,
+        executor=executor,
+        cache=cache,
+        **kwargs,
+    )
+    print(result.format_table())
+    payload: Dict[str, object] = {
+        "figure": "multicore",
+        "config": result.config_name,
+        "rows": result.rows(),
+    }
+    _write_output(payload, args.output)
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    if args.figure and args.figure != "dtm" and args.dtm:
+    if args.figure and args.figure not in ("dtm",) and args.dtm:
         raise ValueError(
             f"--dtm does not apply to --figure {args.figure}; the paper "
             "figures simulate without DTM (use --figure dtm or an ad-hoc "
             "--configs campaign to sweep policies)"
         )
+    if args.figure and args.per_core_scenarios:
+        raise ValueError(
+            f"--per-core-scenarios does not apply to --figure {args.figure}; "
+            "use an ad-hoc --configs campaign for explicit workload mixes"
+        )
+    if args.figure and args.figure != "multicore" and args.cores is not None:
+        raise ValueError(
+            f"--cores does not apply to --figure {args.figure}; the paper "
+            "figures are single-core (use --figure multicore or an ad-hoc "
+            "--configs campaign for chip runs)"
+        )
+    if args.cores is not None and args.cores < 1:
+        raise ValueError("--cores must be at least 1")
     executor = make_executor(args.jobs)
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
 
     if args.figure == "dtm":
         status = _run_dtm_figure(args, executor, cache)
+    elif args.figure == "multicore":
+        status = _run_multicore_figure(args, executor, cache)
     elif args.figure:
         settings = _settings_from_args(args)
         status = _run_figure(args.figure, settings, executor, cache, args.output)
@@ -392,7 +487,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
         names = args.configs.split(",") if args.configs else ["baseline"]
         configs = [config_for(FrontendOrganization(name)) for name in names]
         policies = _policies_from_arg(args.dtm) if args.dtm else ()
-        campaign = Campaign(configs, settings, name="cli", dtm_policies=policies)
+        mixes = (
+            _mixes_from_arg(args.per_core_scenarios)
+            if args.per_core_scenarios
+            else ()
+        )
+        cores = args.cores if args.cores is not None else (
+            max(len(mix) for mix in mixes) if mixes else 1
+        )
+        campaign = Campaign(
+            configs,
+            settings,
+            name="cli",
+            dtm_policies=policies,
+            cores=cores,
+            per_core_scenarios=mixes,
+        )
         outcome = run_campaign(campaign, executor, cache)
         from repro.experiments.reporting import format_campaign_outcome
 
@@ -438,9 +548,24 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run a figure or an ad-hoc campaign")
     run.add_argument(
         "--figure",
-        choices=("fig01", "fig12", "fig13", "fig14", "dtm"),
+        choices=("fig01", "fig12", "fig13", "fig14", "dtm", "multicore"),
         help="regenerate one paper figure (or the DTM policy x scenario "
-        "comparison) instead of an ad-hoc campaign",
+        "comparison, or the multi-core scaling sweep) instead of an ad-hoc "
+        "campaign",
+    )
+    run.add_argument(
+        "--cores",
+        type=int,
+        help="compose each configuration into an N-core chip (repro.chip); "
+        "defaults to the widest --per-core-scenarios mix, else 1.  With "
+        "--figure multicore, sets the largest core count of the scaling "
+        "sweep (1..N in powers of two)",
+    )
+    run.add_argument(
+        "--per-core-scenarios",
+        help="explicit per-core workload mixes for a chip campaign: '+' "
+        "separates cores, ';' or ',' separates mixes "
+        "(e.g. \"thermal_virus+idle_crawl;gzip+gzip\")",
     )
     run.add_argument(
         "--configs",

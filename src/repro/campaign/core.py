@@ -36,6 +36,8 @@ from repro.campaign.executors import (
     Executor,
     SerialExecutor,
     execute_campaign_task,
+    execute_chip_cell,
+    execute_chip_replay_group,
     execute_replay_group,
 )
 from repro.campaign.spec import Campaign, ExperimentSettings, RunSpec
@@ -79,10 +81,17 @@ class CampaignOutcome:
             if self.campaign.dtm_policies
             else ""
         )
+        if self.campaign.is_chip:
+            workload_axis = (
+                f"{len(self.campaign.mixes())} mixes on "
+                f"{self.campaign.cores}-core chips"
+            )
+        else:
+            workload_axis = f"{len(self.campaign.settings.benchmarks)} benchmarks"
         return (
             f"campaign '{self.campaign.name}': {self.total_cells} cells "
             f"({len(self.campaign.configs)} configs x {policy_axis}"
-            f"{len(self.campaign.settings.benchmarks)} benchmarks), "
+            f"{workload_axis}), "
             f"{self.cells_executed} simulated, {self.cells_replayed} replayed, "
             f"{self.cache_hits} from cache "
             f"[{self.executor_description}]"
@@ -158,6 +167,8 @@ def run_campaign(
     """
     if executor is None:
         executor = SerialExecutor()
+    if campaign.is_chip:
+        return _run_chip_campaign(campaign, executor, cache, replay)
     cells = campaign.cells()
 
     results: List[Optional[SimulationResult]] = [None] * len(cells)
@@ -244,6 +255,154 @@ def run_campaign(
         campaign=campaign,
         cells_executed=executor.cells_executed - executed_before,
         cells_replayed=len(replays),
+        traces_captured=traces_captured,
+        cache_hits=cache_hits,
+        executor_description=executor.describe(),
+    )
+    for variant in campaign.variant_names():
+        outcome.summaries[variant] = ConfigurationSummary(config_name=variant)
+    for spec, result in zip(cells, results):
+        assert result is not None
+        outcome.summaries[spec.variant].results[spec.benchmark] = result
+    return outcome
+
+
+def _run_chip_campaign(
+    campaign: Campaign,
+    executor: Executor,
+    cache: Optional[ResultCache],
+    replay: bool,
+) -> CampaignOutcome:
+    """Execute a chip campaign (the ``cores`` / ``per_core_scenarios`` axes).
+
+    The chip analogue of the two-stage plan: every replay-eligible chip
+    cell decomposes into per-thread *single-core* timing runs
+    (:meth:`~repro.chip.ChipRunSpec.core_specs`), whose activity traces are
+    looked up in the cache under the ordinary single-core timing keys.
+    Missing traces are captured once each — a capture is a plain
+    single-core cell, so its result seeds the cache for single-core
+    campaigns too — and every chip cell then *replays* the composite-die
+    physics over its threads' traces, bit-identical to the coupled chip
+    run.  Cells whose chip policy migrates threads by temperature (or whose
+    configuration couples temperature into timing) run the exact coupled
+    path.
+    """
+    supports_tasks = type(executor).run_tasks is not Executor.run_tasks
+    if not supports_tasks:
+        raise ValueError(
+            f"{executor.describe()} only implements run_cells; chip "
+            "campaigns need an executor with the generic run_tasks primitive"
+        )
+    cells = campaign.cells()
+    results: List[Optional[SimulationResult]] = [None] * len(cells)
+    pending: List[Tuple[int, object]] = []
+    cache_hits = 0
+    for index, spec in enumerate(cells):
+        cached = cache.load(spec) if cache is not None else None
+        if cached is not None:
+            results[index] = cached
+            cache_hits += 1
+        else:
+            pending.append((index, spec))
+
+    executed_before = executor.cells_executed
+    replay_cells: List[Tuple[int, object]] = []
+    coupled_cells: List[Tuple[int, object]] = []
+    for slot, spec in pending:
+        if replay and spec.replayable:
+            replay_cells.append((slot, spec))
+        else:
+            coupled_cells.append((slot, spec))
+
+    # Phase 1: resolve the per-thread single-core traces (cache or capture).
+    needed: Dict[str, object] = {}
+    for _, spec in replay_cells:
+        for core_spec in spec.core_specs():
+            needed.setdefault(core_spec.timing_key(), core_spec)
+    traces: Dict[str, ActivityTrace] = {}
+    missing: List[Tuple[str, object]] = []
+    for key, core_spec in needed.items():
+        trace = cache.load_trace(key) if cache is not None else None
+        if trace is not None:
+            traces[key] = trace
+        else:
+            missing.append((key, core_spec))
+    traces_captured = 0
+    if missing:
+        tasks = [("capture", core_spec) for _, core_spec in missing]
+        outputs = executor.run_tasks(execute_campaign_task, tasks)
+        executor.cells_executed += len(tasks)
+        if len(outputs) != len(missing):
+            raise RuntimeError(
+                f"executor returned {len(outputs)} results for "
+                f"{len(missing)} captures"
+            )
+        for (key, core_spec), (result, trace) in zip(missing, outputs):
+            if trace is None:
+                raise RuntimeError(
+                    f"capture cell {core_spec.benchmark!r} returned no "
+                    "activity trace"
+                )
+            traces[key] = trace
+            traces_captured += 1
+            if cache is not None:
+                cache.store_trace(key, trace)
+                cache.store(core_spec, result)
+
+    # Phase 2: replay every eligible chip cell over its threads' traces —
+    # one task per trace-set group (a physics sweep over one mix shares its
+    # per-core traces), so each trace crosses a process boundary once per
+    # group rather than once per cell.
+    groups: Dict[Tuple[str, ...], List[Tuple[int, object]]] = {}
+    for slot, spec in replay_cells:
+        keys = tuple(cs.timing_key() for cs in spec.core_specs())
+        groups.setdefault(keys, []).append((slot, spec))
+    replay_tasks = [
+        (
+            tuple(traces[key] for key in keys),
+            tuple(spec for _, spec in members),
+        )
+        for keys, members in groups.items()
+    ]
+    replayed_groups = (
+        executor.run_tasks(execute_chip_replay_group, replay_tasks)
+        if replay_tasks
+        else []
+    )
+    if len(replayed_groups) != len(replay_tasks):
+        raise RuntimeError(
+            f"executor returned {len(replayed_groups)} groups for "
+            f"{len(replay_tasks)} replayed chip groups"
+        )
+    for members, group_results in zip(groups.values(), replayed_groups):
+        if len(group_results) != len(members):
+            raise RuntimeError(
+                f"chip replay group returned {len(group_results)} results "
+                f"for {len(members)} cells"
+            )
+        for (slot, spec), result in zip(members, group_results):
+            results[slot] = result
+            if cache is not None:
+                cache.store(spec, result)
+
+    # Phase 3: coupled chip cells (feedback-bearing chip policies).
+    specs = [spec for _, spec in coupled_cells]
+    fresh = executor.run_tasks(execute_chip_cell, specs) if specs else []
+    executor.cells_executed += len(specs)
+    if len(fresh) != len(coupled_cells):
+        raise RuntimeError(
+            f"executor returned {len(fresh)} results for "
+            f"{len(coupled_cells)} coupled chip cells"
+        )
+    for (slot, spec), result in zip(coupled_cells, fresh):
+        results[slot] = result
+        if cache is not None:
+            cache.store(spec, result)
+
+    outcome = CampaignOutcome(
+        campaign=campaign,
+        cells_executed=executor.cells_executed - executed_before,
+        cells_replayed=len(replay_cells),
         traces_captured=traces_captured,
         cache_hits=cache_hits,
         executor_description=executor.describe(),

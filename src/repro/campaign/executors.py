@@ -88,7 +88,9 @@ def execute_cell_capture(spec: RunSpec) -> Tuple[SimulationResult, ActivityTrace
     observes the timing stage); the trace can replay every other cell that
     shares this spec's :meth:`~repro.campaign.spec.RunSpec.timing_key`.
     """
-    result, trace = _build_engine(spec).run_with_trace()
+    result, trace = _build_engine(spec).run_with_trace(
+        trace_provenance={"seed": spec.seed, "trace_uops": spec.trace_uops}
+    )
     result.provenance.update(spec.provenance())
     return result, trace
 
@@ -128,6 +130,70 @@ def execute_replay_group(
     """
     trace, specs = task
     return [execute_cell_replay((spec, trace)) for spec in specs]
+
+
+def execute_chip_cell(spec) -> SimulationResult:
+    """Simulate one chip cell coupled: N timing stages, one composite physics.
+
+    ``spec`` is a :class:`~repro.chip.ChipRunSpec`; like every executor
+    function, this builds everything (trace generators, engines, the chip
+    policy) inside the executing process so tasks stay picklable.
+    """
+    from repro.chip import ChipEngine
+
+    sources = [
+        TraceGenerator(benchmark, seed=spec.seed).generate(uops).uops
+        for benchmark, uops in zip(spec.benchmarks, spec.trace_uops)
+    ]
+    engine = ChipEngine(
+        spec.config,
+        sources,
+        spec.benchmarks,
+        cores=spec.cores,
+        interval_cycles=spec.interval_cycles,
+        chip_policy=spec.chip_policy,
+    )
+    result = engine.run()
+    result.provenance.update(spec.provenance())
+    return result
+
+
+def execute_chip_replay(task) -> SimulationResult:
+    """Replay one chip cell's physics over its threads' single-core traces.
+
+    Takes a ``(ChipRunSpec, (trace, ...))`` tuple — one
+    :class:`~repro.sim.activity_trace.ActivityTrace` per thread, in core
+    order.  The traces are ordinary single-core captures (shared with any
+    single-core campaign of the same settings); the result is bit-identical
+    to :func:`execute_chip_cell` for the same spec.
+    """
+    spec, traces = task
+    from repro.chip import replay_chip
+
+    result = replay_chip(
+        spec.config,
+        traces,
+        cores=spec.cores,
+        interval_cycles=spec.interval_cycles,
+        chip_policy=spec.chip_policy,
+    )
+    result.provenance.update(spec.provenance())
+    result.provenance["replayed"] = True
+    return result
+
+
+def execute_chip_replay_group(task) -> List[SimulationResult]:
+    """Replay every chip cell of one trace-set group over its shared traces.
+
+    Mirrors :func:`execute_replay_group` one level up: chip cells whose
+    threads resolve to the same per-core trace tuple (a physics sweep over
+    one mix) are fanned out one *group* per task, so the traces are pickled
+    into a worker once per group instead of once per cell.  (Within one
+    task, pickle memoizes the shared trace objects, so a homogeneous mix's
+    repeated trace also crosses the boundary once.)
+    """
+    traces, specs = task
+    return [execute_chip_replay((spec, traces)) for spec in specs]
 
 
 def execute_campaign_task(

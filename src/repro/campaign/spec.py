@@ -274,12 +274,27 @@ class Campaign:
     before DTM existed; with N policies every (config, benchmark) cell is
     simulated once per policy, and summaries are keyed by the cell
     :attr:`~RunSpec.variant` (``"<config>@<policy>"``).
+
+    ``cores`` and ``per_core_scenarios`` are the chip-multiprocessor axes
+    (see :mod:`repro.chip`).  With ``cores > 1`` (or any explicit scenario
+    mixes) the campaign runs *chip* cells: every configuration is composed
+    into a ``cores``-core die and simulated once per workload *mix*.  A mix
+    is a tuple of benchmark/scenario names, one per thread (``("virus",
+    "gzip")``; strings like ``"virus+gzip"`` are accepted and split); mixes
+    shorter than ``cores`` leave idle cores.  ``per_core_scenarios`` left
+    empty derives homogeneous mixes from ``settings.benchmarks`` (every
+    benchmark replicated onto all cores).  In chip mode ``dtm_policies``
+    names *chip-level* policies (:func:`repro.chip.make_chip_policy` specs:
+    ``"none"``, ``"core_migration"``, ``"chip_dvfs:target=85"``, ...), and
+    summaries are keyed per mix (``"virus+gzip"``) instead of per benchmark.
     """
 
     configs: Tuple[ProcessorConfig, ...]
     settings: ExperimentSettings
     name: str = "campaign"
     dtm_policies: Tuple[str, ...] = ()
+    cores: int = 1
+    per_core_scenarios: Tuple[Tuple[str, ...], ...] = ()
 
     def __init__(
         self,
@@ -287,11 +302,19 @@ class Campaign:
         settings: ExperimentSettings,
         name: str = "campaign",
         dtm_policies: Iterable[str] = (),
+        cores: int = 1,
+        per_core_scenarios: Iterable = (),
     ) -> None:
         object.__setattr__(self, "configs", tuple(configs))
         object.__setattr__(self, "settings", settings)
         object.__setattr__(self, "name", name)
         object.__setattr__(self, "dtm_policies", tuple(dtm_policies))
+        object.__setattr__(self, "cores", int(cores))
+        mixes = tuple(
+            tuple(mix.split("+")) if isinstance(mix, str) else tuple(mix)
+            for mix in per_core_scenarios
+        )
+        object.__setattr__(self, "per_core_scenarios", mixes)
         if not self.configs:
             raise ValueError("a campaign needs at least one configuration")
         names = [config.name for config in self.configs]
@@ -301,11 +324,34 @@ class Campaign:
             raise ValueError(
                 f"DTM policy specs must be unique, got {list(self.dtm_policies)}"
             )
+        if self.cores < 1:
+            raise ValueError("cores must be at least 1")
+        if len(set(mixes)) != len(mixes):
+            raise ValueError(
+                f"per-core scenario mixes must be unique, got {list(mixes)}"
+            )
+        for mix in mixes:
+            if not mix:
+                raise ValueError("a per-core scenario mix needs at least one thread")
+            if len(mix) > self.cores:
+                raise ValueError(
+                    f"mix {'+'.join(mix)!r} has {len(mix)} threads but the "
+                    f"campaign runs {self.cores}-core chips"
+                )
+            for scenario in mix:
+                get_profile(scenario)  # raises KeyError for unknown names
         # Fail fast on unknown policies/parameters, before any simulation.
-        from repro.dtm import make_policy
+        # In chip mode the policy axis names chip-level policies.
+        if self.is_chip:
+            from repro.chip import make_chip_policy
 
-        for policy in self.dtm_policies:
-            make_policy(policy)
+            for policy in self.dtm_policies:
+                make_chip_policy(policy)
+        else:
+            from repro.dtm import make_policy
+
+            for policy in self.dtm_policies:
+                make_policy(policy)
 
     @classmethod
     def single(
@@ -316,6 +362,22 @@ class Campaign:
     ) -> "Campaign":
         """A one-configuration campaign (the old ``summarize`` shape)."""
         return cls((config,), settings, name=name or config.name)
+
+    @property
+    def is_chip(self) -> bool:
+        """Whether this campaign runs multi-core chip cells (see :mod:`repro.chip`)."""
+        return self.cores > 1 or bool(self.per_core_scenarios)
+
+    def mixes(self) -> Tuple[Tuple[str, ...], ...]:
+        """The resolved workload mixes of a chip campaign.
+
+        Explicit ``per_core_scenarios`` win; otherwise every benchmark of
+        the settings is replicated onto all cores (homogeneous mixes — the
+        ``cores`` axis alone).
+        """
+        if self.per_core_scenarios:
+            return self.per_core_scenarios
+        return tuple((b,) * self.cores for b in self.settings.benchmarks)
 
     def config_names(self) -> Tuple[str, ...]:
         return tuple(config.name for config in self.configs)
@@ -338,11 +400,34 @@ class Campaign:
 
         Cells are ordered configuration-major, then policy-major (all
         benchmarks of the first configuration's first policy first); with no
-        policy axis the order matches the legacy serial loop.
+        policy axis the order matches the legacy serial loop.  A chip
+        campaign expands into :class:`~repro.chip.ChipRunSpec` cells
+        instead, one per (config, chip policy, workload mix).
         """
         interval = self.settings.resolved_interval_cycles()
         policies: Tuple[Optional[str], ...] = self.dtm_policies or (None,)
         specs = []
+        if self.is_chip:
+            from repro.chip import ChipRunSpec
+
+            for config in self.configs:
+                scaled = scale_paper_intervals(config, interval)
+                for policy in policies:
+                    for mix in self.mixes():
+                        specs.append(
+                            ChipRunSpec(
+                                config=scaled,
+                                cores=self.cores,
+                                benchmarks=mix,
+                                trace_uops=tuple(
+                                    self.settings.trace_length(b) for b in mix
+                                ),
+                                interval_cycles=interval,
+                                seed=self.settings.seed,
+                                chip_policy=policy,
+                            )
+                        )
+            return tuple(specs)
         for config in self.configs:
             scaled = scale_paper_intervals(config, interval)
             for policy in policies:
@@ -360,8 +445,7 @@ class Campaign:
         return tuple(specs)
 
     def __len__(self) -> int:
-        return (
-            len(self.configs)
-            * max(1, len(self.dtm_policies))
-            * len(self.settings.benchmarks)
+        per_config = (
+            len(self.mixes()) if self.is_chip else len(self.settings.benchmarks)
         )
+        return len(self.configs) * max(1, len(self.dtm_policies)) * per_config

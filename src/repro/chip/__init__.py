@@ -1,0 +1,57 @@
+"""Chip multiprocessor layer: multi-core dies over the two-stage core.
+
+The paper's thermal-aware clustered microarchitecture was positioned as a
+building block for multi-core dies, where the dominant thermal effects —
+neighbour heating through the shared silicon and spreader, and activity
+migration between replicated units — only appear once several cores share a
+package.  This package composes the reproduction one level up:
+
+* :func:`build_chip_physics` / :class:`ChipEngine` — N per-core timing
+  stages over one composite-die physics stage (namespaced floorplan
+  composition, concatenated activity vectors, a single thermal solve for
+  the whole package);
+* :func:`replay_chip` — the chip physics replayed from N per-core activity
+  traces, bit-identical to the coupled run (and the traces are exactly the
+  single-core captures, so a chip sweep reuses the single-core cache);
+* :mod:`repro.chip.policies` — chip-level DTM: ``core_migration`` (the CMP
+  analogue of the paper's bank hopping: move the hot thread, cool the die)
+  and ``chip_dvfs`` (per-core voltage/frequency domains);
+* :class:`ChipRunSpec` — the campaign cell, wired into
+  :class:`repro.campaign.Campaign` through its ``cores`` /
+  ``per_core_scenarios`` axes.
+
+See ``docs/multicore.md``.
+"""
+
+from repro.chip.engine import (
+    ChipEngine,
+    build_chip_physics,
+    chip_block_groups,
+    core_prefix,
+    replay_chip,
+)
+from repro.chip.policies import (
+    CHIP_POLICIES,
+    ChipControls,
+    ChipDTMPolicy,
+    ChipObservation,
+    available_chip_policies,
+    make_chip_policy,
+)
+from repro.chip.spec import ChipRunSpec, mix_name
+
+__all__ = [
+    "ChipEngine",
+    "ChipRunSpec",
+    "CHIP_POLICIES",
+    "ChipControls",
+    "ChipDTMPolicy",
+    "ChipObservation",
+    "available_chip_policies",
+    "build_chip_physics",
+    "chip_block_groups",
+    "core_prefix",
+    "make_chip_policy",
+    "mix_name",
+    "replay_chip",
+]

@@ -1,0 +1,834 @@
+"""The chip multiprocessor engine: N timing stages over one composite die.
+
+A chip run composes the existing two-stage simulation core one level up:
+
+* **N per-core** :class:`~repro.sim.engine.TimingStage`\\ s — one per
+  *thread*, each with its own workload, seed and (optional) per-core DTM
+  policy, each producing per-interval activity-count vectors over the
+  single-core block order.  The timing stages are byte-for-byte the same
+  machinery a :class:`~repro.sim.engine.SimulationEngine` drives, so a
+  thread's captured :class:`~repro.sim.activity_trace.ActivityTrace` is
+  *identical* to the trace a single-core run of the same (config, workload,
+  seed) would capture — which is what lets a multi-core physics sweep replay
+  N cached single-core traces instead of re-running timing.
+
+* **one shared** :class:`~repro.sim.engine.PhysicsStage` over a *composite*
+  die: per-core namespaced block parameters (``core0.ROB``, ``core1.ROB``,
+  ...), a :func:`~repro.thermal.floorplan.compose_floorplans` core grid —
+  abutting dies, so the RC network carries cross-core lateral coupling in
+  addition to the shared spreader and sink — and chip-level block groups.
+  Each interval, the per-core activity vectors concatenate into one
+  chip-wide vector (a contiguous slice per core) and a *single* physics
+  solve advances the whole package.
+
+Time advances in lockstep thermal intervals.  Cores may run different cycle
+counts within one interval (a thread's final interval is shorter; a finished
+or empty core runs zero), so the power conversion divides each core's counts
+by *its own* cycles (``PowerModel`` accepts a per-block cycles vector) while
+the thermal network advances by the chip interval — the longest any core ran
+(the chip clock).  A core with no running thread contributes zero accesses
+but keeps dissipating idle (clock-distribution) and leakage power: idle
+silicon is exactly what chip-level migration trades against.
+
+With one core the composition degenerates to a pure rename of the
+single-core die, and every interval reproduces the single-core engine's
+arithmetic bit-for-bit (``tests/test_chip.py`` locks this against the same
+runs the golden fixtures pin).
+
+Chip-level DTM (:mod:`repro.chip.policies`) hooks in exactly like the
+single-core DTM hook: before each interval the policy observes
+sensor-quantized per-core peak temperatures and may migrate the hottest
+busy core's thread to the coolest idle core (``core_migration``) or walk
+per-core DVFS domains (``chip_dvfs``).  Per-core policies from
+:mod:`repro.dtm` ride along unchanged, except that whole-interval clock
+gating is denied — stop-go is a package-level decision a per-core policy
+cannot take (use ``chip_dvfs`` or fetch throttling instead).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.chip.policies import ChipControls, ChipDTMPolicy, ChipObservation, make_chip_policy
+from repro.dtm.controls import DTMControls, DTMTelemetry, FETCH_DUTY_PERIOD
+from repro.dtm.policies import DTMObservation, DTMPolicy, make_policy
+from repro.isa.microops import MicroOp
+from repro.power.energy import build_block_parameters
+from repro.sim import blocks
+from repro.sim.activity_trace import ActivityTrace, TraceRecorder, timing_feedback_reason
+from repro.sim.block_index import BlockIndex
+from repro.sim.config import ProcessorConfig
+from repro.sim.engine import PhysicsStage, TimingStage
+from repro.sim.results import SimulationResult
+from repro.sim.stats import SimulationStats
+from repro.thermal.floorplan import compose_floorplans
+from repro.thermal.sensors import SensorBank
+
+#: Separator between the core namespace and the block name.
+CORE_SEPARATOR = "."
+
+
+def core_prefix(core: int) -> str:
+    """Namespace prefix of core ``core`` (``"core0"``, ``"core1"``, ...)."""
+    return f"core{core}"
+
+
+def chip_block_groups(config: ProcessorConfig, cores: int) -> Dict[str, List[str]]:
+    """Block groups of a composite die.
+
+    Every single-core group (``Processor``, ``Frontend``, ``TraceCache``,
+    ...) becomes the union over cores — so ``Processor`` still means "the
+    whole die" and every existing metric query works on a chip result — and
+    each core additionally gets its own group (``core0``, ``core1``, ...)
+    for per-core temperature metrics.
+    """
+    single = blocks.block_groups(config)
+    groups: Dict[str, List[str]] = {
+        group: [
+            f"{core_prefix(c)}{CORE_SEPARATOR}{name}"
+            for c in range(cores)
+            for name in names
+        ]
+        for group, names in single.items()
+    }
+    all_names = blocks.all_blocks(config)
+    for c in range(cores):
+        groups[core_prefix(c)] = [
+            f"{core_prefix(c)}{CORE_SEPARATOR}{name}" for name in all_names
+        ]
+    return groups
+
+
+def build_chip_physics(
+    config: ProcessorConfig,
+    cores: int,
+    interval_cycles: Optional[int] = None,
+) -> Tuple[PhysicsStage, BlockIndex, int]:
+    """One :class:`PhysicsStage` over the composite ``cores``-core die.
+
+    Returns ``(physics, core_index, blocks_per_core)``: ``core_index`` is
+    the *single-core* block order (what each per-core timing stage emits),
+    and core ``c`` occupies the contiguous chip-vector slice
+    ``[c * blocks_per_core, (c + 1) * blocks_per_core)``.
+    """
+    if cores < 1:
+        raise ValueError("a chip needs at least one core")
+    core_parameters = build_block_parameters(config)
+    core_areas = {name: p.area_mm2 for name, p in core_parameters.items()}
+    core_index = BlockIndex(core_parameters.keys())
+    # The chip block order is defined once, through the BlockIndex
+    # composition API: per-core namespaces concatenated in core order.  The
+    # parameter dict (whose key order seeds the PowerModel's index) and the
+    # composed floorplan both follow it.
+    chip_index = BlockIndex.concat(
+        [
+            core_index.namespaced(core_prefix(c), separator=CORE_SEPARATOR)
+            for c in range(cores)
+        ]
+    )
+    from repro.thermal.floorplan import build_floorplan
+
+    core_plan = build_floorplan(config, core_areas)
+    chip_plan = compose_floorplans(
+        [core_plan] * cores,
+        [core_prefix(c) for c in range(cores)],
+        separator=CORE_SEPARATOR,
+    )
+    chip_parameters = {
+        name: core_parameters[name.split(CORE_SEPARATOR, 1)[1]]
+        for name in chip_index.names
+    }
+    physics = PhysicsStage(
+        config,
+        interval_cycles,
+        block_parameters=chip_parameters,
+        floorplan=chip_plan,
+        block_groups=chip_block_groups(config, cores),
+    )
+    return physics, core_index, len(core_index)
+
+
+def _aggregate_stats(
+    per_thread: Sequence[SimulationStats], chip_cycles: int
+) -> SimulationStats:
+    """Chip-wide stats: per-thread counters summed, cycles = the chip clock.
+
+    Lockstep intervals mean the chip's wall-cycle count is the per-interval
+    maximum summed over intervals, not the per-thread sum — so ``ipc`` on
+    the aggregate is genuine chip IPC (total committed micro-ops per chip
+    cycle).  With one thread this reduces to that thread's own stats.
+    """
+    aggregate = SimulationStats()
+    for stats in per_thread:
+        for key, value in stats.to_payload().items():
+            if key == "cycles":
+                continue
+            if isinstance(value, dict):
+                merged = getattr(aggregate, key)
+                for sub, count in value.items():
+                    merged[sub] = merged.get(sub, 0) + count
+            else:
+                setattr(aggregate, key, getattr(aggregate, key) + value)
+    aggregate.cycles = chip_cycles
+    return aggregate
+
+
+class _ChipAccounting:
+    """Per-core temperature accounting shared by the coupled and replay paths.
+
+    Accumulated from the same ``temperature_array`` both paths produce after
+    each interval, with the same operations in the same order, so the
+    resulting chip telemetry is bit-identical between them.
+    """
+
+    def __init__(self, cores: int, blocks_per_core: int) -> None:
+        self.cores = cores
+        self.blocks_per_core = blocks_per_core
+        self.peak = np.full(cores, -np.inf)
+        self.mean_sum = np.zeros(cores)
+        self.intervals = 0
+
+    def observe(self, temperature_array: np.ndarray) -> None:
+        per_core = temperature_array.reshape(self.cores, self.blocks_per_core)
+        self.peak = np.maximum(self.peak, per_core.max(axis=1))
+        self.mean_sum += per_core.mean(axis=1)
+        self.intervals += 1
+
+    def per_core(self) -> Dict[str, Dict[str, float]]:
+        out: Dict[str, Dict[str, float]] = {}
+        for c in range(self.cores):
+            out[core_prefix(c)] = {
+                "peak_celsius": float(self.peak[c]),
+                "avg_celsius": float(self.mean_sum[c] / max(1, self.intervals)),
+            }
+        return out
+
+
+def _thread_summary(benchmark: str, final_core: int, stats: SimulationStats) -> Dict:
+    return {
+        "benchmark": benchmark,
+        "final_core": final_core,
+        "cycles": stats.cycles,
+        "committed_uops": stats.committed_uops,
+        "ipc": stats.ipc,
+        "trace_cache_hit_rate": stats.trace_cache_hit_rate,
+    }
+
+
+def _finish_chip_result(
+    result: SimulationResult,
+    *,
+    cores: int,
+    benchmarks: Sequence[str],
+    per_thread_stats: Sequence[SimulationStats],
+    final_cores: Sequence[int],
+    accounting: _ChipAccounting,
+    chip_cycles: int,
+    policy_name: Optional[str],
+    migration_log: Sequence[Dict],
+    dvfs_residency: Optional[Dict[str, float]] = None,
+    thread_dtm: Optional[Sequence[Optional[Dict]]] = None,
+) -> SimulationResult:
+    """Fold the chip telemetry into a result (shared by coupled and replay)."""
+    result.stats = _aggregate_stats(per_thread_stats, chip_cycles)
+    result.provenance["cores"] = cores
+    threads = []
+    for t, (benchmark, stats) in enumerate(zip(benchmarks, per_thread_stats)):
+        summary = _thread_summary(benchmark, int(final_cores[t]), stats)
+        if thread_dtm is not None and thread_dtm[t] is not None:
+            summary["dtm"] = thread_dtm[t]
+        threads.append(summary)
+    total_uops = sum(stats.committed_uops for stats in per_thread_stats)
+    chip: Dict[str, object] = {
+        "cores": cores,
+        "benchmarks": list(benchmarks),
+        "policy": policy_name,
+        "migrations": len(migration_log),
+        "migration_log": list(migration_log),
+        "threads": threads,
+        "per_core": accounting.per_core(),
+        "aggregate": {
+            "committed_uops": total_uops,
+            "chip_ipc": total_uops / chip_cycles if chip_cycles else 0.0,
+            "peak_celsius": float(accounting.peak.max()),
+        },
+    }
+    if dvfs_residency is not None:
+        chip["dvfs_residency"] = dvfs_residency
+    result.chip = chip
+    return result
+
+
+class ChipEngine:
+    """Runs one multi-programmed workload mix on an N-core chip.
+
+    ``uop_sources`` / ``benchmarks`` describe the *threads* (at most one per
+    core; fewer threads leave idle cores for migration to use).  Thread
+    ``t`` starts on core ``t``; only the ``core_migration`` chip policy ever
+    moves it.
+
+    ``chip_policy`` is a :class:`~repro.chip.policies.ChipDTMPolicy` (or a
+    spec string for :func:`~repro.chip.policies.make_chip_policy`);
+    ``core_policies`` optionally attaches a per-core
+    :class:`~repro.dtm.policies.DTMPolicy` (or spec string) to each thread.
+    Per-core whole-interval clock gating is denied (see the module
+    docstring); everything else — fetch throttling, per-cluster DVFS —
+    composes with the chip-level actuators, strictest request winning.
+    """
+
+    def __init__(
+        self,
+        config: ProcessorConfig,
+        uop_sources: Sequence[Iterable[MicroOp]],
+        benchmarks: Sequence[str],
+        cores: Optional[int] = None,
+        interval_cycles: Optional[int] = None,
+        prewarm_caches: bool = True,
+        chip_policy: Optional[Union[ChipDTMPolicy, str]] = None,
+        core_policies: Optional[Sequence[Optional[Union[DTMPolicy, str]]]] = None,
+    ) -> None:
+        if len(uop_sources) != len(benchmarks):
+            raise ValueError(
+                f"{len(uop_sources)} uop sources for {len(benchmarks)} benchmarks"
+            )
+        if not benchmarks:
+            raise ValueError("a chip run needs at least one thread")
+        self.cores = cores if cores is not None else len(benchmarks)
+        if len(benchmarks) > self.cores:
+            raise ValueError(
+                f"{len(benchmarks)} threads do not fit on {self.cores} cores "
+                "(at most one thread per core)"
+            )
+        self.config = config
+        self.benchmarks = tuple(benchmarks)
+        self.interval_cycles = interval_cycles or config.thermal.interval_cycles
+        if self.interval_cycles <= 0:
+            raise ValueError("interval_cycles must be positive")
+
+        self.physics, self.core_index, self.blocks_per_core = build_chip_physics(
+            config, self.cores, self.interval_cycles
+        )
+        self.block_index = self.physics.block_index
+
+        self.timings: List[TimingStage] = [
+            TimingStage(
+                config,
+                source,
+                self.interval_cycles,
+                self.core_index,
+                prewarm_caches=prewarm_caches,
+            )
+            for source in uop_sources
+        ]
+        self.num_threads = len(self.timings)
+        #: Core currently executing each thread.
+        self.thread_core: List[int] = list(range(self.num_threads))
+        #: Thread on each core (-1 = idle).
+        self.core_thread: List[int] = [
+            t if t < self.num_threads else -1 for t in range(self.cores)
+        ]
+        self._finished = [False] * self.num_threads
+        self.migration_log: List[Dict] = []
+
+        # Chip-level DTM.
+        if isinstance(chip_policy, str):
+            chip_policy = make_chip_policy(chip_policy)
+        self.chip_policy = chip_policy
+        self.chip_controls: Optional[ChipControls] = None
+        self.chip_sensors: Optional[SensorBank] = None
+        self._dvfs_residency: Optional[np.ndarray] = None
+        if chip_policy is not None:
+            self.chip_controls = ChipControls(self.cores, table=chip_policy.table)
+            self.chip_sensors = SensorBank(self.block_index.names)
+            chip_policy.bind(self.cores, config, self.chip_controls)
+            self._dvfs_residency = np.zeros(len(self.chip_controls.table))
+
+        # Per-core (per-thread) DTM.
+        self.core_policies: List[Optional[DTMPolicy]] = []
+        self.core_controls: List[Optional[DTMControls]] = []
+        self.core_telemetry: List[Optional[DTMTelemetry]] = []
+        self.core_sensors: List[Optional[SensorBank]] = []
+        core_policies = core_policies or [None] * self.num_threads
+        if len(core_policies) != self.num_threads:
+            raise ValueError(
+                f"{len(core_policies)} per-core policies for "
+                f"{self.num_threads} threads"
+            )
+        for policy in core_policies:
+            if isinstance(policy, str):
+                policy = make_policy(policy)
+            self.core_policies.append(policy)
+            if policy is None:
+                self.core_controls.append(None)
+                self.core_telemetry.append(None)
+                self.core_sensors.append(None)
+            else:
+                controls = DTMControls(self.core_index, table=policy.table)
+                policy.bind(self.core_index, config, controls)
+                self.core_controls.append(controls)
+                self.core_telemetry.append(DTMTelemetry(controls.table))
+                self.core_sensors.append(SensorBank(self.core_index.names))
+
+    # ------------------------------------------------------------------
+    def _core_slice(self, core: int) -> slice:
+        return slice(core * self.blocks_per_core, (core + 1) * self.blocks_per_core)
+
+    @property
+    def replay_safe_reason(self) -> Optional[str]:
+        """Why this chip run cannot be captured for replay (``None`` = it can)."""
+        reason = timing_feedback_reason(self.config)
+        if reason is not None:
+            return reason
+        if self.chip_policy is not None and self.chip_policy.feedback:
+            return (
+                f"chip DTM policy {self.chip_policy.name!r} actuates on "
+                "temperatures"
+            )
+        for policy in self.core_policies:
+            if policy is not None and policy.feedback:
+                return f"per-core DTM policy {policy.name!r} actuates on temperatures"
+        return None
+
+    # ------------------------------------------------------------------
+    # DTM hooks
+    # ------------------------------------------------------------------
+    def _apply_policies(self, interval_index: int) -> None:
+        """Observe the die and actuate chip + per-core policies.
+
+        ``interval_index == 0`` is the post-warm-up observation: its cycles
+        have already run, so migration (and per-core interval gating, which
+        is denied on chips outright) cannot apply; operating points still
+        do, exactly like the single-core engine's interval-0 DTM hook.
+        """
+        temps = self.physics.temperature_array
+        if self.chip_policy is not None:
+            readings = self.chip_sensors.read_array(temps)
+            per_core = readings.reshape(self.cores, self.blocks_per_core)
+            busy = np.array(
+                [self.core_thread[c] >= 0 for c in range(self.cores)], dtype=bool
+            )
+            self.chip_controls.begin_interval(migration_allowed=interval_index > 0)
+            self.chip_policy.apply(
+                ChipObservation(interval_index, per_core.max(axis=1), busy),
+                self.chip_controls,
+            )
+            self._execute_migration(interval_index)
+        for t, policy in enumerate(self.core_policies):
+            if policy is None or self._finished[t]:
+                continue
+            controls = self.core_controls[t]
+            # Whole-interval gating is a package-level decision; per-core
+            # requests are always denied (the controller sees the denial).
+            controls.begin_interval(gating_allowed=False)
+            core = self.thread_core[t]
+            readings = self.core_sensors[t].read_array(temps[self._core_slice(core)])
+            policy.apply(
+                DTMObservation(
+                    interval_index=interval_index,
+                    temperatures=readings,
+                    index=self.core_index,
+                ),
+                controls,
+            )
+        self._apply_fetch_gates()
+
+    def _execute_migration(self, interval_index: int) -> None:
+        migration = self.chip_controls.migration
+        if migration is None:
+            return
+        source, target = migration
+        thread = self.core_thread[source]
+        if thread < 0 or self._finished[thread] or self.core_thread[target] >= 0:
+            return
+        self.core_thread[source] = -1
+        self.core_thread[target] = thread
+        self.thread_core[thread] = target
+        self.migration_log.append(
+            {
+                "interval": interval_index,
+                "thread": thread,
+                "from": source,
+                "to": target,
+            }
+        )
+
+    def _apply_fetch_gates(self) -> None:
+        """Translate chip DVFS ratios and per-core duties into fetch gates.
+
+        Each core is its own clock domain: a core's fetch duty is the
+        stricter of its chip-level frequency ratio and whatever its per-core
+        policy requested.
+        """
+        for t, timing in enumerate(self.timings):
+            if self._finished[t]:
+                continue
+            on = FETCH_DUTY_PERIOD
+            if self.chip_controls is not None:
+                ratio = self.chip_controls.freq_ratio(self.thread_core[t])
+                on = min(on, max(1, round(ratio * FETCH_DUTY_PERIOD)))
+            controls = self.core_controls[t]
+            if controls is not None:
+                on = min(on, controls.effective_fetch_on_cycles)
+            if on < FETCH_DUTY_PERIOD:
+                timing.processor.set_fetch_gate(on, FETCH_DUTY_PERIOD)
+            else:
+                timing.processor.clear_fetch_gate()
+
+    def _power_scales(self) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
+        """Chip-wide (dynamic, leakage) multiplier vectors, or ``(None, None)``.
+
+        Chip-level DVFS scales whole cores; per-core policy scales apply to
+        the thread's current core slice on top.  ``(None, None)`` while
+        everything sits at nominal keeps the hot path bit-identical to the
+        policy-free pipeline.
+        """
+        dynamic = leakage = None
+        if self.chip_controls is not None and not self.chip_controls.at_nominal():
+            dynamic = np.ones(len(self.block_index))
+            leakage = np.ones(len(self.block_index))
+            table = self.chip_controls.table
+            for core in range(self.cores):
+                step = self.chip_controls.core_step(core)
+                if step:
+                    point = table[step]
+                    seg = self._core_slice(core)
+                    dynamic[seg] = point.dynamic_scale
+                    leakage[seg] = point.leakage_scale
+        for t, controls in enumerate(self.core_controls):
+            if controls is None or self._finished[t]:
+                continue
+            core_dynamic, core_leakage = controls.power_scales()
+            if core_dynamic is None:
+                continue
+            if dynamic is None:
+                dynamic = np.ones(len(self.block_index))
+                leakage = np.ones(len(self.block_index))
+            seg = self._core_slice(self.thread_core[t])
+            dynamic[seg] *= core_dynamic
+            leakage[seg] *= core_leakage
+        return dynamic, leakage
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        max_intervals: Optional[int] = None,
+        warmup: bool = True,
+        recorders: Optional[Sequence[TraceRecorder]] = None,
+    ) -> SimulationResult:
+        """Run every thread to completion and return the chip-wide result.
+
+        With ``recorders`` (one per thread), each thread's timing output is
+        also captured as a per-core activity trace — refused when any policy
+        couples temperatures back into timing, exactly like the single-core
+        capture guard.
+        """
+        if recorders is not None:
+            reason = self.replay_safe_reason
+            if reason is not None:
+                raise ValueError(f"cannot capture activity traces: {reason}")
+            if len(recorders) != self.num_threads:
+                raise ValueError(
+                    f"{len(recorders)} recorders for {self.num_threads} threads"
+                )
+        physics = self.physics
+        result = physics.new_result("+".join(self.benchmarks))
+        interval_seconds = self.config.thermal.interval_seconds
+        total_blocks = len(self.block_index)
+        accounting = _ChipAccounting(self.cores, self.blocks_per_core)
+        any_policy = self.chip_policy is not None or any(
+            policy is not None for policy in self.core_policies
+        )
+        interval_index = 0
+        chip_cycle = 0
+
+        while not all(self._finished):
+            if max_intervals is not None and interval_index >= max_intervals:
+                break
+            if any_policy and interval_index > 0:
+                self._apply_policies(interval_index)
+
+            counts = np.zeros(total_blocks)
+            cycles = np.full(total_blocks, self.interval_cycles, dtype=np.int64)
+            chip_cycles = 0
+            masks: List[Tuple[int, np.ndarray]] = []
+            ran = []
+            for t, timing in enumerate(self.timings):
+                if self._finished[t]:
+                    continue
+                thread_counts, thread_cycles = timing.run_interval(self.interval_cycles)
+                if thread_counts is None:
+                    self._finished[t] = True
+                    self.core_thread[self.thread_core[t]] = -1
+                    continue
+                ran.append(t)
+                seg = self._core_slice(self.thread_core[t])
+                counts[seg] = thread_counts
+                cycles[seg] = thread_cycles
+                chip_cycles = max(chip_cycles, thread_cycles)
+                _, mask = timing.gated_state()
+                if mask is not None:
+                    masks.append((self.thread_core[t], mask))
+                if recorders is not None:
+                    recorders[t].record(
+                        thread_counts,
+                        thread_cycles,
+                        timing.processor.cycle,
+                        mask,
+                    )
+            if not ran:
+                break
+
+            gated_mask = None
+            if masks:
+                gated_mask = np.zeros(total_blocks, dtype=bool)
+                for core, mask in masks:
+                    gated_mask[self._core_slice(core)] = mask
+
+            if interval_index == 0 and warmup:
+                physics.warmup(counts, cycles, gated_mask)
+                if any_policy:
+                    # Observe the warmed-up die before the first power step;
+                    # interval 0's cycles already ran, so migration and
+                    # fetch actuation take effect from interval 1.
+                    self._apply_policies(0)
+
+            dynamic_scale, leakage_scale = (
+                self._power_scales() if any_policy else (None, None)
+            )
+            chip_cycle += chip_cycles
+            result.intervals.append(
+                physics.interval_pipeline(
+                    counts,
+                    cycles,
+                    cycle=chip_cycle,
+                    seconds=(interval_index + 1) * interval_seconds,
+                    gated_mask=gated_mask,
+                    dynamic_scale=dynamic_scale,
+                    leakage_scale=leakage_scale,
+                    dt_cycles=chip_cycles,
+                )
+            )
+            accounting.observe(physics.temperature_array)
+            if self._dvfs_residency is not None:
+                steps = self.chip_controls.steps
+                self._dvfs_residency += (
+                    np.bincount(steps, minlength=len(self._dvfs_residency))
+                    / self.cores
+                )
+            for t in ran:
+                controls = self.core_controls[t]
+                if controls is not None:
+                    self.core_telemetry[t].record_interval(
+                        controls, gated=False, fetch_actuated=interval_index > 0
+                    )
+                timing = self.timings[t]
+                core = self.thread_core[t]
+                timing.apply_bank_management(
+                    interval_index,
+                    physics.temperature_array[self._core_slice(core)],
+                )
+            interval_index += 1
+
+        result.warmup_temperature = physics.warmup_temperatures
+        per_thread_stats = []
+        for timing in self.timings:
+            stats = timing.processor.stats
+            stats.trace_cache_hits = timing.processor.trace_cache.hits
+            stats.trace_cache_misses = timing.processor.trace_cache.misses
+            stats.trace_cache_hop_flushes = timing.processor.trace_cache.hop_flushes
+            per_thread_stats.append(stats)
+        dvfs_residency = None
+        if self._dvfs_residency is not None and accounting.intervals:
+            fractions = self._dvfs_residency / accounting.intervals
+            table = self.chip_controls.table
+            dvfs_residency = {}
+            for s in range(len(table)):
+                if fractions[s] > 0.0:
+                    key = f"{table[s].freq_ratio:g}"
+                    dvfs_residency[key] = dvfs_residency.get(key, 0.0) + float(
+                        fractions[s]
+                    )
+        thread_dtm = [
+            None if telemetry is None else telemetry.as_dict()
+            for telemetry in self.core_telemetry
+        ]
+        return _finish_chip_result(
+            result,
+            cores=self.cores,
+            benchmarks=self.benchmarks,
+            per_thread_stats=per_thread_stats,
+            final_cores=self.thread_core,
+            accounting=accounting,
+            chip_cycles=chip_cycle,
+            policy_name=self.chip_policy.name if self.chip_policy else None,
+            migration_log=self.migration_log,
+            dvfs_residency=dvfs_residency,
+            thread_dtm=thread_dtm,
+        )
+
+    def run_with_traces(
+        self,
+        max_intervals: Optional[int] = None,
+        warmup: bool = True,
+        trace_provenances: Optional[Sequence[Optional[Dict]]] = None,
+    ) -> Tuple[SimulationResult, Tuple[ActivityTrace, ...]]:
+        """Coupled chip run that also captures every thread's activity trace.
+
+        Each returned trace is *identical* — byte-for-byte as a canonical
+        JSON document — to the trace a single-core
+        :meth:`~repro.sim.engine.SimulationEngine.run_with_trace` of the same
+        (config, workload, seed, interval) would capture, which is what lets
+        the campaign layer serve chip sweeps from cached single-core traces.
+        """
+        if trace_provenances is None:
+            trace_provenances = [None] * self.num_threads
+        recorders = [
+            TraceRecorder(
+                benchmark,
+                self.core_index.names,
+                self.interval_cycles,
+                provenance=provenance,
+            )
+            for benchmark, provenance in zip(self.benchmarks, trace_provenances)
+        ]
+        result = self.run(max_intervals=max_intervals, warmup=warmup, recorders=recorders)
+        traces = tuple(
+            recorder.finish(stats)
+            for recorder, stats in zip(
+                recorders, (timing.processor.stats for timing in self.timings)
+            )
+        )
+        return result, traces
+
+
+def replay_chip(
+    config: ProcessorConfig,
+    traces: Sequence[ActivityTrace],
+    cores: Optional[int] = None,
+    interval_cycles: Optional[int] = None,
+    warmup: bool = True,
+    chip_policy: Optional[Union[ChipDTMPolicy, str]] = None,
+) -> SimulationResult:
+    """Replay N per-core activity traces through one composite-die physics.
+
+    The chip analogue of :meth:`~repro.sim.engine.PhysicsStage.replay`: the
+    per-core count matrices concatenate into one
+    ``(intervals x total_blocks)`` activity matrix, the whole run's dynamic
+    power is computed in a single vectorized
+    :meth:`~repro.power.power_model.PowerModel.dynamic_power_matrix` pass
+    (per-core cycle counts supplied as a matching cycles matrix), and the
+    inherently sequential leakage/thermal chain walks the intervals over the
+    shared RC network.  Bit-identical to the coupled
+    :meth:`ChipEngine.run` of the same mix — threads that finish early idle
+    at zero activity (idle and leakage power only), exactly as the coupled
+    loop leaves them.
+
+    ``chip_policy`` may only be a non-feedback policy (``"none"``); a
+    feedback-bearing chip policy migrates threads by temperature, so its
+    cells must be simulated coupled.
+    """
+    if not traces:
+        raise ValueError("chip replay needs at least one per-core trace")
+    cores = cores if cores is not None else len(traces)
+    if len(traces) > cores:
+        raise ValueError(f"{len(traces)} traces do not fit on {cores} cores")
+    if isinstance(chip_policy, str):
+        chip_policy = make_chip_policy(chip_policy)
+    if chip_policy is not None and chip_policy.feedback:
+        raise ValueError(
+            f"chip DTM policy {chip_policy.name!r} actuates on temperatures; "
+            "its cells must be simulated coupled, not replayed"
+        )
+    physics, core_index, blocks_per_core = build_chip_physics(
+        config, cores, interval_cycles
+    )
+    for t, trace in enumerate(traces):
+        if list(trace.block_names) != list(core_index.names):
+            raise ValueError(
+                f"trace {t} was captured over a different block set; "
+                "it cannot be replayed on this configuration"
+            )
+        if trace.interval_cycles != physics.interval_cycles:
+            raise ValueError(
+                f"trace {t} was captured at interval_cycles="
+                f"{trace.interval_cycles}, not {physics.interval_cycles}"
+            )
+
+    lengths = [len(trace) for trace in traces]
+    intervals = max(lengths)
+    total_blocks = len(physics.block_index)
+    interval_cycles = physics.interval_cycles
+
+    counts = np.zeros((intervals, total_blocks))
+    cycles = np.full((intervals, total_blocks), interval_cycles, dtype=np.int64)
+    any_gated = any(trace.gated_masks is not None for trace in traces)
+    gated = np.zeros((intervals, total_blocks), dtype=bool) if any_gated else None
+    thread_cycles = np.zeros((len(traces), intervals), dtype=np.int64)
+    for t, trace in enumerate(traces):
+        seg = slice(t * blocks_per_core, (t + 1) * blocks_per_core)
+        n = lengths[t]
+        counts[:n, seg] = trace.counts
+        cycles[:n, seg] = trace.cycles[:, None]
+        thread_cycles[t, :n] = trace.cycles
+        if gated is not None and trace.gated_masks is not None:
+            gated[:n, seg] = trace.gated_masks
+    chip_cycles = thread_cycles.max(axis=0)
+
+    result = physics.new_result("+".join(trace.benchmark for trace in traces))
+    result.provenance["replayed"] = True
+    power_model = physics.power_model
+    leakage_model = power_model.leakage_model
+    interval_seconds = config.thermal.interval_seconds
+    accounting = _ChipAccounting(cores, blocks_per_core)
+
+    # The whole run's dynamic power in one (intervals x total_blocks) pass:
+    # dynamic power depends only on counts, per-core cycles and gating,
+    # never on the temperatures the sequential loop below produces.
+    dynamic_matrix = power_model.dynamic_power_matrix(counts, cycles, gated)
+    chip_cycle = 0
+    for i in range(intervals):
+        gated_row = gated[i] if gated is not None else None
+        if i == 0 and warmup:
+            physics.warmup(counts[0], cycles[0], gated_row)
+        dynamic = dynamic_matrix[i]
+        leakage_model.observe_dynamic_power_array(dynamic)
+        leakage = leakage_model.leakage_power_array(
+            physics.temperature_array, gated_row
+        )
+        dt_cycles = int(chip_cycles[i])
+        dt = interval_seconds * (dt_cycles / interval_cycles)
+        chip_cycle += dt_cycles
+        result.intervals.append(
+            physics._advance_and_record(
+                dynamic,
+                leakage,
+                dt,
+                cycle=chip_cycle,
+                seconds=(i + 1) * interval_seconds,
+            )
+        )
+        accounting.observe(physics.temperature_array)
+    result.warmup_temperature = physics.warmup_temperatures
+
+    per_thread_stats = [trace.stats_copy() for trace in traces]
+    # A non-feedback chip policy never leaves the nominal VF point, so its
+    # residency is a pure function of the interval count — reconstruct it
+    # exactly as the coupled loop records it.
+    dvfs_residency = (
+        {"1": 1.0} if chip_policy is not None and accounting.intervals else None
+    )
+    return _finish_chip_result(
+        result,
+        cores=cores,
+        benchmarks=[trace.benchmark for trace in traces],
+        per_thread_stats=per_thread_stats,
+        final_cores=list(range(len(traces))),
+        accounting=accounting,
+        chip_cycles=chip_cycle,
+        policy_name=chip_policy.name if chip_policy else None,
+        migration_log=(),
+        dvfs_residency=dvfs_residency,
+        thread_dtm=[None] * len(traces),
+    )

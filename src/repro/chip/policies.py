@@ -1,0 +1,318 @@
+"""Chip-level dynamic thermal management: migration and per-core DVFS.
+
+The single-core DTM policies of :mod:`repro.dtm` act *inside* one core —
+fetch duty, whole-interval gating, per-cluster DVFS domains.  A chip adds a
+coarser set of actuators that only exist when several cores share a package:
+
+* :class:`CoreMigrationPolicy` (``core_migration``) — the CMP analogue of
+  the paper's sub-core activity migration (bank hopping moves heat between
+  replicated trace-cache banks; migration moves a whole *thread* between
+  replicated cores).  When the hottest busy core exceeds its trigger and a
+  sufficiently cooler idle core exists, the thread migrates there and the
+  hot core cools as blank silicon.
+* :class:`ChipDVFSPolicy` (``chip_dvfs``) — every core is its own
+  voltage/frequency domain walking a :class:`~repro.dtm.controls.VFTable`.
+  Unlike the single-core DVFS policy (whose one global clock forces the
+  whole core to the slowest domain), each core of a chip genuinely runs at
+  its own frequency: the engine rations each core's fetch duty to its own
+  domain's ratio.
+* :class:`ChipNoPolicy` (``none``) — the explicit no-op; a chip run with it
+  is bit-identical to running without a chip policy, which makes it the
+  baseline of every chip sweep (and the only chip policy whose cells may be
+  *replayed* from cached per-core traces).
+
+A policy sees a :class:`ChipObservation` — sensor-quantized per-core hottest
+temperatures plus which cores currently run a thread — and mutates the
+clamped :class:`ChipControls`.  Policies are registered in
+:data:`CHIP_POLICIES` and built from compact spec strings
+(``"core_migration:trigger=78,margin=1"``) by :func:`make_chip_policy`,
+sharing the parser (and its one-line CLI-friendly errors) with
+:func:`repro.dtm.make_policy`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.dtm.controls import DEFAULT_VF_TABLE, VFTable
+from repro.dtm.policies import make_policy_from_registry
+from repro.sim.config import ProcessorConfig
+
+
+class ChipObservation:
+    """What a chip policy sees at the start of one thermal interval.
+
+    Attributes
+    ----------
+    interval_index:
+        Zero-based index of the interval about to be simulated.
+    core_max_temps:
+        Hottest sensor reading per core (degrees Celsius, core order),
+        quantized to the sensor resolution.
+    busy:
+        Boolean vector per core: ``True`` where a thread is currently
+        assigned and still executing.
+    """
+
+    def __init__(
+        self, interval_index: int, core_max_temps: np.ndarray, busy: np.ndarray
+    ) -> None:
+        self.interval_index = interval_index
+        self.core_max_temps = core_max_temps
+        self.busy = busy
+
+    def hottest_busy_core(self) -> Optional[int]:
+        """Index of the hottest core currently running a thread (or ``None``)."""
+        if not self.busy.any():
+            return None
+        temps = np.where(self.busy, self.core_max_temps, -np.inf)
+        return int(temps.argmax())
+
+    def coolest_idle_core(self) -> Optional[int]:
+        """Index of the coolest core with no thread (or ``None``)."""
+        if self.busy.all():
+            return None
+        temps = np.where(self.busy, np.inf, self.core_max_temps)
+        return int(temps.argmin())
+
+
+class ChipControls:
+    """Clamped chip-level actuators: per-core VF steps and one migration.
+
+    The chip engine owns one instance per run; the active policy mutates it
+    each interval.  Like :class:`~repro.dtm.controls.DTMControls`, every
+    request is clamped in the actuator — a policy cannot leave the VF table,
+    migrate from/to nonexistent cores, or migrate more than one thread per
+    interval.
+    """
+
+    def __init__(self, num_cores: int, table: Optional[VFTable] = None) -> None:
+        if num_cores < 1:
+            raise ValueError("a chip needs at least one core")
+        self.num_cores = num_cores
+        self.table = table or DEFAULT_VF_TABLE
+        #: Per-core VF-table step indices.
+        self._steps = np.zeros(num_cores, dtype=np.intp)
+        #: Granted migration for the interval about to run: (from_core,
+        #: to_core), or ``None``.
+        self.migration: Optional[Tuple[int, int]] = None
+        self._migration_allowed = True
+
+    def begin_interval(self, migration_allowed: bool = True) -> None:
+        """Reset the one-shot actuators before the policy runs.
+
+        Migration is one-shot per interval; VF steps are level-triggered and
+        persist.  ``migration_allowed`` is ``False`` for the interval whose
+        cycles have already run (the post-warm-up observation).
+        """
+        self.migration = None
+        self._migration_allowed = migration_allowed
+
+    def request_core_step(self, core: int, step: int) -> int:
+        """Move one core's VF domain to ``step`` (clamped into the table).
+
+        ``core`` must be a real core index: a policy addressing a
+        nonexistent core is a controller bug, surfaced loudly rather than
+        silently throttling some other core (negative indices would
+        otherwise wrap).
+        """
+        if not 0 <= core < self.num_cores:
+            raise ValueError(
+                f"core {core} out of range for a {self.num_cores}-core chip"
+            )
+        step = self.table.clamp_step(step)
+        self._steps[core] = step
+        return step
+
+    def request_migration(self, from_core: int, to_core: int) -> bool:
+        """Request moving the thread on ``from_core`` onto ``to_core``.
+
+        Returns whether the request was granted; at most one migration per
+        interval, and none for the interval whose cycles already ran.
+        """
+        if not self._migration_allowed or self.migration is not None:
+            return False
+        if not (0 <= from_core < self.num_cores and 0 <= to_core < self.num_cores):
+            return False
+        if from_core == to_core:
+            return False
+        self.migration = (from_core, to_core)
+        return True
+
+    # ------------------------------------------------------------------
+    @property
+    def steps(self) -> np.ndarray:
+        """Per-core VF-table step indices (read-only view)."""
+        return self._steps
+
+    def core_step(self, core: int) -> int:
+        return int(self._steps[core])
+
+    def freq_ratio(self, core: int) -> float:
+        """The core's current frequency ratio (1.0 = nominal)."""
+        return self.table[int(self._steps[core])].freq_ratio
+
+    def at_nominal(self) -> bool:
+        """Whether every core sits at the nominal VF point."""
+        return not self._steps.any()
+
+
+class ChipDTMPolicy:
+    """Base class / protocol of chip-level thermal management policies.
+
+    Mirrors :class:`repro.dtm.policies.DTMPolicy` one level up: ``bind`` is
+    called once per run, ``apply`` once per interval with a fresh
+    :class:`ChipObservation`.  ``feedback`` marks policies that actuate on
+    sensor readings — their instruction streams (migration) or operating
+    points depend on the physics being swept, so their cells are excluded
+    from per-core-trace replay exactly like feedback-bearing core policies.
+    """
+
+    table: Optional[VFTable] = None
+    feedback: bool = True
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def bind(
+        self, num_cores: int, config: ProcessorConfig, controls: ChipControls
+    ) -> None:
+        """Prepare for one run; subclasses must reset controller state here."""
+        self.num_cores = num_cores
+        self.config = config
+
+    def apply(self, observation: ChipObservation, controls: ChipControls) -> None:
+        raise NotImplementedError
+
+
+class ChipNoPolicy(ChipDTMPolicy):
+    """The do-nothing chip policy: bit-identical to running without one."""
+
+    feedback = False
+
+    def __init__(self) -> None:
+        super().__init__("none")
+
+    def apply(self, observation: ChipObservation, controls: ChipControls) -> None:
+        return None
+
+
+class CoreMigrationPolicy(ChipDTMPolicy):
+    """Thread migration between replicated cores (chip-level activity
+    migration).
+
+    When the hottest busy core reads at or above ``trigger`` (degrees
+    Celsius), and the coolest idle core is at least ``margin`` degrees
+    cooler, the hot core's thread migrates there.  ``cooldown`` intervals
+    must pass between migrations — migration costs real machine state (the
+    model charges the architectural move only; caches re-warm naturally as
+    the thread misses on the new core), so a sane controller does not
+    ping-pong every interval.
+    """
+
+    def __init__(
+        self, trigger: float = 80.0, margin: float = 1.0, cooldown: float = 3
+    ) -> None:
+        super().__init__(f"core_migration:trigger={trigger:g},margin={margin:g}")
+        if margin < 0:
+            raise ValueError("margin must be non-negative")
+        if cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
+        self.trigger_celsius = float(trigger)
+        self.margin_celsius = float(margin)
+        self.cooldown_intervals = int(cooldown)
+        self._last_migration = -(10**9)
+
+    def bind(
+        self, num_cores: int, config: ProcessorConfig, controls: ChipControls
+    ) -> None:
+        super().bind(num_cores, config, controls)
+        self._last_migration = -(10**9)
+
+    def apply(self, observation: ChipObservation, controls: ChipControls) -> None:
+        if (
+            observation.interval_index - self._last_migration
+            <= self.cooldown_intervals
+        ):
+            return
+        hot = observation.hottest_busy_core()
+        cool = observation.coolest_idle_core()
+        if hot is None or cool is None:
+            return
+        hot_temp = float(observation.core_max_temps[hot])
+        cool_temp = float(observation.core_max_temps[cool])
+        if hot_temp < self.trigger_celsius:
+            return
+        if hot_temp - cool_temp < self.margin_celsius:
+            return
+        if controls.request_migration(hot, cool):
+            self._last_migration = observation.interval_index
+
+
+class ChipDVFSPolicy(ChipDTMPolicy):
+    """Per-core DVFS: every core is one voltage/frequency domain.
+
+    Each interval, a core whose hottest sensor reads at or above ``target``
+    steps one entry down the :class:`~repro.dtm.controls.VFTable`; a core
+    cooler than ``target - hysteresis`` steps back up.  Voltage scales the
+    core's power (``(V/V0)^2`` dynamic, ``V/V0`` leakage) and the frequency
+    ratio is realized as that core's fetch duty — cores are independent
+    clock domains, so unlike the single-core DVFS policy, slowing one core
+    does not slow its neighbours.
+    """
+
+    def __init__(
+        self,
+        target: float = 88.0,
+        hysteresis: float = 2.0,
+        table: Optional[VFTable] = None,
+    ) -> None:
+        super().__init__(f"chip_dvfs:target={target:g}")
+        self.target_celsius = float(target)
+        self.hysteresis_celsius = float(hysteresis)
+        self.table = table or DEFAULT_VF_TABLE
+        self._steps: List[int] = []
+
+    def bind(
+        self, num_cores: int, config: ProcessorConfig, controls: ChipControls
+    ) -> None:
+        super().bind(num_cores, config, controls)
+        self._steps = [0] * num_cores
+
+    def apply(self, observation: ChipObservation, controls: ChipControls) -> None:
+        for core in range(self.num_cores):
+            hottest = float(observation.core_max_temps[core])
+            step = self._steps[core]
+            if hottest >= self.target_celsius:
+                step += 1
+            elif hottest < self.target_celsius - self.hysteresis_celsius:
+                step -= 1
+            # Remember what was granted, not what was asked (no wind-up).
+            self._steps[core] = controls.request_core_step(core, step)
+
+
+#: Named chip-policy factories, the chip analogue of
+#: :data:`repro.dtm.policies.POLICIES`.
+CHIP_POLICIES: Dict[str, Callable[..., ChipDTMPolicy]] = {
+    "none": ChipNoPolicy,
+    "core_migration": CoreMigrationPolicy,
+    "chip_dvfs": ChipDVFSPolicy,
+}
+
+
+def available_chip_policies() -> Tuple[str, ...]:
+    """Names of every registered chip-level DTM policy, in registry order."""
+    return tuple(CHIP_POLICIES)
+
+
+def make_chip_policy(spec: str) -> ChipDTMPolicy:
+    """Instantiate a chip policy from a compact spec string.
+
+    Same grammar and error behaviour as :func:`repro.dtm.make_policy`::
+
+        make_chip_policy("core_migration")
+        make_chip_policy("chip_dvfs:target=85,hysteresis=1")
+    """
+    return make_policy_from_registry(spec, CHIP_POLICIES, "chip DTM policy")

@@ -41,7 +41,7 @@ content-hashable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -338,11 +338,37 @@ def available_policies() -> Tuple[str, ...]:
     return tuple(POLICIES)
 
 
-def _parse_value(text: str) -> float:
+def _parse_value(text: str, kind: str) -> float:
     try:
         return float(text)
     except ValueError:
-        raise ValueError(f"DTM policy parameter {text!r} is not a number") from None
+        raise ValueError(f"{kind} parameter {text!r} is not a number") from None
+
+
+def make_policy_from_registry(spec: str, registry: Mapping[str, Callable], kind: str):
+    """Shared spec-string parser behind :func:`make_policy` (and the chip
+    layer's ``make_chip_policy``): ``name[:key=value,...]`` against a named
+    factory registry, with every failure reported as a one-line
+    :class:`ValueError` the CLI can surface without a traceback.
+    """
+    name, _, params = spec.partition(":")
+    name = name.strip()
+    try:
+        factory = registry[name]
+    except KeyError:
+        valid = ", ".join(registry)
+        raise ValueError(f"unknown {kind} {name!r}; valid names: {valid}") from None
+    kwargs: Dict[str, float] = {}
+    if params:
+        for item in params.split(","):
+            key, sep, value = item.partition("=")
+            if not sep:
+                raise ValueError(f"malformed {kind} parameter {item!r} in {spec!r}")
+            kwargs[key.strip()] = _parse_value(value.strip(), kind)
+    try:
+        return factory(**kwargs)
+    except TypeError as error:
+        raise ValueError(f"invalid parameters for {kind} {name!r}: {error}") from None
 
 
 def make_policy(spec: str) -> DTMPolicy:
@@ -360,21 +386,4 @@ def make_policy(spec: str) -> DTMPolicy:
     and cache-key friendly); the policy's ``name`` records the canonical
     form of its actual parameters.
     """
-    name, _, params = spec.partition(":")
-    name = name.strip()
-    try:
-        factory = POLICIES[name]
-    except KeyError:
-        valid = ", ".join(available_policies())
-        raise ValueError(f"unknown DTM policy {name!r}; valid names: {valid}") from None
-    kwargs: Dict[str, float] = {}
-    if params:
-        for item in params.split(","):
-            key, sep, value = item.partition("=")
-            if not sep:
-                raise ValueError(f"malformed DTM policy parameter {item!r} in {spec!r}")
-            kwargs[key.strip()] = _parse_value(value.strip())
-    try:
-        return factory(**kwargs)
-    except TypeError as error:
-        raise ValueError(f"invalid parameters for DTM policy {name!r}: {error}") from None
+    return make_policy_from_registry(spec, POLICIES, "DTM policy")

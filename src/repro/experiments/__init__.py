@@ -32,6 +32,10 @@ from repro.experiments.fig_dtm_comparison import (
     dtm_settings,
     run_dtm_comparison,
 )
+from repro.experiments.fig_multicore_scaling import (
+    MulticoreScalingResult,
+    run_multicore_scaling,
+)
 from repro.experiments.floorplans import describe_floorplans, floorplan_report_for
 from repro.experiments.ablations import (
     run_hop_interval_ablation,
@@ -57,6 +61,8 @@ __all__ = [
     "run_dtm_comparison",
     "DTMComparisonResult",
     "dtm_settings",
+    "run_multicore_scaling",
+    "MulticoreScalingResult",
     "describe_floorplans",
     "floorplan_report_for",
     "run_hop_interval_ablation",

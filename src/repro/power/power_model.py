@@ -78,7 +78,7 @@ class PowerModel:
     def dynamic_power_array(
         self,
         activity_counts: np.ndarray,
-        cycles: int,
+        cycles,
         gated_mask: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Per-block dynamic power (W) from a block-index-ordered count vector.
@@ -87,8 +87,17 @@ class PowerModel:
         order (``((rate * e_nJ) * 1e-9) * f + idle``) so the vectorized path
         is bit-identical to the historical dict path, which the golden-metric
         suite locks down.
+
+        ``cycles`` is the interval's cycle count — a scalar, or (for a
+        composite multi-core die whose cores' final intervals run different
+        lengths) a per-block vector in block-index order.  Dividing by a
+        vector whose entries all equal the scalar is bit-identical to the
+        scalar division, which is what keeps a 1-core chip exact.
         """
-        if cycles <= 0:
+        if isinstance(cycles, np.ndarray):
+            if (cycles <= 0).any():
+                raise ValueError("cycles must be positive")
+        elif cycles <= 0:
             raise ValueError("cycles must be positive")
         access_rate = activity_counts / cycles
         power = (
@@ -109,16 +118,22 @@ class PowerModel:
 
         ``activity_counts`` is an (intervals x blocks) count matrix (one
         activity-trace row per interval, block-index order) and ``cycles``
-        the per-interval cycle counts; ``gated_masks`` optionally gates
-        blocks per interval with a boolean matrix of the same shape.  Every
-        element is computed with exactly the scalar association order of
+        the per-interval cycle counts — a length-``intervals`` vector, or an
+        (intervals x blocks) matrix when different blocks of an interval ran
+        different cycle counts (a multi-core die whose cores finish at
+        different times); ``gated_masks`` optionally gates blocks per
+        interval with a boolean matrix of the same shape.  Every element is
+        computed with exactly the scalar association order of
         :meth:`dynamic_power_array` — NumPy elementwise broadcasting does
         not reassociate — so row ``i`` is bit-identical to the per-interval
         call, which the trace-replay equivalence suite relies on.
         """
         if np.any(cycles <= 0):
             raise ValueError("cycles must be positive")
-        access_rate = activity_counts / cycles[:, None]
+        cycles = np.asarray(cycles)
+        access_rate = activity_counts / (
+            cycles[:, None] if cycles.ndim == 1 else cycles
+        )
         power = (
             access_rate * self._energy_per_access_nj * 1e-9 * self._frequency_hz
             + self._idle_power_w
@@ -130,7 +145,7 @@ class PowerModel:
     def compute_arrays(
         self,
         activity_counts: np.ndarray,
-        cycles: int,
+        cycles,
         temperatures: np.ndarray,
         gated_mask: Optional[np.ndarray] = None,
         dynamic_scale: Optional[np.ndarray] = None,
@@ -140,7 +155,8 @@ class PowerModel:
 
         Like :meth:`compute`, the leakage model's running average of dynamic
         power is updated with this interval's dynamic power before leakage is
-        evaluated.
+        evaluated.  ``cycles`` may be a scalar or a per-block vector (see
+        :meth:`dynamic_power_array`).
 
         ``dynamic_scale`` / ``leakage_scale`` are optional per-block
         multiplier vectors (block-index order, dimensionless) supplied by the

@@ -35,7 +35,7 @@ cell of a physics sweep.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Optional, Sequence, Tuple, Union
 
@@ -46,7 +46,10 @@ from repro.sim.stats import SimulationStats
 #: Version stamp of the trace document format.  Bump on any change to the
 #: captured fields; the campaign cache embeds it in trace-artifact keys so a
 #: stale on-disk trace is never replayed by a newer implementation.
-TRACE_SCHEMA_VERSION = 1
+#: Version 2 added the ``provenance`` mapping (timing-side generation
+#: parameters: seed, trace length), which the chip layer uses to identify the
+#: single-core capture a per-core trace came from.
+TRACE_SCHEMA_VERSION = 2
 
 
 def timing_feedback_reason(config, dtm_policy: Optional[str] = None) -> Optional[str]:
@@ -107,6 +110,12 @@ class ActivityTrace:
     gated_masks: Optional[np.ndarray]
     #: Final timing statistics of the captured run.
     stats: SimulationStats
+    #: Timing-side generation parameters of the capture (``seed``,
+    #: ``trace_uops``, ...).  Strictly *timing* content only: two cells that
+    #: differ in a physics parameter must still produce byte-identical trace
+    #: documents, so nothing physics-side (and no DTM policy name — ``None``
+    #: and ``"none"`` share a trace) may ever be recorded here.
+    provenance: Dict[str, object] = field(default_factory=dict)
 
     def __len__(self) -> int:
         return int(self.counts.shape[0])
@@ -144,6 +153,7 @@ class ActivityTrace:
                 else [[bool(v) for v in row] for row in self.gated_masks]
             ),
             "stats": self.stats.to_payload(),
+            "provenance": dict(self.provenance),
         }
 
     @classmethod
@@ -165,6 +175,7 @@ class ActivityTrace:
             end_cycles=np.asarray(data["end_cycles"], dtype=np.int64),
             gated_masks=None if gated is None else np.asarray(gated, dtype=bool),
             stats=stats,
+            provenance=data.get("provenance", {}),
         )
 
     def to_json(self) -> str:
@@ -195,10 +206,17 @@ class TraceRecorder:
     run.  Counts and masks are copied: the engine hands over live arrays.
     """
 
-    def __init__(self, benchmark: str, block_names: Sequence[str], interval_cycles: int) -> None:
+    def __init__(
+        self,
+        benchmark: str,
+        block_names: Sequence[str],
+        interval_cycles: int,
+        provenance: Optional[Dict[str, object]] = None,
+    ) -> None:
         self.benchmark = benchmark
         self.block_names = tuple(block_names)
         self.interval_cycles = interval_cycles
+        self.provenance = dict(provenance or {})
         self._counts = []
         self._cycles = []
         self._end_cycles = []
@@ -240,4 +258,5 @@ class TraceRecorder:
             end_cycles=np.asarray(self._end_cycles, dtype=np.int64),
             gated_masks=masks,
             stats=stats.clone(),
+            provenance=dict(self.provenance),
         )

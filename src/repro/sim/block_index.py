@@ -55,6 +55,37 @@ class BlockIndex:
         """Vector position of ``name`` (raises ``KeyError`` if unknown)."""
         return self._positions[name]
 
+    # ------------------------------------------------------------------
+    # Composition (the chip-multiprocessor layer)
+    # ------------------------------------------------------------------
+    def namespaced(self, prefix: str, separator: str = ".") -> "BlockIndex":
+        """This index with every name prefixed ``<prefix><separator><name>``.
+
+        Order is preserved, so a vector laid out by the namespaced index is
+        element-for-element the same vector as one laid out by the original —
+        namespacing is free on the fast path.
+        """
+        if not prefix:
+            raise ValueError("namespace prefix must be non-empty")
+        return BlockIndex(f"{prefix}{separator}{name}" for name in self.names)
+
+    @classmethod
+    def concat(cls, indexes: Sequence["BlockIndex"]) -> "BlockIndex":
+        """One index over the concatenation of several (already-namespaced)
+        indexes, in order.
+
+        The chip layer lays per-core vectors out back to back: core ``c`` of
+        ``BlockIndex.concat([i0, i1, ...])`` occupies the contiguous slice
+        ``[sum(len(i0..ic-1)), sum(len(i0..ic)))``, which is what lets
+        per-core activity arrays concatenate into one physics solve.
+        """
+        if not indexes:
+            raise ValueError("concat needs at least one block index")
+        names = []
+        for index in indexes:
+            names.extend(index.names)
+        return cls(names)
+
     def positions(self, names: Sequence[str]) -> np.ndarray:
         """Vector positions of several names, as an integer array."""
         return np.array([self._positions[name] for name in names], dtype=np.intp)

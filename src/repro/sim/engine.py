@@ -255,16 +255,45 @@ class PhysicsStage:
     the same arithmetic, in the same order, so the results are bit-identical.
     """
 
-    def __init__(self, config: ProcessorConfig, interval_cycles: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        config: ProcessorConfig,
+        interval_cycles: Optional[int] = None,
+        *,
+        block_parameters=None,
+        floorplan=None,
+        block_groups=None,
+    ) -> None:
+        """Build the physics of one die.
+
+        By default the die is the single-core processor ``config`` describes:
+        block power parameters from the power model, the paper's floorplan,
+        the paper's block groups.  The chip layer (:mod:`repro.chip`) instead
+        injects a *composite* die — per-core namespaced block parameters, a
+        :func:`~repro.thermal.floorplan.compose_floorplans` core grid and
+        chip-level block groups — and every downstream stage (RC network,
+        solver, power model, block index) composes without change.
+        """
         self.config = config
         self.interval_cycles = interval_cycles or config.thermal.interval_cycles
         if self.interval_cycles <= 0:
             raise ValueError("interval_cycles must be positive")
-        self.block_parameters = build_block_parameters(config)
+        self.block_parameters = (
+            dict(block_parameters)
+            if block_parameters is not None
+            else build_block_parameters(config)
+        )
         self.block_areas = {
             name: params.area_mm2 for name, params in self.block_parameters.items()
         }
-        self.floorplan = build_floorplan(config, self.block_areas)
+        self.floorplan = (
+            floorplan
+            if floorplan is not None
+            else build_floorplan(config, self.block_areas)
+        )
+        self.block_groups = (
+            dict(block_groups) if block_groups is not None else blocks.block_groups(config)
+        )
         self.network = ThermalRCNetwork(self.floorplan, config.thermal)
         self.solver = ThermalSolver(self.network)
         self.power_model = PowerModel(config.power, self.block_parameters)
@@ -289,15 +318,17 @@ class PhysicsStage:
     def warmup(
         self,
         activity_counts: np.ndarray,
-        cycles: int,
+        cycles,
         gated_mask: Optional[np.ndarray],
     ) -> None:
         """Warm the die to the steady state of its nominal power.
 
         ``activity_counts`` are the first interval's per-block access counts
-        (block-index order) over ``cycles`` cycles; the resulting dynamic
-        power (W) is held constant while the leakage-temperature fixed point
-        iterates (temperatures in degrees Celsius, limit 381 K).
+        (block-index order) over ``cycles`` cycles (a scalar, or a per-block
+        vector on a composite die whose cores ran different cycle counts);
+        the resulting dynamic power (W) is held constant while the
+        leakage-temperature fixed point iterates (temperatures in degrees
+        Celsius, limit 381 K).
         """
         leakage_model = self.power_model.leakage_model
         # The first interval's dynamic power (constant across the warm-up
@@ -370,12 +401,13 @@ class PhysicsStage:
     def interval_pipeline(
         self,
         activity_counts: np.ndarray,
-        cycles_elapsed: int,
+        cycles_elapsed,
         cycle: int,
         seconds: float,
         gated_mask: Optional[np.ndarray] = None,
         dynamic_scale: Optional[np.ndarray] = None,
         leakage_scale: Optional[np.ndarray] = None,
+        dt_cycles: Optional[int] = None,
     ) -> IntervalRecord:
         """The power/thermal hot path of one interval: counts -> record.
 
@@ -391,6 +423,13 @@ class PhysicsStage:
         it arrives here already folded into ``activity_counts``.  The
         ``None`` defaults leave the arithmetic bit-identical to the pre-DTM
         pipeline.
+
+        ``cycles_elapsed`` may be a per-block vector on a composite die (the
+        chip layer concatenates per-core counts whose final intervals ran
+        different lengths); ``dt_cycles`` then supplies the scalar cycle
+        count the thermal network advances by (the chip clock: the longest
+        any core ran this interval).  It defaults to ``cycles_elapsed``,
+        which must be a scalar in that case.
         """
         dynamic, leakage = self.power_model.compute_arrays(
             activity_counts,
@@ -400,8 +439,10 @@ class PhysicsStage:
             dynamic_scale,
             leakage_scale,
         )
+        if dt_cycles is None:
+            dt_cycles = cycles_elapsed
         dt = self.config.thermal.interval_seconds * (
-            cycles_elapsed / self.interval_cycles
+            dt_cycles / self.interval_cycles
         )
         return self._advance_and_record(
             dynamic, leakage, dt, cycle=cycle, seconds=seconds
@@ -446,7 +487,7 @@ class PhysicsStage:
             benchmark=benchmark,
             stats=None,  # filled in by the caller
             block_names=list(self.block_parameters.keys()),
-            block_groups=blocks.block_groups(self.config),
+            block_groups=self.block_groups,
             block_areas_mm2=self.block_areas,
             ambient_celsius=self.config.thermal.ambient_celsius,
             provenance={"interval_cycles": self.interval_cycles},
@@ -877,6 +918,7 @@ class SimulationEngine:
         self,
         max_intervals: Optional[int] = None,
         warmup: bool = True,
+        trace_provenance: Optional[Dict[str, object]] = None,
     ) -> Tuple[SimulationResult, ActivityTrace]:
         """Coupled run that also captures the timing stage's activity trace.
 
@@ -884,10 +926,15 @@ class SimulationEngine:
         (capture only *observes* the timing stage); the trace, replayed
         through a :class:`PhysicsStage` built from any physics-side variant
         of this configuration, reproduces that variant's coupled run
-        bit-for-bit.
+        bit-for-bit.  ``trace_provenance`` is stamped into the trace
+        document; it may carry *timing-side* generation parameters only
+        (seed, trace length), never anything a physics sweep varies.
         """
         recorder = TraceRecorder(
-            self.benchmark, self.physics.block_index.names, self.interval_cycles
+            self.benchmark,
+            self.physics.block_index.names,
+            self.interval_cycles,
+            provenance=trace_provenance,
         )
         result = self.run(max_intervals=max_intervals, warmup=warmup, recorder=recorder)
         return result, recorder.finish(result.stats)

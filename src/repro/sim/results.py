@@ -163,6 +163,12 @@ class SimulationResult:
     #: per VF step, keyed by frequency ratio) and ``mean_freq_ratio``.
     #: Empty when the run had no DTM policy or predates schema version 3.
     dtm: Dict[str, object] = field(default_factory=dict)
+    #: Chip-multiprocessor telemetry (schema version 4): core count, per-core
+    #: benchmarks and timing/temperature summaries, chip-level DTM policy and
+    #: migration log, and chip aggregates (total micro-ops, chip IPC, peak
+    #: temperature).  Empty for single-core runs (every run before the chip
+    #: layer existed, and every ``repro.sim.engine`` run since).
+    chip: Dict[str, object] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Temperature metrics

@@ -21,12 +21,14 @@ from repro.sim.stats import SimulationStats
 #: the experiment-settings parameters of the run) that the campaign result
 #: cache keys depend on; version 3 added the ``dtm`` mapping (DTM policy name,
 #: interval/engagement counts, throttle ratio, DVFS step residency and mean
-#: frequency ratio).  Files of either earlier version still load, with the
-#: missing mappings empty.
-SCHEMA_VERSION = 3
+#: frequency ratio); version 4 added the ``chip`` mapping (core count,
+#: per-core benchmarks and summaries, chip DTM policy, migration log and
+#: chip aggregates) written by multi-core runs.  Files of any earlier
+#: version still load, with the missing mappings empty.
+SCHEMA_VERSION = 4
 
 #: Schema versions :func:`result_from_dict` can reconstruct.
-SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3)
+SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3, 4)
 
 
 def result_to_dict(result: SimulationResult) -> Dict:
@@ -35,6 +37,7 @@ def result_to_dict(result: SimulationResult) -> Dict:
         "schema_version": SCHEMA_VERSION,
         "provenance": dict(result.provenance),
         "dtm": dict(result.dtm),
+        "chip": dict(result.chip),
         "config_name": result.config_name,
         "benchmark": result.benchmark,
         "ambient_celsius": result.ambient_celsius,
@@ -90,6 +93,8 @@ def result_from_dict(data: Dict) -> SimulationResult:
         provenance=data.get("provenance", {}),
         # Absent before schema version 3 (and from runs without a DTM policy).
         dtm=data.get("dtm", {}),
+        # Absent before schema version 4 (and from single-core runs).
+        chip=data.get("chip", {}),
     )
 
 

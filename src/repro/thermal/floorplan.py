@@ -58,6 +58,16 @@ class Block:
     def center(self) -> Tuple[float, float]:
         return (self.x + self.width / 2.0, self.y + self.height / 2.0)
 
+    def renamed(self, name: str) -> "Block":
+        """The same rectangle under a different name."""
+        return Block(name=name, x=self.x, y=self.y, width=self.width, height=self.height)
+
+    def translated(self, dx: float, dy: float) -> "Block":
+        """The same rectangle shifted by ``(dx, dy)`` metres."""
+        return Block(
+            name=self.name, x=self.x + dx, y=self.y + dy, width=self.width, height=self.height
+        )
+
     def shared_edge_length(self, other: "Block") -> float:
         """Length of the boundary shared with ``other`` (0 if not adjacent)."""
         tol = _ADJACENCY_TOLERANCE_M
@@ -144,6 +154,23 @@ class Floorplan:
             if other.name != name and target.shared_edge_length(other) > 0.0
         ]
 
+    def namespaced(self, prefix: str, separator: str = ".") -> "Floorplan":
+        """This floorplan with every block renamed ``<prefix><separator><name>``.
+
+        Geometry is untouched, and block order is preserved, so the renamed
+        plan builds exactly the same conductance and capacitance matrices as
+        the original — renaming is free in the physics.
+        """
+        if not prefix:
+            raise ValueError("namespace prefix must be non-empty")
+        return Floorplan(
+            [b.renamed(f"{prefix}{separator}{b.name}") for b in self._blocks.values()]
+        )
+
+    def translated(self, dx: float, dy: float) -> "Floorplan":
+        """This floorplan shifted by ``(dx, dy)`` metres (order preserved)."""
+        return Floorplan([b.translated(dx, dy) for b in self._blocks.values()])
+
     def describe(self) -> str:
         """Tabular, human-readable description of the floorplan."""
         lines = [
@@ -158,6 +185,57 @@ class Floorplan:
                 f"{block.area_mm2:>7.2f}mm2"
             )
         return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Multi-die composition (the chip-multiprocessor layer)
+# ----------------------------------------------------------------------
+def compose_floorplans(
+    plans: Sequence[Floorplan],
+    prefixes: Sequence[str],
+    columns: int = 0,
+    separator: str = ".",
+) -> Floorplan:
+    """Compose several floorplans into one die on a core grid.
+
+    Each sub-floorplan is namespaced (``core0.ROB``, ``core1.ROB``, ...) and
+    placed into a row-major grid of ``columns`` columns (default: the
+    smallest square grid that fits, so 2 cores sit side by side and 4 cores
+    form a 2x2 grid).  Grid cells are sized by the largest sub-die, and every
+    sub-plan is anchored at its cell's origin, so identical dies abut exactly
+    edge to edge — :meth:`Block.shared_edge_length` then reports the touching
+    block pairs *across* core boundaries, and a
+    :class:`~repro.thermal.rc_model.ThermalRCNetwork` built over the
+    composite naturally produces cross-core lateral coupling in addition to
+    the coupling through the shared spreader and sink.
+
+    With a single floorplan the composition is a pure rename: the geometry —
+    and therefore every conductance and capacitance — is bit-identical to the
+    original, which is what keeps a 1-core chip equal to the single-core
+    engine.
+    """
+    if not plans:
+        raise ValueError("composition needs at least one floorplan")
+    if len(prefixes) != len(plans):
+        raise ValueError(
+            f"{len(plans)} floorplans but {len(prefixes)} namespace prefixes"
+        )
+    if len(set(prefixes)) != len(prefixes):
+        raise ValueError(f"namespace prefixes must be unique, got {list(prefixes)}")
+    if columns <= 0:
+        columns = int(len(plans) ** 0.5)
+        while columns * columns < len(plans):
+            columns += 1
+    cell_width = max(plan.die_width for plan in plans)
+    cell_height = max(plan.die_height for plan in plans)
+    placed: List[Block] = []
+    for i, (plan, prefix) in enumerate(zip(plans, prefixes)):
+        row, col = divmod(i, columns)
+        namespaced = plan.namespaced(prefix, separator=separator)
+        if row or col:
+            namespaced = namespaced.translated(col * cell_width, row * cell_height)
+        placed.extend(namespaced.blocks())
+    return Floorplan(placed)
 
 
 # ----------------------------------------------------------------------

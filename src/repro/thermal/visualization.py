@@ -1,4 +1,4 @@
-"""Text-mode visualization of floorplans and temperature fields.
+"""Visualization of floorplans and temperature fields.
 
 The paper discusses thermal maps ("as the thermal maps show", Section 4.3);
 this module renders them in plain text so they can be inspected in a
@@ -10,11 +10,21 @@ terminal, embedded in logs, or asserted on in tests:
   per-block quantity (temperature, power, area);
 * :func:`render_temperature_timeline` prints a sparkline of one block's
   temperature across thermal intervals.
+
+For multi-core composite dies (:mod:`repro.chip`) the text raster is too
+coarse, so :func:`save_heatmap_png` renders a true-colour die heatmap —
+block temperatures on a cold-to-hot ramp, thin block outlines, and a heavy
+outline around each core namespace (``core0.*``, ``core1.*``, ...).  The
+PNG is produced by a ~30-line stdlib encoder (``zlib`` + ``struct``), so
+the repository needs no plotting dependency.
 """
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+import struct
+import zlib
+from pathlib import Path
+from typing import Dict, List, Mapping, Sequence, Tuple, Union
 
 from repro.thermal.floorplan import Floorplan
 
@@ -87,6 +97,162 @@ def render_block_bar_chart(
         bar_length = 0 if largest <= 0 else int(round(width * value / largest))
         lines.append(f"{name:<10} {'#' * bar_length:<{width}} {value:8.2f}{unit}")
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# True-colour die heatmaps (multi-core composition aware)
+# ----------------------------------------------------------------------
+#: Cold-to-hot colour stops (a coolwarm-style diverging ramp).
+_COLOR_STOPS: Tuple[Tuple[int, int, int], ...] = (
+    (59, 76, 192),  # cold: blue
+    (221, 221, 221),  # middle: light grey
+    (180, 4, 38),  # hot: red
+)
+_BLOCK_EDGE = (96, 96, 96)
+_CORE_EDGE = (0, 0, 0)
+
+
+def _ramp_color(fraction: float) -> Tuple[int, int, int]:
+    """Interpolate the cold-to-hot ramp at ``fraction`` in [0, 1]."""
+    fraction = min(1.0, max(0.0, fraction))
+    segments = len(_COLOR_STOPS) - 1
+    position = fraction * segments
+    low = min(int(position), segments - 1)
+    t = position - low
+    a, b = _COLOR_STOPS[low], _COLOR_STOPS[low + 1]
+    return tuple(int(round(a[i] + (b[i] - a[i]) * t)) for i in range(3))
+
+
+def encode_png(pixels: Sequence[Sequence[Tuple[int, int, int]]]) -> bytes:
+    """Encode an RGB pixel grid (rows of (r, g, b) triples) as a PNG.
+
+    A minimal, dependency-free truecolor encoder: 8-bit RGB, no interlace,
+    filter type 0 on every scanline.  Sufficient for die heatmaps; not a
+    general-purpose image library.
+    """
+    height = len(pixels)
+    width = len(pixels[0]) if height else 0
+    if not height or not width:
+        raise ValueError("cannot encode an empty image")
+
+    def chunk(tag: bytes, data: bytes) -> bytes:
+        return (
+            struct.pack(">I", len(data))
+            + tag
+            + data
+            + struct.pack(">I", zlib.crc32(tag + data) & 0xFFFFFFFF)
+        )
+
+    header = struct.pack(">IIBBBBB", width, height, 8, 2, 0, 0, 0)
+    raw = bytearray()
+    for row in pixels:
+        raw.append(0)  # filter type 0 (None)
+        for r, g, b in row:
+            raw += bytes((r, g, b))
+    return (
+        b"\x89PNG\r\n\x1a\n"
+        + chunk(b"IHDR", header)
+        + chunk(b"IDAT", zlib.compress(bytes(raw), 9))
+        + chunk(b"IEND", b"")
+    )
+
+
+def _core_bounds(
+    floorplan: Floorplan, separator: str
+) -> Dict[str, Tuple[float, float, float, float]]:
+    """Bounding box (x0, y0, x1, y1) of each core namespace, if any."""
+    bounds: Dict[str, Tuple[float, float, float, float]] = {}
+    for block in floorplan.blocks():
+        if separator not in block.name:
+            return {}
+        prefix = block.name.split(separator, 1)[0]
+        x0, y0, x1, y1 = bounds.get(
+            prefix, (float("inf"), float("inf"), float("-inf"), float("-inf"))
+        )
+        bounds[prefix] = (
+            min(x0, block.x),
+            min(y0, block.y),
+            max(x1, block.x + block.width),
+            max(y1, block.y + block.height),
+        )
+    return bounds if len(bounds) > 1 else {}
+
+
+def render_heatmap_pixels(
+    floorplan: Floorplan,
+    temperatures: Mapping[str, float],
+    width_px: int = 480,
+    core_separator: str = ".",
+) -> List[List[Tuple[int, int, int]]]:
+    """Rasterize a die heatmap to an RGB pixel grid.
+
+    Blocks are filled with the cold-to-hot ramp (normalized over the die),
+    outlined in grey; when the floorplan is a namespaced composition
+    (every name ``<core><separator><block>``, more than one core), each
+    core's bounding box gets a heavy black outline so the per-core dies read
+    at a glance.
+    """
+    if width_px <= 0:
+        raise ValueError("width_px must be positive")
+    missing = [name for name in floorplan.block_names if name not in temperatures]
+    if missing:
+        raise KeyError(f"temperatures missing for blocks: {missing}")
+    t_min = min(temperatures[name] for name in floorplan.block_names)
+    t_max = max(temperatures[name] for name in floorplan.block_names)
+    span = (t_max - t_min) or 1.0
+    scale = width_px / floorplan.die_width
+    height_px = max(1, int(round(floorplan.die_height * scale)))
+    pixels: List[List[Tuple[int, int, int]]] = [
+        [(255, 255, 255)] * width_px for _ in range(height_px)
+    ]
+
+    def clamp_x(value: float) -> int:
+        return min(width_px, max(0, int(round(value * scale))))
+
+    def clamp_y(value: float) -> int:
+        return min(height_px, max(0, int(round(value * scale))))
+
+    for block in floorplan.blocks():
+        x0, x1 = clamp_x(block.x), clamp_x(block.x + block.width)
+        y0, y1 = clamp_y(block.y), clamp_y(block.y + block.height)
+        color = _ramp_color((temperatures[block.name] - t_min) / span)
+        for y in range(y0, y1):
+            row = pixels[y]
+            edge_row = y == y0 or y == y1 - 1
+            for x in range(x0, x1):
+                row[x] = (
+                    _BLOCK_EDGE
+                    if edge_row or x == x0 or x == x1 - 1
+                    else color
+                )
+    for x0f, y0f, x1f, y1f in _core_bounds(floorplan, core_separator).values():
+        x0, x1 = clamp_x(x0f), clamp_x(x1f)
+        y0, y1 = clamp_y(y0f), clamp_y(y1f)
+        for thickness in range(2):
+            for x in range(x0, x1):
+                pixels[min(y0 + thickness, height_px - 1)][x] = _CORE_EDGE
+                pixels[max(y1 - 1 - thickness, 0)][x] = _CORE_EDGE
+            for y in range(y0, y1):
+                pixels[y][min(x0 + thickness, width_px - 1)] = _CORE_EDGE
+                pixels[y][max(x1 - 1 - thickness, 0)] = _CORE_EDGE
+    return pixels
+
+
+def save_heatmap_png(
+    floorplan: Floorplan,
+    temperatures: Mapping[str, float],
+    path: Union[str, Path],
+    width_px: int = 480,
+    core_separator: str = ".",
+) -> Path:
+    """Render a (possibly multi-core) die heatmap and write it as a PNG."""
+    pixels = render_heatmap_pixels(
+        floorplan, temperatures, width_px=width_px, core_separator=core_separator
+    )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(encode_png(pixels))
+    return path
 
 
 def render_temperature_timeline(

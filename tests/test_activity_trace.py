@@ -208,3 +208,25 @@ def test_hopping_trace_records_the_gating_schedule():
     assert set(trace.gated_masks.sum(axis=1).tolist()) == {1}
     # The rotation moves: not every interval gates the same bank.
     assert len({tuple(row) for row in trace.gated_masks}) > 1
+
+
+def test_trace_provenance_round_trips_and_versions():
+    """Schema v2 stamps timing-side provenance into the trace document."""
+    from repro.sim.activity_trace import TRACE_SCHEMA_VERSION
+
+    assert TRACE_SCHEMA_VERSION == 2
+    stream = TraceGenerator("gzip", seed=7).generate(1_000)
+    engine = SimulationEngine(
+        baseline_config(), stream.uops, "gzip", interval_cycles=800
+    )
+    _, trace = engine.run_with_trace(
+        trace_provenance={"seed": 11, "trace_uops": 2000}
+    )
+    assert trace.provenance == {"seed": 11, "trace_uops": 2000}
+    clone = ActivityTrace.from_json(trace.to_json())
+    assert clone.provenance == trace.provenance
+    # An old-version document is refused (the cache keys it away anyway).
+    data = trace.to_dict()
+    data["trace_schema_version"] = 1
+    with pytest.raises(ValueError, match="schema version"):
+        ActivityTrace.from_dict(data)

@@ -109,3 +109,69 @@ def test_cache_stats_and_prune_subcommands(tmp_path, capsys):
     # prune without a budget is a usage error, reported CLI-style.
     assert main(["cache", "prune", "--cache-dir", str(cache_dir)]) == 2
     assert "requires --max-bytes" in capsys.readouterr().err
+
+
+def test_malformed_dtm_specs_become_one_line_errors(capsys):
+    """Malformed --dtm policy specs exit 2 with a message, never a traceback."""
+    argv = ["run", "--configs", "baseline", "--benchmarks", "gzip"]
+    assert main(argv + ["--dtm", "dvfs:target"]) == 2
+    err = capsys.readouterr().err
+    assert "malformed DTM policy parameter 'target'" in err
+    assert "Traceback" not in err
+
+    assert main(argv + ["--dtm", "bogus_policy"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown DTM policy 'bogus_policy'" in err
+    assert "valid names:" in err
+
+    assert main(argv + ["--dtm", "dvfs:target=hot"]) == 2
+    assert "is not a number" in capsys.readouterr().err
+
+    assert main(argv + ["--dtm", "duty=0.5"]) == 2
+    assert "misplaced DTM policy parameter" in capsys.readouterr().err
+
+
+def test_unknown_scenario_names_become_one_line_errors(capsys):
+    assert main(["run", "--benchmarks", "not_a_scenario"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown benchmark or scenario 'not_a_scenario'" in err
+    assert "valid names:" in err
+    assert "Traceback" not in err
+
+    # The same friendliness covers per-core scenario mixes.
+    assert main(["run", "--per-core-scenarios", "gzip+nosuch"]) == 2
+    assert "unknown benchmark or scenario 'nosuch'" in capsys.readouterr().err
+
+
+def test_chip_options_are_validated(capsys):
+    assert main(["run", "--cores", "0"]) == 2
+    assert "--cores must be at least 1" in capsys.readouterr().err
+
+    assert main(["run", "--cores", "2", "--per-core-scenarios", "gzip+swim+mcf"]) == 2
+    assert "has 3 threads" in capsys.readouterr().err
+
+    assert main(["run", "--figure", "fig01", "--cores", "2"]) == 2
+    assert "--figure multicore" in capsys.readouterr().err
+
+    assert main(
+        ["run", "--cores", "2", "--benchmarks", "gzip", "--dtm", "fetch_throttle"]
+    ) == 2
+    assert "unknown chip DTM policy" in capsys.readouterr().err
+
+
+def test_run_chip_campaign_from_cli(tmp_path, capsys):
+    output = tmp_path / "chip.json"
+    argv = [
+        "run",
+        "--configs", "baseline",
+        "--per-core-scenarios", "thermal_virus+idle_crawl",
+        "--uops", "1200",
+        "--output", str(output),
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "1 mixes on 2-core chips" in out
+    assert "2 simulated, 1 replayed" in out
+    payload = json.loads(output.read_text())
+    summary = payload["configurations"]["baseline"]
+    assert summary["benchmarks"] == ["thermal_virus+idle_crawl"]

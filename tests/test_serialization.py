@@ -80,7 +80,7 @@ def test_schema_v2_records_interval_provenance(simulated_result):
 
 def test_schema_v3_round_trips_dtm_telemetry(simulated_result):
     """Schema v3 persists the DTM telemetry mapping; v2 files load without it."""
-    assert SCHEMA_VERSION == 3
+    assert SCHEMA_VERSION >= 3
     telemetry = {"policy": "dvfs:target=82", "throttle_ratio": 0.25}
     # Copy rather than mutate: the fixture is module-scoped.
     managed = dataclasses.replace(simulated_result, dtm=telemetry)

@@ -136,3 +136,79 @@ def test_shared_edges_of_a_row_of_blocks_property(widths, x):
         cursor += width
     for left, right in zip(blocks_, blocks_[1:]):
         assert left.shared_edge_length(right) == pytest.approx(height)
+
+
+# ----------------------------------------------------------------------
+# Namespaced composition (the chip-multiprocessor layer)
+# ----------------------------------------------------------------------
+def test_namespaced_floorplan_preserves_geometry_and_order():
+    from repro.thermal.floorplan import compose_floorplans
+
+    config = baseline_config()
+    params = build_block_parameters(config)
+    plan = build_floorplan(config, {n: p.area_mm2 for n, p in params.items()})
+    renamed = plan.namespaced("core0")
+    assert renamed.block_names == [f"core0.{n}" for n in plan.block_names]
+    for a, b in zip(plan.blocks(), renamed.blocks()):
+        assert (a.x, a.y, a.width, a.height) == (b.x, b.y, b.width, b.height)
+    # One-core composition is a pure rename (bit-identical geometry).
+    composed = compose_floorplans([plan], ["core0"])
+    for a, b in zip(renamed.blocks(), composed.blocks()):
+        assert (a.name, a.x, a.y, a.width, a.height) == (b.name, b.x, b.y, b.width, b.height)
+
+
+def test_compose_floorplans_grid_placement_and_cross_core_adjacency():
+    from repro.thermal.floorplan import compose_floorplans
+
+    config = baseline_config()
+    params = build_block_parameters(config)
+    plan = build_floorplan(config, {n: p.area_mm2 for n, p in params.items()})
+
+    two = compose_floorplans([plan] * 2, ["core0", "core1"])
+    assert two.die_width == pytest.approx(2 * plan.die_width)
+    assert two.die_height == pytest.approx(plan.die_height)
+    # Abutting dies share edges across the core boundary.
+    cross = [
+        (a, b)
+        for a, b, _ in two.adjacency()
+        if a.split(".", 1)[0] != b.split(".", 1)[0]
+    ]
+    assert cross
+
+    four = compose_floorplans([plan] * 4, [f"core{c}" for c in range(4)])
+    assert four.die_width == pytest.approx(2 * plan.die_width)
+    assert four.die_height == pytest.approx(2 * plan.die_height)
+    assert four.die_area == pytest.approx(4 * plan.die_area)
+
+    three = compose_floorplans([plan] * 3, [f"core{c}" for c in range(3)])
+    assert three.die_height == pytest.approx(2 * plan.die_height)
+
+
+def test_compose_floorplans_validates_inputs():
+    from repro.thermal.floorplan import compose_floorplans
+
+    config = baseline_config()
+    params = build_block_parameters(config)
+    plan = build_floorplan(config, {n: p.area_mm2 for n, p in params.items()})
+    with pytest.raises(ValueError, match="at least one"):
+        compose_floorplans([], [])
+    with pytest.raises(ValueError, match="prefixes"):
+        compose_floorplans([plan, plan], ["core0"])
+    with pytest.raises(ValueError, match="unique"):
+        compose_floorplans([plan, plan], ["core0", "core0"])
+    with pytest.raises(ValueError, match="non-empty"):
+        plan.namespaced("")
+
+
+def test_block_index_namespacing_and_concat():
+    from repro.sim.block_index import BlockIndex
+
+    index = BlockIndex(["ROB", "RAT"])
+    spaced = index.namespaced("core1")
+    assert spaced.names == ("core1.ROB", "core1.RAT")
+    chip = BlockIndex.concat([index.namespaced("core0"), index.namespaced("core1")])
+    assert chip.position("core1.ROB") == 2
+    with pytest.raises(ValueError):
+        BlockIndex.concat([])
+    with pytest.raises(ValueError):
+        index.namespaced("")

@@ -1,0 +1,98 @@
+"""Laplacian property tests for :class:`ThermalRCNetwork`.
+
+The conductance matrix of a physically meaningful RC network is a weighted
+graph Laplacian with exactly one ambient leak: symmetric, non-positive off
+the diagonal (couplings are non-negative conductances), zero row sums on
+every node except the sink, whose surplus is precisely the convection
+conductance to ambient.  These invariants — checked here on randomized
+floorplans and on composite multi-core dies — are what make an arbitrary
+composition trustworthy: any floorplan that satisfies them yields a passive,
+energy-conserving network, whatever its shape.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.chip import build_chip_physics
+from repro.core.presets import baseline_config
+from repro.sim.config import ThermalConfig
+from repro.thermal.floorplan import Block, Floorplan, compose_floorplans
+from repro.thermal.rc_model import ThermalRCNetwork
+
+
+def random_grid_floorplan(rng: random.Random) -> Floorplan:
+    """A random MxN grid of blocks with random column widths and row heights."""
+    columns = rng.randint(2, 5)
+    rows = rng.randint(2, 5)
+    widths = [rng.uniform(0.5e-3, 2.5e-3) for _ in range(columns)]
+    heights = [rng.uniform(0.5e-3, 2.5e-3) for _ in range(rows)]
+    blocks = []
+    y = 0.0
+    for r, height in enumerate(heights):
+        x = 0.0
+        for c, width in enumerate(widths):
+            blocks.append(Block(name=f"b{r}_{c}", x=x, y=y, width=width, height=height))
+            x += width
+        y += height
+    return Floorplan(blocks)
+
+
+def assert_laplacian_invariants(network: ThermalRCNetwork) -> None:
+    __tracebackhide__ = True
+    g = network.conductance
+    # Symmetry is exact: couplings are added pairwise.
+    assert np.array_equal(g, g.T)
+    # Off-diagonal entries are non-positive (non-negative conductances).
+    off = g - np.diag(np.diag(g))
+    assert (off <= 0.0).all()
+    assert (np.diag(g) > 0.0).all()
+    # Row sums vanish everywhere except the sink row, whose surplus is the
+    # ambient (convection) conductance — the network's only leak.
+    row_sums = g.sum(axis=1)
+    scale = np.abs(g).max()
+    for node in range(network.num_nodes):
+        if node == network.sink_index:
+            assert row_sums[node] == pytest.approx(
+                1.0 / network.package.sink_to_ambient_resistance, rel=1e-9
+            )
+        else:
+            assert abs(row_sums[node]) <= scale * 1e-9
+    # Every node stores energy.
+    assert (network.capacitance > 0.0).all()
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_randomized_floorplans_build_valid_laplacians(seed):
+    rng = random.Random(seed)
+    floorplan = random_grid_floorplan(rng)
+    network = ThermalRCNetwork(floorplan, ThermalConfig())
+    assert_laplacian_invariants(network)
+
+
+@pytest.mark.parametrize("seed", range(3))
+@pytest.mark.parametrize("cores", [2, 4])
+def test_composite_floorplans_build_valid_laplacians(seed, cores):
+    """Namespaced grid composition preserves every Laplacian invariant."""
+    rng = random.Random(100 + seed)
+    sub = random_grid_floorplan(rng)
+    composite = compose_floorplans(
+        [sub] * cores, [f"core{c}" for c in range(cores)]
+    )
+    network = ThermalRCNetwork(composite, ThermalConfig())
+    assert_laplacian_invariants(network)
+    # Composition coupled the sub-dies: at least one cross-namespace edge.
+    blocks_per_core = len(sub)
+    cross = network.conductance[:blocks_per_core, blocks_per_core : 2 * blocks_per_core]
+    assert (cross < 0.0).any()
+
+
+def test_real_chip_network_is_a_valid_laplacian():
+    physics, _, _ = build_chip_physics(baseline_config(), 4)
+    assert_laplacian_invariants(physics.network)
+
+
+def test_single_core_network_is_a_valid_laplacian():
+    physics, _, _ = build_chip_physics(baseline_config(), 1)
+    assert_laplacian_invariants(physics.network)

@@ -71,3 +71,62 @@ def test_timeline_downsamples_long_histories():
     # The sparkline body is bounded by the requested width.
     body = line.split(":", 1)[1].split("(")[0].strip()
     assert len(body) <= 40
+
+
+# ----------------------------------------------------------------------
+# PNG die heatmaps (multi-core composition aware)
+# ----------------------------------------------------------------------
+def _png_dimensions(data: bytes):
+    import struct
+
+    assert data[:8] == b"\x89PNG\r\n\x1a\n"
+    assert data[12:16] == b"IHDR"
+    return struct.unpack(">II", data[16:24])
+
+
+def test_two_core_composite_heatmap_renders_to_png(tmp_path):
+    """Smoke: the 2-core composite floorplan renders to a real PNG file."""
+    from repro.chip import build_chip_physics
+    from repro.thermal.visualization import save_heatmap_png
+
+    physics, _, _ = build_chip_physics(baseline_config(), 2)
+    floorplan = physics.floorplan
+    # A per-core gradient so both the ramp and the outlines exercise.
+    temperatures = {
+        name: (95.0 if name.startswith("core0.") else 55.0) + i * 0.1
+        for i, name in enumerate(floorplan.block_names)
+    }
+    path = save_heatmap_png(floorplan, temperatures, tmp_path / "chip.png", width_px=160)
+    data = path.read_bytes()
+    width, height = _png_dimensions(data)
+    assert width == 160
+    expected_height = round(floorplan.die_height / floorplan.die_width * 160)
+    assert abs(height - expected_height) <= 1
+    assert data.endswith(b"IEND\xaeB`\x82")
+
+
+def test_heatmap_pixels_mark_core_outlines_and_ramp():
+    from repro.chip import build_chip_physics
+    from repro.thermal.visualization import render_heatmap_pixels
+
+    physics, _, _ = build_chip_physics(baseline_config(), 2)
+    floorplan = physics.floorplan
+    temperatures = {
+        name: 95.0 if name.startswith("core0.") else 55.0
+        for name in floorplan.block_names
+    }
+    pixels = render_heatmap_pixels(floorplan, temperatures, width_px=120)
+    flat = [pixel for row in pixels for pixel in row]
+    assert (0, 0, 0) in flat  # core outlines
+    reds = [r for r, g, b in flat if r > 150 and b < 80]
+    blues = [b for r, g, b in flat if b > 150 and r < 80]
+    assert reds and blues  # both ends of the ramp are on the die
+
+
+def test_single_core_heatmap_has_no_core_outline(floorplan):
+    from repro.thermal.visualization import render_heatmap_pixels
+
+    temperatures = {name: 70.0 for name in floorplan.block_names}
+    pixels = render_heatmap_pixels(floorplan, temperatures, width_px=80)
+    flat = [pixel for row in pixels for pixel in row]
+    assert (0, 0, 0) not in flat

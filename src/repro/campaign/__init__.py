@@ -56,6 +56,7 @@ from repro.campaign.core import (
 )
 from repro.campaign.executors import (
     Executor,
+    ExecutorTaskError,
     ParallelExecutor,
     SerialExecutor,
     execute_cell,
@@ -79,6 +80,7 @@ __all__ = [
     "ConfigBuilder",
     "ConfigurationSummary",
     "Executor",
+    "ExecutorTaskError",
     "ExperimentSettings",
     "ParallelExecutor",
     "QUICK_BENCHMARKS",

@@ -151,13 +151,16 @@ class ResultCache:
 
         Results and trace artifacts age together (least-recently-modified
         first) — every entry is re-creatable, a trace merely costs one
-        timing simulation to rebuild.  Returns what was removed.
+        timing simulation to rebuild.  Ties on modification time break by
+        file name, so the eviction order is deterministic rather than
+        whatever order the filesystem happens to iterate a directory in.
+        Returns what was removed.
         """
         if max_bytes < 0:
             raise ValueError("max_bytes must be non-negative")
         entries = sorted(
             self._result_files() + self._trace_files(),
-            key=lambda path: path.stat().st_mtime,
+            key=lambda path: (path.stat().st_mtime, path.name),
         )
         total = sum(path.stat().st_size for path in entries)
         removed = 0

@@ -22,7 +22,21 @@ Subcommands:
   ``cache stats --cache-dir DIR`` prints entry/byte counts by kind, and
   ``cache prune --cache-dir DIR --max-bytes N`` deletes the oldest entries
   until the directory fits the budget;
-* ``floorplan`` — print the floorplan of a named preset.
+* ``floorplan`` — print the floorplan of a named preset;
+* ``serve`` — run the campaign service (:mod:`repro.service`): an HTTP job
+  server with a persistent worker pool and an optional shared sharded
+  result cache (``--cache-dir``/``--cache-max-bytes`` turn on LRU budget
+  enforcement via a background janitor).  Ctrl-C drains in-flight jobs
+  and exits 130;
+* ``submit`` — submit an ad-hoc campaign to a running service
+  (``--server URL``) using the same axes flags as ``run``.  If the server
+  is unreachable the campaign runs locally instead, with a warning;
+  ``--wait`` polls the job to completion and ``--output`` writes its
+  results payload;
+* ``status`` — list a service's jobs, or show one job (``--job N``,
+  ``--results`` embeds the results payload, ``--metrics`` prints server
+  metrics);
+* ``watch`` — follow one job's NDJSON progress event stream to stdout.
 
 Benchmark lists accept scenario names everywhere (``--benchmarks
 thermal_virus,gzip`` is a valid mix), and ``--benchmarks scenarios`` expands
@@ -54,6 +68,7 @@ from repro.campaign.core import CampaignOutcome, run_campaign
 from repro.campaign.executors import Executor, make_executor
 from repro.campaign.spec import Campaign, ExperimentSettings, available_benchmarks
 from repro.campaign.summary import ConfigurationSummary
+from repro.service.client import ServiceClient, ServiceError, ServiceUnavailable
 
 #: Block groups included in JSON summaries (the groups the paper reports on).
 SUMMARY_GROUPS = (
@@ -473,45 +488,230 @@ def _cmd_run(args: argparse.Namespace) -> int:
     executor = make_executor(args.jobs)
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
 
-    if args.figure == "dtm":
-        status = _run_dtm_figure(args, executor, cache)
-    elif args.figure == "multicore":
-        status = _run_multicore_figure(args, executor, cache)
-    elif args.figure:
-        settings = _settings_from_args(args)
-        status = _run_figure(args.figure, settings, executor, cache, args.output)
-    else:
-        from repro.core.presets import FrontendOrganization, config_for
+    try:
+        if args.figure == "dtm":
+            status = _run_dtm_figure(args, executor, cache)
+        elif args.figure == "multicore":
+            status = _run_multicore_figure(args, executor, cache)
+        elif args.figure:
+            settings = _settings_from_args(args)
+            status = _run_figure(args.figure, settings, executor, cache, args.output)
+        else:
+            from repro.core.presets import FrontendOrganization, config_for
 
-        settings = _settings_from_args(args)
-        names = args.configs.split(",") if args.configs else ["baseline"]
-        configs = [config_for(FrontendOrganization(name)) for name in names]
-        policies = _policies_from_arg(args.dtm) if args.dtm else ()
-        mixes = (
-            _mixes_from_arg(args.per_core_scenarios)
-            if args.per_core_scenarios
-            else ()
-        )
-        cores = args.cores if args.cores is not None else (
-            max(len(mix) for mix in mixes) if mixes else 1
-        )
-        campaign = Campaign(
-            configs,
-            settings,
-            name="cli",
-            dtm_policies=policies,
-            cores=cores,
-            per_core_scenarios=mixes,
-        )
-        outcome = run_campaign(campaign, executor, cache)
-        from repro.experiments.reporting import format_campaign_outcome
+            settings = _settings_from_args(args)
+            names = args.configs.split(",") if args.configs else ["baseline"]
+            configs = [config_for(FrontendOrganization(name)) for name in names]
+            policies = _policies_from_arg(args.dtm) if args.dtm else ()
+            mixes = (
+                _mixes_from_arg(args.per_core_scenarios)
+                if args.per_core_scenarios
+                else ()
+            )
+            cores = args.cores if args.cores is not None else (
+                max(len(mix) for mix in mixes) if mixes else 1
+            )
+            campaign = Campaign(
+                configs,
+                settings,
+                name="cli",
+                dtm_policies=policies,
+                cores=cores,
+                per_core_scenarios=mixes,
+            )
+            outcome = run_campaign(campaign, executor, cache)
+            from repro.experiments.reporting import format_campaign_outcome
 
-        print(format_campaign_outcome(outcome))
-        _write_output(_outcome_payload(outcome), args.output)
-        status = 0
+            print(format_campaign_outcome(outcome))
+            _write_output(_outcome_payload(outcome), args.output)
+            status = 0
+    except KeyboardInterrupt:
+        # In-flight worker tasks have already drained: ParallelExecutor's
+        # pool context manager waits for them on the way out.
+        print(
+            f"repro-campaign: interrupted after {executor.cells_executed} "
+            "simulated cell(s)"
+            + ("; completed cells are in the cache" if cache is not None else ""),
+            file=sys.stderr,
+        )
+        return 130
     if cache is not None:
         print(f"[cache] {cache!r}")
     return status
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``serve``: run the HTTP campaign service until interrupted."""
+    from repro.service import (
+        CampaignService,
+        ShardedResultCache,
+        WorkerPool,
+        create_server,
+    )
+
+    cache = None
+    if args.cache_dir:
+        cache = ShardedResultCache(
+            args.cache_dir,
+            shards=args.cache_shards,
+            max_bytes=args.cache_max_bytes,
+        )
+        if args.cache_max_bytes is not None:
+            cache.start_janitor(args.janitor_interval)
+    import os
+
+    workers = args.workers if args.workers else (os.cpu_count() or 2)
+    pool = WorkerPool(
+        workers=workers,
+        mode=args.worker_mode,
+        task_timeout=args.task_timeout,
+        retries=args.retries,
+    )
+    service = CampaignService(
+        pool=pool, cache=cache, max_concurrent_jobs=args.max_jobs
+    )
+    server = create_server(
+        service, host=args.host, port=args.port, verbose=args.verbose
+    )
+    print(f"repro-campaign service listening on {server.address}")
+    print(
+        f"  {workers} {args.worker_mode} worker(s), "
+        f"{args.max_jobs} concurrent job slot(s), "
+        + (
+            f"cache at {cache.directory}"
+            if cache is not None  # an EMPTY cache is falsy (len == 0)
+            else "no result cache"
+        )
+    )
+    sys.stdout.flush()
+    import signal
+
+    def _sigterm(signum, frame):
+        raise KeyboardInterrupt
+
+    # SIGTERM (plain `kill`, container stop) drains like Ctrl-C.  SIGINT
+    # alone would not be enough: processes backgrounded by non-interactive
+    # shells start with SIGINT ignored, and Python leaves it ignored.
+    previous_sigterm = signal.signal(signal.SIGTERM, _sigterm)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print(
+            "repro-campaign: interrupt — draining in-flight jobs ...",
+            file=sys.stderr,
+        )
+        # serve_forever already exited via the interrupt; just release the
+        # socket (server.shutdown() would wait on the serve loop).
+        server.server_close()
+        service.shutdown(drain=True, timeout=args.drain_timeout)
+        counts = service.store.counts()
+        print(
+            f"repro-campaign: drained {counts['total']} job(s): "
+            f"{counts['done']} done, {counts['failed']} failed, "
+            f"{counts['cancelled']} cancelled",
+            file=sys.stderr,
+        )
+        return 130
+    finally:
+        signal.signal(signal.SIGTERM, previous_sigterm)
+    return 0  # pragma: no cover - serve_forever only exits via interrupt
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """``submit``: send a campaign to a service, or run locally if down."""
+    from repro.service.codec import campaign_from_payload, payload_from_options
+
+    payload = payload_from_options(
+        configs=args.configs.split(",") if args.configs else None,
+        scale=args.scale,
+        benchmarks=list(_benchmarks_from_arg(args.benchmarks))
+        if args.benchmarks
+        else None,
+        uops=args.uops,
+        seed=args.seed,
+        dtm_policies=_policies_from_arg(args.dtm) if args.dtm else None,
+        cores=args.cores,
+        per_core_scenarios=_mixes_from_arg(args.per_core_scenarios)
+        if args.per_core_scenarios
+        else None,
+        name=args.name,
+    )
+    # Validate locally before going near the network: unknown presets or
+    # benchmarks fail fast with the domain error (exit 2), and a validated
+    # payload is what the local fallback runs.
+    campaign = campaign_from_payload(payload)
+    if args.tenant != "default":
+        payload["tenant"] = args.tenant
+    client = ServiceClient(args.server)
+    try:
+        job = client.submit(payload)
+    except ServiceUnavailable as error:
+        print(f"repro-campaign: warning: {error}", file=sys.stderr)
+        print(
+            "repro-campaign: falling back to local execution", file=sys.stderr
+        )
+        outcome = run_campaign(campaign, make_executor(args.jobs))
+        print(outcome.describe())
+        _write_output(_outcome_payload(outcome), args.output)
+        return 0
+    print(
+        f"job {job['id']} {job['state']} on {args.server} "
+        f"({job['cells_total']} cells)"
+    )
+    if not (args.wait or args.output):
+        return 0
+    final = client.wait(job["id"], timeout=args.timeout)
+    line = f"job {final['id']} {final['state']}"
+    if final.get("description"):
+        line += f": {final['description']}"
+    print(line)
+    if final.get("error"):
+        print(f"repro-campaign: job error: {final['error']}", file=sys.stderr)
+    _write_output(final, args.output)
+    return 0 if final["state"] == "done" else 1
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    """``status``: list a service's jobs, or show one job / the metrics."""
+    client = ServiceClient(args.server)
+    if args.metrics:
+        print(json.dumps(client.metrics(), indent=2, sort_keys=True))
+        return 0
+    if args.job is None:
+        jobs = client.jobs()
+        if not jobs:
+            print("no jobs submitted")
+            return 0
+        for job in jobs:
+            line = (
+                f"#{job['id']:<4} {job['state']:<10} "
+                f"{job['campaign']:<16} "
+                f"{job['cells_done']}/{job['cells_total']} cells"
+            )
+            if job.get("error"):
+                line += f"  [{job['error']}]"
+            print(line)
+        return 0
+    print(
+        json.dumps(
+            client.job(args.job, results=args.results), indent=2, sort_keys=True
+        )
+    )
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    """``watch``: follow one job's NDJSON progress stream to stdout."""
+    client = ServiceClient(args.server, timeout=args.timeout)
+    state = None
+    for event in client.events(args.job, since=args.since):
+        if event.get("event") == "heartbeat":
+            continue
+        print(json.dumps(event, sort_keys=True))
+        sys.stdout.flush()
+        if event.get("event") == "state":
+            state = event.get("state")
+    return 0 if state in (None, "done") else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -599,6 +799,169 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--cache-dir", help="directory of the on-disk result cache")
     run.add_argument("--output", help="write a JSON summary to this file")
+
+    serve = sub.add_parser(
+        "serve", help="run the HTTP campaign service (repro.service)"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8737, help="bind port (0 = pick a free one)"
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker pool size (0 = all cores)",
+    )
+    serve.add_argument(
+        "--worker-mode",
+        choices=("thread", "process"),
+        default="process",
+        help="run cells inline in worker threads, or in crash-contained "
+        "subprocesses with timeout/retry (default: process)",
+    )
+    serve.add_argument(
+        "--task-timeout",
+        type=float,
+        help="kill a cell that runs longer than this many seconds "
+        "(process mode only)",
+    )
+    serve.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="retries for tasks whose worker process died (default: 1)",
+    )
+    serve.add_argument(
+        "--max-jobs",
+        type=int,
+        default=4,
+        help="jobs allowed to run concurrently; the rest queue as pending",
+    )
+    serve.add_argument(
+        "--cache-dir", help="directory of the shared sharded result cache"
+    )
+    serve.add_argument(
+        "--cache-shards",
+        type=int,
+        default=16,
+        help="shard directories under --cache-dir (default: 16)",
+    )
+    serve.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        help="LRU byte budget enforced by the background janitor",
+    )
+    serve.add_argument(
+        "--janitor-interval",
+        type=float,
+        default=30.0,
+        help="seconds between janitor budget-enforcement passes",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=None,
+        help="bound on waiting for in-flight jobs at shutdown",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log HTTP requests to stderr"
+    )
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit an ad-hoc campaign to a running service "
+        "(falls back to a local run if unreachable)",
+    )
+    submit.add_argument(
+        "--server",
+        default="http://127.0.0.1:8737",
+        help="base URL of the campaign service",
+    )
+    submit.add_argument("--tenant", default="default", help="cache tenant name")
+    submit.add_argument("--name", help="campaign name (default: service)")
+    submit.add_argument(
+        "--configs", help="comma-separated preset names (default: baseline)"
+    )
+    submit.add_argument(
+        "--scale", choices=tuple(_SCALES), help="experiment scale"
+    )
+    submit.add_argument(
+        "--benchmarks",
+        help="comma-separated benchmark/scenario override "
+        "('scenarios' expands to the whole scenario library)",
+    )
+    submit.add_argument("--uops", type=int, help="micro-ops per benchmark")
+    submit.add_argument("--seed", type=int, help="trace-generation seed")
+    submit.add_argument(
+        "--dtm", help="DTM policy axis (same syntax as 'run --dtm')"
+    )
+    submit.add_argument(
+        "--cores", type=int, help="compose an N-core chip campaign"
+    )
+    submit.add_argument(
+        "--per-core-scenarios",
+        help="explicit per-core workload mixes (same syntax as 'run')",
+    )
+    submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll the job to completion before exiting",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="--wait polling deadline in seconds",
+    )
+    submit.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="local-fallback worker processes (1 = serial, 0 = all cores)",
+    )
+    submit.add_argument(
+        "--output",
+        help="write the finished job's payload (implies --wait) or, on "
+        "local fallback, the campaign summary, to this file",
+    )
+
+    status = sub.add_parser(
+        "status", help="list a service's jobs, or show one job"
+    )
+    status.add_argument(
+        "--server",
+        default="http://127.0.0.1:8737",
+        help="base URL of the campaign service",
+    )
+    status.add_argument("--job", type=int, help="show this job id only")
+    status.add_argument(
+        "--results",
+        action="store_true",
+        help="embed the full results payload (with --job)",
+    )
+    status.add_argument(
+        "--metrics", action="store_true", help="print server metrics instead"
+    )
+
+    watch = sub.add_parser(
+        "watch", help="follow one job's NDJSON progress event stream"
+    )
+    watch.add_argument(
+        "--server",
+        default="http://127.0.0.1:8737",
+        help="base URL of the campaign service",
+    )
+    watch.add_argument("--job", type=int, required=True, help="job id to follow")
+    watch.add_argument(
+        "--since", type=int, default=0, help="replay events from this sequence"
+    )
+    watch.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        help="socket timeout for the event stream",
+    )
     return parser
 
 
@@ -612,6 +975,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "floorplan": _cmd_floorplan,
         "cache": _cmd_cache,
         "run": _cmd_run,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "status": _cmd_status,
+        "watch": _cmd_watch,
     }
     try:
         return commands[args.command](args)
@@ -622,6 +989,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         message = error.args[0] if error.args else error
         print(f"repro-campaign: error: {message}", file=sys.stderr)
         return 2
+    except ServiceError as error:
+        print(f"repro-campaign: service error: {error}", file=sys.stderr)
+        return 1
+    except ServiceUnavailable as error:
+        # submit has its own local fallback; status/watch just report it.
+        print(f"repro-campaign: error: {error}", file=sys.stderr)
+        return 3
+    except KeyboardInterrupt:
+        # run and serve drain and report on their own; this covers the
+        # remaining verbs (watch, submit --wait, ...).
+        print("repro-campaign: interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.campaign.spec import RunSpec
@@ -42,6 +43,22 @@ from repro.workloads.generator import TraceGenerator
 
 _Task = TypeVar("_Task")
 _Result = TypeVar("_Result")
+
+
+class ExecutorTaskError(RuntimeError):
+    """A task could not be completed by its execution backend.
+
+    Raised instead of backend-internal exceptions (most notably
+    :class:`concurrent.futures.process.BrokenProcessPool` when a worker
+    process dies mid-task) so callers get a typed error carrying the task
+    that was being executed.  ``task`` is the first task whose result could
+    not be retrieved — with a broken pool every in-flight task fails at
+    once, so the attribution is the earliest casualty in submission order.
+    """
+
+    def __init__(self, message: str, task: object = None) -> None:
+        super().__init__(message)
+        self.task = task
 
 
 def _build_engine(spec: RunSpec):
@@ -210,6 +227,31 @@ def execute_campaign_task(
     return execute_cell(spec), None
 
 
+def _describe_task(task: object) -> str:
+    """A compact human-readable identity of a failed task.
+
+    Tasks take several shapes — a bare :class:`RunSpec`, a ``(mode, spec)``
+    phase-1 tuple, a ``(trace, specs)`` replay group — so this digs out the
+    spec(s) rather than dumping a full configuration repr into the error.
+    """
+
+    def _spec_name(spec: object) -> str:
+        config = getattr(spec, "config", None)
+        name = getattr(config, "name", "?")
+        benchmark = getattr(spec, "benchmark", "?")
+        return f"{name}/{benchmark}"
+
+    if isinstance(task, tuple) and len(task) == 2:
+        first, second = task
+        if isinstance(first, str):
+            return f"{first} cell {_spec_name(second)}"
+        if isinstance(second, (tuple, list)):
+            names = ", ".join(_spec_name(spec) for spec in second)
+            return f"replay group [{names}]"
+        return _spec_name(first)
+    return _spec_name(task)
+
+
 class Executor:
     """Base class of campaign execution backends.
 
@@ -279,8 +321,23 @@ class ParallelExecutor(Executor):
         if self.jobs == 1 or len(tasks) == 1:
             return [fn(task) for task in tasks]
         workers = min(self.jobs, len(tasks))
+        # Tasks are submitted individually (the chunksize=1 distribution the
+        # docstring describes) and collected in order, so a dead worker can
+        # be attributed to the task it took down rather than surfacing as a
+        # raw BrokenProcessPool from an anonymous map().
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, tasks, chunksize=1))
+            futures = [pool.submit(fn, task) for task in tasks]
+            results: List[_Result] = []
+            for task, future in zip(tasks, futures):
+                try:
+                    results.append(future.result())
+                except BrokenProcessPool as error:
+                    raise ExecutorTaskError(
+                        "a worker process died while executing "
+                        f"{_describe_task(task)}",
+                        task=task,
+                    ) from error
+            return results
 
 
 def make_executor(jobs: int = 1) -> Executor:

@@ -1,0 +1,54 @@
+"""Campaign-as-a-service: run thermal campaigns behind an HTTP job server.
+
+The service layer turns the campaign engine into a long-running,
+multi-client daemon built entirely on the standard library:
+
+* :mod:`repro.service.jobs` — job model, states, progress events;
+* :mod:`repro.service.pool` — the shared worker pool (thread or
+  crash-contained subprocess workers, timeouts, bounded retries);
+* :mod:`repro.service.cache` — multi-tenant sharded result cache with an
+  LRU byte budget and a background janitor;
+* :mod:`repro.service.codec` — the JSON wire format for campaign specs;
+* :mod:`repro.service.manager` — :class:`CampaignService`, the dispatcher
+  that runs each job through :func:`repro.campaign.run_campaign` over the
+  shared pool (results are bit-identical to a local run by construction);
+* :mod:`repro.service.server` / :mod:`repro.service.client` — the HTTP
+  surface (``POST /jobs``, NDJSON event streaming, ``/metrics``) and its
+  urllib client.
+
+Serve with ``repro-campaign serve``, submit with ``repro-campaign submit``
+(falls back to a local run when no server is listening), follow with
+``repro-campaign watch``.
+"""
+
+from repro.service.cache import ShardedResultCache, TenantCacheView
+from repro.service.client import ServiceClient, ServiceError, ServiceUnavailable
+from repro.service.codec import (
+    campaign_from_payload,
+    payload_from_options,
+    settings_from_payload,
+)
+from repro.service.jobs import Job, JobState, JobStore
+from repro.service.manager import CampaignService, PoolBackedExecutor, results_payload
+from repro.service.pool import WorkerPool
+from repro.service.server import ServiceServer, create_server
+
+__all__ = [
+    "CampaignService",
+    "Job",
+    "JobState",
+    "JobStore",
+    "PoolBackedExecutor",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "ServiceUnavailable",
+    "ShardedResultCache",
+    "TenantCacheView",
+    "WorkerPool",
+    "campaign_from_payload",
+    "create_server",
+    "payload_from_options",
+    "results_payload",
+    "settings_from_payload",
+]

@@ -1,0 +1,113 @@
+"""Thin urllib client for the campaign service's HTTP API.
+
+:class:`ServiceClient` wraps the endpoints documented in
+:mod:`repro.service.server` with typed helpers and turns connection-level
+failures into :class:`ServiceUnavailable`, which is what lets the CLI's
+``submit`` verb fall back to a local run when no server is listening.
+Nothing here imports the simulation stack — the client is safe to use from
+scripts that only want to talk to a remote server.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Iterator, List, Optional
+
+
+class ServiceUnavailable(ConnectionError):
+    """The campaign service could not be reached at the given URL."""
+
+
+class ServiceError(RuntimeError):
+    """The service answered with an error status (message from the body)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """Talk to a running campaign service at ``base_url``."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Request plumbing
+    # ------------------------------------------------------------------
+    def _open(self, method: str, path: str, body: Optional[Dict] = None):
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            return urllib.request.urlopen(request, timeout=self.timeout)
+        except urllib.error.HTTPError as error:
+            # The server answered: surface its JSON error message.
+            try:
+                message = json.loads(error.read().decode("utf-8")).get("error", "")
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                message = error.reason
+            raise ServiceError(error.code, str(message)) from error
+        except (urllib.error.URLError, ConnectionError, OSError) as error:
+            raise ServiceUnavailable(
+                f"campaign service unreachable at {self.base_url}: {error}"
+            ) from error
+
+    def _json(self, method: str, path: str, body: Optional[Dict] = None) -> Dict:
+        with self._open(method, path, body) as response:
+            return json.loads(response.read().decode("utf-8"))
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def healthz(self) -> Dict:
+        return self._json("GET", "/healthz")
+
+    def metrics(self) -> Dict:
+        return self._json("GET", "/metrics")
+
+    def submit(self, payload: Dict) -> Dict:
+        """``POST /jobs``; returns the created job's payload (201)."""
+        return self._json("POST", "/jobs", body=payload)
+
+    def jobs(self) -> List[Dict]:
+        return self._json("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: int, results: bool = False) -> Dict:
+        suffix = "?results=1" if results else ""
+        return self._json("GET", f"/jobs/{job_id}{suffix}")
+
+    def cancel(self, job_id: int) -> Dict:
+        return self._json("DELETE", f"/jobs/{job_id}")
+
+    def events(self, job_id: int, since: int = 0) -> Iterator[Dict]:
+        """Follow a job's NDJSON event stream until it ends."""
+        with self._open("GET", f"/jobs/{job_id}/events?since={since}") as response:
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+
+    def wait(
+        self, job_id: int, timeout: float = 300.0, poll_seconds: float = 0.2
+    ) -> Dict:
+        """Poll until the job is terminal; returns its payload with results."""
+        deadline = time.monotonic() + timeout
+        while True:
+            payload = self.job(job_id, results=True)
+            if payload["state"] in ("done", "failed", "cancelled"):
+                return payload
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {payload['state']} after {timeout:g}s"
+                )
+            time.sleep(poll_seconds)

@@ -1,0 +1,280 @@
+"""The service's shared worker pool: a persistent task-execution backend.
+
+Where a campaign's :class:`~repro.campaign.executors.ParallelExecutor`
+spins up a process pool per fan-out and tears it down again, the service
+keeps ONE pool alive for its whole lifetime and lets every concurrently
+running job feed it.  Tasks — the same picklable module-level executor
+functions the campaign layer already uses (``execute_campaign_task``,
+``execute_replay_group``, ...) — enter a shared queue; worker threads pull
+them off in FIFO order and run them either
+
+* **inline** (``mode="thread"``): directly in the worker thread.  Zero
+  dispatch overhead and full monkeypatchability, the right choice for
+  tests and single-machine smoke serving (pure-Python simulation threads
+  contend on the GIL, so aggregate throughput is bounded); or
+* **in a subprocess** (``mode="process"``): each task runs in a fresh
+  forked child with a result pipe.  This is what makes the service robust:
+  a worker process that *dies* mid-task (segfault, OOM-kill, ``os._exit``)
+  is detected by its exit code and retried with exponential backoff up to
+  ``retries`` times, and a task that exceeds ``task_timeout`` seconds is
+  killed and failed without taking the service down.
+
+Failures surface as the campaign layer's typed
+:class:`~repro.campaign.executors.ExecutorTaskError` with the offending
+task attached.  :meth:`WorkerPool.shutdown` drains gracefully: submissions
+are refused, queued work completes (or is discarded with ``drain=False``),
+and the worker threads exit.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import threading
+import time
+import traceback
+from concurrent.futures import Future
+from typing import Callable, Dict, Optional
+
+from repro.campaign.executors import ExecutorTaskError
+
+
+class _TaskCrash(Exception):
+    """A subprocess died before reporting a result (exit code attached)."""
+
+
+class _TaskTimeout(Exception):
+    """A subprocess exceeded the per-task timeout and was killed."""
+
+
+def _subprocess_main(connection, fn, task) -> None:
+    """Child-side runner: execute one task, ship (status, payload) back."""
+    try:
+        payload = ("ok", fn(task))
+    except BaseException:  # noqa: BLE001 - the parent re-raises, typed
+        payload = ("error", traceback.format_exc())
+    try:
+        connection.send(payload)
+    finally:
+        connection.close()
+
+
+class WorkerPool:
+    """A fixed set of worker threads draining one shared task queue.
+
+    ``workers`` threads run tasks in submission order.  ``mode="process"``
+    executes each task in a forked child process (crash containment,
+    enforceable ``task_timeout``); ``mode="thread"`` executes inline.
+    Crashed children are retried up to ``retries`` times with exponential
+    backoff starting at ``retry_backoff`` seconds; timeouts and in-task
+    exceptions are not retried (a deterministic failure would only fail
+    again, slower).
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        mode: str = "thread",
+        task_timeout: Optional[float] = None,
+        retries: int = 1,
+        retry_backoff: float = 0.05,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if mode not in ("thread", "process"):
+            raise ValueError(f"unknown worker pool mode {mode!r}")
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        self.workers = workers
+        self.mode = mode
+        self.task_timeout = task_timeout
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        self._queue: "queue.Queue" = queue.Queue()
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._accepting = True
+        self._busy = 0
+        self._unfinished = 0
+        self.tasks_completed = 0
+        self.tasks_failed = 0
+        self.tasks_retried = 0
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-worker-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, fn: Callable, task) -> "Future":
+        """Enqueue one task; returns a future resolving to ``fn(task)``."""
+        future: Future = Future()
+        with self._lock:
+            if not self._accepting:
+                raise RuntimeError("worker pool is shut down")
+            self._unfinished += 1
+        self._queue.put((fn, task, future))
+        return future
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            fn, task, future = item
+            with self._lock:
+                self._busy += 1
+            try:
+                result = self._run_with_retries(fn, task)
+            except BaseException as error:  # noqa: BLE001 - future carries it
+                with self._lock:
+                    self.tasks_failed += 1
+                future.set_exception(error)
+            else:
+                with self._lock:
+                    self.tasks_completed += 1
+                future.set_result(result)
+            finally:
+                with self._idle:
+                    self._busy -= 1
+                    self._unfinished -= 1
+                    self._idle.notify_all()
+
+    def _run_with_retries(self, fn: Callable, task):
+        attempt = 0
+        while True:
+            try:
+                if self.mode == "thread":
+                    return fn(task)
+                return self._run_in_subprocess(fn, task)
+            except _TaskTimeout as error:
+                raise ExecutorTaskError(
+                    f"task exceeded the {self.task_timeout:g}s timeout "
+                    f"({task!r})",
+                    task=task,
+                ) from error
+            except _TaskCrash as error:
+                if attempt >= self.retries:
+                    raise ExecutorTaskError(
+                        f"worker process died while executing {task!r} "
+                        f"({error}; {attempt + 1} attempt(s))",
+                        task=task,
+                    ) from error
+                with self._lock:
+                    self.tasks_retried += 1
+                time.sleep(self.retry_backoff * (2**attempt))
+                attempt += 1
+
+    def _run_in_subprocess(self, fn: Callable, task):
+        """Run one task in a forked child; kill it on timeout."""
+        context = multiprocessing.get_context()
+        receiver, sender = context.Pipe(duplex=False)
+        process = context.Process(
+            target=_subprocess_main, args=(sender, fn, task), daemon=True
+        )
+        process.start()
+        sender.close()
+        try:
+            if not receiver.poll(self.task_timeout):
+                process.terminate()
+                process.join()
+                raise _TaskTimeout()
+            try:
+                status, payload = receiver.recv()
+            except EOFError as error:
+                # The child died (killed, segfault, os._exit) before
+                # sending anything: the pipe closes without a payload.
+                process.join()
+                raise _TaskCrash(f"exit code {process.exitcode}") from error
+            process.join()
+            if status == "error":
+                raise ExecutorTaskError(
+                    f"task raised in worker process:\n{payload}", task=task
+                )
+            return payload
+        finally:
+            receiver.close()
+            if process.is_alive():  # pragma: no cover - defensive cleanup
+                process.terminate()
+                process.join()
+
+    # ------------------------------------------------------------------
+    # Observability + lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Tasks waiting for a worker (excluding the ones executing)."""
+        return self._queue.qsize()
+
+    def metrics(self) -> Dict[str, object]:
+        with self._lock:
+            busy = self._busy
+            return {
+                "workers": self.workers,
+                "mode": self.mode,
+                "busy_workers": busy,
+                "utilization": busy / self.workers,
+                "queue_depth": self._queue.qsize(),
+                "tasks_completed": self.tasks_completed,
+                "tasks_failed": self.tasks_failed,
+                "tasks_retried": self.tasks_retried,
+            }
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until every submitted task has finished.
+
+        Returns ``False`` if ``timeout`` elapsed first.  Does not stop the
+        pool — use :meth:`shutdown` for that.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._idle:
+            while self._unfinished > 0:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._idle.wait(remaining)
+        return True
+
+    def shutdown(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop the pool: refuse new work, finish (or discard) queued work.
+
+        With ``drain=True`` (the default) queued tasks complete first;
+        with ``drain=False`` queued-but-unstarted tasks are failed with
+        :class:`~repro.campaign.executors.ExecutorTaskError` and only
+        in-flight ones run to completion.
+        """
+        with self._lock:
+            if not self._accepting:
+                return
+            self._accepting = False
+        if drain:
+            self.drain(timeout)
+        else:
+            while True:
+                try:
+                    fn, task, future = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                future.set_exception(
+                    ExecutorTaskError(
+                        "worker pool shut down before the task ran", task=task
+                    )
+                )
+                with self._idle:
+                    self._unfinished -= 1
+                    self._idle.notify_all()
+            self.drain(timeout)
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout=5)

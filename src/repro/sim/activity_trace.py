@@ -187,10 +187,12 @@ class ActivityTrace:
         return cls.from_dict(json.loads(text))
 
     def save(self, path: Union[str, Path]) -> Path:
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.to_json())
-        return path
+        # Atomic (temp file + rename): concurrent captures of the same
+        # timing key — two service jobs racing — are last-writer-wins and a
+        # reader never sees a torn artifact.
+        from repro.sim.serialization import atomic_write_text
+
+        return atomic_write_text(path, self.to_json())
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "ActivityTrace":

@@ -10,6 +10,8 @@ queries as a freshly simulated one.
 from __future__ import annotations
 
 import json
+import os
+import threading
 from pathlib import Path
 from typing import Dict, Union
 
@@ -98,12 +100,40 @@ def result_from_dict(data: Dict) -> SimulationResult:
     )
 
 
-def save_result(result: SimulationResult, path: Union[str, Path]) -> Path:
-    """Write a result to ``path`` as JSON; returns the path."""
+def atomic_write_text(path: Union[str, Path], text: str) -> Path:
+    """Write ``text`` to ``path`` atomically (temp file + :func:`os.replace`).
+
+    The temporary file lives in the target directory (``os.replace`` must
+    not cross filesystems) and its name embeds pid and thread id, so
+    concurrent writers — two campaign workers storing an identically-keyed
+    cell, or the service's janitor racing a store — never collide on the
+    scratch file either.  The result is last-writer-wins: a reader observes
+    either the old complete document or the new one, never a torn write.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(result_to_dict(result), indent=2, sort_keys=True))
+    scratch = path.parent / (
+        f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+    )
+    try:
+        scratch.write_text(text)
+        os.replace(scratch, path)
+    finally:
+        if scratch.exists():  # pragma: no cover - only on a failed replace
+            scratch.unlink()
     return path
+
+
+def save_result(result: SimulationResult, path: Union[str, Path]) -> Path:
+    """Write a result to ``path`` as JSON; returns the path.
+
+    The write is atomic (see :func:`atomic_write_text`): concurrent writers
+    of the same path race to a last-writer-wins outcome, and a reader can
+    never observe a torn, half-written JSON document.
+    """
+    return atomic_write_text(
+        path, json.dumps(result_to_dict(result), indent=2, sort_keys=True)
+    )
 
 
 def load_result(path: Union[str, Path]) -> SimulationResult:

@@ -142,3 +142,54 @@ def test_results_carry_settings_provenance(smoke_campaign):
     assert result.provenance["trace_uops"] == 1_500
     assert result.provenance["seed"] == 1
     assert result.provenance["interval_cycles"] == 800
+
+
+# ----------------------------------------------------------------------
+# Worker-death containment
+# ----------------------------------------------------------------------
+
+
+def _exit_on_marker_benchmark(task):
+    """Module-level (picklable) task fn that kills its worker process."""
+    import os
+
+    os._exit(23)
+
+
+def test_parallel_executor_reports_killed_worker_as_typed_error():
+    """A worker process dying mid-task surfaces as ExecutorTaskError with
+    the failed task attached, not as a raw BrokenProcessPool."""
+    from concurrent.futures.process import BrokenProcessPool
+
+    from repro.campaign.executors import ExecutorTaskError
+
+    executor = ParallelExecutor(jobs=2)
+    settings = ExperimentSettings(
+        benchmarks=("gzip", "swim"), uops_per_benchmark=1_000
+    )
+    # Two specs so the pool path runs (a single task degrades to inline
+    # execution, where killing the "worker" would kill the test process).
+    specs = Campaign.single(baseline_config(), settings).cells()
+    with pytest.raises(ExecutorTaskError) as excinfo:
+        executor.run_tasks(_exit_on_marker_benchmark, specs)
+    assert "worker process died" in str(excinfo.value)
+    assert "gzip" in str(excinfo.value)  # the failed spec is identified
+    assert excinfo.value.task is specs[0]
+    assert not isinstance(excinfo.value, BrokenProcessPool)
+    assert isinstance(excinfo.value.__cause__, BrokenProcessPool)
+
+
+def test_parallel_executor_still_runs_after_typed_failure():
+    from repro.campaign.executors import ExecutorTaskError, execute_cell
+
+    executor = ParallelExecutor(jobs=2)
+    settings = ExperimentSettings(
+        benchmarks=("gzip", "swim"), uops_per_benchmark=1_000
+    )
+    specs = Campaign.single(baseline_config(), settings).cells()
+    with pytest.raises(ExecutorTaskError):
+        executor.run_tasks(_exit_on_marker_benchmark, specs)
+    # A fresh dispatch on the same executor works: the broken pool was not
+    # left wedged in shared state.
+    results = executor.run_tasks(execute_cell, specs)
+    assert [r.benchmark for r in results] == ["gzip", "swim"]

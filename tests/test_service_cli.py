@@ -1,0 +1,195 @@
+"""CLI tests for the service verbs (serve/submit/status/watch) and the
+graceful KeyboardInterrupt paths (exit code 130)."""
+
+import json
+
+import pytest
+
+from repro.campaign.cli import main
+from repro.service import CampaignService, WorkerPool, create_server
+
+UNREACHABLE = "http://127.0.0.1:9"  # port 9 (discard): nothing listens
+
+
+@pytest.fixture
+def server():
+    service = CampaignService(
+        pool=WorkerPool(workers=2, mode="thread"), max_concurrent_jobs=2
+    )
+    server = create_server(service)
+    server.serve_in_background()
+    yield server
+    server.shutdown()
+    server.server_close()
+    service.shutdown(drain=False, timeout=30)
+
+
+def test_submit_wait_roundtrip(server, capsys):
+    assert (
+        main(
+            [
+                "submit",
+                "--server",
+                server.address,
+                "--benchmarks",
+                "gzip",
+                "--uops",
+                "400",
+                "--wait",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "job 1" in out
+    assert "done" in out
+    assert "1 simulated" in out
+
+
+def test_submit_writes_job_payload(server, capsys, tmp_path):
+    output = tmp_path / "job.json"
+    assert (
+        main(
+            [
+                "submit",
+                "--server",
+                server.address,
+                "--benchmarks",
+                "gzip",
+                "--uops",
+                "400",
+                "--output",
+                str(output),
+            ]
+        )
+        == 0
+    )
+    payload = json.loads(output.read_text())
+    assert payload["state"] == "done"
+    assert set(payload["results"]["summaries"]) == {"baseline"}
+
+
+def test_status_lists_jobs_and_shows_one(server, capsys):
+    main(
+        [
+            "submit", "--server", server.address,
+            "--benchmarks", "gzip", "--uops", "400", "--wait",
+        ]
+    )
+    capsys.readouterr()
+    assert main(["status", "--server", server.address]) == 0
+    assert "#1" in capsys.readouterr().out
+    assert main(["status", "--server", server.address, "--job", "1"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["state"] == "done"
+    assert main(["status", "--server", server.address, "--metrics"]) == 0
+    metrics = json.loads(capsys.readouterr().out)
+    assert metrics["pool"]["workers"] == 2
+
+
+def test_status_with_no_jobs(server, capsys):
+    assert main(["status", "--server", server.address]) == 0
+    assert "no jobs" in capsys.readouterr().out
+
+
+def test_watch_streams_events(server, capsys):
+    main(
+        [
+            "submit", "--server", server.address,
+            "--benchmarks", "gzip", "--uops", "400", "--wait",
+        ]
+    )
+    capsys.readouterr()
+    assert main(["watch", "--server", server.address, "--job", "1"]) == 0
+    lines = [
+        json.loads(line)
+        for line in capsys.readouterr().out.splitlines()
+        if line.strip()
+    ]
+    assert lines[0]["event"] == "state"
+    assert lines[-1]["state"] == "done"
+
+
+def test_submit_falls_back_to_local_run(capsys):
+    assert (
+        main(
+            [
+                "submit",
+                "--server",
+                UNREACHABLE,
+                "--benchmarks",
+                "gzip",
+                "--uops",
+                "400",
+            ]
+        )
+        == 0
+    )
+    captured = capsys.readouterr()
+    assert "unreachable" in captured.err
+    assert "falling back to local execution" in captured.err
+    assert "1 simulated" in captured.out
+
+
+def test_submit_validates_before_submitting(capsys):
+    assert (
+        main(["submit", "--server", UNREACHABLE, "--configs", "warp_drive"])
+        == 2
+    )
+    assert "error" in capsys.readouterr().err
+
+
+def test_status_unreachable_server_is_a_clean_error(capsys):
+    assert main(["status", "--server", UNREACHABLE]) == 3
+    assert "unreachable" in capsys.readouterr().err
+
+
+def test_run_keyboard_interrupt_exits_130(capsys, monkeypatch):
+    import repro.campaign.cli as cli
+
+    def _interrupt(*args, **kwargs):
+        raise KeyboardInterrupt()
+
+    monkeypatch.setattr(cli, "run_campaign", _interrupt)
+    assert main(["run", "--benchmarks", "gzip", "--uops", "400"]) == 130
+    err = capsys.readouterr().err
+    assert "interrupted" in err
+    assert "0 simulated cell(s)" in err
+
+
+def test_run_keyboard_interrupt_mentions_cache(
+    capsys, monkeypatch, tmp_path
+):
+    import repro.campaign.cli as cli
+
+    def _interrupt(*args, **kwargs):
+        raise KeyboardInterrupt()
+
+    monkeypatch.setattr(cli, "run_campaign", _interrupt)
+    assert (
+        main(
+            [
+                "run", "--benchmarks", "gzip", "--uops", "400",
+                "--cache-dir", str(tmp_path / "cache"),
+            ]
+        )
+        == 130
+    )
+    assert "completed cells are in the cache" in capsys.readouterr().err
+
+
+def test_serve_keyboard_interrupt_drains_and_exits_130(capsys, monkeypatch):
+    from repro.service.server import ServiceServer
+
+    def _interrupt(self):
+        raise KeyboardInterrupt()
+
+    monkeypatch.setattr(ServiceServer, "serve_forever", _interrupt)
+    assert (
+        main(["serve", "--port", "0", "--workers", "1", "--worker-mode", "thread"])
+        == 130
+    )
+    captured = capsys.readouterr()
+    assert "listening on" in captured.out
+    assert "draining" in captured.err
+    assert "drained 0 job(s)" in captured.err

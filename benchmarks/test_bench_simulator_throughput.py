@@ -34,15 +34,17 @@ from repro.thermal.rc_model import ThermalRCNetwork
 from repro.thermal.solver import ThermalSolver
 from repro.workloads.generator import TraceGenerator
 
-#: Throughput of the dict-per-block pipeline at commit aceea7f (the state
-#: before the array-backed fast path landed), measured with exactly this
-#: harness (same trace, same interval length, same tight-loop iteration
-#: count) on the reference development container.  Recorded here so
+#: Throughput of the per-uop timing loop over the dict-per-block pipeline —
+#: the state before the vectorized timing fast path landed — measured with
+#: exactly this harness (same trace, same interval length, same tight-loop
+#: iteration count) on the reference development container.  Recorded here so
 #: ``BENCH_simulator.json`` always reports the fast-path speedup relative to
-#: the pre-change implementation.
+#: the pre-change implementation.  ``commit`` names the last mainline commit
+#: whose engine still ran every cell through the per-uop loop (the previously
+#: recorded ``aceea7f`` predated a history re-anchor and no longer resolves).
 PRE_CHANGE_BASELINE = {
-    "commit": "aceea7f",
-    "pipeline": "dict-per-block power/thermal pipeline, per-solve np.linalg.solve",
+    "commit": "21f8c84",
+    "pipeline": "per-uop timing loop, dict-per-block power/thermal pipeline",
     "uops_per_second": 16243.2,
     "intervals_per_second": 8562.9,
     "solver_time_share": 0.402,
@@ -54,7 +56,7 @@ BENCH_INTERVAL_CYCLES = 800
 BENCH_PIPELINE_ITERATIONS = 3_000
 
 
-def _measure_uops_per_second(repeats: int = 3) -> float:
+def _measure_uops_per_second(repeats: int = 3, timing_mode: str = "auto") -> float:
     """End-to-end engine throughput (timing model + power/thermal pipeline)."""
     best = 0.0
     for _ in range(repeats):
@@ -63,6 +65,7 @@ def _measure_uops_per_second(repeats: int = 3) -> float:
         result = run_benchmark(
             baseline_config(), trace.uops, "gzip",
             interval_cycles=BENCH_INTERVAL_CYCLES,
+            timing_mode=timing_mode,
         )
         elapsed = time.perf_counter() - start
         best = max(best, result.stats.committed_uops / elapsed)
@@ -121,12 +124,23 @@ def _measure_interval_pipeline() -> dict:
 def test_bench_interval_pipeline_json(report_writer):
     """Measure simulator throughput and emit ``BENCH_simulator.json``."""
     pipeline = _measure_interval_pipeline()
+    # The engine benchmark runs both timing paths: ``auto`` resolves to the
+    # vectorized fast path on the baseline configuration (its throughput is
+    # the headline ``uops_per_second``), and ``reference`` pins the per-uop
+    # golden loop so its cost stays visible alongside.
+    trace = TraceGenerator("gzip", seed=7).generate(BENCH_TRACE_UOPS)
+    resolved_mode = SimulationEngine(
+        baseline_config(), trace.uops, "gzip",
+        interval_cycles=BENCH_INTERVAL_CYCLES,
+    ).resolved_timing_mode
     uops_per_second = _measure_uops_per_second()
+    reference_uops_per_second = _measure_uops_per_second(timing_mode="reference")
     speedup = (
         pipeline["intervals_per_second"] / PRE_CHANGE_BASELINE["intervals_per_second"]
     )
+    speedup_uops = uops_per_second / PRE_CHANGE_BASELINE["uops_per_second"]
     payload = {
-        "schema_version": 1,
+        "schema_version": 2,
         "parameters": {
             "benchmark": "gzip",
             "trace_uops": BENCH_TRACE_UOPS,
@@ -135,10 +149,13 @@ def test_bench_interval_pipeline_json(report_writer):
         },
         "baseline": dict(PRE_CHANGE_BASELINE),
         "current": {
+            "timing_mode": resolved_mode,
             "uops_per_second": uops_per_second,
+            "reference_uops_per_second": reference_uops_per_second,
             **pipeline,
         },
         "speedup_intervals_per_second": speedup,
+        "speedup_uops_per_second": speedup_uops,
     }
     output_path = Path(__file__).parent / "output" / "BENCH_simulator.json"
     output_path.parent.mkdir(exist_ok=True)
@@ -148,8 +165,10 @@ def test_bench_interval_pipeline_json(report_writer):
         f"interval pipeline: {pipeline['intervals_per_second']:.0f} intervals/s "
         f"({pipeline['microseconds_per_interval']:.1f} us/interval, "
         f"solver share {pipeline['solver_time_share']:.2f}), "
-        f"engine: {uops_per_second:.0f} uops/s, "
-        f"{speedup:.2f}x vs pre-fast-path baseline "
+        f"engine ({resolved_mode}): {uops_per_second:.0f} uops/s "
+        f"({speedup_uops:.1f}x vs pre-fast-path baseline; reference path "
+        f"{reference_uops_per_second:.0f} uops/s), "
+        f"pipeline {speedup:.2f}x vs baseline "
         f"[JSON: {output_path}]",
     )
 
@@ -158,6 +177,16 @@ def test_bench_interval_pipeline_json(report_writer):
         assert speedup >= 1.5, (
             f"interval pipeline is only {speedup:.2f}x the recorded pre-change "
             f"baseline (expected >= 1.5x on comparable hardware)"
+        )
+        assert resolved_mode == "fast", (
+            "the baseline configuration should auto-select the fast timing "
+            f"path, but the engine resolved {resolved_mode!r}"
+        )
+        assert speedup_uops >= 10.0, (
+            f"fast-path engine throughput is only {speedup_uops:.2f}x the "
+            f"recorded per-uop baseline of "
+            f"{PRE_CHANGE_BASELINE['uops_per_second']:.0f} uops/s "
+            f"(expected >= 10x on comparable hardware)"
         )
 
 

@@ -132,12 +132,30 @@ class ResultCache:
     def _trace_files(self):
         return list(self.directory.glob(f"*{TRACE_SUFFIX}"))
 
+    @staticmethod
+    def _stat_entries(paths):
+        """``(path, mtime, size)`` for every path that still exists.
+
+        Listing and stat-ing a shared cache directory is inherently racy:
+        another process (a concurrent ``prune``, the service janitor) may
+        evict an entry between the two.  Every consumer therefore stats each
+        entry exactly once and treats a vanished file as already gone.
+        """
+        entries = []
+        for path in paths:
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # evicted concurrently - no longer our problem
+            entries.append((path, stat.st_mtime, stat.st_size))
+        return entries
+
     def stats(self) -> Dict[str, int]:
         """Entry and byte counts by kind (results vs trace artifacts)."""
-        results = self._result_files()
-        traces = self._trace_files()
-        result_bytes = sum(path.stat().st_size for path in results)
-        trace_bytes = sum(path.stat().st_size for path in traces)
+        results = self._stat_entries(self._result_files())
+        traces = self._stat_entries(self._trace_files())
+        result_bytes = sum(size for _, _, size in results)
+        trace_bytes = sum(size for _, _, size in traces)
         return {
             "results": len(results),
             "result_bytes": result_bytes,
@@ -154,22 +172,27 @@ class ResultCache:
         timing simulation to rebuild.  Ties on modification time break by
         file name, so the eviction order is deterministic rather than
         whatever order the filesystem happens to iterate a directory in.
-        Returns what was removed.
+        Entries evicted concurrently by another process count toward the
+        freed budget but not toward this call's removal tally.  Returns
+        what was removed.
         """
         if max_bytes < 0:
             raise ValueError("max_bytes must be non-negative")
-        entries = sorted(
-            self._result_files() + self._trace_files(),
-            key=lambda path: (path.stat().st_mtime, path.name),
-        )
-        total = sum(path.stat().st_size for path in entries)
+        entries = self._stat_entries(self._result_files() + self._trace_files())
+        entries.sort(key=lambda entry: (entry[1], entry[0].name))
+        total = sum(size for _, _, size in entries)
         removed = 0
         removed_bytes = 0
-        for path in entries:
+        for path, _, size in entries:
             if total <= max_bytes:
                 break
-            size = path.stat().st_size
-            path.unlink()
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                # Someone else pruned it first; the bytes are freed either
+                # way, so keep the running total converging on the budget.
+                total -= size
+                continue
             total -= size
             removed += 1
             removed_bytes += size

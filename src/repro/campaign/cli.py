@@ -16,7 +16,10 @@ Subcommands:
   (:mod:`repro.chip`); ``--per-core-scenarios "virus+idle;gzip+gzip"``
   names explicit per-core workload mixes (``+`` separates cores, ``;`` or
   ``,`` separates mixes), and ``--dtm`` then sweeps *chip-level* policies
-  (``none``, ``core_migration``, ``chip_dvfs``);
+  (``none``, ``core_migration``, ``chip_dvfs``).  ``--timing-mode
+  auto|fast|reference`` selects the engine timing path (the vectorized
+  fast path is byte-identical to the per-uop golden reference wherever
+  ``auto`` picks it);
 * ``cache`` — housekeeping for an on-disk result cache, which since the
   two-stage simulation core also holds activity-trace artifacts:
   ``cache stats --cache-dir DIR`` prints entry/byte counts by kind, and
@@ -485,6 +488,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
     if args.cores is not None and args.cores < 1:
         raise ValueError("--cores must be at least 1")
+    if args.timing_mode is not None:
+        # Carried in the environment (not the cell specs) so it reaches
+        # pool worker processes; see ``executors.resolved_timing_mode``.
+        import os
+
+        os.environ["REPRO_TIMING_MODE"] = args.timing_mode
     executor = make_executor(args.jobs)
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
 
@@ -799,6 +808,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--cache-dir", help="directory of the on-disk result cache")
     run.add_argument("--output", help="write a JSON summary to this file")
+    run.add_argument(
+        "--timing-mode",
+        choices=("auto", "fast", "reference"),
+        default=None,
+        help="engine timing path: 'auto' (default) takes the vectorized fast "
+        "path whenever it is byte-identical to the per-uop reference, "
+        "'reference' forces the golden per-uop loop, 'fast' demands the "
+        "fast path and errors on configurations it cannot reproduce",
+    )
 
     serve = sub.add_parser(
         "serve", help="run the HTTP campaign service (repro.service)"

@@ -45,6 +45,29 @@ _Task = TypeVar("_Task")
 _Result = TypeVar("_Result")
 
 
+#: Accepted values of the engine ``timing_mode`` selector.
+TIMING_MODES = ("auto", "fast", "reference")
+
+
+def resolved_timing_mode() -> str:
+    """Engine timing mode for campaign cells (``REPRO_TIMING_MODE``).
+
+    Campaign cells are identified by *content* (config, workload, seed), and
+    the fast timing path is byte-identical to the per-uop reference, so the
+    timing mode is deliberately **not** part of a cell's spec or cache key —
+    it is an execution knob, carried in the environment so it survives the
+    pickle boundary into pool workers (child processes inherit the
+    environment under both fork and spawn).  Unset means ``auto``.
+    """
+    mode = os.environ.get("REPRO_TIMING_MODE", "auto").strip().lower() or "auto"
+    if mode not in TIMING_MODES:
+        raise ValueError(
+            f"REPRO_TIMING_MODE must be one of {', '.join(TIMING_MODES)}, "
+            f"not {mode!r}"
+        )
+    return mode
+
+
 class ExecutorTaskError(RuntimeError):
     """A task could not be completed by its execution backend.
 
@@ -81,6 +104,7 @@ def _build_engine(spec: RunSpec):
         spec.benchmark,
         interval_cycles=spec.interval_cycles,
         dtm_policy=dtm_policy,
+        timing_mode=resolved_timing_mode(),
     )
 
 
@@ -169,6 +193,7 @@ def execute_chip_cell(spec) -> SimulationResult:
         cores=spec.cores,
         interval_cycles=spec.interval_cycles,
         chip_policy=spec.chip_policy,
+        timing_mode=resolved_timing_mode(),
     )
     result = engine.run()
     result.provenance.update(spec.provenance())

@@ -288,6 +288,7 @@ class ChipEngine:
         prewarm_caches: bool = True,
         chip_policy: Optional[Union[ChipDTMPolicy, str]] = None,
         core_policies: Optional[Sequence[Optional[Union[DTMPolicy, str]]]] = None,
+        timing_mode: str = "auto",
     ) -> None:
         if len(uop_sources) != len(benchmarks):
             raise ValueError(
@@ -312,17 +313,7 @@ class ChipEngine:
         )
         self.block_index = self.physics.block_index
 
-        self.timings: List[TimingStage] = [
-            TimingStage(
-                config,
-                source,
-                self.interval_cycles,
-                self.core_index,
-                prewarm_caches=prewarm_caches,
-            )
-            for source in uop_sources
-        ]
-        self.num_threads = len(self.timings)
+        self.num_threads = len(benchmarks)
         #: Core currently executing each thread.
         self.thread_core: List[int] = list(range(self.num_threads))
         #: Thread on each core (-1 = idle).
@@ -370,6 +361,53 @@ class ChipEngine:
                 self.core_controls.append(controls)
                 self.core_telemetry.append(DTMTelemetry(controls.table))
                 self.core_sensors.append(SensorBank(self.core_index.names))
+
+        # --------------------------------------------------------------
+        # Timing-mode selection.  Same contract as the single-core engine:
+        # the fast path only claims configurations it reproduces
+        # byte-for-byte, so any physics-to-timing feedback (which on a chip
+        # includes temperature-actuating chip or per-core policies — the
+        # exact set ``replay_safe_reason`` already polices) falls back to
+        # the per-uop golden reference, as does a workload that cannot be
+        # batch-decoded.
+        # --------------------------------------------------------------
+        if timing_mode not in ("auto", "fast", "reference"):
+            raise ValueError(
+                "timing_mode must be 'auto', 'fast' or 'reference', "
+                f"not {timing_mode!r}"
+            )
+        self.timing_mode = timing_mode
+        fallback: Optional[str] = None
+        if timing_mode == "reference":
+            fallback = "timing_mode='reference' requested"
+        else:
+            fallback = self.replay_safe_reason
+            if fallback is None and not all(
+                isinstance(source, Sequence) for source in uop_sources
+            ):
+                fallback = "streaming uop source cannot be batch-decoded"
+            if timing_mode == "fast" and fallback is not None:
+                raise ValueError(
+                    f"timing_mode='fast' is not applicable: {fallback}"
+                )
+        self.timing_fallback_reason = fallback
+        self.resolved_timing_mode = "reference" if fallback is not None else "fast"
+        if self.resolved_timing_mode == "fast":
+            from repro.sim.fast_timing import FastTimingStage
+
+            stage_cls = FastTimingStage
+        else:
+            stage_cls = TimingStage
+        self.timings: List[TimingStage] = [
+            stage_cls(
+                config,
+                source,
+                self.interval_cycles,
+                self.core_index,
+                prewarm_caches=prewarm_caches,
+            )
+            for source in uop_sources
+        ]
 
     # ------------------------------------------------------------------
     def _core_slice(self, core: int) -> slice:

@@ -146,11 +146,17 @@ class ShardedResultCache(ResultCache):
         per_shard: Dict[str, Dict[str, int]] = {}
         for index in range(self.shards):
             name = f"shard-{index:02d}"
-            entries = list((self.directory / name).glob("*.json"))
-            entries = [e for e in entries if not e.name.startswith(".")]
+            listed = [
+                e
+                for e in (self.directory / name).glob("*.json")
+                if not e.name.startswith(".")
+            ]
+            # Single stat per entry, tolerant of concurrent eviction (the
+            # janitor or another server process may prune under our feet).
+            entries = self._stat_entries(listed)
             per_shard[name] = {
                 "entries": len(entries),
-                "bytes": sum(path.stat().st_size for path in entries),
+                "bytes": sum(size for _, _, size in entries),
             }
         stats["shards"] = per_shard
         stats["tenants"] = {

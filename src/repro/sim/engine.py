@@ -108,12 +108,14 @@ class TimingStage:
             # methodologies do, so the short measured slice is not dominated
             # by cold misses the paper's 200 M-instruction slices would have
             # amortized.
-            uop_stream = iter(list(uop_source))
+            materialized: Optional[Sequence[MicroOp]] = list(uop_source)
+            uop_stream = iter(materialized)
             self._prewarm_source: Optional[Sequence[MicroOp]] = uop_source
         else:
+            materialized = None
             uop_stream = iter(uop_source)
             self._prewarm_source = None
-        self.processor = Processor(config, uop_stream)
+        self.processor = self._build_processor(config, uop_stream, materialized)
         if prewarm_caches and self._prewarm_source is not None:
             self._prewarm_memory(self._prewarm_source)
 
@@ -155,6 +157,16 @@ class TimingStage:
         )
 
     # ------------------------------------------------------------------
+    def _build_processor(
+        self,
+        config: ProcessorConfig,
+        uop_stream: Iterator[MicroOp],
+        materialized: Optional[Sequence[MicroOp]],
+    ) -> Processor:
+        """Instantiate the timing core (overridden by the fast path)."""
+        return Processor(config, uop_stream)
+
+    # ------------------------------------------------------------------
     def _prewarm_memory(self, trace: Sequence[MicroOp]) -> None:
         """Touch the trace's data footprint in the UL2 (functional warm-up).
 
@@ -163,6 +175,12 @@ class TimingStage:
         spend the whole short slice taking cold misses with the 500-cycle
         memory latency, which the paper's long traces do not suffer.
         """
+        warm = getattr(self.processor, "prewarm_ul2", None)
+        if warm is not None:
+            # Fast-path processors warm from their decoded address arrays
+            # (one bulk call; avoids per-uop traffic into the native core).
+            warm()
+            return
         ul2 = self.processor.ul2
         for uop in trace:
             if uop.mem_addr is not None:
@@ -626,6 +644,7 @@ class SimulationEngine:
         interval_cycles: Optional[int] = None,
         prewarm_caches: bool = True,
         dtm_policy: Optional[DTMPolicy] = None,
+        timing_mode: str = "auto",
     ) -> None:
         self.config = config
         self.benchmark = benchmark
@@ -633,8 +652,46 @@ class SimulationEngine:
         if self.interval_cycles <= 0:
             raise ValueError("interval_cycles must be positive")
 
+        # --------------------------------------------------------------
+        # Timing-mode selection.  The fast path only claims configurations
+        # it provably reproduces byte-for-byte: no physics feedback into
+        # timing (timing_feedback_reason — the same authority that gates
+        # trace replay), no temperature-actuating DTM policy, and a
+        # materialized workload it can batch-decode.  Everything else falls
+        # back to the per-uop golden reference.
+        # --------------------------------------------------------------
+        if timing_mode not in ("auto", "fast", "reference"):
+            raise ValueError(
+                "timing_mode must be 'auto', 'fast' or 'reference', "
+                f"not {timing_mode!r}"
+            )
+        self.timing_mode = timing_mode
+        fallback: Optional[str] = None
+        if timing_mode == "reference":
+            fallback = "timing_mode='reference' requested"
+        else:
+            fallback = timing_feedback_reason(config)
+            if fallback is None and dtm_policy is not None and dtm_policy.feedback:
+                fallback = (
+                    f"DTM policy {dtm_policy.name!r} actuates on temperatures"
+                )
+            if fallback is None and not isinstance(uop_source, Sequence):
+                fallback = "streaming uop source cannot be batch-decoded"
+            if timing_mode == "fast" and fallback is not None:
+                raise ValueError(
+                    f"timing_mode='fast' is not applicable: {fallback}"
+                )
+        self.timing_fallback_reason = fallback
+        self.resolved_timing_mode = "reference" if fallback is not None else "fast"
+
         self.physics = PhysicsStage(config, self.interval_cycles)
-        self.timing = TimingStage(
+        if self.resolved_timing_mode == "fast":
+            from repro.sim.fast_timing import FastTimingStage
+
+            stage_cls = FastTimingStage
+        else:
+            stage_cls = TimingStage
+        self.timing = stage_cls(
             config,
             uop_source,
             self.interval_cycles,
@@ -949,6 +1006,7 @@ def run_benchmark(
     warmup: bool = True,
     prewarm_caches: bool = True,
     dtm_policy: Optional[DTMPolicy] = None,
+    timing_mode: str = "auto",
 ) -> SimulationResult:
     """Convenience wrapper: build an engine, run it, return the result."""
     engine = SimulationEngine(
@@ -958,5 +1016,6 @@ def run_benchmark(
         interval_cycles,
         prewarm_caches=prewarm_caches,
         dtm_policy=dtm_policy,
+        timing_mode=timing_mode,
     )
     return engine.run(max_intervals=max_intervals, warmup=warmup)

@@ -16,6 +16,7 @@ from repro.workloads.profiles import (
     WorkloadProfile,
     get_profile,
 )
+from repro.workloads.decode import DecodedWorkload, decode_workload
 from repro.workloads.generator import TraceGenerator
 from repro.workloads.trace import Trace, TraceStatistics
 
@@ -28,4 +29,6 @@ __all__ = [
     "TraceGenerator",
     "Trace",
     "TraceStatistics",
+    "DecodedWorkload",
+    "decode_workload",
 ]

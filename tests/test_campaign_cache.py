@@ -173,3 +173,68 @@ def test_prune_removes_oldest_entries_down_to_the_budget(
     }
     with pytest.raises(ValueError):
         cache.prune(max_bytes=-1)
+
+
+def test_stats_and_prune_tolerate_entries_vanishing_after_listing(
+    tmp_path, cell, simulated, captured
+):
+    """The list-then-stat window of a shared cache directory is racy.
+
+    A concurrent prune (another process, the service janitor) can evict an
+    entry between the directory listing and the ``stat`` call; both
+    ``stats()`` and ``prune()`` must treat the vanished file as already gone
+    instead of raising ``FileNotFoundError``.
+    """
+    cache = ResultCache(tmp_path / "cache")
+    cache.store(cell, simulated)
+    cache.store_trace(cell.timing_key(), captured)
+    ghost = cache.directory / "v0-0.0-evicted-by-a-concurrent-prune.json"
+    real_result_files = cache._result_files
+    cache._result_files = lambda: real_result_files() + [ghost]
+
+    stats = cache.stats()
+    assert stats["results"] == 1 and stats["traces"] == 1
+
+    report = cache.prune(max_bytes=0)
+    assert report["removed"] == 2
+    assert report["remaining_bytes"] == 0
+
+
+def test_concurrent_stores_prunes_and_stats_never_raise(tmp_path, cell, simulated):
+    """Stores, prunes and stats hammering one directory stay exception-free."""
+    import threading
+
+    cache = ResultCache(tmp_path / "cache")
+    errors = []
+    stop = threading.Event()
+
+    def guard(fn):
+        try:
+            while not stop.is_set():
+                fn()
+        except BaseException as error:  # noqa: BLE001 - recorded for the assert
+            errors.append(error)
+
+    def writer():
+        cache.store(cell, simulated)
+
+    def pruner():
+        cache.prune(max_bytes=0)
+
+    def reader():
+        cache.stats()
+
+    threads = [
+        threading.Thread(target=guard, args=(fn,))
+        for fn in (writer, pruner, reader, pruner)
+    ]
+    for thread in threads:
+        thread.start()
+    # Let the writer/pruner/stats loops overlap for a moment, then stop.
+    import time
+
+    time.sleep(0.5)
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=10)
+    assert not errors, errors

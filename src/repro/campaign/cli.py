@@ -456,6 +456,7 @@ def _run_multicore_figure(
         seed=args.seed if args.seed is not None else 7,
         executor=executor,
         cache=cache,
+        solver_backend=args.solver_backend,
         **kwargs,
     )
     print(result.format_table())
@@ -527,6 +528,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 dtm_policies=policies,
                 cores=cores,
                 per_core_scenarios=mixes,
+                contention=args.contention,
+                solver_backend=args.solver_backend,
             )
             outcome = run_campaign(campaign, executor, cache)
             from repro.experiments.reporting import format_campaign_outcome
@@ -775,6 +778,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="explicit per-core workload mixes for a chip campaign: '+' "
         "separates cores, ';' or ',' separates mixes "
         "(e.g. \"thermal_virus+idle_crawl;gzip+gzip\")",
+    )
+    run.add_argument(
+        "--contention",
+        default=None,
+        help="shared-LLC contention model for chip campaigns: 'none' "
+        "(default) or a repro.chip.make_contention spec such as "
+        "'shared_llc' or 'shared_llc:service=64,max_extra=300'",
+    )
+    run.add_argument(
+        "--solver-backend",
+        choices=("auto", "dense", "sparse"),
+        default="auto",
+        help="thermal solver factorization: 'auto' (default) keeps small "
+        "dies on the dense bit-identical path and flips to sparse SuperLU "
+        "above the node threshold; 'dense'/'sparse' force a backend",
     )
     run.add_argument(
         "--configs",

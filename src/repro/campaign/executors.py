@@ -193,6 +193,8 @@ def execute_chip_cell(spec) -> SimulationResult:
         cores=spec.cores,
         interval_cycles=spec.interval_cycles,
         chip_policy=spec.chip_policy,
+        contention=spec.contention,
+        solver_backend=spec.solver_backend,
         timing_mode=resolved_timing_mode(),
     )
     result = engine.run()
@@ -218,6 +220,7 @@ def execute_chip_replay(task) -> SimulationResult:
         cores=spec.cores,
         interval_cycles=spec.interval_cycles,
         chip_policy=spec.chip_policy,
+        solver_backend=spec.solver_backend,
     )
     result.provenance.update(spec.provenance())
     result.provenance["replayed"] = True

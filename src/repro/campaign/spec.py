@@ -287,6 +287,13 @@ class Campaign:
     names *chip-level* policies (:func:`repro.chip.make_chip_policy` specs:
     ``"none"``, ``"core_migration"``, ``"chip_dvfs:target=85"``, ...), and
     summaries are keyed per mix (``"virus+gzip"``) instead of per benchmark.
+
+    ``contention`` (chip mode only) names a shared-LLC contention model
+    (a :func:`repro.chip.make_contention` spec such as ``"shared_llc"``);
+    contended cells couple threads through memory latency and are simulated
+    with the coupled engine instead of trace replay.  ``solver_backend``
+    selects the thermal solver factorization for every cell
+    (``"auto"``/``"dense"``/``"sparse"``, see :mod:`repro.thermal.solver`).
     """
 
     configs: Tuple[ProcessorConfig, ...]
@@ -295,6 +302,8 @@ class Campaign:
     dtm_policies: Tuple[str, ...] = ()
     cores: int = 1
     per_core_scenarios: Tuple[Tuple[str, ...], ...] = ()
+    contention: Optional[str] = None
+    solver_backend: str = "auto"
 
     def __init__(
         self,
@@ -304,12 +313,16 @@ class Campaign:
         dtm_policies: Iterable[str] = (),
         cores: int = 1,
         per_core_scenarios: Iterable = (),
+        contention: Optional[str] = None,
+        solver_backend: str = "auto",
     ) -> None:
         object.__setattr__(self, "configs", tuple(configs))
         object.__setattr__(self, "settings", settings)
         object.__setattr__(self, "name", name)
         object.__setattr__(self, "dtm_policies", tuple(dtm_policies))
         object.__setattr__(self, "cores", int(cores))
+        object.__setattr__(self, "contention", contention)
+        object.__setattr__(self, "solver_backend", solver_backend)
         mixes = tuple(
             tuple(mix.split("+")) if isinstance(mix, str) else tuple(mix)
             for mix in per_core_scenarios
@@ -340,6 +353,26 @@ class Campaign:
                 )
             for scenario in mix:
                 get_profile(scenario)  # raises KeyError for unknown names
+        from repro.thermal.solver import SOLVER_BACKENDS
+
+        if self.solver_backend not in SOLVER_BACKENDS:
+            raise ValueError(
+                f"solver_backend must be one of {', '.join(SOLVER_BACKENDS)}, "
+                f"not {self.solver_backend!r}"
+            )
+        if self.contention is not None:
+            from repro.chip.contention import make_contention
+
+            # Fail fast on malformed specs; normalize disabled spellings so
+            # contention="none" campaigns mint the same cell keys as
+            # contention-free ones.
+            if make_contention(self.contention) is None:
+                object.__setattr__(self, "contention", None)
+            elif not self.is_chip:
+                raise ValueError(
+                    "contention couples the threads of a chip campaign; "
+                    "single-core campaigns have no co-runners to contend with"
+                )
         # Fail fast on unknown policies/parameters, before any simulation.
         # In chip mode the policy axis names chip-level policies.
         if self.is_chip:
@@ -425,6 +458,8 @@ class Campaign:
                                 interval_cycles=interval,
                                 seed=self.settings.seed,
                                 chip_policy=policy,
+                                contention=self.contention,
+                                solver_backend=self.solver_backend,
                             )
                         )
             return tuple(specs)

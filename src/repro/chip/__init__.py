@@ -16,6 +16,9 @@ package.  This package composes the reproduction one level up:
 * :mod:`repro.chip.policies` — chip-level DTM: ``core_migration`` (the CMP
   analogue of the paper's bank hopping: move the hot thread, cool the die)
   and ``chip_dvfs`` (per-core voltage/frequency domains);
+* :mod:`repro.chip.contention` — shared-LLC / memory-bandwidth contention:
+  co-runner UL2 miss traffic lengthens each thread's effective memory
+  latency through the configuration's shared memory buses;
 * :class:`ChipRunSpec` — the campaign cell, wired into
   :class:`repro.campaign.Campaign` through its ``cores`` /
   ``per_core_scenarios`` axes.
@@ -23,6 +26,12 @@ package.  This package composes the reproduction one level up:
 See ``docs/multicore.md``.
 """
 
+from repro.chip.contention import (
+    CONTENTION_MODELS,
+    ContentionConfig,
+    SharedLLCContention,
+    make_contention,
+)
 from repro.chip.engine import (
     ChipEngine,
     build_chip_physics,
@@ -44,14 +53,18 @@ __all__ = [
     "ChipEngine",
     "ChipRunSpec",
     "CHIP_POLICIES",
+    "CONTENTION_MODELS",
     "ChipControls",
     "ChipDTMPolicy",
     "ChipObservation",
+    "ContentionConfig",
+    "SharedLLCContention",
     "available_chip_policies",
     "build_chip_physics",
     "chip_block_groups",
     "core_prefix",
     "make_chip_policy",
+    "make_contention",
     "mix_name",
     "replay_chip",
 ]

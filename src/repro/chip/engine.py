@@ -51,6 +51,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.chip.contention import ContentionConfig, SharedLLCContention, make_contention
 from repro.chip.policies import ChipControls, ChipDTMPolicy, ChipObservation, make_chip_policy
 from repro.dtm.controls import DTMControls, DTMTelemetry, FETCH_DUTY_PERIOD
 from repro.dtm.policies import DTMObservation, DTMPolicy, make_policy
@@ -105,6 +106,8 @@ def build_chip_physics(
     config: ProcessorConfig,
     cores: int,
     interval_cycles: Optional[int] = None,
+    solver_backend: str = "auto",
+    solver_ordering: str = "colamd",
 ) -> Tuple[PhysicsStage, BlockIndex, int]:
     """One :class:`PhysicsStage` over the composite ``cores``-core die.
 
@@ -112,6 +115,13 @@ def build_chip_physics(
     the *single-core* block order (what each per-core timing stage emits),
     and core ``c`` occupies the contiguous chip-vector slice
     ``[c * blocks_per_core, (c + 1) * blocks_per_core)``.
+
+    ``solver_backend`` selects the thermal solver's factorization (see
+    :mod:`repro.thermal.solver`): ``"auto"`` keeps small dies on the dense
+    (bit-identical) path and flips to sparse SuperLU at
+    :data:`~repro.thermal.solver.SPARSE_NODE_THRESHOLD` nodes — in this
+    composition, at 16 cores and above — where the composite Laplacian is
+    ~99% zeros and sparse factorization is an order of magnitude faster.
     """
     if cores < 1:
         raise ValueError("a chip needs at least one core")
@@ -146,6 +156,8 @@ def build_chip_physics(
         block_parameters=chip_parameters,
         floorplan=chip_plan,
         block_groups=chip_block_groups(config, cores),
+        solver_backend=solver_backend,
+        solver_ordering=solver_ordering,
     )
     return physics, core_index, len(core_index)
 
@@ -230,8 +242,14 @@ def _finish_chip_result(
     migration_log: Sequence[Dict],
     dvfs_residency: Optional[Dict[str, float]] = None,
     thread_dtm: Optional[Sequence[Optional[Dict]]] = None,
+    contention: Optional[Dict[str, object]] = None,
 ) -> SimulationResult:
-    """Fold the chip telemetry into a result (shared by coupled and replay)."""
+    """Fold the chip telemetry into a result (shared by coupled and replay).
+
+    ``contention`` (the contention model's telemetry) is only present on
+    contended runs: an uncontended result's payload is byte-identical to
+    what it was before the contention model existed.
+    """
     result.stats = _aggregate_stats(per_thread_stats, chip_cycles)
     result.provenance["cores"] = cores
     threads = []
@@ -257,6 +275,8 @@ def _finish_chip_result(
     }
     if dvfs_residency is not None:
         chip["dvfs_residency"] = dvfs_residency
+    if contention is not None:
+        chip["contention"] = contention
     result.chip = chip
     return result
 
@@ -289,6 +309,8 @@ class ChipEngine:
         chip_policy: Optional[Union[ChipDTMPolicy, str]] = None,
         core_policies: Optional[Sequence[Optional[Union[DTMPolicy, str]]]] = None,
         timing_mode: str = "auto",
+        solver_backend: str = "auto",
+        contention: Optional[Union[ContentionConfig, str]] = None,
     ) -> None:
         if len(uop_sources) != len(benchmarks):
             raise ValueError(
@@ -309,9 +331,26 @@ class ChipEngine:
             raise ValueError("interval_cycles must be positive")
 
         self.physics, self.core_index, self.blocks_per_core = build_chip_physics(
-            config, self.cores, self.interval_cycles
+            config, self.cores, self.interval_cycles, solver_backend=solver_backend
         )
         self.block_index = self.physics.block_index
+        self.solver_backend = self.physics.solver_backend
+
+        # Shared-LLC / memory-bandwidth contention (repro.chip.contention).
+        # Parsed before the timing-mode selection below: a contended run
+        # couples threads through memory latency, so ``replay_safe_reason``
+        # must already see it.
+        if isinstance(contention, str) or contention is None:
+            contention = make_contention(contention)
+        self.contention: Optional[ContentionConfig] = contention
+        self._contention_model: Optional[SharedLLCContention] = (
+            SharedLLCContention(contention, config) if contention is not None else None
+        )
+        #: Per-thread extra UL2 miss latency applied to the next interval
+        #: (always zero on the first interval — the feedback lags one
+        #: interval, like the thermal sensors).
+        self._contention_extra: List[int] = [0] * len(benchmarks)
+        self._contention_prev_misses: List[int] = [0] * len(benchmarks)
 
         self.num_threads = len(benchmarks)
         #: Core currently executing each thread.
@@ -419,6 +458,10 @@ class ChipEngine:
         reason = timing_feedback_reason(self.config)
         if reason is not None:
             return reason
+        if self.contention is not None:
+            return (
+                "shared-LLC contention couples threads through memory latency"
+            )
         if self.chip_policy is not None and self.chip_policy.feedback:
             return (
                 f"chip DTM policy {self.chip_policy.name!r} actuates on "
@@ -586,6 +629,16 @@ class ChipEngine:
                 break
             if any_policy and interval_index > 0:
                 self._apply_policies(interval_index)
+            if self._contention_model is not None:
+                # Actuate last interval's contention verdict: each thread's
+                # UL2 misses pay the queueing delay its co-runners' traffic
+                # imposed (zero on interval 0 and whenever no co-runner
+                # missed).
+                for t, timing in enumerate(self.timings):
+                    if not self._finished[t]:
+                        timing.processor.ul2.extra_miss_latency = (
+                            self._contention_extra[t]
+                        )
 
             counts = np.zeros(total_blocks)
             cycles = np.full(total_blocks, self.interval_cycles, dtype=np.int64)
@@ -617,6 +670,15 @@ class ChipEngine:
                     )
             if not ran:
                 break
+            if self._contention_model is not None:
+                deltas = []
+                for t, timing in enumerate(self.timings):
+                    misses = timing.processor.ul2.misses
+                    deltas.append(misses - self._contention_prev_misses[t])
+                    self._contention_prev_misses[t] = misses
+                self._contention_extra = self._contention_model.extra_latencies(
+                    deltas, chip_cycles if chip_cycles > 0 else self.interval_cycles
+                )
 
             gated_mask = None
             if masks:
@@ -704,6 +766,11 @@ class ChipEngine:
             migration_log=self.migration_log,
             dvfs_residency=dvfs_residency,
             thread_dtm=thread_dtm,
+            contention=(
+                self._contention_model.telemetry()
+                if self._contention_model is not None
+                else None
+            ),
         )
 
     def run_with_traces(
@@ -748,6 +815,7 @@ def replay_chip(
     interval_cycles: Optional[int] = None,
     warmup: bool = True,
     chip_policy: Optional[Union[ChipDTMPolicy, str]] = None,
+    solver_backend: str = "auto",
 ) -> SimulationResult:
     """Replay N per-core activity traces through one composite-die physics.
 
@@ -780,7 +848,7 @@ def replay_chip(
             "its cells must be simulated coupled, not replayed"
         )
     physics, core_index, blocks_per_core = build_chip_physics(
-        config, cores, interval_cycles
+        config, cores, interval_cycles, solver_backend=solver_backend
     )
     for t, trace in enumerate(traces):
         if list(trace.block_names) != list(core_index.names):

@@ -43,6 +43,16 @@ class ChipRunSpec:
     optionally names a chip-level DTM policy
     (a :func:`repro.chip.make_chip_policy` spec string such as
     ``"core_migration"`` or ``"chip_dvfs:target=85"``).
+
+    ``contention`` optionally names a shared-LLC contention model
+    (a :func:`repro.chip.make_contention` spec string such as
+    ``"shared_llc"`` or ``"shared_llc:service=32"``); contended cells
+    couple threads through memory latency and are therefore never
+    replayable.  ``solver_backend`` selects the thermal solver's
+    factorization (``"auto"``/``"dense"``/``"sparse"``, see
+    :mod:`repro.thermal.solver`); it is part of the cache key only when it
+    is not ``"auto"``, because sparse and dense results are equivalent but
+    not bit-identical and must not collide in the result cache.
     """
 
     config: ProcessorConfig
@@ -52,6 +62,8 @@ class ChipRunSpec:
     interval_cycles: int
     seed: int
     chip_policy: Optional[str] = None
+    contention: Optional[str] = None
+    solver_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.cores < 1:
@@ -67,6 +79,21 @@ class ChipRunSpec:
                 f"{len(self.trace_uops)} trace lengths for "
                 f"{len(self.benchmarks)} threads"
             )
+        from repro.thermal.solver import SOLVER_BACKENDS
+
+        if self.solver_backend not in SOLVER_BACKENDS:
+            raise ValueError(
+                f"solver_backend must be one of {', '.join(SOLVER_BACKENDS)}, "
+                f"not {self.solver_backend!r}"
+            )
+        if self.contention is not None:
+            from repro.chip.contention import make_contention
+
+            # Fail fast on malformed specs, and normalize disabled spellings
+            # ("none", "") to None so they cannot mint a cache key distinct
+            # from the contention-free cell they are identical to.
+            if make_contention(self.contention) is None:
+                object.__setattr__(self, "contention", None)
 
     # ------------------------------------------------------------------
     @property
@@ -90,6 +117,10 @@ class ChipRunSpec:
         }
         if self.chip_policy is not None:
             provenance["chip_policy"] = self.chip_policy
+        if self.contention is not None:
+            provenance["contention"] = self.contention
+        if self.solver_backend != "auto":
+            provenance["solver_backend"] = self.solver_backend
         return provenance
 
     def key_material(self) -> Dict[str, object]:
@@ -111,6 +142,17 @@ class ChipRunSpec:
         }
         if self.chip_policy is not None:
             material["chip_policy"] = self.chip_policy
+        # Both knobs below enter the material only when set, so every cache
+        # key minted before they existed still matches its cell.  The
+        # solver backend is keyed when explicit because sparse and dense
+        # results are tolerance-equivalent, not bit-identical — an explicit
+        # "sparse" result must never be served for a "dense" request (or
+        # vice versa); "auto" keys like the pre-sparse solver, whose
+        # resolution is a pure function of the cell's own node count.
+        if self.contention is not None:
+            material["contention"] = self.contention
+        if self.solver_backend != "auto":
+            material["solver_backend"] = self.solver_backend
         return material
 
     def cache_key(self) -> str:
@@ -144,6 +186,10 @@ class ChipRunSpec:
         reason = timing_feedback_reason(self.config)
         if reason is not None:
             return reason
+        if self.contention is not None:
+            return (
+                "shared-LLC contention couples threads through memory latency"
+            )
         if self.chip_policy is not None:
             from repro.chip.policies import make_chip_policy
 

@@ -4,7 +4,7 @@ The paper's single-core techniques reshape heat *within* one core; the chip
 layer (:mod:`repro.chip`) composes cores into one package, where two new
 effects dominate: neighbour heating through the shared silicon/spreader,
 and the idle headroom that chip-level migration exploits.  This driver
-quantifies both by scaling the same configuration across 1/2/4-core dies
+quantifies both by scaling the same configuration across 1/2/4/16-core dies
 under two mix shapes:
 
 * **homogeneous** — the thermal virus on every core: the chip's worst case,
@@ -32,14 +32,18 @@ from repro.experiments.reporting import format_value_table
 from repro.sim.config import ProcessorConfig
 
 #: Core counts swept by default (the grid degenerates gracefully: 1 core is
-#: exactly the single-core engine, which anchors the scaling curves).
-DEFAULT_CORE_COUNTS: Tuple[int, ...] = (1, 2, 4)
+#: exactly the single-core engine, which anchors the scaling curves).  The
+#: 16-core die crosses the thermal solver's sparse threshold, so the default
+#: sweep exercises both factorization backends.
+DEFAULT_CORE_COUNTS: Tuple[int, ...] = (1, 2, 4, 16)
 
 #: The homogeneous mix replicates the maximum-power scenario on every core.
 HOMOGENEOUS_SCENARIO = "thermal_virus"
 
 #: The heterogeneous bag, hottest-next-to-coolest by design; a ``cores``-core
-#: mix takes the first ``cores`` entries.
+#: mix takes the first ``cores`` entries, and wider dies tile the bag (so a
+#: 16-core mix is four hot/virus/memory/idle quadrants — hot cores always
+#: adjacent to cool ones).
 HETEROGENEOUS_MIX: Tuple[str, ...] = (
     "hot_loop",
     "thermal_virus",
@@ -49,9 +53,12 @@ HETEROGENEOUS_MIX: Tuple[str, ...] = (
 
 
 def _mixes_for(cores: int) -> Tuple[Tuple[str, ...], ...]:
+    heterogeneous = tuple(
+        HETEROGENEOUS_MIX[c % len(HETEROGENEOUS_MIX)] for c in range(cores)
+    )
     return (
         (HOMOGENEOUS_SCENARIO,) * cores,
-        HETEROGENEOUS_MIX[:cores],
+        heterogeneous,
     )
 
 
@@ -93,13 +100,16 @@ def run_multicore_scaling(
     seed: int = 7,
     executor: Optional[Executor] = None,
     cache: Optional[ResultCache] = None,
+    solver_backend: str = "auto",
 ) -> MulticoreScalingResult:
     """Run the core-count x mix grid and aggregate per (count, shape).
 
     ``core spread`` is the difference between the hottest and coolest
     core's peak temperature — zero for a perfectly homogeneous die, large
     when hot cores sit next to idle silicon (the headroom chip-level DTM
-    trades against).
+    trades against).  ``solver_backend`` selects the thermal factorization
+    for every campaign (``"auto"`` flips the 16-core dies to sparse SuperLU
+    and keeps the small anchors on the dense bit-identical path).
     """
     if config is None:
         config = baseline_config()
@@ -118,6 +128,7 @@ def run_multicore_scaling(
                 seed=seed,
                 executor=executor,
                 cache=ResultCache(tmp),
+                solver_backend=solver_backend,
             )
     scenarios = tuple(
         dict.fromkeys((HOMOGENEOUS_SCENARIO,) + HETEROGENEOUS_MIX)
@@ -136,6 +147,7 @@ def run_multicore_scaling(
             name=f"multicore_{cores}",
             cores=cores,
             per_core_scenarios=_mixes_for(cores),
+            solver_backend=solver_backend,
         )
         outcome = run_campaign(campaign, executor=executor, cache=cache)
         result.cells_replayed += outcome.cells_replayed

@@ -26,6 +26,11 @@ class UnifiedL2Cache:
         self._sets: Dict[int, OrderedDict] = {}
         self.hits = 0
         self.misses = 0
+        #: Extra cycles added to every *miss* — the chip-level contention
+        #: model's actuator (queueing behind co-runner traffic on the shared
+        #: memory buses).  Zero by default, so an uncontended processor is
+        #: byte-identical to the pre-contention model.
+        self.extra_miss_latency = 0
 
     def _set_index(self, address: int) -> int:
         return (address // self.line_bytes) % self.num_sets
@@ -37,7 +42,9 @@ class UnifiedL2Cache:
         """Access the UL2; return the latency of the access.
 
         Hits cost ``ul2_hit_latency``; misses additionally pay the main
-        memory latency.  The line is allocated on a miss.
+        memory latency plus any :attr:`extra_miss_latency` the chip-level
+        contention model has imposed for this interval.  The line is
+        allocated on a miss.
         """
         set_index = self._set_index(address)
         line = self._line_address(address)
@@ -50,7 +57,11 @@ class UnifiedL2Cache:
         if len(entries) >= self.associativity:
             entries.popitem(last=False)
         entries[line] = True
-        return self.config.ul2_hit_latency + self.config.ul2_miss_latency
+        return (
+            self.config.ul2_hit_latency
+            + self.config.ul2_miss_latency
+            + self.extra_miss_latency
+        )
 
     @property
     def hit_rate(self) -> float:

@@ -281,6 +281,8 @@ class PhysicsStage:
         block_parameters=None,
         floorplan=None,
         block_groups=None,
+        solver_backend: str = "auto",
+        solver_ordering: str = "colamd",
     ) -> None:
         """Build the physics of one die.
 
@@ -291,6 +293,15 @@ class PhysicsStage:
         :func:`~repro.thermal.floorplan.compose_floorplans` core grid and
         chip-level block groups — and every downstream stage (RC network,
         solver, power model, block index) composes without change.
+
+        ``solver_backend`` selects the thermal solver's factorization
+        (``"auto"``, ``"dense"`` or ``"sparse"``; see
+        :mod:`repro.thermal.solver`).  The default ``"auto"`` resolves to
+        dense on every single-core die and small composite — bit-identical
+        to the pre-sparse solver — and to sparse at
+        :data:`~repro.thermal.solver.SPARSE_NODE_THRESHOLD` nodes and
+        above.  ``solver_ordering`` is the sparse backend's fill-reducing
+        column ordering (``"colamd"`` or ``"natural"``).
         """
         self.config = config
         self.interval_cycles = interval_cycles or config.thermal.interval_cycles
@@ -313,7 +324,11 @@ class PhysicsStage:
             dict(block_groups) if block_groups is not None else blocks.block_groups(config)
         )
         self.network = ThermalRCNetwork(self.floorplan, config.thermal)
-        self.solver = ThermalSolver(self.network)
+        self.solver = ThermalSolver(
+            self.network, backend=solver_backend, ordering=solver_ordering
+        )
+        #: The resolved solver backend ("dense" or "sparse").
+        self.solver_backend = self.solver.backend
         self.power_model = PowerModel(config.power, self.block_parameters)
 
         # One block index (the power model's order) for every per-interval

@@ -16,7 +16,13 @@ power computed by :mod:`repro.power`.
 from repro.thermal.floorplan import Block, Floorplan, build_floorplan
 from repro.thermal.package import PackageProperties, MaterialProperties, SILICON, COPPER, TIM
 from repro.thermal.rc_model import ThermalRCNetwork
-from repro.thermal.solver import ThermalSolver
+from repro.thermal.solver import (
+    SOLVER_BACKENDS,
+    SPARSE_NODE_THRESHOLD,
+    ThermalSolver,
+    resolve_backend,
+    sparse_backend_available,
+)
 from repro.thermal.sensors import ThermalSensor, SensorBank
 from repro.thermal.metrics import temperature_metrics_from_history
 
@@ -33,5 +39,9 @@ __all__ = [
     "ThermalSolver",
     "ThermalSensor",
     "SensorBank",
+    "SOLVER_BACKENDS",
+    "SPARSE_NODE_THRESHOLD",
+    "resolve_backend",
+    "sparse_backend_available",
     "temperature_metrics_from_history",
 ]

@@ -15,7 +15,7 @@ matrix and ``P`` the per-node power injection (zero for package nodes).
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping
+from typing import Dict, Iterator, List, Mapping, Tuple
 
 import numpy as np
 
@@ -85,38 +85,78 @@ class ThermalRCNetwork:
         cross_section = shared_edge * self.config.die_thickness_m
         return SILICON.conductivity * cross_section / distance
 
-    def _build_conductance(self) -> np.ndarray:
-        g = np.zeros((self.num_nodes, self.num_nodes))
+    def _conductance_entries(self) -> Iterator[Tuple[int, int, float]]:
+        """Every ``G[i, j] += value`` update of the conductance build, in order.
 
-        def add_conductance(i: int, j: int, value: float) -> None:
-            g[i, i] += value
-            g[j, j] += value
-            g[i, j] -= value
-            g[j, i] -= value
+        This triplet stream is the single source of truth for the matrix:
+        the dense build replays it with sequential ``+=`` (so its arithmetic
+        — and therefore every golden fixture downstream — is unchanged by
+        the sparse backend's existence), and :meth:`conductance_sparse`
+        compresses the resulting dense matrix, inheriting the exact same
+        entry values.
+        """
+
+        def coupling(i: int, j: int, value: float) -> Iterator[Tuple[int, int, float]]:
+            yield (i, i, value)
+            yield (j, j, value)
+            yield (i, j, -value)
+            yield (j, i, -value)
 
         # Vertical paths block -> spreader.
         for name in self.block_names:
             block = self.floorplan.block(name)
-            add_conductance(
+            yield from coupling(
                 self._index[name], self.spreader_index, self._vertical_conductance(block.area)
             )
         # Lateral paths between adjacent blocks.
         for name_a, name_b, shared in self.floorplan.adjacency():
-            add_conductance(
+            yield from coupling(
                 self._index[name_a],
                 self._index[name_b],
                 self._lateral_conductance(name_a, name_b, shared),
             )
         # Spreader -> sink -> ambient.
-        add_conductance(
+        yield from coupling(
             self.spreader_index,
             self.sink_index,
             1.0 / self.package.spreader_to_sink_resistance,
         )
         # The ambient is a fixed-temperature source: only the diagonal term
         # remains (the off-diagonal part is folded into the source vector).
-        g[self.sink_index, self.sink_index] += 1.0 / self.package.sink_to_ambient_resistance
+        yield (
+            self.sink_index,
+            self.sink_index,
+            1.0 / self.package.sink_to_ambient_resistance,
+        )
+
+    def _build_conductance(self) -> np.ndarray:
+        g = np.zeros((self.num_nodes, self.num_nodes))
+        for i, j, value in self._conductance_entries():
+            g[i, j] += value
         return g
+
+    def conductance_sparse(self):
+        """The conductance matrix as a ``scipy.sparse`` CSC matrix.
+
+        Compressed from the dense :attr:`conductance` the constructor
+        already built (the floorplan adjacency walk is not repeated), so
+        the stored nonzeros are *bit-identical* to the dense entries —
+        the two assemblies differ only in what the zeros cost.  CSC is
+        what ``scipy.sparse.linalg.splu`` factorizes without a conversion
+        copy.
+
+        Raises :class:`RuntimeError` when SciPy is not installed — callers
+        gate on :func:`repro.thermal.solver.sparse_backend_available` (the
+        ``auto`` solver backend falls back to dense instead of calling
+        this).
+        """
+        try:
+            from scipy import sparse
+        except ImportError as error:  # pragma: no cover - scipy present in CI
+            raise RuntimeError(
+                "the sparse conductance assembly requires scipy"
+            ) from error
+        return sparse.csc_matrix(self.conductance)
 
     def _build_capacitance(self) -> np.ndarray:
         c = np.zeros(self.num_nodes)

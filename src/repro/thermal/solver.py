@@ -23,15 +23,39 @@
   campaign replay path sticks to per-cell solves.
 
 The conductance matrix ``G`` never changes after construction, so it is
-**LU-factorized once** and every steady-state solve — including each
+**factorized once** and every steady-state solve — including each
 iteration of the warm-up fixed point and the implicit steady-state target of
-every transient ``advance`` — reuses the factors.  LAPACK's ``gesv`` (what
-``np.linalg.solve`` wraps) is exactly ``getrf`` + ``getrs``, i.e. the same
-factorization followed by the same triangular solves, so the factorized path
-is bit-identical to solving from scratch; the golden-metric suite relies on
-that.  Without SciPy the steady-state solves fall back to
-``np.linalg.solve`` per call — slower, but identical results (the matrix
-exponential falls back to scaling-and-squaring, as before).
+every transient ``advance`` — reuses the factors.  Two factorization
+backends exist behind the ``backend`` knob:
+
+* ``"dense"`` — LAPACK LU (``scipy.linalg.lu_factor``).  LAPACK's ``gesv``
+  (what ``np.linalg.solve`` wraps) is exactly ``getrf`` + ``getrs``, i.e.
+  the same factorization followed by the same triangular solves, so the
+  factorized path is bit-identical to solving from scratch; the
+  golden-metric suite relies on that.  Without SciPy the steady-state
+  solves fall back to ``np.linalg.solve`` per call — slower, but identical
+  results (the matrix exponential falls back to scaling-and-squaring, as
+  before).
+* ``"sparse"`` — SuperLU over the CSC assembly of the same network
+  (``scipy.sparse.linalg.splu``; fill-reducing column ordering selectable
+  via ``ordering="colamd"|"natural"``).  The RC network couples each node
+  only to its floorplan neighbours, so the composite-die matrices the chip
+  layer builds are overwhelmingly sparse — at 16 cores (770 nodes, ~1%
+  dense) the sparse factorization and solves are an order of magnitude
+  faster than dense LU, and the gap widens quadratically with core count.
+
+**Tolerance contract.** Sparse and dense solves are *numerically
+equivalent but not bit-identical*: both factorizations are backward-stable,
+but they pivot and order eliminations differently, so results agree to
+within the conditioning of ``G`` — in practice far tighter than
+``rtol=1e-8, atol=1e-8`` (degrees Celsius) on every die this repository
+builds, which is the bound ``tests/test_solver_backends.py`` documents and
+enforces.  Anything whose contract is *bit-for-bit* (golden fixtures,
+capture-vs-replay equivalence, the single-core engine) therefore stays on
+the dense path: ``backend="auto"`` only flips to sparse at
+:data:`SPARSE_NODE_THRESHOLD` nodes and above, well past every golden
+single-core and small-chip die, and falls back to dense when SciPy is
+absent.
 """
 
 from __future__ import annotations
@@ -54,6 +78,60 @@ except ImportError:  # pragma: no cover - scipy is available in the target env
     _lu_factor = None
     _lu_solve = None
 
+try:  # Sparse backend: SuperLU over the CSC conductance assembly.
+    from scipy.sparse.linalg import splu as _splu
+except ImportError:  # pragma: no cover - scipy is available in the target env
+    _splu = None
+
+
+#: Accepted values of the solver ``backend`` knob.
+SOLVER_BACKENDS = ("auto", "dense", "sparse")
+
+#: ``backend="auto"`` picks sparse at this node count and above.  The
+#: single-core die (50 nodes) and the 2/4-core composites (98/194) stay
+#: dense — bit-identical to the pre-sparse solver, which the golden
+#: fixtures and the capture/replay equivalence contract require — while a
+#: 16-core die (770 nodes) and up goes sparse, where SuperLU beats dense LU
+#: by an order of magnitude.
+SPARSE_NODE_THRESHOLD = 256
+
+#: ``ordering`` knob -> SuperLU ``permc_spec``.  COLAMD is the
+#: fill-reducing default; natural ordering factorizes the matrix as
+#: assembled (useful to measure how much the ordering buys).
+SPLU_ORDERINGS = {"colamd": "COLAMD", "natural": "NATURAL"}
+
+
+def sparse_backend_available() -> bool:
+    """Whether the sparse solver backend (scipy.sparse SuperLU) is importable."""
+    return _splu is not None
+
+
+def resolve_backend(backend: str, num_nodes: int) -> str:
+    """Resolve a ``backend`` knob value to ``"dense"`` or ``"sparse"``.
+
+    ``"auto"`` picks sparse at :data:`SPARSE_NODE_THRESHOLD` nodes and
+    above when SciPy is available, dense otherwise (including whenever
+    SciPy is absent).  An explicit ``"sparse"`` without SciPy raises
+    :class:`RuntimeError` rather than silently degrading.
+    """
+    if backend not in SOLVER_BACKENDS:
+        raise ValueError(
+            f"solver backend must be one of {', '.join(SOLVER_BACKENDS)}, "
+            f"not {backend!r}"
+        )
+    if backend == "dense":
+        return "dense"
+    if backend == "sparse":
+        if not sparse_backend_available():
+            raise RuntimeError(
+                "solver_backend='sparse' requires scipy (scipy.sparse.linalg); "
+                "install the scipy extra or use 'auto'/'dense'"
+            )
+        return "sparse"
+    if sparse_backend_available() and num_nodes >= SPARSE_NODE_THRESHOLD:
+        return "sparse"
+    return "dense"
+
 
 def _matrix_exponential(matrix: np.ndarray) -> np.ndarray:
     """Matrix exponential with a NumPy fallback (scaling and squaring)."""
@@ -75,7 +153,16 @@ def _matrix_exponential(matrix: np.ndarray) -> np.ndarray:
 
 
 class ThermalSolver:
-    """Solves the RC network built by :class:`ThermalRCNetwork`."""
+    """Solves the RC network built by :class:`ThermalRCNetwork`.
+
+    ``backend`` selects the factorization (see the module docstring):
+    ``"dense"`` (LAPACK LU over the dense ``G``), ``"sparse"`` (SuperLU
+    over the CSC assembly) or ``"auto"`` (sparse at
+    :data:`SPARSE_NODE_THRESHOLD` nodes and above, dense below — and dense
+    whenever SciPy is absent).  ``ordering`` picks SuperLU's fill-reducing
+    column permutation and is ignored by the dense backend.  The resolved
+    choice is :attr:`backend`; :meth:`set_backend` switches in place.
+    """
 
     #: Upper bound on cached transient propagators.  A single run needs two
     #: (the steady interval plus the shorter final one), but a campaign that
@@ -85,17 +172,99 @@ class ThermalSolver:
     #: entries are evicted first; recomputing one is a single ``expm``.
     PROPAGATOR_CACHE_SIZE = 32
 
-    def __init__(self, network: ThermalRCNetwork) -> None:
+    def __init__(
+        self,
+        network: ThermalRCNetwork,
+        backend: str = "auto",
+        ordering: str = "colamd",
+    ) -> None:
         self.network = network
-        self._propagator_cache: "OrderedDict[float, np.ndarray]" = OrderedDict()
+        if ordering not in SPLU_ORDERINGS:
+            raise ValueError(
+                f"ordering must be one of {', '.join(SPLU_ORDERINGS)}, "
+                f"not {ordering!r}"
+            )
+        self.ordering = ordering
+        #: Cached propagators, keyed by ``(backend, dt)``.  Keying by the
+        #: backend as well as the interval length is what makes
+        #: :meth:`set_backend` safe: a propagator built from the dense rate
+        #: matrix is never served to the sparse backend (whose generator is
+        #: assembled from the CSC matrix and may differ in the last ulp),
+        #: and vice versa.
+        self._propagator_cache: "OrderedDict[Tuple[str, float], np.ndarray]" = (
+            OrderedDict()
+        )
         # G is symmetric positive definite thanks to the ambient conductance
         # on the sink node, so plain solves are safe.
         self._g = network.conductance
         self._c = network.capacitance
         self._ambient_source = network.ambient_source()
-        # C^-1 G (row-scaled), the generator of every transient propagator.
-        self._rate_matrix = (self._g.T / self._c).T
-        self._lu = _lu_factor(self._g) if _lu_factor is not None else None
+        # Per-backend factorizations and propagator generators, built
+        # lazily: resolving to sparse must not pay the O(n^3) dense LU of a
+        # 3000-node die it will never use (and vice versa).
+        self._lu = None
+        self._rate_matrix: Optional[np.ndarray] = None
+        self._splu = None
+        self._g_sparse = None
+        self._rate_matrix_sparse: Optional[np.ndarray] = None
+        self.backend = resolve_backend(backend, network.num_nodes)
+        self._prepare_backend(self.backend)
+
+    # ------------------------------------------------------------------
+    # Backend selection
+    # ------------------------------------------------------------------
+    def _prepare_backend(self, backend: str) -> None:
+        """Build (once) the factorization of ``backend``.
+
+        Only the linear-solve factorization is eager — it is what every
+        steady-state and warmup call needs.  The transient propagator
+        generators are built lazily by :meth:`_generator` on the first
+        :meth:`advance_nodes`, so a solver used purely for steady solves
+        (warmup sweeps, benchmarks) never pays for them.
+        """
+        if backend == "sparse":
+            if _splu is None:
+                raise RuntimeError(
+                    "solver backend 'sparse' requires scipy (scipy.sparse.linalg)"
+                )
+            if self._splu is None:
+                self._g_sparse = self.network.conductance_sparse()
+                self._splu = _splu(
+                    self._g_sparse, permc_spec=SPLU_ORDERINGS[self.ordering]
+                )
+        else:
+            if self._lu is None and _lu_factor is not None:
+                self._lu = _lu_factor(self._g)
+
+    def set_backend(self, backend: str) -> str:
+        """Switch solve backends in place; returns the resolved backend.
+
+        Factorizations are retained per backend (flipping back is free) and
+        cached propagators stay keyed by the backend that built them, so a
+        toggle mid-process can neither lose work nor serve a stale
+        propagator across backends.
+        """
+        resolved = resolve_backend(backend, self.network.num_nodes)
+        self._prepare_backend(resolved)
+        self.backend = resolved
+        return resolved
+
+    def _generator(self) -> np.ndarray:
+        """The current backend's propagator generator ``C^-1 G`` (lazy).
+
+        The sparse backend's generator densifies its own CSC assembly of
+        ``G`` — the backend is self-consistent, and the (backend, dt)
+        propagator-cache key keeps the two generators' exponentials apart.
+        """
+        if self.backend == "sparse":
+            if self._rate_matrix_sparse is None:
+                self._rate_matrix_sparse = (self._g_sparse.toarray().T / self._c).T
+            return self._rate_matrix_sparse
+        if self._rate_matrix is None:
+            # C^-1 G (row-scaled), the generator of every transient
+            # propagator.
+            self._rate_matrix = (self._g.T / self._c).T
+        return self._rate_matrix
 
     # ------------------------------------------------------------------
     # Linear solves against the constant conductance matrix
@@ -103,11 +272,17 @@ class ThermalSolver:
     def _solve(self, rhs: np.ndarray) -> np.ndarray:
         """Solve ``G x = rhs`` reusing the precomputed factorization.
 
-        ``check_finite=False`` skips SciPy's input-validation pass (which
-        costs more than the 50-node triangular solves themselves); it does
-        not change the arithmetic.  The rhs is always a freshly built
-        temporary, so letting LAPACK overwrite it is safe.
+        Handles both a single right-hand side (1-D) and the batched
+        multi-RHS layout (nodes x cells): LAPACK's ``getrs`` and SuperLU's
+        ``solve`` both accept either shape.
+
+        Dense path: ``check_finite=False`` skips SciPy's input-validation
+        pass (which costs more than the 50-node triangular solves
+        themselves); it does not change the arithmetic.  The rhs is always
+        a freshly built temporary, so letting LAPACK overwrite it is safe.
         """
+        if self.backend == "sparse":
+            return self._splu.solve(rhs)
         if self._lu is not None:
             return _lu_solve(self._lu, rhs, overwrite_b=True, check_finite=False)
         return np.linalg.solve(self._g, rhs)
@@ -210,22 +385,26 @@ class ThermalSolver:
     # Transient
     # ------------------------------------------------------------------
     def _propagator(self, dt_seconds: float) -> np.ndarray:
-        """Cache ``exp(-C^-1 G dt)`` per exact interval length (bounded LRU).
+        """Cache ``exp(-C^-1 G dt)`` per (backend, interval length) — bounded LRU.
 
-        The cache key is the exact float value of ``dt_seconds``: the steady
-        intervals of a run all share one bit-identical ``dt`` (hence one
-        cached propagator), while the variable-length final interval — whose
-        ``dt`` is scaled by the cycles the trace actually ran — misses the
-        cache and gets a propagator of its own instead of silently reusing
-        the steady-interval matrix.  At most
+        The cache key pairs the active backend with the exact float value
+        of ``dt_seconds``.  The ``dt`` half: the steady intervals of a run
+        all share one bit-identical ``dt`` (hence one cached propagator),
+        while the variable-length final interval — whose ``dt`` is scaled
+        by the cycles the trace actually ran — misses the cache and gets a
+        propagator of its own instead of silently reusing the
+        steady-interval matrix.  The backend half: dense and sparse build
+        their generators from different assemblies of ``G``, so a
+        :meth:`set_backend` toggle must never be served the other backend's
+        exponential (a ``dt``-only key would).  At most
         :attr:`PROPAGATOR_CACHE_SIZE` propagators are retained, oldest-used
         evicted first.
         """
-        key = float(dt_seconds)
+        key = (self.backend, float(dt_seconds))
         cache = self._propagator_cache
         propagator = cache.get(key)
         if propagator is None:
-            propagator = _matrix_exponential(self._rate_matrix * (-key))
+            propagator = _matrix_exponential(self._generator() * (-key[1]))
             cache[key] = propagator
             if len(cache) > self.PROPAGATOR_CACHE_SIZE:
                 cache.popitem(last=False)

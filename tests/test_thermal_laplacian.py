@@ -96,3 +96,65 @@ def test_real_chip_network_is_a_valid_laplacian():
 def test_single_core_network_is_a_valid_laplacian():
     physics, _, _ = build_chip_physics(baseline_config(), 1)
     assert_laplacian_invariants(physics.network)
+
+
+# ----------------------------------------------------------------------
+# Sparse assembly (the solver's CSC backend input)
+# ----------------------------------------------------------------------
+def _scipy_or_skip():
+    return pytest.importorskip("scipy.sparse")
+
+
+def assert_sparse_matches_dense(network: ThermalRCNetwork) -> None:
+    """The CSC assembly agrees with the dense Laplacian entrywise."""
+    __tracebackhide__ = True
+    _scipy_or_skip()
+    g_sparse = network.conductance_sparse()
+    dense = g_sparse.toarray()
+    np.testing.assert_allclose(
+        dense, network.conductance, rtol=1e-12, atol=0.0
+    )
+    # The sparse invariants mirror the dense ones without densifying:
+    # symmetry, non-positive off-diagonals, one ambient leak.
+    assert (g_sparse - g_sparse.T).nnz == 0
+    coo = g_sparse.tocoo()
+    off_diag = coo.row != coo.col
+    assert (coo.data[off_diag] <= 0.0).all()
+    row_sums = np.asarray(g_sparse.sum(axis=1)).ravel()
+    scale = np.abs(coo.data).max()
+    expected = np.zeros(network.num_nodes)
+    expected[network.sink_index] = 1.0 / network.package.sink_to_ambient_resistance
+    np.testing.assert_allclose(row_sums, expected, atol=scale * 1e-9)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_randomized_sparse_assembly_matches_dense(seed):
+    rng = random.Random(seed)
+    floorplan = random_grid_floorplan(rng)
+    network = ThermalRCNetwork(floorplan, ThermalConfig())
+    assert_sparse_matches_dense(network)
+
+
+@pytest.mark.parametrize("cores", [1, 2, 4])
+def test_composite_sparse_assembly_matches_dense(cores):
+    physics, _, _ = build_chip_physics(baseline_config(), cores)
+    assert_sparse_matches_dense(physics.network)
+
+
+def test_sparsity_grows_with_core_count():
+    """Wider dies are emptier: density falls monotonically with core count.
+
+    This is the scaling fact the sparse backend exists for — lateral
+    coupling is local, so nonzeros grow linearly while the dense matrix
+    grows quadratically.
+    """
+    _scipy_or_skip()
+    densities = []
+    for cores in (1, 2, 4, 8):
+        physics, _, _ = build_chip_physics(baseline_config(), cores)
+        g_sparse = physics.network.conductance_sparse()
+        n = physics.network.num_nodes
+        densities.append(g_sparse.nnz / n**2)
+    assert all(a > b for a, b in zip(densities, densities[1:])), densities
+    # By 8 cores the composite Laplacian is overwhelmingly zeros.
+    assert densities[-1] < 0.10

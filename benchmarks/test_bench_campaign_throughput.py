@@ -16,12 +16,23 @@ does and the rest ride the captured activity trace through the array-backed
 physics stage.  The acceptance floor (>= 3x cells/s) is asserted directly:
 replay removes ~95% of per-cell work here, so the margin is wide even on
 noisy CI hardware.
+
+Schema v2 adds the ``replay_batched`` section: the replay *phase itself*
+timed in isolation (one captured trace, :func:`execute_replay_group` over
+the same 8-cell sweep) in sequential-exact versus batched mode.  The trace
+is longer here (:data:`BATCHED_TRACE_UOPS`) so the interval chain — the
+part the batched engine vectorizes — dominates the one-time per-cell setup,
+matching the paper-scale campaigns the engine targets.  The sweep spans two
+convection values, so the group splits into two thermal sub-groups and each
+interval costs exactly two batched advances (``solves_per_interval``).
+``REPRO_BENCH_STRICT=1`` asserts the batched engine's >= 3x floor.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import os
 import time
 from pathlib import Path
 
@@ -30,7 +41,10 @@ from repro.campaign import (
     ExperimentSettings,
     SerialExecutor,
     run_campaign,
+    scale_paper_intervals,
 )
+from repro.campaign.executors import execute_cell_capture, execute_replay_group
+from repro.campaign.spec import RunSpec
 from repro.core.presets import baseline_config
 
 #: Cells in the physics sweep (one timing key shared by all of them).
@@ -41,9 +55,20 @@ SWEEP_TRACE_UOPS = 4_000
 #: Acceptance floor for the two-stage path on this sweep.
 MIN_SPEEDUP = 3.0
 
+#: Trace length for the batched-replay phase measurement (~100 thermal
+#: intervals at the paper's interval scaling): interval-chain-dominated,
+#: the regime batched replay exists for.
+BATCHED_TRACE_UOPS = 64_000
+#: Nominal thermal-interval length of the batched measurement's capture.
+BATCHED_INTERVAL_CYCLES = 800
+#: Acceptance floor (batched vs sequential-exact replay, strict mode).
+MIN_BATCHED_SPEEDUP = 3.0
+#: Repo commit whose bench output these floors were calibrated against.
+BASELINE_COMMIT = "9d731dd"
 
-def _physics_sweep() -> Campaign:
-    """A leakage x package grid over one shared instruction stream."""
+
+def _sweep_configs():
+    """The leakage x package grid over one shared instruction stream."""
     base = baseline_config()
     configs = []
     for i in range(SWEEP_CELLS):
@@ -61,10 +86,14 @@ def _physics_sweep() -> Campaign:
                 ),
             )
         )
+    return configs
+
+
+def _physics_sweep() -> Campaign:
     settings = ExperimentSettings(
         benchmarks=("gzip",), uops_per_benchmark=SWEEP_TRACE_UOPS, seed=7
     )
-    return Campaign(configs, settings, name="bench_physics_sweep")
+    return Campaign(_sweep_configs(), settings, name="bench_physics_sweep")
 
 
 def _timed_run(campaign: Campaign, replay: bool) -> dict:
@@ -81,6 +110,61 @@ def _timed_run(campaign: Campaign, replay: bool) -> dict:
     }
 
 
+def _timed_replay_phase(trace, specs, mode: str, repeats: int = 3) -> dict:
+    """Best-of-``repeats`` wall time of the replay phase alone."""
+    mode_specs = [dataclasses.replace(s, replay_mode=mode) for s in specs]
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        results = execute_replay_group((trace, mode_specs))
+        best = min(best, time.perf_counter() - start)
+    assert len(results) == len(specs)
+    return {
+        "seconds": best,
+        "cells": len(specs),
+        "cells_per_second": len(specs) / best,
+    }
+
+
+def _batched_replay_section() -> dict:
+    """Time the replay phase sequential-exact vs batched on the 8-cell sweep."""
+    configs = [
+        scale_paper_intervals(config, BATCHED_INTERVAL_CYCLES)
+        for config in _sweep_configs()
+    ]
+    specs = [
+        RunSpec(
+            config=config,
+            benchmark="gzip",
+            trace_uops=BATCHED_TRACE_UOPS,
+            interval_cycles=BATCHED_INTERVAL_CYCLES,
+            seed=7,
+        )
+        for config in configs
+    ]
+    _, trace = execute_cell_capture(specs[0])
+    sequential = _timed_replay_phase(trace, specs, "exact")
+    batched = _timed_replay_phase(trace, specs, "batched")
+    # Two convection values -> two thermal sub-groups -> two batched
+    # advances per interval for the whole 8-cell sweep.
+    thermal_groups = len(
+        {config.thermal.convection_resistance_k_per_w for config in configs}
+    )
+    return {
+        "trace_uops": BATCHED_TRACE_UOPS,
+        "intervals": len(trace),
+        "sweep_cells": len(specs),
+        "thermal_subgroups": thermal_groups,
+        "solves_per_interval": thermal_groups,
+        "sequential": sequential,
+        "batched": batched,
+        "speedup_cells_per_second": (
+            batched["cells_per_second"] / sequential["cells_per_second"]
+        ),
+        "min_speedup": MIN_BATCHED_SPEEDUP,
+    }
+
+
 def test_bench_campaign_replay_throughput_json(report_writer):
     """Measure the physics sweep both ways and emit ``BENCH_campaign.json``."""
     campaign = _physics_sweep()
@@ -91,8 +175,11 @@ def test_bench_campaign_replay_throughput_json(report_writer):
     assert replayed["cells_replayed"] == SWEEP_CELLS - 1
 
     speedup = replayed["cells_per_second"] / coupled["cells_per_second"]
+    replay_batched = _batched_replay_section()
+    batched_speedup = replay_batched["speedup_cells_per_second"]
     payload = {
-        "schema_version": 1,
+        "schema_version": 2,
+        "baseline_commit": BASELINE_COMMIT,
         "parameters": {
             "benchmark": "gzip",
             "sweep_cells": SWEEP_CELLS,
@@ -101,6 +188,7 @@ def test_bench_campaign_replay_throughput_json(report_writer):
         },
         "coupled": coupled,
         "replay": replayed,
+        "replay_batched": replay_batched,
         "speedup_cells_per_second": speedup,
         "min_speedup": MIN_SPEEDUP,
     }
@@ -114,10 +202,24 @@ def test_bench_campaign_replay_throughput_json(report_writer):
         f"capture+replay {replayed['cells_per_second']:.2f} cells/s "
         f"({replayed['cells_executed']} simulated + "
         f"{replayed['cells_replayed']} replayed), "
-        f"{speedup:.1f}x [JSON: {output_path}]",
+        f"{speedup:.1f}x; replay phase "
+        f"({replay_batched['intervals']} intervals, "
+        f"{replay_batched['solves_per_interval']} solves/interval): "
+        f"sequential {replay_batched['sequential']['cells_per_second']:.0f} "
+        f"cells/s, batched "
+        f"{replay_batched['batched']['cells_per_second']:.0f} cells/s, "
+        f"{batched_speedup:.1f}x [JSON: {output_path}]",
     )
 
     assert speedup >= MIN_SPEEDUP, (
         f"two-stage replay is only {speedup:.2f}x the coupled baseline on a "
         f"physics-only sweep (acceptance floor: {MIN_SPEEDUP}x)"
     )
+    assert batched_speedup > 1.0
+    if os.environ.get("REPRO_BENCH_STRICT") == "1":
+        assert batched_speedup >= MIN_BATCHED_SPEEDUP, (
+            f"batched group replay is only {batched_speedup:.2f}x the "
+            f"sequential-exact replay phase on the {SWEEP_CELLS}-cell physics "
+            f"sweep (acceptance floor: {MIN_BATCHED_SPEEDUP}x, calibrated at "
+            f"{BASELINE_COMMIT})"
+        )

@@ -39,8 +39,10 @@ from repro.sim.activity_trace import TRACE_SCHEMA_VERSION, ActivityTrace
 from repro.sim.results import SimulationResult
 from repro.sim.serialization import SCHEMA_VERSION, load_result, save_result
 
-#: Suffix distinguishing trace artifacts from result files.
+#: Suffix of legacy JSON trace artifacts (still loaded, no longer written).
 TRACE_SUFFIX = ".trace.json"
+#: Suffix of compact binary trace artifacts (what new captures are stored as).
+TRACE_BIN_SUFFIX = ".trace.bin"
 
 
 class ResultCache:
@@ -94,20 +96,34 @@ class ResultCache:
     # Activity-trace artifacts (keyed by RunSpec.timing_key)
     # ------------------------------------------------------------------
     def trace_path_for(self, timing_key: str) -> Path:
-        """On-disk location of a timing key's trace artifact."""
+        """On-disk location of a timing key's trace artifact (binary form)."""
         from repro import __version__
 
         name = f"trace-v{TRACE_SCHEMA_VERSION}-{__version__}-{timing_key}"
-        return self.directory / f"{name}{TRACE_SUFFIX}"
+        return self.directory / f"{name}{TRACE_BIN_SUFFIX}"
+
+    def _legacy_trace_path(self, path: Path) -> Path:
+        """The JSON spelling of a binary trace-artifact path."""
+        return path.with_name(path.name[: -len(TRACE_BIN_SUFFIX)] + TRACE_SUFFIX)
 
     def load_trace(self, timing_key: str) -> Optional[ActivityTrace]:
-        """Return the cached activity trace for a timing key, or ``None``."""
+        """Return the cached activity trace for a timing key, or ``None``.
+
+        Prefers the compact binary artifact; a cache populated by an older
+        release that wrote ``*.trace.json`` is still served transparently
+        (same key material — only the suffix and encoding changed).
+        """
         path = self.trace_path_for(timing_key)
+        if not path.exists():
+            path = self._legacy_trace_path(path)
         if not path.exists():
             self.trace_misses += 1
             return None
         try:
-            trace = ActivityTrace.load(path)
+            if path.name.endswith(TRACE_BIN_SUFFIX):
+                trace = ActivityTrace.load_bytes(path)
+            else:
+                trace = ActivityTrace.load(path)
         except (ValueError, KeyError, TypeError, OSError, json.JSONDecodeError):
             self.trace_misses += 1
             return None
@@ -115,9 +131,9 @@ class ResultCache:
         return trace
 
     def store_trace(self, timing_key: str, trace: ActivityTrace) -> Path:
-        """Persist a freshly captured activity trace."""
+        """Persist a freshly captured activity trace (binary form)."""
         self.trace_stores += 1
-        return trace.save(self.trace_path_for(timing_key))
+        return trace.save_bytes(self.trace_path_for(timing_key))
 
     # ------------------------------------------------------------------
     # Housekeeping
@@ -130,7 +146,9 @@ class ResultCache:
         ]
 
     def _trace_files(self):
-        return list(self.directory.glob(f"*{TRACE_SUFFIX}"))
+        return list(self.directory.glob(f"*{TRACE_SUFFIX}")) + list(
+            self.directory.glob(f"*{TRACE_BIN_SUFFIX}")
+        )
 
     @staticmethod
     def _stat_entries(paths):

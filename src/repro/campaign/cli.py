@@ -495,6 +495,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         import os
 
         os.environ["REPRO_TIMING_MODE"] = args.timing_mode
+    if args.replay_mode != "exact":
+        # Also carried in the environment (see executors.resolved_replay_mode)
+        # so --figure campaigns — which build their own Campaign objects —
+        # and pool workers honor the flag too.
+        import os
+
+        os.environ["REPRO_REPLAY_MODE"] = args.replay_mode
     executor = make_executor(args.jobs)
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
 
@@ -530,6 +537,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 per_core_scenarios=mixes,
                 contention=args.contention,
                 solver_backend=args.solver_backend,
+                replay_mode=args.replay_mode,
             )
             outcome = run_campaign(campaign, executor, cache)
             from repro.experiments.reporting import format_campaign_outcome
@@ -834,6 +842,16 @@ def build_parser() -> argparse.ArgumentParser:
         "path whenever it is byte-identical to the per-uop reference, "
         "'reference' forces the golden per-uop loop, 'fast' demands the "
         "fast path and errors on configurations it cannot reproduce",
+    )
+    run.add_argument(
+        "--replay-mode",
+        choices=("exact", "batched", "auto"),
+        default="exact",
+        help="physics-sweep replay path: 'exact' (default) replays each "
+        "cell alone, bit-identical to the coupled run; 'batched' advances "
+        "whole thermally-identical sub-groups per interval in one "
+        "multi-RHS solve (matches exact within rtol/atol 1e-8); 'auto' "
+        "batches sub-groups of 2+ cells without per-cell DTM divergence",
     )
 
     serve = sub.add_parser(

@@ -68,6 +68,21 @@ def resolved_timing_mode() -> str:
     return mode
 
 
+def resolved_replay_mode(spec_mode: str = "exact") -> str:
+    """Replay mode for a replay group (``REPRO_REPLAY_MODE`` wins).
+
+    The mode normally rides on the specs (stamped by
+    :class:`~repro.campaign.spec.Campaign` from its ``replay_mode``
+    parameter / the CLI's ``--replay-mode``); the environment variable is an
+    override with the same role as ``REPRO_TIMING_MODE`` — an execution
+    knob, never part of any cache key, inherited by pool workers.
+    """
+    from repro.sim.group_replay import validate_replay_mode
+
+    mode = os.environ.get("REPRO_REPLAY_MODE", "").strip().lower()
+    return validate_replay_mode(mode or spec_mode)
+
+
 class ExecutorTaskError(RuntimeError):
     """A task could not be completed by its execution backend.
 
@@ -166,11 +181,36 @@ def execute_replay_group(
 
     The campaign layer fans replays out one *group* per task rather than
     one cell per task, so the (potentially large) trace crosses the process
-    boundary once per group instead of once per cell; each cell still gets
-    its own fresh :class:`~repro.sim.engine.PhysicsStage`.
+    boundary once per group instead of once per cell.
+
+    How the group's physics is computed is the specs' ``replay_mode``
+    (overridable via ``REPRO_REPLAY_MODE``): ``"exact"`` gives each cell its
+    own fresh :class:`~repro.sim.engine.PhysicsStage` (bit-identical to the
+    coupled run), ``"batched"``/``"auto"`` route the group through
+    :func:`repro.sim.group_replay.replay_group`, which advances whole
+    thermally-identical sub-groups per interval in one multi-RHS solve.  A
+    single-cell group always short-circuits to the exact per-cell path —
+    there is nothing to batch, so it must perform zero batch solves.
     """
     trace, specs = task
-    return [execute_cell_replay((spec, trace)) for spec in specs]
+    specs = list(specs)
+    mode = resolved_replay_mode(specs[0].replay_mode if specs else "exact")
+    if mode == "exact" or len(specs) <= 1:
+        return [execute_cell_replay((spec, trace)) for spec in specs]
+
+    from repro.sim.group_replay import replay_group
+
+    results = replay_group(
+        trace,
+        [spec.config for spec in specs],
+        interval_cycles=specs[0].interval_cycles,
+        dtm_policies=[spec.dtm_policy for spec in specs],
+        replay_mode=mode,
+    )
+    for spec, result in zip(specs, results):
+        result.provenance.update(spec.provenance())
+        result.provenance["replayed"] = True
+    return results
 
 
 def execute_chip_cell(spec) -> SimulationResult:
@@ -235,10 +275,27 @@ def execute_chip_replay_group(task) -> List[SimulationResult]:
     one mix) are fanned out one *group* per task, so the traces are pickled
     into a worker once per group instead of once per cell.  (Within one
     task, pickle memoizes the shared trace objects, so a homogeneous mix's
-    repeated trace also crosses the boundary once.)
+    repeated trace also crosses the boundary once.)  Like
+    :func:`execute_replay_group`, the specs' ``replay_mode`` (or the
+    ``REPRO_REPLAY_MODE`` override) may route the group through the batched
+    multi-RHS path (:func:`repro.chip.engine.replay_chip_group`); a
+    single-cell group always takes the exact per-cell path.
     """
     traces, specs = task
-    return [execute_chip_replay((spec, traces)) for spec in specs]
+    specs = list(specs)
+    mode = resolved_replay_mode(
+        getattr(specs[0], "replay_mode", "exact") if specs else "exact"
+    )
+    if mode == "exact" or len(specs) <= 1:
+        return [execute_chip_replay((spec, traces)) for spec in specs]
+
+    from repro.chip.engine import replay_chip_group
+
+    results = replay_chip_group(traces, specs, replay_mode=mode)
+    for spec, result in zip(specs, results):
+        result.provenance.update(spec.provenance())
+        result.provenance["replayed"] = True
+    return results
 
 
 def execute_campaign_task(

@@ -154,6 +154,15 @@ class RunSpec:
     ``"fetch_throttle:trigger=80"``) instantiated fresh inside the executing
     process; ``None`` (the default) simulates without DTM, exactly as before
     the policy axis existed.
+
+    ``replay_mode`` is an *execution* knob, not an identity axis: it selects
+    how a replay group's physics is computed (``"exact"`` per-cell,
+    ``"batched"`` multi-RHS, ``"auto"``; see
+    :mod:`repro.sim.group_replay`), never what the result *is* — batched
+    results match exact ones within rtol/atol 1e-8.  Like the
+    ``REPRO_TIMING_MODE`` env knob, it is deliberately excluded from
+    :meth:`key_material` / :meth:`timing_key_material` / :meth:`provenance`,
+    so cells keep one cache identity across modes.
     """
 
     config: ProcessorConfig
@@ -162,6 +171,12 @@ class RunSpec:
     interval_cycles: int
     seed: int
     dtm_policy: Optional[str] = None
+    replay_mode: str = "exact"
+
+    def __post_init__(self) -> None:
+        from repro.sim.group_replay import validate_replay_mode
+
+        object.__setattr__(self, "replay_mode", validate_replay_mode(self.replay_mode))
 
     @property
     def variant(self) -> str:
@@ -304,6 +319,7 @@ class Campaign:
     per_core_scenarios: Tuple[Tuple[str, ...], ...] = ()
     contention: Optional[str] = None
     solver_backend: str = "auto"
+    replay_mode: str = "exact"
 
     def __init__(
         self,
@@ -315,6 +331,7 @@ class Campaign:
         per_core_scenarios: Iterable = (),
         contention: Optional[str] = None,
         solver_backend: str = "auto",
+        replay_mode: str = "exact",
     ) -> None:
         object.__setattr__(self, "configs", tuple(configs))
         object.__setattr__(self, "settings", settings)
@@ -323,6 +340,9 @@ class Campaign:
         object.__setattr__(self, "cores", int(cores))
         object.__setattr__(self, "contention", contention)
         object.__setattr__(self, "solver_backend", solver_backend)
+        from repro.sim.group_replay import validate_replay_mode
+
+        object.__setattr__(self, "replay_mode", validate_replay_mode(replay_mode))
         mixes = tuple(
             tuple(mix.split("+")) if isinstance(mix, str) else tuple(mix)
             for mix in per_core_scenarios
@@ -460,6 +480,7 @@ class Campaign:
                                 chip_policy=policy,
                                 contention=self.contention,
                                 solver_backend=self.solver_backend,
+                                replay_mode=self.replay_mode,
                             )
                         )
             return tuple(specs)
@@ -475,6 +496,7 @@ class Campaign:
                             interval_cycles=interval,
                             seed=self.settings.seed,
                             dtm_policy=policy,
+                            replay_mode=self.replay_mode,
                         )
                     )
         return tuple(specs)

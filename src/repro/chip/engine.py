@@ -62,7 +62,7 @@ from repro.sim.activity_trace import ActivityTrace, TraceRecorder, timing_feedba
 from repro.sim.block_index import BlockIndex
 from repro.sim.config import ProcessorConfig
 from repro.sim.engine import PhysicsStage, TimingStage
-from repro.sim.results import SimulationResult
+from repro.sim.results import IntervalRecord, SimulationResult
 from repro.sim.stats import SimulationStats
 from repro.thermal.floorplan import compose_floorplans
 from repro.thermal.sensors import SensorBank
@@ -938,3 +938,276 @@ def replay_chip(
         dvfs_residency=dvfs_residency,
         thread_dtm=[None] * len(traces),
     )
+
+
+def _chip_replay_matrices(
+    traces: Sequence[ActivityTrace], blocks_per_core: int, interval_cycles: int
+):
+    """The shared per-core -> chip matrix stacking of :func:`replay_chip`.
+
+    Depends only on the traces and the die layout, never on the physics
+    variant — one build serves every cell of a batched chip replay group.
+    Returns ``(counts, cycles, gated, chip_cycles, intervals)``.
+    """
+    lengths = [len(trace) for trace in traces]
+    intervals = max(lengths)
+    total_blocks = blocks_per_core * len(traces)
+    counts = np.zeros((intervals, total_blocks))
+    cycles = np.full((intervals, total_blocks), interval_cycles, dtype=np.int64)
+    any_gated = any(trace.gated_masks is not None for trace in traces)
+    gated = np.zeros((intervals, total_blocks), dtype=bool) if any_gated else None
+    thread_cycles = np.zeros((len(traces), intervals), dtype=np.int64)
+    for t, trace in enumerate(traces):
+        seg = slice(t * blocks_per_core, (t + 1) * blocks_per_core)
+        n = lengths[t]
+        counts[:n, seg] = trace.counts
+        cycles[:n, seg] = trace.cycles[:, None]
+        thread_cycles[t, :n] = trace.cycles
+        if gated is not None and trace.gated_masks is not None:
+            gated[:n, seg] = trace.gated_masks
+    return counts, cycles, gated, thread_cycles.max(axis=0), intervals
+
+
+def replay_chip_group(
+    traces: Sequence[ActivityTrace],
+    specs: Sequence[object],
+    *,
+    replay_mode: str = "auto",
+    warmup: bool = True,
+) -> List[SimulationResult]:
+    """Replay one per-core trace tuple under many chip physics variants.
+
+    The chip analogue of :func:`repro.sim.group_replay.replay_group`:
+    ``specs`` are :class:`~repro.chip.spec.ChipRunSpec` cells of one
+    trace-set replay group (same mix, same cores — only physics-side
+    configuration varies).  ``"exact"`` routes every cell through
+    :func:`replay_chip` (bit-identical to the coupled run); ``"batched"`` /
+    ``"auto"`` sub-group the cells by thermal/floorplan key (plus core
+    count and solver backend — both shape the composite die's network) and
+    advance each sub-group's cells per interval in one multi-RHS solve,
+    within the same rtol/atol 1e-8 contract as the single-core batched
+    path.  Results come back in ``specs`` order.
+    """
+    from repro.sim.group_replay import thermal_group_key, validate_replay_mode
+
+    mode = validate_replay_mode(replay_mode)
+    specs = list(specs)
+
+    def _exact(spec) -> SimulationResult:
+        return replay_chip(
+            spec.config,
+            traces,
+            cores=spec.cores,
+            interval_cycles=spec.interval_cycles,
+            warmup=warmup,
+            chip_policy=spec.chip_policy,
+            solver_backend=spec.solver_backend,
+        )
+
+    if mode == "exact" or len(specs) <= 1:
+        return [_exact(spec) for spec in specs]
+
+    # Sub-group by everything that shapes the composite die's RC network.
+    subgroups: Dict[str, List[int]] = {}
+    for position, spec in enumerate(specs):
+        core_parameters = build_block_parameters(spec.config)
+        core_areas = {name: p.area_mm2 for name, p in core_parameters.items()}
+        key = (
+            f"{thermal_group_key(spec.config, core_areas)}"
+            f":{spec.cores}:{spec.solver_backend}"
+        )
+        subgroups.setdefault(key, []).append(position)
+
+    results: List[Optional[SimulationResult]] = [None] * len(specs)
+    for positions in subgroups.values():
+        members = [specs[p] for p in positions]
+        policy_names = {
+            (p.name if isinstance(p, ChipDTMPolicy) else p)
+            for p in (spec.chip_policy for spec in members)
+        }
+        if len(positions) < 2 or (mode == "auto" and len(policy_names) > 1):
+            for position in positions:
+                results[position] = _exact(specs[position])
+            continue
+        for position, result in zip(
+            positions, _replay_chip_subgroup_batched(traces, members, warmup)
+        ):
+            results[position] = result
+    return results  # type: ignore[return-value]
+
+
+def _replay_chip_subgroup_batched(
+    traces: Sequence[ActivityTrace],
+    specs: Sequence[object],
+    warmup: bool,
+) -> List[SimulationResult]:
+    """The tensor path over one thermally-identical chip sub-group."""
+    from repro.sim.group_replay import (
+        batched_interval_walk,
+        exact_warmup_state,
+        nominal_power_tensor,
+    )
+    from repro.power.power_model import PowerModel
+
+    rep = specs[0]
+    cores = rep.cores if rep.cores is not None else len(traces)
+    if not traces:
+        raise ValueError("chip replay needs at least one per-core trace")
+    if len(traces) > cores:
+        raise ValueError(f"{len(traces)} traces do not fit on {cores} cores")
+    physics, core_index, blocks_per_core = build_chip_physics(
+        rep.config, cores, rep.interval_cycles, solver_backend=rep.solver_backend
+    )
+    interval_cycles = physics.interval_cycles
+    solver = physics.solver
+    network = physics.network
+    node_positions = physics._node_positions
+    chip_index = physics.block_index
+    interval_seconds = rep.config.thermal.interval_seconds
+
+    cells = []
+    for spec in specs:
+        policy = spec.chip_policy
+        if isinstance(policy, str):
+            policy = make_chip_policy(policy)
+        if policy is not None and policy.feedback:
+            raise ValueError(
+                f"chip DTM policy {policy.name!r} actuates on temperatures; "
+                "its cells must be simulated coupled, not replayed"
+            )
+        core_parameters = build_block_parameters(spec.config)
+        chip_parameters = {
+            name: core_parameters[name.split(CORE_SEPARATOR, 1)[1]]
+            for name in chip_index.names
+        }
+        cells.append(
+            (spec, policy, chip_parameters, PowerModel(spec.config.power, chip_parameters))
+        )
+    for t, trace in enumerate(traces):
+        if list(trace.block_names) != list(core_index.names):
+            raise ValueError(
+                f"trace {t} was captured over a different block set; "
+                "it cannot be replayed on this configuration"
+            )
+        if trace.interval_cycles != interval_cycles:
+            raise ValueError(
+                f"trace {t} was captured at interval_cycles="
+                f"{trace.interval_cycles}, not {interval_cycles}"
+            )
+
+    counts, cycles, gated, chip_cycles, intervals = _chip_replay_matrices(
+        traces, blocks_per_core, interval_cycles
+    )
+    width = len(cells)
+
+    states = np.empty((network.num_nodes, width))
+    warmup_maps = []
+    seeded = warmup and intervals > 0
+    if seeded:
+        gated0 = gated[0] if gated is not None else None
+        for k, (spec, _, _, power_model) in enumerate(cells):
+            state = exact_warmup_state(
+                solver,
+                power_model,
+                spec.config,
+                counts[0],
+                cycles[0],
+                gated0,
+                node_positions,
+            )
+            states[:, k] = state
+            warmup_maps.append(chip_index.mapping_from_array(state[node_positions]))
+    else:
+        ambient_state = network.uniform_state(rep.config.thermal.ambient_celsius)
+        ambient_map = chip_index.mapping_from_array(ambient_state[node_positions])
+        for k in range(width):
+            states[:, k] = ambient_state
+            warmup_maps.append(dict(ambient_map))
+
+    dynamic_tensor = np.stack(
+        [
+            power_model.dynamic_power_matrix(counts, cycles, gated)
+            for _, _, _, power_model in cells
+        ]
+    )
+    nominal_tensor = nominal_power_tensor(dynamic_tensor, seeded)
+    fraction_col = np.array(
+        [spec.config.power.leakage_fraction_at_ambient for spec, _, _, _ in cells]
+    )[:, None]
+    coefficient_col = np.array(
+        [spec.config.power.leakage_temperature_coefficient for spec, _, _, _ in cells]
+    )[:, None]
+    ambient_col = np.array(
+        [spec.config.power.ambient_celsius for spec, _, _, _ in cells]
+    )[:, None]
+    dts = [
+        interval_seconds * (int(chip_cycles[i]) / interval_cycles)
+        for i in range(intervals)
+    ]
+
+    temps_traj, leak_traj = batched_interval_walk(
+        solver,
+        node_positions,
+        states,
+        dynamic_tensor,
+        nominal_tensor,
+        fraction_col,
+        coefficient_col,
+        ambient_col,
+        gated,
+        dts,
+    )
+
+    benchmarks = [trace.benchmark for trace in traces]
+    end_cycles = np.cumsum(chip_cycles[:intervals])
+    results = []
+    for k, (spec, policy, chip_parameters, _) in enumerate(cells):
+        result = SimulationResult(
+            config_name=spec.config.name,
+            benchmark="+".join(benchmarks),
+            stats=None,
+            block_names=list(chip_parameters.keys()),
+            block_groups=chip_block_groups(spec.config, cores),
+            block_areas_mm2={
+                name: p.area_mm2 for name, p in chip_parameters.items()
+            },
+            ambient_celsius=spec.config.thermal.ambient_celsius,
+            provenance={
+                "interval_cycles": interval_cycles,
+                "replayed": True,
+                "replay_mode": "batched",
+            },
+        )
+        accounting = _ChipAccounting(cores, blocks_per_core)
+        for i in range(intervals):
+            result.intervals.append(
+                IntervalRecord.from_arrays(
+                    cycle=int(end_cycles[i]),
+                    seconds=(i + 1) * interval_seconds,
+                    block_names=chip_index.names,
+                    dynamic_power=dynamic_tensor[k, i],
+                    leakage_power=leak_traj[k, i],
+                    temperature=temps_traj[k, i],
+                )
+            )
+            accounting.observe(temps_traj[k, i])
+        result.warmup_temperature = warmup_maps[k]
+        dvfs_residency = (
+            {"1": 1.0} if policy is not None and accounting.intervals else None
+        )
+        results.append(
+            _finish_chip_result(
+                result,
+                cores=cores,
+                benchmarks=benchmarks,
+                per_thread_stats=[trace.stats_copy() for trace in traces],
+                final_cores=list(range(len(traces))),
+                accounting=accounting,
+                chip_cycles=int(end_cycles[-1]) if intervals else 0,
+                policy_name=policy.name if policy else None,
+                migration_log=(),
+                dvfs_residency=dvfs_residency,
+                thread_dtm=[None] * len(traces),
+            )
+        )
+    return results

@@ -53,6 +53,13 @@ class ChipRunSpec:
     :mod:`repro.thermal.solver`); it is part of the cache key only when it
     is not ``"auto"``, because sparse and dense results are equivalent but
     not bit-identical and must not collide in the result cache.
+
+    ``replay_mode`` selects how a replay group computes its physics
+    (``"exact"``/``"batched"``/``"auto"``, see
+    :mod:`repro.sim.group_replay`).  It is an execution knob like the
+    ``REPRO_TIMING_MODE`` env var — deliberately excluded from
+    :meth:`key_material` and :meth:`provenance` so a cell keeps one cache
+    identity across modes.
     """
 
     config: ProcessorConfig
@@ -64,6 +71,7 @@ class ChipRunSpec:
     chip_policy: Optional[str] = None
     contention: Optional[str] = None
     solver_backend: str = "auto"
+    replay_mode: str = "exact"
 
     def __post_init__(self) -> None:
         if self.cores < 1:
@@ -94,6 +102,9 @@ class ChipRunSpec:
             # from the contention-free cell they are identical to.
             if make_contention(self.contention) is None:
                 object.__setattr__(self, "contention", None)
+        from repro.sim.group_replay import validate_replay_mode
+
+        object.__setattr__(self, "replay_mode", validate_replay_mode(self.replay_mode))
 
     # ------------------------------------------------------------------
     @property

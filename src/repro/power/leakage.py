@@ -114,6 +114,38 @@ class LeakageModel:
             out[i] = (nominal_sum / intervals) * (fraction * exp(coefficient * delta))
         return np.array(out)
 
+    def leakage_power_batch(
+        self,
+        temperatures: np.ndarray,
+        gated_mask: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Vectorized :meth:`leakage_power_array` over stacked temperature rows.
+
+        ``temperatures`` is a ``(..., blocks)`` array whose trailing axis is
+        block-index order; the result has the same shape.  Evaluates the
+        exponential with :func:`np.exp` in one pass — the *documented-
+        tolerance* kernel: each element matches the scalar :func:`math.exp`
+        loop of :meth:`leakage_power_array` to within the last ulp of an
+        IEEE double (the two libm paths may round differently), so callers
+        that are tolerance-locked (batched trace replay, screening) use
+        this, while the exact/coupled paths keep the scalar bit-exact
+        kernel.  ``gated_mask`` broadcasts against the temperature shape.
+        """
+        temperatures = np.asarray(temperatures, dtype=float)
+        if self._intervals == 0:
+            return np.zeros(temperatures.shape)
+        nominal = self._dynamic_power_sum / self._intervals
+        out = batched_leakage_kernel(
+            nominal,
+            temperatures,
+            ambient_celsius=self.config.ambient_celsius,
+            fraction_at_ambient=self.config.leakage_fraction_at_ambient,
+            temperature_coefficient=self.config.leakage_temperature_coefficient,
+        )
+        if gated_mask is not None:
+            out = np.where(gated_mask, 0.0, out)
+        return out
+
     def leakage_power(
         self,
         temperatures: Mapping[str, float],
@@ -125,3 +157,32 @@ class LeakageModel:
         )
         mask = self.index.mask(gated_blocks) if gated_blocks else None
         return self.index.mapping_from_array(self.leakage_power_array(temps, mask))
+
+
+def batched_leakage_kernel(
+    nominal_power: np.ndarray,
+    temperatures: np.ndarray,
+    *,
+    ambient_celsius,
+    fraction_at_ambient,
+    temperature_coefficient,
+    max_delta_celsius: float = LeakageModel.MAX_DELTA_CELSIUS,
+) -> np.ndarray:
+    """The ``np.exp`` leakage kernel over arbitrary stacked shapes.
+
+    ``leakage = nominal * (fraction * exp(coefficient * min(T - ambient,
+    max_delta)))`` — elementwise, with the same association order as the
+    scalar loop in :meth:`LeakageModel.leakage_power_array`, so the only
+    divergence from the bit-exact kernel is ``np.exp`` vs :func:`math.exp`
+    (last-ulp rounding).  Every argument broadcasts: the batched group
+    replay engine passes a ``(cells, blocks)`` temperature matrix with
+    per-cell ``(cells, 1)`` column vectors for the three leakage
+    parameters, evaluating a whole sweep's leakage in one pass.
+    """
+    delta = np.minimum(
+        np.asarray(temperatures, dtype=float) - ambient_celsius,
+        max_delta_celsius,
+    )
+    return nominal_power * (
+        fraction_at_ambient * np.exp(temperature_coefficient * delta)
+    )

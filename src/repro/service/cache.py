@@ -33,7 +33,7 @@ import threading
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
-from repro.campaign.cache import TRACE_SUFFIX, ResultCache
+from repro.campaign.cache import TRACE_BIN_SUFFIX, TRACE_SUFFIX, ResultCache
 from repro.campaign.spec import RunSpec
 from repro.sim.activity_trace import ActivityTrace
 from repro.sim.results import SimulationResult
@@ -110,6 +110,10 @@ class ShardedResultCache(ResultCache):
     def load_trace(self, timing_key: str) -> Optional[ActivityTrace]:
         path = self.trace_path_for(timing_key)
         self._adopt_legacy(path)
+        # Pre-binary-codec caches hold *.trace.json entries (sharded or at
+        # the root); adopt the JSON spelling too so the base class's legacy
+        # fallback finds it inside the shard.
+        self._adopt_legacy(self._legacy_trace_path(path))
         trace = super().load_trace(timing_key)
         if trace is not None:
             self._touch(path)
@@ -123,7 +127,8 @@ class ShardedResultCache(ResultCache):
         # entries), skipping in-flight atomic-write scratch files.
         files = [
             path
-            for path in self.directory.rglob("*.json")
+            for pattern in ("*.json", f"*{TRACE_BIN_SUFFIX}")
+            for path in self.directory.rglob(pattern)
             if not path.name.startswith(".")
         ]
         return files
@@ -132,12 +137,14 @@ class ShardedResultCache(ResultCache):
         return [
             path
             for path in self._all_files()
-            if not path.name.endswith(TRACE_SUFFIX)
+            if not path.name.endswith((TRACE_SUFFIX, TRACE_BIN_SUFFIX))
         ]
 
     def _trace_files(self):
         return [
-            path for path in self._all_files() if path.name.endswith(TRACE_SUFFIX)
+            path
+            for path in self._all_files()
+            if path.name.endswith((TRACE_SUFFIX, TRACE_BIN_SUFFIX))
         ]
 
     def stats(self) -> Dict[str, object]:

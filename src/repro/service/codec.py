@@ -96,6 +96,7 @@ def campaign_from_payload(payload: Dict) -> Campaign:
         "dtm_policies",
         "cores",
         "per_core_scenarios",
+        "replay_mode",
         "tenant",  # stripped by the server, tolerated here
     }
     if unknown:
@@ -118,6 +119,7 @@ def campaign_from_payload(payload: Dict) -> Campaign:
         dtm_policies=tuple(payload.get("dtm_policies") or ()),
         cores=int(cores),
         per_core_scenarios=mixes,
+        replay_mode=str(payload.get("replay_mode") or "exact"),
     )
 
 
@@ -132,6 +134,7 @@ def payload_from_options(
     cores: Optional[int] = None,
     per_core_scenarios: Optional[Iterable] = None,
     name: Optional[str] = None,
+    replay_mode: Optional[str] = None,
 ) -> Dict:
     """The wire payload for a set of CLI-style options (``None`` = omit)."""
     payload: Dict = {}
@@ -155,4 +158,6 @@ def payload_from_options(
         payload["cores"] = cores
     if per_core_scenarios:
         payload["per_core_scenarios"] = [list(mix) for mix in per_core_scenarios]
+    if replay_mode is not None:
+        payload["replay_mode"] = replay_mode
     return payload

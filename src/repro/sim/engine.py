@@ -623,6 +623,24 @@ class PhysicsStage:
             result.dtm = {"policy": dtm_policy.name, **telemetry.as_dict()}
         return result
 
+    @staticmethod
+    def replay_group(
+        trace: ActivityTrace,
+        configs: Sequence[ProcessorConfig],
+        interval_cycles: Optional[int] = None,
+        **kwargs,
+    ) -> Sequence[SimulationResult]:
+        """Replay one trace under many physics variants at once.
+
+        Delegates to :func:`repro.sim.group_replay.replay_group`, which
+        batches thermally-identical sub-groups into multi-RHS solves (see
+        that module for the ``replay_mode`` semantics and the batched
+        path's tolerance contract).
+        """
+        from repro.sim.group_replay import replay_group
+
+        return replay_group(trace, configs, interval_cycles, **kwargs)
+
 
 def replay_trace(
     config: ProcessorConfig,

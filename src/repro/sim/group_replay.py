@@ -1,0 +1,541 @@
+"""Batched group replay: solve whole physics sweeps per interval, not per cell.
+
+After the two-stage split, a campaign's physics sweep replays N cells over
+one shared :class:`~repro.sim.activity_trace.ActivityTrace` — and
+:meth:`~repro.sim.engine.PhysicsStage.replay` walks each cell's interval
+chain *alone*: one scalar leakage loop and one single-RHS thermal solve per
+cell per interval, plus a full floorplan/RC-network/LU construction per
+cell.  This module batches the sweep instead:
+
+* cells of one timing-key replay group are **sub-grouped by thermal key**
+  (the ``thermal`` config section plus the block areas — identical key means
+  identical floorplan, RC network and factorization, so one
+  :class:`~repro.thermal.solver.ThermalSolver` serves the whole sub-group);
+* each sub-group's dynamic power is stacked into a ``(cells x intervals x
+  blocks)`` tensor in one vectorized pass per cell;
+* the interval chain advances **all cells of a sub-group at once**: leakage
+  via the :func:`~repro.power.leakage.batched_leakage_kernel` ``np.exp``
+  kernel over the ``(cells x blocks)`` temperature matrix, then one
+  multi-RHS :meth:`~repro.thermal.solver.ThermalSolver.advance_nodes_batch`
+  solve per interval for the entire sub-group.
+
+The knob is ``replay_mode`` (same discipline as ``backend=`` /
+``timing_mode=``):
+
+* ``"exact"`` — the per-cell :meth:`PhysicsStage.replay` path, bit-identical
+  to the coupled run and locked to the golden fixtures.  This remains the
+  default everywhere: an unchanged campaign produces unchanged bytes.
+* ``"batched"`` — the tensor path above.  Tolerance-locked, not bit-exact:
+  the multi-RHS LAPACK kernels and ``np.exp`` may round the last ulp
+  differently, and the nominal-power running average is reassociated into a
+  cumulative sum.  ``tests/test_group_replay.py`` locks batched==exact at
+  rtol/atol 1e-8.  Sub-groups of one cell still take the exact path — a
+  batch of one is pure stacking overhead.
+* ``"auto"`` — batches every sub-group with >= 2 cells whose cells agree on
+  their DTM policy (no per-cell DTM divergence), exact otherwise.
+
+Per-cell *warm-up* stays on the exact scalar fixed point (shared
+factorization, per-cell iteration): the warm-up convergence test stops at a
+0.05 C tolerance, so running cells in lock-step until the *slowest*
+converges would move early-converging cells by far more than the 1e-8
+contract allows.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.dtm.controls import DTMControls, DTMTelemetry
+from repro.dtm.policies import DTMPolicy
+from repro.power.energy import build_block_parameters
+from repro.power.leakage import batched_leakage_kernel
+from repro.power.power_model import PowerModel
+from repro.sim import blocks
+from repro.sim.activity_trace import ActivityTrace
+from repro.sim.config import ProcessorConfig
+from repro.sim.results import IntervalRecord, SimulationResult
+from repro.thermal.floorplan import build_floorplan
+from repro.thermal.rc_model import ThermalRCNetwork
+from repro.thermal.solver import ThermalSolver
+
+#: Accepted values of the ``replay_mode`` execution knob.
+REPLAY_MODES = ("auto", "exact", "batched")
+
+#: Equivalence contract of the batched path versus the exact per-cell path.
+BATCHED_RTOL = 1e-8
+BATCHED_ATOL = 1e-8
+
+
+def validate_replay_mode(mode: str) -> str:
+    """Normalize and validate a ``replay_mode`` value."""
+    normalized = (mode or "auto").strip().lower()
+    if normalized not in REPLAY_MODES:
+        raise ValueError(
+            f"replay_mode must be one of {', '.join(REPLAY_MODES)}, "
+            f"not {mode!r}"
+        )
+    return normalized
+
+
+def thermal_group_key(config: ProcessorConfig, block_areas: Dict[str, float]) -> str:
+    """Hash of everything that shapes a cell's thermal network.
+
+    Two configs of one timing-key group (same structure, same block names)
+    with equal key here build the same floorplan, the same RC network and
+    therefore the same factorization — the sharing unit of batched replay.
+    The material is the ``thermal`` config section (R/C parameters, ambient,
+    interval seconds, emergency limit) plus the block areas the floorplan is
+    laid out from.
+    """
+    material = {
+        "thermal": dataclasses.asdict(config.thermal),
+        "areas": {name: float(area) for name, area in block_areas.items()},
+    }
+    payload = json.dumps(material, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _normalize_policy(policy) -> Optional[DTMPolicy]:
+    if policy is None:
+        return None
+    if isinstance(policy, str):
+        from repro.dtm import make_policy
+
+        return make_policy(policy)
+    return policy
+
+
+class _GroupCell:
+    """Per-cell bookkeeping of one batched replay group."""
+
+    __slots__ = (
+        "position",
+        "config",
+        "policy",
+        "block_parameters",
+        "block_areas",
+        "power_model",
+    )
+
+    def __init__(self, position: int, config: ProcessorConfig, policy) -> None:
+        self.position = position
+        self.config = config
+        self.policy = _normalize_policy(policy)
+        self.block_parameters = build_block_parameters(config)
+        self.block_areas = {
+            name: params.area_mm2 for name, params in self.block_parameters.items()
+        }
+        self.power_model = PowerModel(config.power, self.block_parameters)
+
+
+def exact_warmup_state(
+    solver: ThermalSolver,
+    power_model: PowerModel,
+    config: ProcessorConfig,
+    activity_counts: np.ndarray,
+    cycles,
+    gated_mask: Optional[np.ndarray],
+    node_positions: np.ndarray,
+) -> np.ndarray:
+    """One cell's warm-up fixed point, bit-exact to :meth:`PhysicsStage.warmup`.
+
+    Same seeding, same scalar leakage kernel, same per-cell convergence test
+    — only the (temperature-independent) factorization is shared with the
+    sub-group.  Returns the converged node-state vector.
+    """
+    leakage_model = power_model.leakage_model
+    dynamic = power_model.dynamic_power_array(activity_counts, cycles, gated_mask)
+    leakage_model.seed_nominal_power_array(dynamic)
+    node_power = np.zeros(solver.network.num_nodes)
+
+    def node_power_at(state: np.ndarray) -> np.ndarray:
+        temperatures = state[node_positions]
+        leakage = leakage_model.leakage_power_array(temperatures, gated_mask)
+        node_power[:] = 0.0
+        node_power[node_positions] = dynamic + leakage
+        return node_power
+
+    state, _ = solver.warmup_nodes(
+        node_power_at,
+        emergency_limit_celsius=config.thermal.emergency_limit_celsius,
+    )
+    return state
+
+
+def batched_interval_walk(
+    solver: ThermalSolver,
+    node_positions: np.ndarray,
+    states: np.ndarray,
+    dynamic_tensor: np.ndarray,
+    nominal_tensor: np.ndarray,
+    fraction_col: np.ndarray,
+    coefficient_col: np.ndarray,
+    ambient_col: np.ndarray,
+    gated_masks: Optional[np.ndarray],
+    dts: Sequence[float],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Advance every cell of one sub-group through all intervals together.
+
+    ``states`` is the ``(nodes x cells)`` warm node-state matrix (mutated
+    into the final states); ``dynamic_tensor`` / ``nominal_tensor`` are the
+    precomputed ``(cells x intervals x blocks)`` dynamic-power and
+    nominal-average tensors; the three ``(cells x 1)`` columns carry each
+    cell's leakage parameters.  Per interval this performs exactly two
+    batched kernels — the ``np.exp`` leakage over the ``(cells x blocks)``
+    temperature matrix and one multi-RHS
+    :meth:`~repro.thermal.solver.ThermalSolver.advance_nodes_batch` — and
+    returns the ``(cells x intervals x blocks)`` temperature and leakage
+    trajectories.
+    """
+    cells, intervals, blocks_ = dynamic_tensor.shape
+    # Work in (blocks x cells) orientation throughout: the solver's native
+    # column-per-cell layout.  One up-front transpose of the two tensors
+    # replaces the two per-interval ``.T`` temporaries of the naive loop,
+    # and the trajectories are written contiguously then viewed back to the
+    # caller's (cells x intervals x blocks) layout at the end.  Elementwise
+    # arithmetic does not reassociate, so this is bit-identical to the
+    # cell-major spelling.
+    temps_traj = np.empty((intervals, blocks_, cells))
+    leak_traj = np.empty((intervals, blocks_, cells))
+    dyn_t = np.ascontiguousarray(dynamic_tensor.transpose(1, 2, 0))
+    nom_t = np.ascontiguousarray(nominal_tensor.transpose(1, 2, 0))
+    fraction_row = fraction_col.T  # (1 x cells) views
+    coefficient_row = coefficient_col.T
+    ambient_row = ambient_col.T
+    node_power = np.zeros((states.shape[0], cells))
+    power_buf = np.empty((blocks_, cells))
+    # Die blocks usually occupy the leading node positions in index order;
+    # when they do, plain slices replace the fancy-index gather/scatter.
+    contiguous = bool(
+        np.array_equal(node_positions, np.arange(blocks_, dtype=node_positions.dtype))
+    )
+    # Per distinct interval length (all intervals but a truncated final one
+    # share a dt), fetch the solver's precomputed affine advance and
+    # restrict its power map to the block rows once: the hot loop then runs
+    # on two gemms per interval, no factorized solve.  ``None`` (sparse
+    # backend) falls back to the per-interval ``advance_nodes_batch``.
+    affine_maps: Dict[float, Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]] = {}
+    for dt in dts:
+        if dt not in affine_maps:
+            full = solver.interval_affine_map(dt)
+            if full is None:
+                affine_maps[dt] = None
+            else:
+                propagator, source_map, offset = full
+                affine_maps[dt] = (
+                    propagator,
+                    np.ascontiguousarray(source_map[:, node_positions]),
+                    offset,
+                )
+    temps = states[:blocks_] if contiguous else states[node_positions, :]
+    for i in range(intervals):
+        leakage = batched_leakage_kernel(
+            nom_t[i],
+            temps,
+            ambient_celsius=ambient_row,
+            fraction_at_ambient=fraction_row,
+            temperature_coefficient=coefficient_row,
+        )
+        if gated_masks is not None:
+            leakage[gated_masks[i], :] = 0.0
+        np.add(dyn_t[i], leakage, out=power_buf)
+        affine = affine_maps[dts[i]]
+        if affine is not None:
+            propagator, power_map, offset = affine
+            states = propagator @ states
+            states += power_map @ power_buf
+            states += offset
+        else:
+            if contiguous:
+                node_power[:blocks_] = power_buf
+            else:
+                node_power[node_positions, :] = power_buf
+            states = solver.advance_nodes_batch(states, node_power, dts[i])
+        temps = states[:blocks_] if contiguous else states[node_positions, :]
+        temps_traj[i] = temps
+        leak_traj[i] = leakage
+    return temps_traj.transpose(2, 0, 1), leak_traj.transpose(2, 0, 1)
+
+
+def nominal_power_tensor(
+    dynamic_tensor: np.ndarray, seeded: bool
+) -> np.ndarray:
+    """The leakage model's running average, precomputed for every interval.
+
+    The exact path updates ``sum/n`` incrementally (observe, then evaluate);
+    over a whole trace that running average is a cumulative sum.  With a
+    warm-up, the first interval's dynamic power seeds the average before
+    interval 0 observes it again — hence the extra ``D[:, 0]`` term and the
+    ``n = i + 2`` denominator.  The reassociation (cumsum versus repeated
+    ``+=``) is one of the documented last-ulp divergences of batched mode.
+    """
+    csum = np.cumsum(dynamic_tensor, axis=1)
+    intervals = dynamic_tensor.shape[1]
+    if seeded:
+        denominator = np.arange(2, intervals + 2, dtype=float)[None, :, None]
+        return (dynamic_tensor[:, 0:1, :] + csum) / denominator
+    denominator = np.arange(1, intervals + 1, dtype=float)[None, :, None]
+    return csum / denominator
+
+
+def _reconstructed_dtm(
+    policy: DTMPolicy, index, intervals: int
+) -> Dict[str, object]:
+    """Non-feedback-policy telemetry as a pure function of the interval count."""
+    controls = DTMControls(index, table=policy.table)
+    telemetry = DTMTelemetry(controls.table)
+    for i in range(intervals):
+        telemetry.record_interval(controls, gated=False, fetch_actuated=i > 0)
+    return {"policy": policy.name, **telemetry.as_dict()}
+
+
+def _replay_cell_exact(
+    trace: ActivityTrace,
+    config: ProcessorConfig,
+    interval_cycles: Optional[int],
+    policy,
+    max_intervals: Optional[int],
+    warmup: bool,
+) -> SimulationResult:
+    from repro.sim.engine import PhysicsStage
+
+    stage = PhysicsStage(config, interval_cycles)
+    return stage.replay(
+        trace,
+        max_intervals=max_intervals,
+        warmup=warmup,
+        dtm_policy=_normalize_policy(policy),
+    )
+
+
+def _replay_subgroup_batched(
+    trace: ActivityTrace,
+    cells: Sequence[_GroupCell],
+    interval_cycles: int,
+    intervals: int,
+    warmup: bool,
+) -> List[SimulationResult]:
+    """The tensor path over one thermal sub-group (>= 2 cells)."""
+    rep = cells[0]
+    config = rep.config
+    floorplan = build_floorplan(config, rep.block_areas)
+    network = ThermalRCNetwork(floorplan, config.thermal)
+    solver = ThermalSolver(network)
+    index = rep.power_model.index
+    node_positions = network.node_positions(index.names)
+    width = len(cells)
+    interval_seconds = config.thermal.interval_seconds
+
+    counts = trace.counts
+    cycles = trace.cycles
+    end_cycles = trace.end_cycles
+    gated = None if trace.gated_masks is None else trace.gated_masks[:intervals]
+
+    # Warm every cell on the exact scalar fixed point (see module docstring),
+    # against the one shared factorization.
+    states = np.empty((network.num_nodes, width))
+    warmup_maps: List[Dict[str, float]] = []
+    seeded = warmup and intervals > 0
+    if seeded:
+        gated0 = trace.gated_mask(0)
+        cycles0 = int(cycles[0])
+        for k, cell in enumerate(cells):
+            state = exact_warmup_state(
+                solver,
+                cell.power_model,
+                cell.config,
+                counts[0],
+                cycles0,
+                gated0,
+                node_positions,
+            )
+            states[:, k] = state
+            warmup_maps.append(index.mapping_from_array(state[node_positions]))
+    else:
+        ambient_state = network.uniform_state(config.thermal.ambient_celsius)
+        ambient_map = index.mapping_from_array(ambient_state[node_positions])
+        for k in range(width):
+            states[:, k] = ambient_state
+            warmup_maps.append(dict(ambient_map))
+
+    # Stack the whole sub-group's dynamic power: (cells x intervals x blocks).
+    dynamic_tensor = np.stack(
+        [
+            cell.power_model.dynamic_power_matrix(
+                counts[:intervals], cycles[:intervals], gated
+            )
+            for cell in cells
+        ]
+    )
+    nominal_tensor = nominal_power_tensor(dynamic_tensor, seeded)
+    fraction_col = np.array(
+        [cell.config.power.leakage_fraction_at_ambient for cell in cells]
+    )[:, None]
+    coefficient_col = np.array(
+        [cell.config.power.leakage_temperature_coefficient for cell in cells]
+    )[:, None]
+    ambient_col = np.array(
+        [cell.config.power.ambient_celsius for cell in cells]
+    )[:, None]
+    dts = [
+        interval_seconds * (int(cycles[i]) / interval_cycles)
+        for i in range(intervals)
+    ]
+
+    temps_traj, leak_traj = batched_interval_walk(
+        solver,
+        node_positions,
+        states,
+        dynamic_tensor,
+        nominal_tensor,
+        fraction_col,
+        coefficient_col,
+        ambient_col,
+        gated,
+        dts,
+    )
+
+    results = []
+    for k, cell in enumerate(cells):
+        result = SimulationResult(
+            config_name=cell.config.name,
+            benchmark=trace.benchmark,
+            stats=trace.stats_copy(),
+            block_names=list(cell.block_parameters.keys()),
+            block_groups=blocks.block_groups(cell.config),
+            block_areas_mm2=cell.block_areas,
+            ambient_celsius=cell.config.thermal.ambient_celsius,
+            provenance={
+                "interval_cycles": interval_cycles,
+                "replayed": True,
+                "replay_mode": "batched",
+            },
+        )
+        for i in range(intervals):
+            result.intervals.append(
+                IntervalRecord.from_arrays(
+                    cycle=int(end_cycles[i]),
+                    seconds=(i + 1) * interval_seconds,
+                    block_names=index.names,
+                    dynamic_power=dynamic_tensor[k, i],
+                    leakage_power=leak_traj[k, i],
+                    temperature=temps_traj[k, i],
+                )
+            )
+        result.warmup_temperature = warmup_maps[k]
+        if cell.policy is not None:
+            result.dtm = _reconstructed_dtm(cell.policy, index, intervals)
+        results.append(result)
+    return results
+
+
+def replay_group(
+    trace: ActivityTrace,
+    configs: Sequence[ProcessorConfig],
+    interval_cycles: Optional[int] = None,
+    *,
+    dtm_policies: Optional[Sequence[Union[DTMPolicy, str, None]]] = None,
+    replay_mode: str = "auto",
+    max_intervals: Optional[int] = None,
+    warmup: bool = True,
+) -> List[SimulationResult]:
+    """Replay one captured trace under many physics variants at once.
+
+    The group analogue of :meth:`~repro.sim.engine.PhysicsStage.replay`:
+    ``configs`` are the physics variants of one timing-key group (same
+    structure and block names — each is validated against the trace exactly
+    as the per-cell path validates), ``dtm_policies`` optionally attaches a
+    non-feedback policy per cell.  Results come back in ``configs`` order,
+    each equivalent to ``PhysicsStage(config).replay(trace, ...)`` — bit-
+    identical in ``"exact"`` mode, within :data:`BATCHED_RTOL` /
+    :data:`BATCHED_ATOL` in ``"batched"``/``"auto"`` (see module docstring
+    for the mode semantics and sub-grouping).
+    """
+    mode = validate_replay_mode(replay_mode)
+    configs = list(configs)
+    if not configs:
+        return []
+    if dtm_policies is None:
+        policies: List = [None] * len(configs)
+    else:
+        policies = list(dtm_policies)
+        if len(policies) != len(configs):
+            raise ValueError(
+                f"{len(policies)} DTM policies for {len(configs)} configs"
+            )
+    for policy in policies:
+        normalized = _normalize_policy(policy)
+        if normalized is not None and normalized.feedback:
+            raise ValueError(
+                f"DTM policy {normalized.name!r} actuates on temperatures; "
+                "its cells must be simulated coupled, not replayed"
+            )
+
+    resolved_interval = interval_cycles or configs[0].thermal.interval_cycles
+    intervals = len(trace)
+    if max_intervals is not None:
+        intervals = min(intervals, max_intervals)
+
+    if mode == "exact" or len(configs) == 1:
+        return [
+            _replay_cell_exact(
+                trace, config, interval_cycles, policy, max_intervals, warmup
+            )
+            for config, policy in zip(configs, policies)
+        ]
+
+    # Sub-group by thermal/floorplan key; validate each cell against the
+    # trace with the same checks (and error text) as the per-cell path.
+    cells = [
+        _GroupCell(position, config, policy)
+        for position, (config, policy) in enumerate(zip(configs, policies))
+    ]
+    for cell in cells:
+        if list(trace.block_names) != list(cell.power_model.index.names):
+            raise ValueError(
+                "activity trace was captured over a different block set; "
+                "it cannot be replayed on this configuration"
+            )
+        cell_interval = interval_cycles or cell.config.thermal.interval_cycles
+        if trace.interval_cycles != cell_interval:
+            raise ValueError(
+                f"activity trace was captured at interval_cycles="
+                f"{trace.interval_cycles}, not {cell_interval}"
+            )
+
+    subgroups: Dict[str, List[_GroupCell]] = {}
+    for cell in cells:
+        subgroups.setdefault(
+            thermal_group_key(cell.config, cell.block_areas), []
+        ).append(cell)
+
+    results: List[Optional[SimulationResult]] = [None] * len(configs)
+    for members in subgroups.values():
+        policy_names = {
+            None if cell.policy is None else cell.policy.name for cell in members
+        }
+        batch = len(members) >= 2 and (mode == "batched" or len(policy_names) == 1)
+        if batch:
+            for cell, result in zip(
+                members,
+                _replay_subgroup_batched(
+                    trace, members, resolved_interval, intervals, warmup
+                ),
+            ):
+                results[cell.position] = result
+        else:
+            for cell in members:
+                results[cell.position] = _replay_cell_exact(
+                    trace,
+                    cell.config,
+                    interval_cycles,
+                    cell.policy,
+                    max_intervals,
+                    warmup,
+                )
+    return results  # type: ignore[return-value]

@@ -124,6 +124,28 @@ def atomic_write_text(path: Union[str, Path], text: str) -> Path:
     return path
 
 
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> Path:
+    """Binary twin of :func:`atomic_write_text` (temp file + ``os.replace``).
+
+    Same guarantees: the scratch file lives next to the target, its name
+    embeds pid and thread id, the final rename is atomic and
+    last-writer-wins.  Used for the campaign cache's binary trace artifacts
+    (``*.trace.bin``).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    scratch = path.parent / (
+        f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+    )
+    try:
+        scratch.write_bytes(data)
+        os.replace(scratch, path)
+    finally:
+        if scratch.exists():  # pragma: no cover - only on a failed replace
+            scratch.unlink()
+    return path
+
+
 def save_result(result: SimulationResult, path: Union[str, Path]) -> Path:
     """Write a result to ``path`` as JSON; returns the path.
 

@@ -97,7 +97,7 @@ def test_trace_artifacts_roundtrip(tmp_path, cell, captured):
     assert cache.trace_misses == 1
 
     path = cache.store_trace(key, captured)
-    assert path.exists() and path.name.endswith(".trace.json")
+    assert path.exists() and path.name.endswith(".trace.bin")
     loaded = cache.load_trace(key)
     assert cache.trace_hits == 1
     assert loaded.to_json() == captured.to_json()

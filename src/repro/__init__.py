@@ -81,7 +81,7 @@ from repro.chip import (
 )
 from repro.scenarios import SCENARIOS, SCENARIO_NAMES, Scenario, get_scenario
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "ProcessorConfig",

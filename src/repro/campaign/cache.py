@@ -36,6 +36,7 @@ from typing import Dict, Optional, Union
 
 from repro.campaign.spec import RunSpec
 from repro.sim.activity_trace import TRACE_SCHEMA_VERSION, ActivityTrace
+from repro.sim.warmcache import stamp_trace_source
 from repro.sim.results import SimulationResult
 from repro.sim.serialization import SCHEMA_VERSION, load_result, save_result
 
@@ -128,12 +129,18 @@ class ResultCache:
             self.trace_misses += 1
             return None
         self.trace_hits += 1
+        if path.name.endswith(TRACE_BIN_SUFFIX):
+            # Remember the on-disk artifact so the service can ship replay
+            # tasks as a zero-copy path reference instead of pickled bytes.
+            stamp_trace_source(trace, path)
         return trace
 
     def store_trace(self, timing_key: str, trace: ActivityTrace) -> Path:
         """Persist a freshly captured activity trace (binary form)."""
         self.trace_stores += 1
-        return trace.save_bytes(self.trace_path_for(timing_key))
+        path = trace.save_bytes(self.trace_path_for(timing_key))
+        stamp_trace_source(trace, path)
+        return path
 
     # ------------------------------------------------------------------
     # Housekeeping

@@ -586,6 +586,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         mode=args.worker_mode,
         task_timeout=args.task_timeout,
         retries=args.retries,
+        keepalive=args.worker_keepalive,
     )
     service = CampaignService(
         pool=pool, cache=cache, max_concurrent_jobs=args.max_jobs
@@ -594,8 +595,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         service, host=args.host, port=args.port, verbose=args.verbose
     )
     print(f"repro-campaign service listening on {server.address}")
+    worker_kind = args.worker_mode
+    if args.worker_mode == "process":
+        worker_kind += (
+            " (persistent, warm caches)" if pool.keepalive else " (fork-per-task)"
+        )
     print(
-        f"  {workers} {args.worker_mode} worker(s), "
+        f"  {workers} {worker_kind} worker(s), "
         f"{args.max_jobs} concurrent job slot(s), "
         + (
             f"cache at {cache.directory}"
@@ -665,10 +671,21 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     client = ServiceClient(args.server)
     try:
         job = client.submit(payload)
-    except ServiceUnavailable as error:
+    except (ServiceUnavailable, ServiceError) as error:
+        if isinstance(error, ServiceError):
+            # 4xx means the submission itself was rejected (bad spec,
+            # shutting down with a reason the operator should read) —
+            # surface it.  A 5xx is the server failing, not the campaign:
+            # fall back like an unreachable server.
+            if error.status < 500:
+                raise
+            reason = f"server error: HTTP {error.status}"
+        else:
+            reason = error.reason
         print(f"repro-campaign: warning: {error}", file=sys.stderr)
         print(
-            "repro-campaign: falling back to local execution", file=sys.stderr
+            f"repro-campaign: falling back to local execution ({reason})",
+            file=sys.stderr,
         )
         outcome = run_campaign(campaign, make_executor(args.jobs))
         print(outcome.describe())
@@ -885,6 +902,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="retries for tasks whose worker process died (default: 1)",
+    )
+    serve.add_argument(
+        "--worker-keepalive",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="process mode: keep worker processes alive across tasks so "
+        "warm solver/trace caches persist (default); "
+        "--no-worker-keepalive forks a fresh child per task for maximal "
+        "crash isolation",
     )
     serve.add_argument(
         "--max-jobs",

@@ -67,6 +67,11 @@ class CampaignOutcome:
     cache_hits: int = 0
     #: Backend description (for reports / CLI output).
     executor_description: str = "SerialExecutor"
+    #: Execution-runtime facts from the executor (mode, keepalive, warm
+    #: solver/trace cache hit counters, worker respawns — whatever the
+    #: backend can observe; see :meth:`Executor.runtime_info`).  Purely
+    #: informational: never part of any cache key and never affects results.
+    runtime: Dict[str, object] = field(default_factory=dict)
 
     @property
     def total_cells(self) -> int:
@@ -258,6 +263,7 @@ def run_campaign(
         traces_captured=traces_captured,
         cache_hits=cache_hits,
         executor_description=executor.describe(),
+        runtime=executor.runtime_info(),
     )
     for variant in campaign.variant_names():
         outcome.summaries[variant] = ConfigurationSummary(config_name=variant)
@@ -406,6 +412,7 @@ def _run_chip_campaign(
         traces_captured=traces_captured,
         cache_hits=cache_hits,
         executor_description=executor.describe(),
+        runtime=executor.runtime_info(),
     )
     for variant in campaign.variant_names():
         outcome.summaries[variant] = ConfigurationSummary(config_name=variant)

@@ -34,11 +34,12 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.campaign.spec import RunSpec
 from repro.sim.activity_trace import ActivityTrace
 from repro.sim.results import SimulationResult
+from repro.sim.warmcache import resolve_trace, warm_snapshot
 from repro.workloads.generator import TraceGenerator
 
 _Task = TypeVar("_Task")
@@ -160,6 +161,7 @@ def execute_cell_replay(task: Tuple[RunSpec, ActivityTrace]) -> SimulationResult
     coupled run of the same spec.
     """
     spec, trace = task
+    trace = resolve_trace(trace)
     from repro.sim.engine import PhysicsStage
 
     dtm_policy = None
@@ -193,6 +195,11 @@ def execute_replay_group(
     there is nothing to batch, so it must perform zero batch solves.
     """
     trace, specs = task
+    # The trace may arrive as a zero-copy TraceRef (mmap'd cache artifact
+    # or shared-memory segment) instead of a pickled payload; resolving it
+    # consults the worker's warm registry first, so sibling groups over the
+    # same trace decode it once per worker.
+    trace = resolve_trace(trace)
     specs = list(specs)
     mode = resolved_replay_mode(specs[0].replay_mode if specs else "exact")
     if mode == "exact" or len(specs) <= 1:
@@ -252,6 +259,7 @@ def execute_chip_replay(task) -> SimulationResult:
     to :func:`execute_chip_cell` for the same spec.
     """
     spec, traces = task
+    traces = tuple(resolve_trace(trace) for trace in traces)
     from repro.chip import replay_chip
 
     result = replay_chip(
@@ -282,6 +290,7 @@ def execute_chip_replay_group(task) -> List[SimulationResult]:
     single-cell group always takes the exact per-cell path.
     """
     traces, specs = task
+    traces = tuple(resolve_trace(trace) for trace in traces)
     specs = list(specs)
     mode = resolved_replay_mode(
         getattr(specs[0], "replay_mode", "exact") if specs else "exact"
@@ -366,6 +375,16 @@ class Executor:
         self.cells_executed += len(cells)
         return results
 
+    def runtime_info(self) -> Dict[str, object]:
+        """Execution-runtime facts recorded on ``CampaignOutcome.runtime``.
+
+        Subclasses with an observable warm runtime (the serial in-process
+        path, the service's persistent worker pool) report their mode and
+        warm-cache counters here; backends whose workers die with the
+        fan-out (:class:`ParallelExecutor`) report what they can.
+        """
+        return {}
+
     def describe(self) -> str:
         return type(self).__name__
 
@@ -377,6 +396,11 @@ class SerialExecutor(Executor):
         self, fn: Callable[[_Task], _Result], tasks: Sequence[_Task]
     ) -> List[_Result]:
         return [fn(task) for task in tasks]
+
+    def runtime_info(self) -> Dict[str, object]:
+        # Serial cells run in this process, so the process-global warm
+        # cache counters are exactly this executor's warm/cold history.
+        return {"mode": "serial", "warm_cache": warm_snapshot()}
 
 
 class ParallelExecutor(Executor):
@@ -395,6 +419,12 @@ class ParallelExecutor(Executor):
 
     def describe(self) -> str:
         return f"ParallelExecutor(jobs={self.jobs})"
+
+    def runtime_info(self) -> Dict[str, object]:
+        # Pool workers persist across the tasks of one fan-out (so the
+        # worker-resident warm cache speeds them up), but they die with the
+        # pool before their counters can be read back cheaply.
+        return {"mode": "parallel", "jobs": self.jobs}
 
     def run_tasks(
         self, fn: Callable[[_Task], _Result], tasks: Sequence[_Task]

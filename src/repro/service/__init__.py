@@ -4,8 +4,13 @@ The service layer turns the campaign engine into a long-running,
 multi-client daemon built entirely on the standard library:
 
 * :mod:`repro.service.jobs` — job model, states, progress events;
-* :mod:`repro.service.pool` — the shared worker pool (thread or
-  crash-contained subprocess workers, timeouts, bounded retries);
+* :mod:`repro.service.pool` — the shared worker pool (thread workers, or
+  crash-contained process workers: persistent by default with
+  worker-resident warm caches, fork-per-task as a fallback; timeouts,
+  bounded retries);
+* :mod:`repro.service.warmcache` — the warm worker runtime: solver/trace
+  warm caches and zero-copy trace transport (re-exported from
+  :mod:`repro.sim.warmcache`);
 * :mod:`repro.service.cache` — multi-tenant sharded result cache with an
   LRU byte budget and a background janitor;
 * :mod:`repro.service.codec` — the JSON wire format for campaign specs;
@@ -32,6 +37,15 @@ from repro.service.jobs import Job, JobState, JobStore
 from repro.service.manager import CampaignService, PoolBackedExecutor, results_payload
 from repro.service.pool import WorkerPool
 from repro.service.server import ServiceServer, create_server
+from repro.service.warmcache import (
+    TraceRef,
+    WarmCache,
+    publish_trace,
+    resolve_trace,
+    warm_cache,
+    warm_cache_enabled,
+    warm_snapshot,
+)
 
 __all__ = [
     "CampaignService",
@@ -45,10 +59,17 @@ __all__ = [
     "ServiceUnavailable",
     "ShardedResultCache",
     "TenantCacheView",
+    "TraceRef",
+    "WarmCache",
     "WorkerPool",
     "campaign_from_payload",
     "create_server",
     "payload_from_options",
+    "publish_trace",
+    "resolve_trace",
     "results_payload",
     "settings_from_payload",
+    "warm_cache",
+    "warm_cache_enabled",
+    "warm_snapshot",
 ]

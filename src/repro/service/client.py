@@ -11,6 +11,7 @@ scripts that only want to talk to a remote server.
 from __future__ import annotations
 
 import json
+import socket
 import time
 import urllib.error
 import urllib.request
@@ -18,7 +19,38 @@ from typing import Dict, Iterator, List, Optional
 
 
 class ServiceUnavailable(ConnectionError):
-    """The campaign service could not be reached at the given URL."""
+    """The campaign service could not be reached at the given URL.
+
+    ``reason`` is a short human phrase classifying *why* — ``"connection
+    refused"``, ``"timed out"``, ``"dns lookup failed"``, ... — which the
+    CLI's local-fallback warning surfaces so an operator can tell a down
+    server from a firewalled or misspelled one.
+    """
+
+    def __init__(self, message: str, reason: str = "network error") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+def _unreachable_reason(error: BaseException) -> str:
+    """Classify a connection-level failure into a short reason phrase."""
+    seen = set()
+    current: Optional[BaseException] = error
+    while current is not None and id(current) not in seen:
+        seen.add(id(current))
+        if isinstance(current, ConnectionRefusedError):
+            return "connection refused"
+        if isinstance(current, ConnectionResetError):
+            return "connection reset"
+        if isinstance(current, (socket.timeout, TimeoutError)):
+            return "timed out"
+        if isinstance(current, socket.gaierror):
+            return "dns lookup failed"
+        # URLError wraps the transport error in .reason; plain exception
+        # chains link through __cause__.
+        nested = getattr(current, "reason", None)
+        current = nested if isinstance(nested, BaseException) else current.__cause__
+    return "network error"
 
 
 class ServiceError(RuntimeError):
@@ -58,8 +90,11 @@ class ServiceClient:
                 message = error.reason
             raise ServiceError(error.code, str(message)) from error
         except (urllib.error.URLError, ConnectionError, OSError) as error:
+            reason = _unreachable_reason(error)
             raise ServiceUnavailable(
-                f"campaign service unreachable at {self.base_url}: {error}"
+                f"campaign service unreachable at {self.base_url} "
+                f"({reason}): {error}",
+                reason=reason,
             ) from error
 
     def _json(self, method: str, path: str, body: Optional[Dict] = None) -> Dict:

@@ -48,6 +48,7 @@ from repro.service.codec import campaign_from_payload
 from repro.service.jobs import Job, JobState, JobStore
 from repro.service.pool import WorkerPool
 from repro.sim.serialization import result_to_dict
+from repro.sim.warmcache import publish_trace
 
 
 class JobCancelled(Exception):
@@ -100,31 +101,112 @@ class PoolBackedExecutor(Executor):
             f"PoolBackedExecutor({self.pool.workers} {self.pool.mode} workers)"
         )
 
+    def runtime_info(self) -> Dict[str, object]:
+        return self.pool.runtime_info()
+
     def _check_cancelled(self) -> None:
         if self.job is not None and self.job.cancelled:
             raise JobCancelled()
 
+    def _prepare_tasks(self, fn, tasks: Sequence):
+        """Swap replay-task trace payloads for zero-copy TraceRefs.
+
+        Only meaningful for process pools (thread workers share this
+        process's memory, so shipping the object is already free).  Each
+        trace travels as its cache artifact path when the campaign cache
+        stamped one, else as a freshly created shared-memory segment —
+        tracked with the pool so shutdown can unlink leftovers.  Returns
+        ``(prepared_tasks, handles)``; the caller must release every handle
+        once the fan-out is done.
+        """
+        if self.pool.mode != "process":
+            return list(tasks), []
+        name = getattr(fn, "__name__", "")
+        handles: List = []
+        published: Dict[int, object] = {}
+
+        def _publish(trace, key: str):
+            # Chip groups repeat the same trace object across cores and
+            # tasks; publish each distinct object once.
+            payload = published.get(id(trace))
+            if payload is None:
+                payload, handle = publish_trace(trace, key)
+                if handle is not None:
+                    handles.append(handle)
+                    self.pool.track_segment(handle)
+                published[id(trace)] = payload
+            return payload
+
+        prepared: List = []
+        if name == "execute_replay_group":
+            for trace, specs in tasks:
+                specs = tuple(specs)
+                key = specs[0].timing_key() if specs else ""
+                prepared.append((_publish(trace, key), specs))
+        elif name == "execute_cell_replay":
+            for spec, trace in tasks:
+                prepared.append((spec, _publish(trace, spec.timing_key())))
+        elif name == "execute_chip_replay_group":
+            for traces, specs in tasks:
+                specs = tuple(specs)
+                keys = [
+                    core.timing_key() for core in specs[0].core_specs()
+                ] if specs else []
+                prepared.append(
+                    (
+                        tuple(
+                            _publish(trace, keys[i] if i < len(keys) else "")
+                            for i, trace in enumerate(traces)
+                        ),
+                        specs,
+                    )
+                )
+        elif name == "execute_chip_replay":
+            for spec, traces in tasks:
+                keys = [core.timing_key() for core in spec.core_specs()]
+                prepared.append(
+                    (
+                        spec,
+                        tuple(
+                            _publish(trace, keys[i] if i < len(keys) else "")
+                            for i, trace in enumerate(traces)
+                        ),
+                    )
+                )
+        else:
+            return list(tasks), []
+        return prepared, handles
+
     def run_tasks(self, fn, tasks: Sequence) -> List:
         self._check_cancelled()
-        futures = []
-        for task in tasks:
-            self._check_cancelled()
-            futures.append(self.pool.submit(fn, task))
-        results = []
-        for task, future in zip(tasks, futures):
-            while True:
-                try:
-                    result = future.result(timeout=self._POLL_SECONDS)
-                    break
-                except TimeoutError:
-                    # Abandoning the futures on cancel is safe: the pool
-                    # finishes in-flight tasks and discards the results.
-                    self._check_cancelled()
-            results.append(result)
-            if self.job is not None:
-                kind, cells = _progress_of(fn, task)
-                self.job.record_progress(kind, cells)
-        return results
+        tasks, handles = self._prepare_tasks(fn, tasks)
+        try:
+            futures = []
+            for task in tasks:
+                self._check_cancelled()
+                futures.append(self.pool.submit(fn, task))
+            results = []
+            for task, future in zip(tasks, futures):
+                while True:
+                    try:
+                        result = future.result(timeout=self._POLL_SECONDS)
+                        break
+                    except TimeoutError:
+                        # Abandoning the futures on cancel is safe: the pool
+                        # finishes in-flight tasks and discards the results.
+                        self._check_cancelled()
+                results.append(result)
+                if self.job is not None:
+                    kind, cells = _progress_of(fn, task)
+                    self.job.record_progress(kind, cells)
+            return results
+        finally:
+            # Unlink this fan-out's shared-memory segments.  On a cancel,
+            # a queued task that attaches after the unlink fails and is
+            # surfaced by the pool as an ordinary task error — its future
+            # was already abandoned.
+            for handle in handles:
+                self.pool.release_segment(handle)
 
 
 class _TraceRegistry:
@@ -386,5 +468,6 @@ def results_payload(outcome: CampaignOutcome) -> Dict:
             "traces_captured": outcome.traces_captured,
             "cache_hits": outcome.cache_hits,
             "executor": outcome.executor_description,
+            "runtime": outcome.runtime,
         },
     }

@@ -12,63 +12,168 @@ them off in FIFO order and run them either
   dispatch overhead and full monkeypatchability, the right choice for
   tests and single-machine smoke serving (pure-Python simulation threads
   contend on the GIL, so aggregate throughput is bounded); or
-* **in a subprocess** (``mode="process"``): each task runs in a fresh
-  forked child with a result pipe.  This is what makes the service robust:
-  a worker process that *dies* mid-task (segfault, OOM-kill, ``os._exit``)
-  is detected by its exit code and retried with exponential backoff up to
-  ``retries`` times, and a task that exceeds ``task_timeout`` seconds is
-  killed and failed without taking the service down.
+* **in a worker process** (``mode="process"``): with ``keepalive=True``
+  (the default) each worker thread owns one long-lived forked child and
+  feeds it task after task over a duplex pipe — the child keeps its
+  imports, its warm solver/trace cache (:mod:`repro.sim.warmcache`) and
+  its numpy state across tasks, so a replay sweep pays interpreter
+  startup and solver factorization once per worker instead of once per
+  task.  With ``keepalive=False`` every task forks a fresh child (the
+  pre-warm behavior): maximal crash isolation, cold every time.
+
+Both process flavors keep the same containment contract: a worker that
+*dies* mid-task (segfault, OOM-kill, ``os._exit``) is detected, retired
+and respawned, and the task is retried with exponential backoff up to
+``retries`` times; a task that exceeds ``task_timeout`` seconds is killed
+by the watchdog (the persistent worker is killed *and respawned*, so the
+next task starts clean) and failed without retry — a deterministic
+timeout would only time out again, slower.
 
 Failures surface as the campaign layer's typed
 :class:`~repro.campaign.executors.ExecutorTaskError` with the offending
 task attached.  :meth:`WorkerPool.shutdown` drains gracefully: submissions
 are refused, queued work completes (or is discarded with ``drain=False``),
-and the worker threads exit.
+worker threads exit, persistent children are stopped, and any
+shared-memory trace segments still tracked are unlinked.
 """
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import queue
 import threading
 import time
 import traceback
+from collections import deque
 from concurrent.futures import Future
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.campaign.executors import ExecutorTaskError
+from repro.sim.warmcache import ensure_shm_tracker, warm_snapshot
+
+#: Task-duration samples kept for the latency percentiles in `metrics()`.
+_DURATION_SAMPLES = 2048
+
+#: Counter keys a worker's warm-cache snapshot may carry (summable).
+_WARM_KEYS = ("solver_hits", "solver_misses", "trace_hits", "trace_misses")
 
 
 class _TaskCrash(Exception):
-    """A subprocess died before reporting a result (exit code attached)."""
+    """A worker process died before reporting a result (exit code attached)."""
 
 
 class _TaskTimeout(Exception):
-    """A subprocess exceeded the per-task timeout and was killed."""
+    """A task exceeded the per-task timeout; its worker was killed."""
 
 
 def _subprocess_main(connection, fn, task) -> None:
-    """Child-side runner: execute one task, ship (status, payload) back."""
+    """Fork-per-task child: execute one task, ship (status, payload, warm)."""
     try:
-        payload = ("ok", fn(task))
+        payload = ("ok", fn(task), warm_snapshot())
     except BaseException:  # noqa: BLE001 - the parent re-raises, typed
-        payload = ("error", traceback.format_exc())
+        payload = ("error", traceback.format_exc(), warm_snapshot())
     try:
         connection.send(payload)
     finally:
         connection.close()
 
 
+def _persistent_worker_main(connection) -> None:
+    """Persistent child: serve tasks off one duplex pipe until told to stop.
+
+    The loop protocol is ``recv (fn, task)`` → ``send (status, payload,
+    warm_snapshot)``; a ``None`` message (or the pipe closing) is the stop
+    sentinel.  The warm-cache counter snapshot piggybacks on every reply so
+    the parent can aggregate warm/cold hit rates without extra round trips.
+    """
+    while True:
+        try:
+            item = connection.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        if item is None:
+            break
+        fn, task = item
+        try:
+            payload = ("ok", fn(task), warm_snapshot())
+        except BaseException:  # noqa: BLE001 - the parent re-raises, typed
+            payload = ("error", traceback.format_exc(), warm_snapshot())
+        try:
+            connection.send(payload)
+        except (BrokenPipeError, OSError):
+            break
+    try:
+        connection.close()
+    except OSError:  # pragma: no cover - defensive cleanup
+        pass
+
+
+class _PersistentWorker:
+    """Parent-side handle of one long-lived worker process."""
+
+    def __init__(self, context, generation: int) -> None:
+        parent_end, child_end = context.Pipe(duplex=True)
+        self.process = context.Process(
+            target=_persistent_worker_main, args=(child_end,), daemon=True
+        )
+        self.process.start()
+        child_end.close()
+        self.connection = parent_end
+        self.generation = generation
+        #: Last warm-cache counter snapshot this worker reported.
+        self.warm: Dict[str, int] = {}
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def send(self, fn: Callable, task) -> None:
+        self.connection.send((fn, task))
+
+    def stop(self, kill: bool = False) -> Optional[int]:
+        """Stop the child (gracefully, or ``kill=True`` for the watchdog).
+
+        Returns the child's exit code once it is reaped.
+        """
+        if not kill and self.process.is_alive():
+            try:
+                self.connection.send(None)
+            except (BrokenPipeError, OSError, ValueError):
+                pass
+        try:
+            self.connection.close()
+        except OSError:  # pragma: no cover - defensive cleanup
+            pass
+        if kill and self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=5)
+        if self.process.is_alive():  # pragma: no cover - stuck child
+            self.process.kill()
+            self.process.join(timeout=5)
+        exitcode = self.process.exitcode
+        try:
+            self.process.close()
+        except Exception:  # pragma: no cover - defensive cleanup
+            pass
+        return exitcode
+
+
 class WorkerPool:
     """A fixed set of worker threads draining one shared task queue.
 
     ``workers`` threads run tasks in submission order.  ``mode="process"``
-    executes each task in a forked child process (crash containment,
-    enforceable ``task_timeout``); ``mode="thread"`` executes inline.
-    Crashed children are retried up to ``retries`` times with exponential
-    backoff starting at ``retry_backoff`` seconds; timeouts and in-task
-    exceptions are not retried (a deterministic failure would only fail
-    again, slower).
+    executes tasks in worker processes — long-lived ones fed over pipes
+    with ``keepalive=True`` (default; warm caches survive across tasks),
+    or a fresh fork per task with ``keepalive=False`` — while
+    ``mode="thread"`` executes inline.  Crashed workers are respawned and
+    their task retried up to ``retries`` times with exponential backoff
+    starting at ``retry_backoff`` seconds; timeouts and in-task exceptions
+    are not retried (a deterministic failure would only fail again,
+    slower).
     """
 
     def __init__(
@@ -78,6 +183,7 @@ class WorkerPool:
         task_timeout: Optional[float] = None,
         retries: int = 1,
         retry_backoff: float = 0.05,
+        keepalive: bool = True,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -90,6 +196,13 @@ class WorkerPool:
         self.task_timeout = task_timeout
         self.retries = retries
         self.retry_backoff = retry_backoff
+        self.keepalive = bool(keepalive) and mode == "process"
+        if mode == "process":
+            # Start the shm resource tracker BEFORE any worker forks, so
+            # attach-side registrations land in the shared parent tracker
+            # instead of spawning per-worker trackers that would unlink
+            # live segments when a worker dies (bpo-39959 on < 3.13).
+            ensure_shm_tracker()
         self._queue: "queue.Queue" = queue.Queue()
         self._lock = threading.Lock()
         self._idle = threading.Condition(self._lock)
@@ -99,9 +212,26 @@ class WorkerPool:
         self.tasks_completed = 0
         self.tasks_failed = 0
         self.tasks_retried = 0
+        self.worker_respawns = 0
+        self._created = time.monotonic()
+        self._busy_seconds = 0.0
+        self._busy_started: Dict[int, float] = {}
+        self._durations: "deque[float]" = deque(maxlen=_DURATION_SAMPLES)
+        # Persistent-worker state: one optional child per worker-thread slot
+        # (spawned lazily on the slot's first process task), its respawn
+        # generation, and the warm counters of already-retired children.
+        self._process_workers: Dict[int, _PersistentWorker] = {}
+        self._generations: List[int] = [0] * workers
+        self._warm_retired: Dict[str, int] = {}
+        # Shared-memory trace segments currently in flight (name -> handle);
+        # shutdown unlinks whatever a crashed submitter left behind.
+        self._segments: Dict[str, object] = {}
         self._threads = [
             threading.Thread(
-                target=self._worker_loop, name=f"repro-worker-{i}", daemon=True
+                target=self._worker_loop,
+                args=(i,),
+                name=f"repro-worker-{i}",
+                daemon=True,
             )
             for i in range(workers)
         ]
@@ -124,16 +254,18 @@ class WorkerPool:
     # ------------------------------------------------------------------
     # Worker side
     # ------------------------------------------------------------------
-    def _worker_loop(self) -> None:
+    def _worker_loop(self, slot: int) -> None:
         while True:
             item = self._queue.get()
             if item is None:
                 return
             fn, task, future = item
+            started = time.monotonic()
             with self._lock:
                 self._busy += 1
+                self._busy_started[slot] = started
             try:
-                result = self._run_with_retries(fn, task)
+                result = self._run_with_retries(slot, fn, task)
             except BaseException as error:  # noqa: BLE001 - future carries it
                 with self._lock:
                     self.tasks_failed += 1
@@ -143,17 +275,23 @@ class WorkerPool:
                     self.tasks_completed += 1
                 future.set_result(result)
             finally:
+                duration = time.monotonic() - started
                 with self._idle:
+                    self._busy_seconds += duration
+                    self._durations.append(duration)
+                    self._busy_started.pop(slot, None)
                     self._busy -= 1
                     self._unfinished -= 1
                     self._idle.notify_all()
 
-    def _run_with_retries(self, fn: Callable, task):
+    def _run_with_retries(self, slot: int, fn: Callable, task):
         attempt = 0
         while True:
             try:
                 if self.mode == "thread":
                     return fn(task)
+                if self.keepalive:
+                    return self._run_keepalive(slot, fn, task)
                 return self._run_in_subprocess(fn, task)
             except _TaskTimeout as error:
                 raise ExecutorTaskError(
@@ -173,8 +311,73 @@ class WorkerPool:
                 time.sleep(self.retry_backoff * (2**attempt))
                 attempt += 1
 
+    # -- persistent workers --------------------------------------------
+    def _ensure_worker(self, slot: int) -> _PersistentWorker:
+        """The slot's live child, spawning (or respawning) as needed."""
+        with self._lock:
+            worker = self._process_workers.get(slot)
+        if worker is not None:
+            if worker.alive():
+                return worker
+            # Found dead between tasks (e.g. killed externally): retire it
+            # so the generation counter and warm totals stay truthful.
+            self._retire_worker(slot, kill=True)
+        context = multiprocessing.get_context()
+        with self._lock:
+            generation = self._generations[slot]
+        worker = _PersistentWorker(context, generation)
+        with self._lock:
+            self._process_workers[slot] = worker
+        return worker
+
+    def _retire_worker(self, slot: int, kill: bool = False) -> Optional[int]:
+        """Stop and forget the slot's child; fold its warm counters in."""
+        with self._lock:
+            worker = self._process_workers.pop(slot, None)
+        if worker is None:
+            return None
+        exitcode = worker.stop(kill=kill)
+        with self._lock:
+            for key in _WARM_KEYS:
+                if key in worker.warm:
+                    self._warm_retired[key] = (
+                        self._warm_retired.get(key, 0) + worker.warm[key]
+                    )
+            self.worker_respawns += 1
+            self._generations[slot] += 1
+        return exitcode
+
+    def _run_keepalive(self, slot: int, fn: Callable, task):
+        """Run one task on the slot's persistent worker; watchdog the pipe."""
+        worker = self._ensure_worker(slot)
+        try:
+            worker.send(fn, task)
+        except (BrokenPipeError, OSError, ValueError) as error:
+            exitcode = self._retire_worker(slot, kill=True)
+            raise _TaskCrash(f"exit code {exitcode}") from error
+        if not worker.connection.poll(self.task_timeout):
+            # Watchdog: the task overran its budget.  Kill the worker —
+            # its warm cache dies with it — and respawn lazily on the
+            # slot's next task.
+            self._retire_worker(slot, kill=True)
+            raise _TaskTimeout()
+        try:
+            status, payload, warm = worker.connection.recv()
+        except (EOFError, OSError) as error:
+            # The child died mid-task (killed, segfault, os._exit): the
+            # pipe closes without a payload.
+            exitcode = self._retire_worker(slot, kill=True)
+            raise _TaskCrash(f"exit code {exitcode}") from error
+        worker.warm = dict(warm)
+        if status == "error":
+            raise ExecutorTaskError(
+                f"task raised in worker process:\n{payload}", task=task
+            )
+        return payload
+
+    # -- fork-per-task fallback ----------------------------------------
     def _run_in_subprocess(self, fn: Callable, task):
-        """Run one task in a forked child; kill it on timeout."""
+        """Run one task in a fresh forked child; kill it on timeout."""
         context = multiprocessing.get_context()
         receiver, sender = context.Pipe(duplex=False)
         process = context.Process(
@@ -188,13 +391,19 @@ class WorkerPool:
                 process.join()
                 raise _TaskTimeout()
             try:
-                status, payload = receiver.recv()
+                status, payload, warm = receiver.recv()
             except EOFError as error:
                 # The child died (killed, segfault, os._exit) before
                 # sending anything: the pipe closes without a payload.
                 process.join()
                 raise _TaskCrash(f"exit code {process.exitcode}") from error
             process.join()
+            with self._lock:
+                for key in _WARM_KEYS:
+                    if key in warm:
+                        self._warm_retired[key] = (
+                            self._warm_retired.get(key, 0) + warm[key]
+                        )
             if status == "error":
                 raise ExecutorTaskError(
                     f"task raised in worker process:\n{payload}", task=task
@@ -207,6 +416,27 @@ class WorkerPool:
                 process.join()
 
     # ------------------------------------------------------------------
+    # Shared-memory segment tracking (zero-copy trace transport)
+    # ------------------------------------------------------------------
+    def track_segment(self, handle) -> None:
+        """Register a trace segment so shutdown can unlink leftovers."""
+        with self._lock:
+            self._segments[handle.name] = handle
+
+    def release_segment(self, handle) -> None:
+        """Unlink one tracked segment (idempotent)."""
+        with self._lock:
+            self._segments.pop(handle.name, None)
+        handle.close()
+
+    def _release_all_segments(self) -> None:
+        with self._lock:
+            handles = list(self._segments.values())
+            self._segments.clear()
+        for handle in handles:
+            handle.close()
+
+    # ------------------------------------------------------------------
     # Observability + lifecycle
     # ------------------------------------------------------------------
     @property
@@ -214,19 +444,77 @@ class WorkerPool:
         """Tasks waiting for a worker (excluding the ones executing)."""
         return self._queue.qsize()
 
+    def _warm_totals_locked(self) -> Dict[str, int]:
+        """Warm-cache counters summed across every worker, past and present."""
+        if self.mode == "thread":
+            # Thread workers share this process's global cache.
+            return warm_snapshot()
+        totals = dict(self._warm_retired)
+        for worker in self._process_workers.values():
+            for key in _WARM_KEYS:
+                if key in worker.warm:
+                    totals[key] = totals.get(key, 0) + worker.warm[key]
+        for key in _WARM_KEYS:
+            totals.setdefault(key, 0)
+        return totals
+
+    @staticmethod
+    def _percentile(ordered: List[float], q: float) -> float:
+        """Nearest-rank percentile of an already-sorted sample."""
+        if not ordered:
+            return 0.0
+        rank = max(1, math.ceil(q * len(ordered)))
+        return ordered[min(rank, len(ordered)) - 1]
+
     def metrics(self) -> Dict[str, object]:
+        now = time.monotonic()
         with self._lock:
             busy = self._busy
-            return {
-                "workers": self.workers,
-                "mode": self.mode,
-                "busy_workers": busy,
-                "utilization": busy / self.workers,
-                "queue_depth": self._queue.qsize(),
-                "tasks_completed": self.tasks_completed,
-                "tasks_failed": self.tasks_failed,
-                "tasks_retried": self.tasks_retried,
-            }
+            # Busy-time integral over the pool's lifetime: completed task
+            # durations plus the partial time of everything in flight.  An
+            # instantaneous busy-worker snapshot is almost always 0 by the
+            # time a scrape reads it; the integral is what capacity
+            # planning actually needs.
+            busy_seconds = self._busy_seconds + sum(
+                now - started for started in self._busy_started.values()
+            )
+            lifetime = max(now - self._created, 1e-9)
+            ordered = sorted(self._durations)
+            warm = self._warm_totals_locked()
+            generations = list(self._generations)
+            respawns = self.worker_respawns
+            completed = self.tasks_completed
+            failed = self.tasks_failed
+            retried = self.tasks_retried
+        return {
+            "workers": self.workers,
+            "mode": self.mode,
+            "keepalive": self.keepalive,
+            "busy_workers": busy,
+            "utilization": min(1.0, busy_seconds / (self.workers * lifetime)),
+            "busy_seconds": busy_seconds,
+            "queue_depth": self._queue.qsize(),
+            "tasks_completed": completed,
+            "tasks_failed": failed,
+            "tasks_retried": retried,
+            "worker_respawns": respawns,
+            "worker_generations": generations,
+            "task_latency_p50_seconds": self._percentile(ordered, 0.50),
+            "task_latency_p99_seconds": self._percentile(ordered, 0.99),
+            "warm_cache": warm,
+        }
+
+    def runtime_info(self) -> Dict[str, object]:
+        """The runtime facts a campaign outcome records (see metrics())."""
+        metrics = self.metrics()
+        return {
+            "mode": metrics["mode"],
+            "keepalive": metrics["keepalive"],
+            "workers": metrics["workers"],
+            "worker_respawns": metrics["worker_respawns"],
+            "worker_generations": metrics["worker_generations"],
+            "warm_cache": metrics["warm_cache"],
+        }
 
     def drain(self, timeout: Optional[float] = None) -> bool:
         """Block until every submitted task has finished.
@@ -251,7 +539,9 @@ class WorkerPool:
         With ``drain=True`` (the default) queued tasks complete first;
         with ``drain=False`` queued-but-unstarted tasks are failed with
         :class:`~repro.campaign.executors.ExecutorTaskError` and only
-        in-flight ones run to completion.
+        in-flight ones run to completion.  Persistent worker processes are
+        stopped after their threads exit, and any tracked shared-memory
+        segments are unlinked.
         """
         with self._lock:
             if not self._accepting:
@@ -278,3 +568,19 @@ class WorkerPool:
             self._queue.put(None)
         for thread in self._threads:
             thread.join(timeout=5)
+        with self._lock:
+            workers = list(self._process_workers.values())
+            self._process_workers.clear()
+        for worker in workers:
+            worker.stop()
+        with self._lock:
+            # Keep the stopped workers' warm counters visible in post-
+            # shutdown metrics() scrapes (a shutdown is not a respawn, so
+            # generations stay put).
+            for worker in workers:
+                for key in _WARM_KEYS:
+                    if key in worker.warm:
+                        self._warm_retired[key] = (
+                            self._warm_retired.get(key, 0) + worker.warm[key]
+                        )
+        self._release_all_segments()

@@ -1,0 +1,41 @@
+"""Service-facing surface of the worker-resident warm cache.
+
+The implementation lives in :mod:`repro.sim.warmcache` — below the campaign
+and service layers, so :class:`~repro.sim.engine.PhysicsStage` and the
+batched group replay can consult it without upward imports.  The service
+runtime (pool workers, metrics, benchmarks) imports it from here.
+"""
+
+from repro.sim.warmcache import (
+    DEFAULT_SOLVER_ENTRIES,
+    DEFAULT_TRACE_ENTRIES,
+    ShmHandle,
+    TraceRef,
+    WARM_CACHE_ENV,
+    WarmCache,
+    publish_trace,
+    resolve_trace,
+    solver_bundle,
+    solver_key,
+    stamp_trace_source,
+    warm_cache,
+    warm_cache_enabled,
+    warm_snapshot,
+)
+
+__all__ = [
+    "DEFAULT_SOLVER_ENTRIES",
+    "DEFAULT_TRACE_ENTRIES",
+    "ShmHandle",
+    "TraceRef",
+    "WARM_CACHE_ENV",
+    "WarmCache",
+    "publish_trace",
+    "resolve_trace",
+    "solver_bundle",
+    "solver_key",
+    "stamp_trace_source",
+    "warm_cache",
+    "warm_cache_enabled",
+    "warm_snapshot",
+]

@@ -255,18 +255,26 @@ class ActivityTrace:
         )
 
     @classmethod
-    def from_bytes(cls, data: bytes) -> "ActivityTrace":
-        """Inverse of :meth:`to_bytes`; raises ``ValueError`` on bad input."""
-        if not data.startswith(TRACE_BIN_MAGIC):
+    def from_bytes(cls, data) -> "ActivityTrace":
+        """Inverse of :meth:`to_bytes`; raises ``ValueError`` on bad input.
+
+        Accepts any object exposing the buffer protocol (``bytes``,
+        ``memoryview``, ``mmap.mmap``, a ``multiprocessing.shared_memory``
+        buffer slice), so callers can decode straight out of a memory-mapped
+        cache artifact or a shared-memory segment without first copying the
+        compressed payload into a ``bytes`` object.
+        """
+        view = data if isinstance(data, memoryview) else memoryview(data)
+        if bytes(view[: len(TRACE_BIN_MAGIC)]) != TRACE_BIN_MAGIC:
             raise ValueError("not a binary activity trace (bad magic)")
-        version = data[len(TRACE_BIN_MAGIC)]
+        version = view[len(TRACE_BIN_MAGIC)]
         if version != TRACE_BIN_VERSION:
             raise ValueError(
                 f"unsupported binary trace container version {version} "
                 f"(supported: {TRACE_BIN_VERSION})"
             )
         try:
-            payload = zlib.decompress(data[len(TRACE_BIN_MAGIC) + 1 :])
+            payload = zlib.decompress(view[len(TRACE_BIN_MAGIC) + 1 :])
         except zlib.error as error:
             raise ValueError(f"corrupt binary activity trace: {error}") from error
         (header_len,) = struct.unpack_from("<I", payload, 0)

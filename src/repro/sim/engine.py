@@ -70,6 +70,7 @@ from repro.sim.block_index import BlockIndex
 from repro.sim.config import ProcessorConfig
 from repro.sim.processor import Processor
 from repro.sim.results import IntervalRecord, SimulationResult
+from repro.sim.warmcache import solver_bundle
 from repro.thermal.floorplan import build_floorplan
 from repro.thermal.rc_model import ThermalRCNetwork
 from repro.thermal.sensors import SensorBank
@@ -323,9 +324,18 @@ class PhysicsStage:
         self.block_groups = (
             dict(block_groups) if block_groups is not None else blocks.block_groups(config)
         )
-        self.network = ThermalRCNetwork(self.floorplan, config.thermal)
-        self.solver = ThermalSolver(
-            self.network, backend=solver_backend, ordering=solver_ordering
+        # The RC network and factorized solver are pure functions of the
+        # floorplan geometry + thermal config, so they come from the
+        # process-global warm cache: a persistent pool worker (or process
+        # pool child) replaying a sweep factorizes each distinct die once,
+        # not once per cell.  A warm bundle is bit-identical to a fresh one
+        # (same inputs, same factorization), and REPRO_WARM_CACHE=0 forces
+        # fresh construction.
+        self.network, self.solver = solver_bundle(
+            self.floorplan,
+            config.thermal,
+            backend=solver_backend,
+            ordering=solver_ordering,
         )
         #: The resolved solver backend ("dense" or "sparse").
         self.solver_backend = self.solver.backend

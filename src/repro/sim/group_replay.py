@@ -59,8 +59,8 @@ from repro.sim import blocks
 from repro.sim.activity_trace import ActivityTrace
 from repro.sim.config import ProcessorConfig
 from repro.sim.results import IntervalRecord, SimulationResult
+from repro.sim.warmcache import solver_bundle
 from repro.thermal.floorplan import build_floorplan
-from repro.thermal.rc_model import ThermalRCNetwork
 from repro.thermal.solver import ThermalSolver
 
 #: Accepted values of the ``replay_mode`` execution knob.
@@ -324,8 +324,9 @@ def _replay_subgroup_batched(
     rep = cells[0]
     config = rep.config
     floorplan = build_floorplan(config, rep.block_areas)
-    network = ThermalRCNetwork(floorplan, config.thermal)
-    solver = ThermalSolver(network)
+    # Warm-cached: a persistent worker replaying many sub-groups of the
+    # same thermal die factorizes once (see repro.sim.warmcache).
+    network, solver = solver_bundle(floorplan, config.thermal)
     index = rep.power_model.index
     node_positions = network.node_positions(index.names)
     width = len(cells)

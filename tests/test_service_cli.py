@@ -127,8 +127,86 @@ def test_submit_falls_back_to_local_run(capsys):
     )
     captured = capsys.readouterr()
     assert "unreachable" in captured.err
-    assert "falling back to local execution" in captured.err
+    # The warning states WHY the server was unreachable: nothing listens on
+    # the discard port, so the kernel refuses the connection outright.
+    assert "connection refused" in captured.err
+    assert "falling back to local execution (connection refused)" in captured.err
     assert "1 simulated" in captured.out
+
+
+def test_submit_falls_back_on_server_error_with_status_reason(capsys):
+    """A 5xx answer (server broken, not the campaign) falls back locally,
+    and the warning names the HTTP status; 4xx still surfaces as an error."""
+    import http.server
+    import threading
+
+    class _Failing(http.server.BaseHTTPRequestHandler):
+        def do_POST(self):  # noqa: N802 - http.server API
+            self.send_response(503)
+            self.send_header("Content-Type", "application/json")
+            self.end_headers()
+            self.wfile.write(b'{"error": "backend exploded"}')
+
+        def log_message(self, *args):
+            pass
+
+    httpd = http.server.ThreadingHTTPServer(("127.0.0.1", 0), _Failing)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    try:
+        address = f"http://127.0.0.1:{httpd.server_address[1]}"
+        assert (
+            main(
+                [
+                    "submit",
+                    "--server",
+                    address,
+                    "--benchmarks",
+                    "gzip",
+                    "--uops",
+                    "400",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "HTTP 503" in captured.err
+        assert (
+            "falling back to local execution (server error: HTTP 503)"
+            in captured.err
+        )
+        assert "1 simulated" in captured.out
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        thread.join(timeout=5)
+
+
+def test_unreachable_reason_classifies_timeouts_and_refusals():
+    import socket
+
+    from repro.service.client import ServiceClient, ServiceUnavailable, _unreachable_reason
+
+    assert _unreachable_reason(ConnectionRefusedError()) == "connection refused"
+    assert _unreachable_reason(socket.timeout()) == "timed out"
+    assert _unreachable_reason(socket.gaierror()) == "dns lookup failed"
+    assert _unreachable_reason(ValueError("?")) == "network error"
+
+    # End-to-end over a real socket: a server that accepts but never
+    # answers makes the client time out, and the typed error says so.
+    listener = socket.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    try:
+        client = ServiceClient(
+            f"http://127.0.0.1:{listener.getsockname()[1]}", timeout=0.2
+        )
+        with pytest.raises(ServiceUnavailable) as excinfo:
+            client.healthz()
+        assert excinfo.value.reason == "timed out"
+        assert "timed out" in str(excinfo.value)
+    finally:
+        listener.close()
 
 
 def test_submit_validates_before_submitting(capsys):
